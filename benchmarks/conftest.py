@@ -1,0 +1,22 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+workload, prints the figure's rows (captured by pytest; use ``-s`` to
+stream), writes them to ``benchmarks/results/``, and asserts the
+*shape* the paper reports (orderings, crossovers, approximation
+ratios) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_figure(name: str, text: str) -> None:
+    """Print a figure's rows and persist them for EXPERIMENTS.md."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,238 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Greedy composition** — density-only and value-only versus the
+  combined Algorithm 1 (the paper motivates combining them with two
+  adversarial examples; here we measure the effect in live traffic).
+* **Prediction awareness** — Algorithm 1 with the delta_n machinery
+  disabled (delta forced to 1) versus the full objective, quantifying
+  the contribution of modelling imperfect motion prediction.
+* **Dedup** — bandwidth saved by the repetitive-tile mechanism on a
+  static scene versus a live scene.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import (
+    DensityGreedyAllocator,
+    DensityValueGreedyAllocator,
+    ValueGreedyAllocator,
+)
+from repro.core.scheduler import CollaborativeVrScheduler
+from repro.simulation import SimulationConfig, TraceSimulator
+from repro.system import SystemExperiment, setup1_config
+from benchmarks.conftest import record_figure
+
+
+@pytest.fixture(scope="module")
+def greedy_comparison():
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=5, duration_slots=600, seed=0)
+    )
+    return simulator.compare(
+        {
+            "combined": DensityValueGreedyAllocator(),
+            "density-only": DensityGreedyAllocator(),
+            "value-only": ValueGreedyAllocator(),
+        },
+        num_episodes=2,
+    )
+
+
+def test_ablation_greedy_composition(benchmark, greedy_comparison):
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=5, duration_slots=150, seed=1)
+    )
+    benchmark.pedantic(
+        lambda: simulator.run_episode(DensityGreedyAllocator()),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, results.mean("qoe"), results.mean("quality"),
+         results.mean("delay"), results.mean("variance")]
+        for name, results in greedy_comparison.items()
+    ]
+    record_figure(
+        "ablation_greedy_composition",
+        format_table(["variant", "qoe", "quality", "delay", "variance"], rows),
+    )
+    combined = greedy_comparison["combined"].mean("qoe")
+    assert combined >= greedy_comparison["density-only"].mean("qoe") - 1e-6
+    assert combined >= greedy_comparison["value-only"].mean("qoe") - 1e-6
+
+
+class _DeltaBlindScheduler(CollaborativeVrScheduler):
+    """Scheduler that pretends motion prediction is perfect."""
+
+    def delta(self, user: int) -> float:
+        return 1.0
+
+
+@pytest.fixture(scope="module")
+def prediction_ablation():
+    """System emulation with and without prediction/miss awareness.
+
+    In the trace simulator the coverage indicator rarely fires
+    (delta ~ 1), so the delta machinery is inert there; the setup-2
+    emulation is where frames actually miss — lost packets, late
+    arrivals, wrong-FoV deliveries — and the running delta estimate is
+    what lets Algorithm 1 adapt to them.
+    """
+    from repro.system.experiment import setup2_config
+
+    results = {}
+    for label, blind in (("delta-aware", False), ("delta-blind", True)):
+        experiment = SystemExperiment(setup2_config(duration_slots=900, seed=0))
+        if blind:
+            import repro.system.server as server_module
+
+            original = server_module.CollaborativeVrScheduler
+            server_module.CollaborativeVrScheduler = _DeltaBlindScheduler
+            try:
+                results[label] = experiment.run(
+                    DensityValueGreedyAllocator(), repeats=2
+                )
+            finally:
+                server_module.CollaborativeVrScheduler = original
+        else:
+            results[label] = experiment.run(
+                DensityValueGreedyAllocator(), repeats=2
+            )
+    return results
+
+
+def test_ablation_prediction_awareness(benchmark, prediction_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, results.mean("qoe"), results.mean("quality"),
+         results.mean("variance"), results.mean_fps()]
+        for name, results in prediction_ablation.items()
+    ]
+    record_figure(
+        "ablation_prediction_awareness",
+        format_table(["variant", "qoe", "quality", "variance", "fps"], rows),
+    )
+    # Where misses are frequent, the delta-aware objective must not
+    # lose to the blind one.
+    aware = prediction_ablation["delta-aware"].mean("qoe")
+    blind = prediction_ablation["delta-blind"].mean("qoe")
+    assert aware >= blind - 0.02 * abs(blind)
+
+
+@pytest.fixture(scope="module")
+def dedup_traffic():
+    from repro.system.server import EdgeServer
+
+    traffic = {}
+    for label, refresh in (("live", 1), ("semi-static", 4), ("static", 0)):
+        demands = []
+
+        class MeteredServer(EdgeServer):
+            def plan_slot(self):
+                plan = super().plan_slot()
+                demands.append(sum(plan.demands_mbps))
+                return plan
+
+        import repro.system.experiment as experiment_module
+
+        config = replace(
+            setup1_config(duration_slots=600, seed=1),
+            content_refresh_slots=refresh,
+        )
+        experiment = SystemExperiment(config)
+        original = experiment_module.EdgeServer
+        experiment_module.EdgeServer = MeteredServer
+        try:
+            results = experiment.run(DensityValueGreedyAllocator(), repeats=1)
+        finally:
+            experiment_module.EdgeServer = original
+        traffic[label] = (float(np.mean(demands)), results.mean("qoe"))
+    return traffic
+
+
+def test_ablation_dedup_bandwidth(benchmark, dedup_traffic):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, mbps, qoe] for name, (mbps, qoe) in dedup_traffic.items()
+    ]
+    record_figure(
+        "ablation_dedup_bandwidth",
+        format_table(["content", "offered traffic (Mbps)", "qoe"], rows),
+    )
+    live = dedup_traffic["live"][0]
+    static = dedup_traffic["static"][0]
+    # Section V: dedup "significantly saves the network bandwidth".
+    assert static < 0.6 * live
+    assert dedup_traffic["semi-static"][0] < live
+
+
+@pytest.fixture(scope="module")
+def gop_burstiness():
+    """Constant-size abstraction vs GoP-bursty frame sizes."""
+    results = {}
+    for label, gop in (("constant (paper)", 0), ("gop-30 bursty", 30)):
+        config = replace(
+            setup1_config(duration_slots=900, seed=1), gop_length=gop
+        )
+        experiment = SystemExperiment(config)
+        results[label] = experiment.run(DensityValueGreedyAllocator(), repeats=2)
+    return results
+
+
+def test_ablation_gop_burstiness(benchmark, gop_burstiness):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, res.mean("qoe"), res.mean("delay"), res.mean_fps()]
+        for name, res in gop_burstiness.items()
+    ]
+    record_figure(
+        "ablation_gop_burstiness",
+        format_table(["frame sizes", "qoe", "delay", "fps"], rows),
+    )
+    constant = gop_burstiness["constant (paper)"]
+    bursty = gop_burstiness["gop-30 bursty"]
+    # Burstiness costs frames (I-frame slots overshoot), but the
+    # variance-anchored allocator keeps the QoE loss bounded.
+    assert bursty.mean_fps() <= constant.mean_fps() + 0.5
+    assert bursty.mean("qoe") > 0.5 * constant.mean("qoe")
+
+
+@pytest.fixture(scope="module")
+def sanity_baselines():
+    """Algorithm 1 vs the QoE-blind sanity baselines."""
+    from repro.core.baselines import MaxMinFairAllocator, UniformAllocator
+
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=5, duration_slots=600, seed=0)
+    )
+    return simulator.compare(
+        {
+            "ours": DensityValueGreedyAllocator(),
+            "uniform": UniformAllocator(),
+            "max-min-fair": MaxMinFairAllocator(),
+        },
+        num_episodes=2,
+    )
+
+
+def test_ablation_sanity_baselines(benchmark, sanity_baselines):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, res.mean("qoe"), res.mean("quality"), res.mean("delay"),
+         res.mean("variance"), res.mean_fairness("qoe")]
+        for name, res in sanity_baselines.items()
+    ]
+    record_figure(
+        "ablation_sanity_baselines",
+        format_table(
+            ["allocator", "qoe", "quality", "delay", "variance", "fairness"],
+            rows,
+        ),
+    )
+    ours = sanity_baselines["ours"].mean("qoe")
+    assert ours > sanity_baselines["uniform"].mean("qoe")
+    assert ours > sanity_baselines["max-min-fair"].mean("qoe")

@@ -1,0 +1,65 @@
+"""Complexity study: Algorithm 1 vs the exact solver as users grow.
+
+Section III motivates the greedy with NP-hardness: the per-slot
+problem is a nonlinear knapsack, so the exact solver's cost explodes
+with the number of users while Algorithm 1 stays polynomial.  This
+bench measures both on identical instances.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.knapsack import combined_greedy, solve_exact
+from repro.knapsack.random_instances import random_instance
+from benchmarks.conftest import record_figure
+
+
+def _time(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def timing_table():
+    rows = []
+    rng = np.random.default_rng(0)
+    for num_items in (2, 4, 6, 8, 10):
+        problem = random_instance(
+            rng, num_items=num_items, num_options=6, tightness=0.5
+        )
+        greedy_s = _time(lambda p=problem: combined_greedy(p))
+        exact_s = _time(lambda p=problem: solve_exact(p), repeats=3)
+        gap = 1.0 - combined_greedy(problem).value / solve_exact(problem).value
+        rows.append([num_items, greedy_s * 1e3, exact_s * 1e3, gap])
+    return rows
+
+
+def test_complexity_scaling(benchmark, timing_table):
+    rng = np.random.default_rng(1)
+    problem = random_instance(rng, num_items=10, num_options=6, tightness=0.5)
+    benchmark(lambda: combined_greedy(problem))
+
+    record_figure(
+        "complexity_greedy_vs_exact",
+        format_table(
+            ["users", "greedy (ms)", "exact B&B (ms)", "relative gap"],
+            timing_table,
+        ),
+    )
+
+    greedy_times = [row[1] for row in timing_table]
+    exact_times = [row[2] for row in timing_table]
+    # Greedy grows mildly: 5x users < 50x time.
+    assert greedy_times[-1] < 50 * max(greedy_times[0], 1e-3)
+    # The exact solver's growth outpaces the greedy's by a wide factor
+    # at 10 users.
+    assert exact_times[-1] / greedy_times[-1] > 3.0
+    # And the greedy pays almost nothing for that speed.
+    assert all(row[3] < 0.1 for row in timing_table)

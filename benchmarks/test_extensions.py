@@ -1,0 +1,121 @@
+"""Section VIII extensions, measured.
+
+* **Loss-aware allocation** — the paper: "we believe it can be further
+  improved by accounting for such [packet loss] information."  We run
+  the loss-aware variant of Algorithm 1 in the harsh setup-2
+  environment and compare against plain Algorithm 1.
+* **Online rendering** — the paper proposes multi-GPU render+encode
+  pipelining; we tabulate the minimum GPU pool per class size.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import DensityValueGreedyAllocator, LossAwareAllocator
+from repro.system import SystemExperiment, setup2_config
+from repro.system.rendering import GpuSpec, min_gpus_for
+from benchmarks.conftest import record_figure
+
+
+@pytest.fixture(scope="module")
+def loss_comparison():
+    experiment = SystemExperiment(setup2_config(duration_slots=900, seed=0))
+    return experiment.compare(
+        {
+            "alg1": DensityValueGreedyAllocator(),
+            "alg1+loss-aware": LossAwareAllocator(),
+        },
+        repeats=2,
+    )
+
+
+def test_extension_loss_aware(benchmark, loss_comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, res.mean("qoe"), res.mean("quality"), res.mean("variance"),
+         res.mean_fps()]
+        for name, res in loss_comparison.items()
+    ]
+    record_figure(
+        "extension_loss_aware_setup2",
+        format_table(["variant", "qoe", "quality", "variance", "fps"], rows),
+    )
+    aware = loss_comparison["alg1+loss-aware"]
+    plain = loss_comparison["alg1"]
+    # The extension must not hurt, and should display more frames.
+    assert aware.mean("qoe") >= plain.mean("qoe") - 0.05
+    assert aware.mean_fps() >= plain.mean_fps() - 0.5
+
+
+def test_extension_online_rendering_gpu_table(benchmark):
+    spec = GpuSpec()
+    table_rows = []
+
+    def build():
+        rows = []
+        for users in (1, 4, 8, 15, 30):
+            rows.append(
+                [
+                    users,
+                    min_gpus_for(users, tiles_per_user=4,
+                                 tile_bits=150_000.0, level=4, spec=spec),
+                ]
+            )
+        return rows
+
+    table_rows = benchmark(build)
+    record_figure(
+        "extension_online_rendering",
+        format_table(["users", "min GPUs (render+encode in one slot)"],
+                     table_rows),
+    )
+    gpus = [g for _, g in table_rows]
+    assert all(g >= 1 for g in gpus), "every class size must be servable"
+    assert gpus == sorted(gpus), "GPU demand grows with class size"
+    # The paper's 4-GPU workstation handles the 15-user class online.
+    fifteen = dict(table_rows)[15]
+    assert fifteen <= 8
+
+
+@pytest.fixture(scope="module")
+def router_aware_comparison():
+    """Router-constrained scenario: 15 users on two 200 Mbps routers.
+
+    The aggregate server budget (800 Mbps) never binds, but each
+    router's air time does; planning against the aggregate B(t) (the
+    paper's formulation) overshoots the shared medium, while adding
+    one constraint per router backs off before the collision.
+    """
+    from dataclasses import replace
+
+    from repro.system import setup2_config
+
+    results = {}
+    for label, aware in (("aggregate-B", False), ("router-aware", True)):
+        config = replace(
+            setup2_config(duration_slots=900, seed=0),
+            router_capacity_mbps=200.0,
+            router_aware=aware,
+        )
+        experiment = SystemExperiment(config)
+        results[label] = experiment.run(DensityValueGreedyAllocator(), repeats=2)
+    return results
+
+
+def test_extension_router_aware(benchmark, router_aware_comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, res.mean("qoe"), res.mean("quality"), res.mean("delay"),
+         res.mean_fps()]
+        for name, res in router_aware_comparison.items()
+    ]
+    record_figure(
+        "extension_router_aware",
+        format_table(["planning", "qoe", "quality", "delay", "fps"], rows),
+    )
+    aware = router_aware_comparison["router-aware"]
+    aggregate = router_aware_comparison["aggregate-B"]
+    # Router-aware planning must not hurt, and should reduce delay on
+    # the congested medium.
+    assert aware.mean("qoe") >= aggregate.mean("qoe") - 0.05
+    assert aware.mean("delay") <= aggregate.mean("delay") + 0.05

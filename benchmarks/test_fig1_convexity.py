@@ -1,0 +1,54 @@
+"""Fig. 1 — the two measured convexities the model rests on.
+
+* Fig. 1a: tile-set size vs quality level for two random contents is
+  convex and increasing.
+* Fig. 1b: mean RTT vs sending rate on a 15 Mbps-capped link is convex
+  and increasing (M/M/1 queueing).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.content.rate import RateModel, is_convex_increasing
+from repro.simulation.delaymodel import mean_rtt_curve
+from benchmarks.conftest import record_figure
+
+
+def test_fig1a_tile_size_vs_quality(benchmark):
+    model = RateModel(seed=42)
+    contents = [3, 17]  # "two randomly selected contents"
+
+    curves = benchmark(lambda: [model.curve(c).as_tuple() for c in contents])
+
+    rows = []
+    for level in range(1, 7):
+        rows.append(
+            [level] + [curve[level - 1] for curve in curves]
+        )
+    table = format_table(
+        ["quality level", "content A (Mbps)", "content B (Mbps)"], rows
+    )
+    record_figure("fig1a_tile_size_vs_quality", table)
+
+    for curve in curves:
+        assert is_convex_increasing(curve)
+
+
+def test_fig1b_rtt_vs_sending_rate(benchmark):
+    rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 13.5]
+
+    curve = benchmark.pedantic(
+        lambda: mean_rtt_curve(rates, capacity_mbps=15.0, num_samples=40_000),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["sending rate (Mbps)", "mean RTT (ms)"],
+        [[r, rtt] for r, rtt in zip(rates, curve)],
+    )
+    record_figure("fig1b_rtt_vs_rate", table)
+
+    increments = np.diff(curve)
+    assert (increments > 0).all(), "RTT must increase with sending rate"
+    assert (np.diff(increments) > 0).all(), "RTT must be convex in rate"

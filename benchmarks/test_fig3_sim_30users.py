@@ -1,0 +1,85 @@
+"""Fig. 3 — trace-based simulation with 30 users.
+
+Same panels as Fig. 2 but at collaborative scale (no offline optimum:
+the exact solver is exponential in users).  Shape targets: the Fig. 2
+orderings persist at 30 users.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    PavqAllocator,
+)
+from repro.simulation import SimulationConfig, TraceSimulator
+from benchmarks.conftest import record_figure
+
+QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=30, duration_slots=600, seed=0)
+    )
+    allocators = {
+        "ours": DensityValueGreedyAllocator(),
+        "pavq": PavqAllocator(),
+        "firefly": FireflyAllocator(),
+    }
+    return simulator.compare(allocators, num_episodes=2)
+
+
+def test_fig3_run(benchmark, comparison):
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=30, duration_slots=120, seed=1)
+    )
+    benchmark.pedantic(
+        lambda: simulator.run_episode(DensityValueGreedyAllocator()),
+        rounds=1,
+        iterations=1,
+    )
+    for panel, metric in [
+        ("fig3a_qoe_cdf_30users", "qoe"),
+        ("fig3b_quality_cdf_30users", "quality"),
+        ("fig3c_delay_cdf_30users", "delay"),
+        ("fig3d_variance_cdf_30users", "variance"),
+    ]:
+        rows = []
+        for name, results in comparison.items():
+            cdf = results.cdf(metric)
+            rows.append(
+                [name]
+                + [cdf.quantile(q) for q in QUANTILES]
+                + [results.mean(metric)]
+            )
+        headers = (
+            ["algorithm"] + [f"p{int(q * 100):02d}" for q in QUANTILES] + ["mean"]
+        )
+        record_figure(panel, format_table(headers, rows))
+
+
+def test_fig3a_ordering_persists_at_scale(comparison):
+    ours = comparison["ours"].mean("qoe")
+    assert ours > comparison["firefly"].mean("qoe")
+    assert ours >= comparison["pavq"].mean("qoe") - 1e-9
+
+
+def test_fig3d_variance_ordering(comparison):
+    # PAVQ is variance-centric by construction, so ours and PAVQ land
+    # within noise of each other (the paper's Fig. 3d shows the same
+    # near-overlap); the decisive claim is that both crush Firefly.
+    assert (
+        comparison["ours"].mean("variance")
+        <= 1.05 * comparison["pavq"].mean("variance")
+    )
+    assert (
+        comparison["ours"].mean("variance")
+        < 0.5 * comparison["firefly"].mean("variance")
+    )
+
+
+def test_fig3c_delay_ordering(comparison):
+    assert comparison["ours"].mean("delay") < comparison["firefly"].mean("delay")

@@ -1,0 +1,97 @@
+"""Fig. 7 — real-system evaluation, setup 1 (8 users, single router).
+
+Bars of average QoE (7a), delivery delay (7b), and FPS (7c), plus the
+quality/variance breakdown, for Algorithm 1 vs Firefly vs modified
+PAVQ, averaged over repeats.
+
+Shape targets from the paper:
+* ours has the highest average QoE (paper: +81.9% over Firefly,
+  +12.1% over PAVQ — our emulation preserves the ordering and the
+  PAVQ gap; the Firefly gap is smaller, see EXPERIMENTS.md);
+* ours has the lowest delivery delay and quality variance;
+* ours reaches the best frame rate, near the 60 FPS target.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, improvement_percent
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    PavqAllocator,
+)
+from repro.system import SystemExperiment, setup1_config
+from benchmarks.conftest import record_figure
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    experiment = SystemExperiment(setup1_config(duration_slots=1200, seed=0))
+    return experiment.compare(
+        {
+            "ours": DensityValueGreedyAllocator(),
+            "pavq": PavqAllocator(),
+            "firefly": FireflyAllocator(),
+        },
+        repeats=3,
+    )
+
+
+def test_fig7_run(benchmark, comparison):
+    experiment = SystemExperiment(setup1_config(duration_slots=300, seed=1))
+    benchmark.pedantic(
+        lambda: experiment.run_repeat(DensityValueGreedyAllocator(), 0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, results in comparison.items():
+        rows.append(
+            [
+                name,
+                results.mean("qoe"),
+                results.mean("quality"),
+                results.mean("delay"),
+                results.mean("variance"),
+                results.mean_fps(),
+            ]
+        )
+    table = format_table(
+        ["algorithm", "avg QoE", "quality", "delay (slots)", "variance", "FPS"],
+        rows,
+    )
+    ours = comparison["ours"].mean("qoe")
+    gains = "\n".join(
+        f"QoE improvement over {rival}: "
+        f"{improvement_percent(ours, comparison[rival].mean('qoe')):+.1f}% "
+        f"(paper: {paper})"
+        for rival, paper in (("firefly", "+81.9%"), ("pavq", "+12.1%"))
+    )
+    record_figure("fig7_system_setup1", table + "\n\n" + gains)
+
+
+def test_fig7a_qoe_ordering(comparison):
+    ours = comparison["ours"].mean("qoe")
+    pavq = comparison["pavq"].mean("qoe")
+    firefly = comparison["firefly"].mean("qoe")
+    assert ours > pavq > firefly
+
+
+def test_fig7b_ours_lowest_delay(comparison):
+    ours = comparison["ours"].mean("delay")
+    assert ours <= comparison["pavq"].mean("delay")
+    assert ours <= comparison["firefly"].mean("delay")
+
+
+def test_fig7c_ours_best_fps_near_target(comparison):
+    ours_fps = comparison["ours"].mean_fps()
+    assert ours_fps >= comparison["pavq"].mean_fps()
+    assert ours_fps >= comparison["firefly"].mean_fps()
+    assert ours_fps > 52.0  # near the 60 FPS target
+
+
+def test_fig7_variance_ordering(comparison):
+    assert (
+        comparison["ours"].mean("variance")
+        < comparison["firefly"].mean("variance")
+    )

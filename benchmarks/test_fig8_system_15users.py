@@ -1,0 +1,123 @@
+"""Fig. 8 — real-system evaluation, setup 2 (15 users, two routers).
+
+The harsher setting: two bridged routers share an interference field,
+so capacity variance is much larger and throughput estimates chase a
+moving target.
+
+Shape targets from the paper:
+* both baselines degrade sharply versus setup 1 ("vulnerable to the
+  dynamic network environment"), ours degrades gracefully;
+* ours beats PAVQ by a much wider margin than in setup 1 (paper:
+  +214.3%);
+* Firefly is the worst and collapses toward (the paper: below) zero
+  QoE.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, improvement_percent
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    PavqAllocator,
+)
+from repro.system import SystemExperiment, setup1_config, setup2_config
+from benchmarks.conftest import record_figure
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    experiment = SystemExperiment(setup2_config(duration_slots=1200, seed=0))
+    return experiment.compare(
+        {
+            "ours": DensityValueGreedyAllocator(),
+            "pavq": PavqAllocator(),
+            "firefly": FireflyAllocator(),
+        },
+        repeats=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def setup1_comparison():
+    experiment = SystemExperiment(setup1_config(duration_slots=1200, seed=0))
+    return experiment.compare(
+        {
+            "ours": DensityValueGreedyAllocator(),
+            "pavq": PavqAllocator(),
+            "firefly": FireflyAllocator(),
+        },
+        repeats=3,
+    )
+
+
+def test_fig8_run(benchmark, comparison):
+    experiment = SystemExperiment(setup2_config(duration_slots=240, seed=1))
+    benchmark.pedantic(
+        lambda: experiment.run_repeat(DensityValueGreedyAllocator(), 0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, results in comparison.items():
+        rows.append(
+            [
+                name,
+                results.mean("qoe"),
+                results.mean("quality"),
+                results.mean("delay"),
+                results.mean("variance"),
+                results.mean_fps(),
+            ]
+        )
+    table = format_table(
+        ["algorithm", "avg QoE", "quality", "delay (slots)", "variance", "FPS"],
+        rows,
+    )
+    ours = comparison["ours"].mean("qoe")
+    pavq = comparison["pavq"].mean("qoe")
+    firefly = comparison["firefly"].mean("qoe")
+    notes = (
+        f"QoE improvement over pavq: {improvement_percent(ours, pavq):+.1f}% "
+        "(paper: +214.3%)\n"
+        f"firefly QoE: {firefly:.3f} (paper: negative)"
+    )
+    record_figure("fig8_system_setup2", table + "\n\n" + notes)
+
+
+def test_fig8_qoe_ordering(comparison):
+    ours = comparison["ours"].mean("qoe")
+    pavq = comparison["pavq"].mean("qoe")
+    firefly = comparison["firefly"].mean("qoe")
+    assert ours > pavq > firefly
+
+
+def test_fig8_firefly_collapses(comparison):
+    """Firefly's QoE collapses toward zero under two-router variance."""
+    firefly = comparison["firefly"].mean("qoe")
+    ours = comparison["ours"].mean("qoe")
+    assert firefly < 0.55 * ours
+
+
+def test_fig8_gaps_widen_vs_setup1(comparison, setup1_comparison):
+    """The baselines' relative deficit grows from setup 1 to setup 2."""
+    def firefly_gap(c):
+        return improvement_percent(
+            c["ours"].mean("qoe"), c["firefly"].mean("qoe")
+        )
+
+    assert firefly_gap(comparison) > firefly_gap(setup1_comparison)
+
+
+def test_fig8_everyone_degrades_vs_setup1(comparison, setup1_comparison):
+    for name in ("ours", "pavq", "firefly"):
+        assert comparison[name].mean("qoe") < setup1_comparison[name].mean("qoe")
+
+
+def test_fig8_ours_degrades_most_gracefully(comparison, setup1_comparison):
+    """Ours retains the largest fraction of its setup-1 QoE."""
+    def retention(name):
+        return comparison[name].mean("qoe") / setup1_comparison[name].mean("qoe")
+
+    assert retention("ours") > retention("firefly")
+    assert retention("ours") > retention("pavq")

@@ -1,0 +1,84 @@
+"""Seed sensitivity of the headline improvement percentages.
+
+The paper reports single numbers (+12.1%, +81.9%, +214.3%) from five
+repetitions of one testbed configuration.  Our synthetic substrate
+lets us ask how stable such numbers are: this bench re-runs both
+setups under several world seeds and reports the spread of the
+QoE-improvement percentages, bootstrap-style.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table, improvement_percent
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    PavqAllocator,
+)
+from repro.system import SystemExperiment, setup1_config, setup2_config
+
+from benchmarks.conftest import record_figure
+
+SEEDS = (0, 1, 2)
+
+
+def _gaps(make_config):
+    gaps = {"pavq": [], "firefly": []}
+    for seed in SEEDS:
+        experiment = SystemExperiment(make_config(duration_slots=600, seed=seed))
+        comparison = experiment.compare(
+            {
+                "ours": DensityValueGreedyAllocator(),
+                "pavq": PavqAllocator(),
+                "firefly": FireflyAllocator(),
+            },
+            repeats=2,
+        )
+        ours = comparison["ours"].mean("qoe")
+        for rival in gaps:
+            gaps[rival].append(
+                improvement_percent(ours, comparison[rival].mean("qoe"))
+            )
+    return gaps
+
+
+@pytest.fixture(scope="module")
+def setup1_gaps():
+    return _gaps(setup1_config)
+
+
+@pytest.fixture(scope="module")
+def setup2_gaps():
+    return _gaps(setup2_config)
+
+
+def test_seed_sensitivity(benchmark, setup1_gaps, setup2_gaps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for label, gaps in (("setup1", setup1_gaps), ("setup2", setup2_gaps)):
+        for rival, values in gaps.items():
+            rows.append(
+                [
+                    label,
+                    f"vs {rival}",
+                    float(np.min(values)),
+                    float(np.mean(values)),
+                    float(np.max(values)),
+                ]
+            )
+    record_figure(
+        "seed_sensitivity",
+        format_table(
+            ["setup", "gap", "min %", "mean %", "max %"], rows
+        ),
+    )
+
+    # The orderings must hold at every seed.
+    for gaps in (setup1_gaps, setup2_gaps):
+        for values in gaps.values():
+            assert all(v > 0 for v in values), "ours must win at every seed"
+
+
+def test_firefly_gap_grows_in_setup2_on_average(setup1_gaps, setup2_gaps):
+    assert np.mean(setup2_gaps["firefly"]) > np.mean(setup1_gaps["firefly"])

@@ -1,0 +1,96 @@
+"""Theorem 1 — the 1/2-approximation guarantee, measured.
+
+Runs the combined density/value greedy against the exact optimum on a
+large batch of random Theorem-1-class instances and on live slot
+problems sampled from the simulator, reporting the distribution of
+the approximation ratio.  The guarantee says >= 0.5; the paper's
+simulations suggest the greedy is nearly optimal in practice — both
+are verified here.  Also benchmarks Algorithm 1's runtime, since
+"low-complexity" is part of the claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import DensityValueGreedyAllocator, OfflineOptimalAllocator
+from repro.knapsack import combined_greedy, solve_exact
+from repro.simulation import SimulationConfig, TraceSimulator
+from tests.conftest import make_random_instance
+from benchmarks.conftest import record_figure
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    rng = np.random.default_rng(0)
+    values = []
+    for _ in range(300):
+        problem = make_random_instance(
+            rng,
+            num_items=int(rng.integers(2, 6)),
+            num_options=int(rng.integers(3, 7)),
+            tightness=float(rng.uniform(0.05, 0.95)),
+        )
+        greedy = combined_greedy(problem)
+        optimal = solve_exact(problem)
+        base = problem.base_solution().value
+        gain_greedy = greedy.value - base
+        gain_opt = optimal.value - base
+        if gain_opt <= 1e-12:
+            continue
+        values.append(gain_greedy / gain_opt)
+    return np.array(values)
+
+
+def test_theorem1_ratio_distribution(benchmark, ratios):
+    rng = np.random.default_rng(1)
+    problem = make_random_instance(rng, num_items=5, num_options=6, tightness=0.5)
+    benchmark(lambda: combined_greedy(problem))
+
+    table = format_table(
+        ["statistic", "greedy/optimal gain ratio"],
+        [
+            ["min", float(ratios.min())],
+            ["p10", float(np.percentile(ratios, 10))],
+            ["median", float(np.median(ratios))],
+            ["mean", float(ratios.mean())],
+            ["fraction optimal", float((ratios > 1 - 1e-9).mean())],
+            ["instances", float(len(ratios))],
+        ],
+    )
+    record_figure("theorem1_approximation_ratio", table)
+
+    assert (ratios >= 0.5 - 1e-7).all(), "Theorem 1 violated"
+    assert np.median(ratios) > 0.95, "greedy should be near-optimal in practice"
+
+
+def test_theorem1_on_live_slot_problems():
+    """Sampled slot problems from a live simulation run."""
+    captured = []
+
+    class CapturingAllocator(DensityValueGreedyAllocator):
+        def allocate(self, problem):
+            levels = super().allocate(problem)
+            captured.append((problem, list(levels)))
+            return levels
+
+    simulator = TraceSimulator(
+        SimulationConfig(num_users=5, duration_slots=150, seed=2)
+    )
+    simulator.run_episode(CapturingAllocator())
+    oracle = OfflineOptimalAllocator()
+
+    for problem, levels in captured[::5]:
+        optimal = oracle.allocate(problem)
+        base = problem.objective_value([1] * problem.num_users)
+        gain = problem.objective_value(levels) - base
+        gain_opt = problem.objective_value(optimal) - base
+        assert gain >= 0.5 * gain_opt - 1e-7
+
+
+def test_algorithm1_runtime_scales(benchmark):
+    """Algorithm 1 at collaborative scale (30 users) stays sub-ms-ish."""
+    rng = np.random.default_rng(3)
+    problem = make_random_instance(rng, num_items=30, num_options=6, tightness=0.5)
+    solution = benchmark(lambda: combined_greedy(problem))
+    assert problem.is_feasible(solution.options)

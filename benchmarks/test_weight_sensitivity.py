@@ -1,0 +1,67 @@
+"""Sensitivity of the QoE posture to alpha and beta (Section II).
+
+The paper motivates the weights qualitatively (gaming wants a large
+alpha, museum touring a large beta); this bench quantifies the
+trade-off surface: sweeping alpha trades quality for delay, sweeping
+beta trades quality for consistency, monotonically.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import DensityValueGreedyAllocator
+from repro.simulation import SimulationConfig
+from repro.simulation.sweep import run_sweep, sweep_table
+from benchmarks.conftest import record_figure
+
+BASE = SimulationConfig(num_users=4, duration_slots=400, seed=0)
+
+
+@pytest.fixture(scope="module")
+def alpha_sweep():
+    return run_sweep(
+        BASE,
+        DensityValueGreedyAllocator,
+        {"alpha": [0.0, 0.05, 0.2, 1.0]},
+        num_episodes=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def beta_sweep():
+    return run_sweep(
+        BASE,
+        DensityValueGreedyAllocator,
+        {"beta": [0.0, 0.25, 1.0, 4.0]},
+        num_episodes=1,
+    )
+
+
+def test_alpha_trades_quality_for_delay(benchmark, alpha_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = sweep_table(alpha_sweep, metrics=("quality", "delay"))
+    record_figure(
+        "sensitivity_alpha",
+        format_table(["alpha", "quality", "delay"], rows),
+    )
+    delays = [row[2] for row in rows]
+    qualities = [row[1] for row in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(delays, delays[1:])), (
+        "raising alpha must not raise delay"
+    )
+    assert qualities[-1] <= qualities[0] + 1e-9, (
+        "delay sensitivity is bought with quality"
+    )
+
+
+def test_beta_trades_quality_for_consistency(benchmark, beta_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = sweep_table(beta_sweep, metrics=("quality", "variance"))
+    record_figure(
+        "sensitivity_beta",
+        format_table(["beta", "quality", "variance"], rows),
+    )
+    variances = [row[2] for row in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(variances, variances[1:])), (
+        "raising beta must not raise variance"
+    )

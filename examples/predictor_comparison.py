@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Motion predictor sensitivity study.
+
+Section II: "any existing motion prediction model can be applied" —
+the scheduler only consumes the success probability delta_n.  This
+example swaps four predictors into the same simulated world with a
+deliberately tight FoV margin (so prediction quality matters) and
+reports the achieved viewed quality, variance, and QoE.
+
+Run:  python examples/predictor_comparison.py
+"""
+
+from repro import DensityValueGreedyAllocator, SimulationConfig, TraceSimulator
+from repro.analysis import comparison_table
+from repro.prediction import PREDICTOR_REGISTRY
+
+
+def main() -> None:
+    table = {}
+    for name in PREDICTOR_REGISTRY:
+        config = SimulationConfig(
+            num_users=4,
+            duration_slots=900,
+            seed=0,
+            predictor=name,
+            margin_deg=3.0,       # tight margin: errors become misses
+            cell_tolerance=0,
+        )
+        simulator = TraceSimulator(config)
+        results = simulator.run(DensityValueGreedyAllocator(), num_episodes=2)
+        table[name] = {
+            "qoe": results.mean("qoe"),
+            "quality": results.mean("quality"),
+            "variance": results.mean("variance"),
+        }
+
+    print("Algorithm 1 under different 6-DoF motion predictors")
+    print("(3-degree margin, exact-cell requirement):\n")
+    print(comparison_table(table, ("qoe", "quality", "variance")))
+    print(
+        "\nExpected shape: trend-aware predictors (linear regression,"
+        "\nconstant velocity, exponential smoothing) beat the zero-order"
+        "\nhold once the margin stops hiding prediction error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Per-slot telemetry of one emulated session.
+
+Runs a short setup-1 session with telemetry enabled and prints one
+user's timeline: the allocated level per slot, where frames missed,
+and how close the demand ran to the link.  This is the debugging view
+behind the Fig. 7 averages.
+
+Run:  python examples/session_timeline.py
+"""
+
+from repro import DensityValueGreedyAllocator
+from repro.system import SystemExperiment, Telemetry, setup1_config
+from repro.system.experiment import scaled_config
+
+
+def sparkline(levels, lo=0, hi=6):
+    """Map a level series onto block characters."""
+    blocks = " .:-=+*#"
+    span = hi - lo
+    return "".join(
+        blocks[min(int((level - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for level in levels
+    )
+
+
+def main() -> None:
+    config = scaled_config(setup1_config(seed=4), duration_slots=360)
+    experiment = SystemExperiment(config)
+    telemetry = Telemetry()
+    result = experiment.run_repeat(
+        DensityValueGreedyAllocator(), 0, telemetry=telemetry
+    )
+
+    summary = telemetry.summary()
+    print(
+        f"session: {config.num_users} users x {config.duration_slots} slots; "
+        f"display fraction {summary['display_fraction']:.3f}, "
+        f"mean demand {summary['mean_demand_mbps']:.1f} Mbps\n"
+    )
+
+    user = 0
+    timeline = telemetry.level_timeline(user)
+    misses = set(telemetry.miss_slots(user))
+    print(f"user {user}: quality-level timeline (60 slots per row; '!' = missed frame)")
+    for start in range(0, len(timeline), 60):
+        chunk = timeline[start:start + 60]
+        marks = "".join(
+            "!" if (start + i) in misses else " " for i in range(len(chunk))
+        )
+        print(f"  t={start:4d}  {sparkline(chunk)}")
+        if marks.strip():
+            print(f"           {marks}")
+    print(
+        f"\nuser {user}: utilisation {telemetry.utilisation(user):.2f} "
+        f"(mean demand / achieved while transmitting), "
+        f"fps {result.users[user].fps:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Repetitive-tile dedup ablation (Section V, "Handling repetitive tiles").
+
+The paper's server "records the tiles that have already been
+delivered and will not transmit the same tiles again", which
+"significantly saves the network bandwidth" for static scene content.
+This example runs the system emulation twice on the same world — once
+with live content (every slot needs fresh tiles) and once with a
+static scene (tiles stay valid) — and reports how much traffic the
+dedup eliminates and what it buys in delay and FPS.
+
+Run:  python examples/static_scene_dedup.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import DensityValueGreedyAllocator
+from repro.system import SystemExperiment, setup1_config
+from repro.system.server import EdgeServer
+
+_traffic_mbps = []
+
+
+class MeteredServer(EdgeServer):
+    """EdgeServer that records each slot's total offered traffic."""
+
+    def plan_slot(self):
+        plan = super().plan_slot()
+        _traffic_mbps.append(sum(plan.demands_mbps))
+        return plan
+
+
+def run(refresh_slots: int, label: str) -> None:
+    config = replace(
+        setup1_config(duration_slots=900, seed=1),
+        content_refresh_slots=refresh_slots,
+    )
+    experiment = SystemExperiment(config)
+
+    # Swap in the metered server via a tiny subclass of the experiment
+    # loop's dependencies: monkey-free, the experiment only needs the
+    # EdgeServer interface.
+    import repro.system.experiment as experiment_module
+
+    original = experiment_module.EdgeServer
+    experiment_module.EdgeServer = MeteredServer
+    _traffic_mbps.clear()
+    try:
+        results = experiment.run(DensityValueGreedyAllocator(), repeats=1)
+    finally:
+        experiment_module.EdgeServer = original
+
+    mean_traffic = float(np.mean(_traffic_mbps))
+    print(
+        f"{label:28s} offered traffic {mean_traffic:7.1f} Mbps   "
+        f"qoe {results.mean('qoe'):6.3f}   delay {results.mean('delay'):6.3f}   "
+        f"fps {results.mean_fps():5.1f}"
+    )
+
+
+def main() -> None:
+    print("dedup ablation, 8 users / setup 1 (Algorithm 1 throughout):\n")
+    run(refresh_slots=1, label="live scene (refresh every slot)")
+    run(refresh_slots=4, label="semi-static (refresh / 4 slots)")
+    run(refresh_slots=0, label="static scene (never refresh)")
+    print(
+        "\nExpected shape: traffic collapses as content becomes static —"
+        "\nonly viewpoint-cell changes and cache evictions cost bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

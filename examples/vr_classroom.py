@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The VR classroom system experiment (the paper's Section VI, Fig. 7/8).
+
+Emulates the real testbed: commodity phones behind Wi-Fi routers with
+TC throttling, RTP tile delivery, TCP pose/ACK channels, EMA
+throughput and polynomial delay estimation, and the transmit/decode/
+display pipeline.  Compares Algorithm 1 with Firefly and modified
+PAVQ on average QoE, delivery delay, quality variance, and FPS.
+
+Run:  python examples/vr_classroom.py [--setup 1|2] [--repeats K]
+"""
+
+import argparse
+
+from repro import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    PavqAllocator,
+    comparison_table,
+    improvement_percent,
+)
+from repro.system import SystemExperiment, setup1_config, setup2_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--setup", type=int, choices=(1, 2), default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--slots", type=int, default=1200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.setup == 1:
+        config = setup1_config(duration_slots=args.slots, seed=args.seed)
+    else:
+        config = setup2_config(duration_slots=args.slots, seed=args.seed)
+
+    print(
+        f"setup {args.setup}: {config.num_users} users, "
+        f"{config.num_routers} router(s), server budget "
+        f"{config.server_budget_mbps:.0f} Mbps, {args.repeats} repeats\n"
+    )
+    experiment = SystemExperiment(config)
+    allocators = {
+        "ours (Alg. 1)": DensityValueGreedyAllocator(),
+        "pavq": PavqAllocator(),
+        "firefly": FireflyAllocator(),
+    }
+    results = experiment.compare(allocators, repeats=args.repeats)
+
+    metrics = ("qoe", "quality", "delay", "variance")
+    table = {}
+    for name, res in results.items():
+        row = res.means(metrics)
+        row["fps"] = res.mean_fps()
+        table[name] = row
+    print(comparison_table(table, metrics + ("fps",)))
+
+    ours = results["ours (Alg. 1)"].mean("qoe")
+    for rival in ("pavq", "firefly"):
+        gain = improvement_percent(ours, results[rival].mean("qoe"))
+        print(f"\nQoE improvement over {rival}: {gain:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Analysis utilities: empirical CDFs and textual figure reports."""
+
+from repro.analysis.ascii import ascii_bars, ascii_cdf
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.report import (
+    comparison_table,
+    format_table,
+    improvement_percent,
+)
+from repro.analysis.stats import (
+    bootstrap_ci,
+    jain_fairness,
+    mean_difference_significant,
+)
+
+__all__ = [
+    "EmpiricalCdf",
+    "comparison_table",
+    "format_table",
+    "improvement_percent",
+    "ascii_bars",
+    "ascii_cdf",
+    "bootstrap_ci",
+    "jain_fairness",
+    "mean_difference_significant",
+]

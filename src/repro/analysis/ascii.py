@@ -1,0 +1,75 @@
+"""ASCII rendering of CDFs and bar charts.
+
+The benchmark harness reports figures as text; these helpers make the
+shapes legible in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.errors import ConfigurationError
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart; negative values render leftward markers."""
+    if not values:
+        raise ConfigurationError("ascii_bars needs at least one value")
+    if width < 4:
+        raise ConfigurationError(f"width must be >= 4, got {width}")
+    label_width = max(len(name) for name in values)
+    scale = max((abs(v) for v in values.values()), default=0.0)
+    lines = []
+    for name, value in values.items():
+        length = 0 if scale == 0 else int(round(abs(value) / scale * width))
+        bar = ("#" if value >= 0 else "-") * length
+        lines.append(
+            f"{name.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    cdfs: Mapping[str, EmpiricalCdf],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Overlaid CDF curves on a character grid, one symbol per series."""
+    if not cdfs:
+        raise ConfigurationError("ascii_cdf needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("grid too small to render a CDF")
+    symbols = "ox+*#@%&"
+    if len(cdfs) > len(symbols):
+        raise ConfigurationError(
+            f"at most {len(symbols)} series supported, got {len(cdfs)}"
+        )
+    lo = min(cdf.min for cdf in cdfs.values())
+    hi = max(cdf.max for cdf in cdfs.values())
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for symbol, (name, cdf) in zip(symbols, cdfs.items()):
+        for col in range(width):
+            x = lo + (hi - lo) * col / (width - 1)
+            p = cdf.evaluate(x)
+            row = height - 1 - int(round(p * (height - 1)))
+            grid[row][col] = symbol
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        p = 1.0 - row_index / (height - 1)
+        lines.append(f"{p:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<12.4g}{' ' * max(width - 24, 0)}{hi:>12.4g}")
+    legend = "  ".join(
+        f"{symbol}={name}" for symbol, name in zip(symbols, cdfs.keys())
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

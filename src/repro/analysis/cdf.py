@@ -1,0 +1,78 @@
+"""Empirical cumulative distribution functions.
+
+The paper's Figs. 2 and 3 report per-user performance metrics as
+CDFs; this class reproduces the underlying computation and offers the
+quantile/evaluation helpers the benchmark reports print.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EmpiricalCdf:
+    """Right-continuous empirical CDF of a finite sample."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("an empirical CDF needs at least one sample")
+        if np.isnan(values).any():
+            raise ConfigurationError("samples must not contain NaN")
+        self._sorted = np.sort(values)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def evaluate(self, x: float) -> float:
+        """``P(X <= x)`` under the empirical measure."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.num_samples
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF at ``p`` (nearest-rank, p in [0, 1])."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"quantile level must be in [0, 1], got {p}")
+        if p == 0.0:
+            return self.min
+        rank = int(np.ceil(p * self.num_samples)) - 1
+        return float(self._sorted[min(rank, self.num_samples - 1)])
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def curve(self, points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, F(x))`` arrays suitable for plotting or tabulation."""
+        if points < 2:
+            raise ConfigurationError(f"need at least 2 curve points, got {points}")
+        xs = np.linspace(self.min, self.max, points)
+        ys = np.array([self.evaluate(x) for x in xs])
+        return xs, ys
+
+    def stochastically_dominates(self, other: "EmpiricalCdf", points: int = 200) -> bool:
+        """First-order stochastic dominance over a merged support grid.
+
+        True when this distribution's CDF lies at or below ``other``'s
+        everywhere sampled — i.e. this sample is statistically larger.
+        """
+        lo = min(self.min, other.min)
+        hi = max(self.max, other.max)
+        xs = np.linspace(lo, hi, points)
+        return bool(
+            all(self.evaluate(x) <= other.evaluate(x) + 1e-12 for x in xs)
+        )

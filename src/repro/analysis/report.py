@@ -1,0 +1,106 @@
+"""Plain-text reporting of the paper's figures.
+
+The benchmark harness regenerates every figure as a text table (the
+shape of the data, not the pixels); these helpers format them
+consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def improvement_percent(ours: float, baseline: float) -> float:
+    """Relative improvement of ``ours`` over ``baseline`` in percent.
+
+    Mirrors the paper's headline numbers (e.g. "81.9% improvement over
+    the Firefly algorithm").  Uses the absolute baseline magnitude so
+    an improvement over a negative baseline (Fig. 8: Firefly reaches
+    negative QoE) is still reported with a meaningful sign.
+    """
+    if baseline == 0:
+        raise ConfigurationError("baseline of 0 has no relative improvement")
+    return (ours - baseline) / abs(baseline) * 100.0
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def comparison_table(
+    metric_by_algorithm: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str],
+    reference: str = None,
+) -> str:
+    """Table of algorithms x metrics, optionally with % vs a reference.
+
+    Parameters
+    ----------
+    metric_by_algorithm:
+        ``{algorithm: {metric: value}}``.
+    metrics:
+        Column order.
+    reference:
+        When given, appends a ``QoE vs <reference>`` column computed on
+        the first metric.
+    """
+    if not metric_by_algorithm:
+        raise ConfigurationError("need at least one algorithm")
+    headers: List[str] = ["algorithm"] + list(metrics)
+    ref_value = None
+    if reference is not None:
+        if reference not in metric_by_algorithm:
+            raise ConfigurationError(f"unknown reference algorithm {reference!r}")
+        ref_value = metric_by_algorithm[reference][metrics[0]]
+        headers.append(f"{metrics[0]} vs {reference} (%)")
+    rows: List[List[object]] = []
+    for name, values in metric_by_algorithm.items():
+        row: List[object] = [name] + [float(values[m]) for m in metrics]
+        if ref_value is not None:
+            if name == reference or ref_value == 0:
+                row.append("-")
+            else:
+                row.append(
+                    "{:+.1f}".format(
+                        improvement_percent(float(values[metrics[0]]), ref_value)
+                    )
+                )
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def cdf_summary_rows(
+    cdfs: Mapping[str, "EmpiricalCdf"],
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> Dict[str, List[float]]:
+    """Quantile rows per algorithm — the tabular form of a CDF figure."""
+    return {
+        name: [cdf.quantile(p) for p in quantiles] for name, cdf in cdfs.items()
+    }

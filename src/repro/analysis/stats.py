@@ -1,0 +1,90 @@
+"""Statistical helpers for the evaluation reports.
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval for
+  the mean of a metric's per-user samples (the paper reports averages
+  of five repetitions; intervals make the comparisons honest).
+* :func:`jain_fairness` — Jain's fairness index over per-user QoE.
+  Collaborative VR is explicitly multi-user: an allocator that buys
+  average QoE by starving one student is worse than the average
+  suggests, and the LRU rotation of Firefly trades exactly along this
+  axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap CI for the mean: ``(mean, lo, hi)``."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("bootstrap needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if num_resamples < 10:
+        raise ConfigurationError(
+            f"need at least 10 resamples, got {num_resamples}"
+        )
+    rng = np.random.default_rng(seed)
+    means = np.empty(num_resamples)
+    for i in range(num_resamples):
+        resample = rng.choice(values, size=values.size, replace=True)
+        means[i] = resample.mean()
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [tail, 1.0 - tail])
+    return float(values.mean()), float(lo), float(hi)
+
+
+def mean_difference_significant(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> bool:
+    """True when the bootstrap CI of ``mean(a) - mean(b)`` excludes 0."""
+    a = np.asarray(list(samples_a), dtype=float)
+    b = np.asarray(list(samples_b), dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ConfigurationError("both sample sets must be non-empty")
+    rng = np.random.default_rng(seed)
+    diffs = np.empty(num_resamples)
+    for i in range(num_resamples):
+        diffs[i] = (
+            rng.choice(a, size=a.size, replace=True).mean()
+            - rng.choice(b, size=b.size, replace=True).mean()
+        )
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(diffs, [tail, 1.0 - tail])
+    return bool(lo > 0.0 or hi < 0.0)
+
+
+def jain_fairness(per_user_values: Sequence[float]) -> float:
+    """Jain's index: ``(sum x)^2 / (n * sum x^2)``, in ``(0, 1]``.
+
+    1.0 means perfectly equal allocation; ``1/n`` means one user takes
+    everything.  Negative inputs (possible for QoE) are shifted so the
+    minimum maps to zero before computing the index, preserving the
+    ordering interpretation.
+    """
+    values = np.asarray(list(per_user_values), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("fairness needs at least one user")
+    if values.min() < 0:
+        values = values - values.min()
+    denom = values.size * float((values ** 2).sum())
+    if denom == 0:
+        return 1.0  # everyone equally at zero
+    return float(values.sum() ** 2 / denom)

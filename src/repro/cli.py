@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every experiment in the paper can be reproduced from the shell without
+writing code:
+
+* ``python -m repro fig1``   — the Fig. 1a/1b convexity measurements;
+* ``python -m repro sim``    — the Fig. 2/3 trace-driven comparison;
+* ``python -m repro system`` — the Fig. 7/8 testbed emulation;
+* ``python -m repro theorem1`` — the approximation-ratio study.
+
+Each command prints the figure's rows as a text table (and an ASCII
+CDF/bar sketch where that helps).  Scale flags (--slots, --episodes,
+--repeats, --users) trade fidelity for runtime; defaults finish in
+tens of seconds on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import ascii_bars, ascii_cdf, comparison_table, format_table
+from repro.content.rate import RateModel
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    OfflineOptimalAllocator,
+    PavqAllocator,
+)
+from repro.knapsack import combined_greedy, solve_exact
+from repro.simulation import SimulationConfig, TraceSimulator
+from repro.simulation.delaymodel import mean_rtt_curve
+from repro.system import SystemExperiment, setup1_config, setup2_config
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    model = RateModel(seed=args.seed)
+    print("Fig. 1a — tile-set size vs quality level (two contents):\n")
+    rows = [
+        [level, model.curve(3).size(level), model.curve(17).size(level)]
+        for level in range(1, 7)
+    ]
+    print(format_table(["level", "content A (Mbps)", "content B (Mbps)"], rows))
+
+    print("\nFig. 1b — mean RTT vs sending rate (15 Mbps cap):\n")
+    rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 13.5]
+    curve = mean_rtt_curve(rates, capacity_mbps=15.0, num_samples=20_000,
+                           seed=args.seed)
+    print(format_table(["rate (Mbps)", "mean RTT (ms)"], list(map(list, zip(rates, curve)))))
+    return 0
+
+
+def _allocators(include_optimal: bool) -> Dict[str, object]:
+    allocators: Dict[str, object] = {
+        "ours": DensityValueGreedyAllocator(),
+        "pavq": PavqAllocator(),
+        "firefly": FireflyAllocator(),
+    }
+    if include_optimal:
+        allocators["optimal"] = OfflineOptimalAllocator()
+    return allocators
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        num_users=args.users, duration_slots=args.slots, seed=args.seed
+    )
+    simulator = TraceSimulator(config)
+    include_optimal = args.users <= 8 and not args.no_optimal
+    print(
+        f"Fig. {'2' if args.users <= 8 else '3'}-style simulation: "
+        f"{args.users} users, {args.slots} slots, {args.episodes} episode(s)\n"
+    )
+    comparison = simulator.compare(
+        _allocators(include_optimal), num_episodes=args.episodes
+    )
+    metrics = ("qoe", "quality", "delay", "variance")
+    table = {name: res.means(metrics) for name, res in comparison.items()}
+    print(comparison_table(table, metrics, reference="firefly"))
+    print("\nQoE CDFs:\n")
+    print(ascii_cdf({name: res.cdf("qoe") for name, res in comparison.items()}))
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    make = setup1_config if args.setup == 1 else setup2_config
+    config = make(duration_slots=args.slots, seed=args.seed)
+    experiment = SystemExperiment(config)
+    print(
+        f"Fig. {'7' if args.setup == 1 else '8'}-style emulation: setup "
+        f"{args.setup} ({config.num_users} users, {config.num_routers} "
+        f"router(s)), {args.repeats} repeat(s)\n"
+    )
+    comparison = experiment.compare(_allocators(False), repeats=args.repeats)
+    metrics = ("qoe", "quality", "delay", "variance")
+    table = {}
+    for name, res in comparison.items():
+        row = res.means(metrics)
+        row["fps"] = res.mean_fps()
+        table[name] = row
+    print(comparison_table(table, metrics + ("fps",)))
+    print("\nAverage QoE:\n")
+    print(ascii_bars({name: res.mean("qoe") for name, res in comparison.items()}))
+    return 0
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> int:
+    from repro.knapsack.random_instances import random_instance
+
+    rng = np.random.default_rng(args.seed)
+    ratios: List[float] = []
+    for _ in range(args.instances):
+        problem = random_instance(
+            rng,
+            num_items=int(rng.integers(2, 6)),
+            num_options=int(rng.integers(3, 7)),
+            tightness=float(rng.uniform(0.05, 0.95)),
+        )
+        base = problem.base_solution().value
+        gain_greedy = combined_greedy(problem).value - base
+        gain_opt = solve_exact(problem).value - base
+        if gain_opt > 1e-12:
+            ratios.append(gain_greedy / gain_opt)
+    arr = np.array(ratios)
+    print("Theorem 1 — combined greedy vs exact optimum (gain ratio):\n")
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["instances", float(len(arr))],
+                ["min", float(arr.min())],
+                ["median", float(np.median(arr))],
+                ["mean", float(arr.mean())],
+                ["fraction optimal", float((arr > 1 - 1e-9).mean())],
+            ],
+        )
+    )
+    return 0 if (arr >= 0.5 - 1e-9).all() else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.simulation.sweep import run_sweep, sweep_table
+
+    base = SimulationConfig(
+        num_users=args.users, duration_slots=args.slots, seed=args.seed
+    )
+    values = [float(v) for v in args.values.split(",")]
+    points = run_sweep(
+        base,
+        DensityValueGreedyAllocator,
+        {args.field: values},
+        num_episodes=args.episodes,
+    )
+    metrics = ("qoe", "quality", "delay", "variance")
+    print(f"sweep over {args.field} = {values}:\n")
+    print(
+        format_table(
+            [args.field] + list(metrics),
+            sweep_table(points, metrics=metrics),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICDCS 2022 collaborative-VR QoE paper.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Fig. 1a/1b convexity measurements")
+
+    sim = sub.add_parser("sim", help="Fig. 2/3 trace-driven simulation")
+    sim.add_argument("--users", type=int, default=5)
+    sim.add_argument("--slots", type=int, default=900)
+    sim.add_argument("--episodes", type=int, default=2)
+    sim.add_argument("--no-optimal", action="store_true",
+                     help="skip the exponential offline-optimal run")
+
+    system = sub.add_parser("system", help="Fig. 7/8 testbed emulation")
+    system.add_argument("--setup", type=int, choices=(1, 2), default=1)
+    system.add_argument("--slots", type=int, default=900)
+    system.add_argument("--repeats", type=int, default=2)
+
+    theorem = sub.add_parser("theorem1", help="approximation ratio study")
+    theorem.add_argument("--instances", type=int, default=200)
+
+    sweep = sub.add_parser("sweep", help="sweep a config field (e.g. alpha)")
+    sweep.add_argument("field", help="config field, or alpha/beta")
+    sweep.add_argument("values", help="comma-separated values, e.g. 0.02,0.2,1.0")
+    sweep.add_argument("--users", type=int, default=4)
+    sweep.add_argument("--slots", type=int, default=400)
+    sweep.add_argument("--episodes", type=int, default=1)
+
+    return parser
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "sim": _cmd_sim,
+    "system": _cmd_system,
+    "theorem1": _cmd_theorem1,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Configuration serialisation.
+
+Experiments should be reproducible from an artifact: these helpers
+round-trip :class:`~repro.simulation.simulator.SimulationConfig` and
+:class:`~repro.system.experiment.ExperimentConfig` through plain
+dictionaries and JSON files, including the nested
+:class:`~repro.core.qoe.QoEWeights`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, Type, TypeVar, Union
+
+from repro.core.qoe import QoEWeights
+from repro.errors import ConfigurationError
+from repro.simulation.simulator import SimulationConfig
+from repro.system.experiment import ExperimentConfig
+
+PathLike = Union[str, pathlib.Path]
+ConfigT = TypeVar("ConfigT", SimulationConfig, ExperimentConfig)
+
+#: Registry used when loading: the JSON carries a "kind" tag.
+_KINDS: Dict[str, type] = {
+    "simulation": SimulationConfig,
+    "system": ExperimentConfig,
+}
+
+
+def _kind_of(config: Union[SimulationConfig, ExperimentConfig]) -> str:
+    for kind, cls in _KINDS.items():
+        if isinstance(config, cls):
+            return kind
+    raise ConfigurationError(f"unsupported config type {type(config).__name__}")
+
+
+def config_to_dict(config: Union[SimulationConfig, ExperimentConfig]) -> Dict[str, Any]:
+    """Flatten a config (and its weights) into a JSON-safe dict."""
+    payload = dataclasses.asdict(config)
+    weights = payload.pop("weights")
+    payload["alpha"] = weights["alpha"]
+    payload["beta"] = weights["beta"]
+    # Tuples become lists under asdict; normalise explicitly for JSON.
+    for key, value in list(payload.items()):
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+    payload["kind"] = _kind_of(config)
+    return payload
+
+
+def config_from_dict(payload: Dict[str, Any]) -> Union[SimulationConfig, ExperimentConfig]:
+    """Rebuild a config from :func:`config_to_dict` output."""
+    data = dict(payload)
+    try:
+        kind = data.pop("kind")
+    except KeyError:
+        raise ConfigurationError("config payload is missing its 'kind' tag") from None
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown config kind {kind!r}; expected one of {sorted(_KINDS)}"
+        ) from None
+    try:
+        alpha = data.pop("alpha")
+        beta = data.pop("beta")
+    except KeyError:
+        raise ConfigurationError("config payload is missing alpha/beta") from None
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config fields for {kind}: {sorted(unknown)}"
+        )
+    return cls(weights=QoEWeights(alpha=alpha, beta=beta), **data)
+
+
+def save_config(
+    config: Union[SimulationConfig, ExperimentConfig], path: PathLike
+) -> None:
+    """Write a config as JSON."""
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2, sort_keys=True)
+
+
+def load_config(path: PathLike) -> Union[SimulationConfig, ExperimentConfig]:
+    """Read a config written by :func:`save_config`."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path}: expected a JSON object")
+    return config_from_dict(payload)

@@ -1,0 +1,61 @@
+"""CRF <-> quality-level mapping.
+
+Section VI of the paper encodes every tile at six Constant Rate Factor
+values {15, 19, 23, 27, 31, 35} and indexes them with quality levels
+{6, 5, 4, 3, 2, 1} respectively: a *lower* CRF means a *higher*
+bitrate and a *higher* quality level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import CRF_VALUES, DEFAULT_NUM_LEVELS
+
+#: The x264/x265 rule of thumb: bitrate roughly doubles every time CRF
+#: decreases by this many points.  With the paper's 4-point CRF steps
+#: this yields a per-level size ratio of ``2 ** (4 / 6) ~= 1.587``,
+#: which produces the convex, increasing size curve of Fig. 1a.
+CRF_BITRATE_DOUBLING: float = 6.0
+
+
+def quality_levels(num_levels: int = DEFAULT_NUM_LEVELS) -> Tuple[int, ...]:
+    """The quality-level set ``Q = {1, ..., L}`` of Section II."""
+    if num_levels < 1:
+        raise ConfigurationError(f"need at least one quality level, got {num_levels}")
+    return tuple(range(1, num_levels + 1))
+
+
+def level_to_crf(level: int) -> int:
+    """Map a quality level in {1..6} to its CRF value.
+
+    Level 6 (best) maps to CRF 15; level 1 (worst) maps to CRF 35.
+    """
+    if not 1 <= level <= len(CRF_VALUES):
+        raise ConfigurationError(
+            f"quality level must be in 1..{len(CRF_VALUES)}, got {level}"
+        )
+    return CRF_VALUES[len(CRF_VALUES) - level]
+
+
+def crf_to_level(crf: int) -> int:
+    """Map a CRF value from the paper's encoding set to a quality level."""
+    try:
+        index = CRF_VALUES.index(crf)
+    except ValueError:
+        raise ConfigurationError(
+            f"CRF {crf} is not one of the paper's encoding values {CRF_VALUES}"
+        ) from None
+    return len(CRF_VALUES) - index
+
+
+def size_ratio_per_level(crf_step: float = 4.0) -> float:
+    """Multiplicative size growth from one quality level to the next.
+
+    Derived from :data:`CRF_BITRATE_DOUBLING`; with the paper's
+    uniform 4-point CRF steps the ratio is ``2 ** (4 / 6)``.
+    """
+    if crf_step <= 0:
+        raise ConfigurationError(f"crf_step must be positive, got {crf_step}")
+    return 2.0 ** (crf_step / CRF_BITRATE_DOUBLING)

@@ -1,0 +1,92 @@
+"""Group-of-pictures (GoP) frame-size burstiness.
+
+The paper encodes tiles with FFmpeg at fixed CRF values; a CRF stream
+is not constant-bitrate per frame — intra (I) frames are several times
+larger than predicted (P) frames, repeating every GoP.  The rate
+curve ``f_c^R(q)`` the scheduler plans with is the *average* rate; the
+wire sees the bursty per-frame sizes.  This module models that
+burstiness so the emulation can charge per-slot tile sizes that
+average to the curve while spiking on I-frames.
+
+The model is disabled by default (``gop_length = 0`` reproduces the
+paper's constant-size abstraction) and enabled per experiment for the
+burstiness ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GopModel:
+    """Deterministic per-slot frame-size multipliers.
+
+    Parameters
+    ----------
+    gop_length:
+        Frames per GoP (one I frame then ``gop_length - 1`` P frames).
+        0 disables the model (every multiplier is 1.0).
+    i_to_p_ratio:
+        Size ratio between an I frame and a P frame (x264 at the
+        paper's CRF range typically lands between 3 and 8).
+    stagger:
+        When True, each stream's GoP phase is offset by its stream id
+        so the users' I-frames do not synchronise — what independent
+        encoder instances naturally do.
+    """
+
+    gop_length: int = 0
+    i_to_p_ratio: float = 5.0
+    stagger: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gop_length < 0:
+            raise ConfigurationError(
+                f"gop_length must be >= 0, got {self.gop_length}"
+            )
+        if self.gop_length > 0 and self.i_to_p_ratio < 1.0:
+            raise ConfigurationError(
+                f"i_to_p_ratio must be >= 1, got {self.i_to_p_ratio}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.gop_length > 0
+
+    def _p_multiplier(self) -> float:
+        """P-frame multiplier such that one GoP averages to 1.0.
+
+        With ``g`` frames per GoP: ``(r + (g - 1)) * p = g`` where
+        ``r`` is the I:P ratio and the I multiplier is ``r * p``.
+        """
+        g = self.gop_length
+        return g / (self.i_to_p_ratio + (g - 1))
+
+    def multiplier(self, slot: int, stream_id: int = 0) -> float:
+        """Frame-size multiplier for a stream in a slot (mean 1.0)."""
+        if slot < 0:
+            raise ConfigurationError(f"slot must be >= 0, got {slot}")
+        if not self.enabled:
+            return 1.0
+        phase_offset = (stream_id * 7919) % self.gop_length if self.stagger else 0
+        phase = (slot + phase_offset) % self.gop_length
+        p = self._p_multiplier()
+        return self.i_to_p_ratio * p if phase == 0 else p
+
+    def is_i_frame(self, slot: int, stream_id: int = 0) -> bool:
+        """True when the stream emits an intra frame this slot."""
+        if not self.enabled:
+            return False
+        phase_offset = (stream_id * 7919) % self.gop_length if self.stagger else 0
+        return (slot + phase_offset) % self.gop_length == 0
+
+    def mean_multiplier(self) -> float:
+        """The long-run average multiplier (1.0 by construction)."""
+        if not self.enabled:
+            return 1.0
+        g = self.gop_length
+        p = self._p_multiplier()
+        return (self.i_to_p_ratio * p + (g - 1) * p) / g

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: QoE model, decomposition, Algorithm 1.
+
+Public surface:
+
+* :class:`~repro.core.qoe.QoEWeights`, :class:`~repro.core.qoe.UserQoELedger`
+  — the QoE definition of Section II.
+* :mod:`~repro.core.decomposition` — the Welford variance iteration
+  (Appendix A) and the per-slot objective ``h_n(q)`` of eq. (9).
+* :class:`~repro.core.allocation.SlotProblem`,
+  :class:`~repro.core.allocation.DensityValueGreedyAllocator` —
+  Algorithm 1 with its 1/2-approximation guarantee (Theorem 1).
+* :class:`~repro.core.offline.OfflineOptimalAllocator` — the per-slot
+  brute-force optimum of Section IV.
+* :mod:`~repro.core.baselines` — Firefly AQC and modified PAVQ.
+* :class:`~repro.core.scheduler.CollaborativeVrScheduler` — the online
+  state machine tying estimators to the allocator.
+"""
+
+from repro.core.qoe import QoEWeights, UserQoELedger, system_qoe
+from repro.core.decomposition import (
+    slot_objective,
+    slot_objective_curve,
+    variance_penalty_term,
+    welford_decomposition,
+)
+from repro.core.allocation import (
+    DensityValueGreedyAllocator,
+    DensityGreedyAllocator,
+    QualityAllocator,
+    SlotProblem,
+    UserSlotState,
+    ValueGreedyAllocator,
+)
+from repro.core.offline import OfflineOptimalAllocator
+from repro.core.baselines import FireflyAllocator, PavqAllocator
+from repro.core.scheduler import CollaborativeVrScheduler
+from repro.core.horizon import horizon_optimal_qoe
+from repro.core.extensions import LossAwareAllocator, delivery_success_probability
+
+__all__ = [
+    "QoEWeights",
+    "UserQoELedger",
+    "system_qoe",
+    "slot_objective",
+    "slot_objective_curve",
+    "variance_penalty_term",
+    "welford_decomposition",
+    "SlotProblem",
+    "UserSlotState",
+    "QualityAllocator",
+    "DensityValueGreedyAllocator",
+    "DensityGreedyAllocator",
+    "ValueGreedyAllocator",
+    "OfflineOptimalAllocator",
+    "FireflyAllocator",
+    "PavqAllocator",
+    "CollaborativeVrScheduler",
+    "horizon_optimal_qoe",
+    "LossAwareAllocator",
+    "delivery_success_probability",
+]

@@ -1,0 +1,184 @@
+"""Online scheduler: the state machine around the per-slot allocator.
+
+The decomposition couples slots only through two running statistics
+per user — the viewed-quality mean ``qbar_n(t-1)`` and the prediction
+accuracy estimate ``delta_bar_n(t)``.  The scheduler owns those, turns
+a slot's raw inputs (rate curves, delay models, throughput estimates)
+into a :class:`~repro.core.allocation.SlotProblem`, delegates to any
+:class:`~repro.core.allocation.QualityAllocator`, and folds the slot's
+realized outcome back into the running state and the QoE ledgers.
+
+Both the trace-driven simulator (Section IV) and the real-system
+emulation (Sections V-VI) drive their allocation through this class,
+so the algorithms are executed by identical code in both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import QualityAllocator, SlotProblem, UserSlotState
+from repro.core.qoe import QoEWeights, UserQoELedger, system_qoe
+from repro.errors import ConfigurationError
+from repro.prediction.accuracy import PredictionAccuracyTracker, RunningMean
+
+
+class CollaborativeVrScheduler:
+    """Per-episode scheduling state for a population of users.
+
+    Parameters
+    ----------
+    num_users:
+        Population size ``N``.
+    allocator:
+        Any quality allocator (Algorithm 1, a baseline, the oracle).
+    weights:
+        QoE trade-off weights.
+    allow_skip:
+        Propagated into every slot problem (see
+        :class:`~repro.core.allocation.SlotProblem`).
+    accuracy_prior:
+        ``(prior_success, prior_count)`` for the delta estimators.
+    known_delta:
+        When provided, the scheduler uses these fixed per-user success
+        probabilities instead of running estimates (the Section IV
+        simulation assumes the server knows the network and prediction
+        statistics perfectly).
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        allocator: QualityAllocator,
+        weights: QoEWeights,
+        allow_skip: bool = False,
+        accuracy_prior: Tuple[float, float] = (0.9, 5.0),
+        known_delta: Optional[Sequence[float]] = None,
+    ) -> None:
+        if num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {num_users}")
+        if known_delta is not None:
+            if len(known_delta) != num_users:
+                raise ConfigurationError(
+                    f"known_delta must have {num_users} entries, got {len(known_delta)}"
+                )
+            for d in known_delta:
+                if not 0.0 <= d <= 1.0:
+                    raise ConfigurationError(f"delta must be in [0, 1], got {d}")
+        self.num_users = num_users
+        self.allocator = allocator
+        self.weights = weights
+        self.allow_skip = allow_skip
+        self._known_delta = list(known_delta) if known_delta is not None else None
+        self._qbar = [RunningMean() for _ in range(num_users)]
+        self._accuracy = [
+            PredictionAccuracyTracker(*accuracy_prior) for _ in range(num_users)
+        ]
+        self.ledgers: List[UserQoELedger] = [UserQoELedger() for _ in range(num_users)]
+        self._t = 0
+
+    @property
+    def current_slot(self) -> int:
+        """1-based index of the *next* slot to be allocated."""
+        return self._t + 1
+
+    def delta(self, user: int) -> float:
+        """Current success-probability estimate for a user."""
+        if self._known_delta is not None:
+            return self._known_delta[user]
+        return self._accuracy[user].estimate()
+
+    def qbar(self, user: int) -> float:
+        """Running viewed-quality mean ``qbar_n(t-1)`` for a user."""
+        return self._qbar[user].mean
+
+    def build_slot_problem(
+        self,
+        sizes: Sequence[Sequence[float]],
+        delay_fns: Sequence[Callable[[float], float]],
+        caps_mbps: Sequence[float],
+        budget_mbps: float,
+        raw_caps_mbps: Optional[Sequence[float]] = None,
+        router_of: Optional[Sequence[int]] = None,
+        router_budgets_mbps: Optional[Sequence[float]] = None,
+    ) -> SlotProblem:
+        """Assemble the next slot's problem from raw per-user inputs."""
+        if not (len(sizes) == len(delay_fns) == len(caps_mbps) == self.num_users):
+            raise ConfigurationError(
+                "sizes, delay_fns, and caps must all have one entry per user"
+            )
+        if raw_caps_mbps is not None and len(raw_caps_mbps) != self.num_users:
+            raise ConfigurationError("raw caps must have one entry per user")
+        users = tuple(
+            UserSlotState(
+                sizes=tuple(float(s) for s in sizes[n]),
+                delay_of_rate=delay_fns[n],
+                delta=self.delta(n),
+                qbar=self.qbar(n),
+                cap_mbps=float(caps_mbps[n]),
+                raw_cap_mbps=(
+                    float(raw_caps_mbps[n]) if raw_caps_mbps is not None else None
+                ),
+            )
+            for n in range(self.num_users)
+        )
+        return SlotProblem(
+            t=self.current_slot,
+            users=users,
+            budget_mbps=float(budget_mbps),
+            weights=self.weights,
+            allow_skip=self.allow_skip,
+            router_of=tuple(router_of) if router_of is not None else None,
+            router_budgets_mbps=(
+                tuple(float(b) for b in router_budgets_mbps)
+                if router_budgets_mbps is not None
+                else None
+            ),
+        )
+
+    def allocate(self, problem: SlotProblem) -> List[int]:
+        """Run the configured allocator on a slot problem."""
+        return self.allocator.allocate(problem)
+
+    def record_outcomes(
+        self,
+        levels: Sequence[int],
+        indicators: Sequence[int],
+        delays: Sequence[float],
+    ) -> None:
+        """Fold one slot's realized results into the running state.
+
+        ``levels[n]`` is the allocated quality (0 = skipped),
+        ``indicators[n]`` the realized ``1_n(t)``, ``delays[n]`` the
+        realized delivery delay.
+        """
+        if not (len(levels) == len(indicators) == len(delays) == self.num_users):
+            raise ConfigurationError(
+                "levels, indicators, and delays must all have one entry per user"
+            )
+        for n in range(self.num_users):
+            level = int(levels[n])
+            indicator = int(indicators[n])
+            delay = float(delays[n])
+            self.ledgers[n].record(level, indicator, delay)
+            self._qbar[n].update(float(level * (indicator if level > 0 else 0)))
+            if level > 0:
+                # Skipped slots carry no information about prediction
+                # accuracy: nothing was delivered to cover the FoV.
+                self._accuracy[n].record(indicator)
+        self._t += 1
+
+    def total_qoe(self) -> float:
+        """System QoE (eq. (1)) accumulated so far."""
+        return system_qoe(self.ledgers, self.weights)
+
+    def reset(self) -> None:
+        """Clear all per-episode state, including the allocator's."""
+        for mean in self._qbar:
+            mean.reset()
+        for tracker in self._accuracy:
+            tracker.reset()
+        for ledger in self.ledgers:
+            ledger.reset()
+        self.allocator.reset()
+        self._t = 0

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything produced by this package with a single
+``except`` clause while still letting programming errors (``TypeError``
+etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """No feasible quality allocation exists for the given budgets.
+
+    Raised by allocators when even the minimum quality level for every
+    user exceeds the available throughput and degradation to "skip"
+    (quality 0) has been disabled.
+    """
+
+
+class TraceError(ReproError):
+    """A trace is malformed, empty, or exhausted."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid internal state."""
+
+
+class TransportError(ReproError):
+    """The emulated transport was used incorrectly."""

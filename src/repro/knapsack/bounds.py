@@ -1,0 +1,65 @@
+"""Relaxation bounds for the separable nonlinear knapsack.
+
+The proof of Theorem 1 compares the greedy solutions against ``V_p``,
+the optimum when the *last* upgrade may be granted fractionally.  When
+every item has non-increasing marginal density (concave values +
+convex, strictly increasing weights), ``V_p`` is computed exactly by
+sweeping all upgrades in global density order and cutting the final
+one to fit the residual budget.  That sweep is implemented here and
+used both as a certified upper bound in tests of Theorem 1 and as the
+pruning bound of the branch-and-bound exact solver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.knapsack.problem import SeparableKnapsack
+
+
+def _upgrade_pool(problem: SeparableKnapsack) -> List[Tuple[float, float, float]]:
+    """Collect every cap-respecting upgrade as (density, dv, dw)."""
+    pool: List[Tuple[float, float, float]] = []
+    for item in problem.items:
+        top = item.max_option_under_cap()
+        for k in range(max(top, 0)):
+            dv = item.value_delta(k)
+            dw = item.weight_delta(k)
+            if dv > 0:
+                pool.append((dv / dw, dv, dw))
+    return pool
+
+
+def fractional_upper_bound(problem: SeparableKnapsack) -> float:
+    """Upper bound on the optimal value via the fractional relaxation.
+
+    Requires (and is only a *certified* bound under) non-increasing
+    per-item marginal densities; with that property the global density
+    sweep dominates every feasible integral assignment, mirroring
+    ``V_p >= OPT`` in the paper's proof.  For inputs violating the
+    property the function falls back to the looser bound
+    ``base value + sum of positive value deltas``.
+    """
+    base = problem.base_solution()
+    residual = problem.budget - base.weight
+    pool = _upgrade_pool(problem)
+
+    well_ordered = all(
+        item.has_decreasing_density()
+        for item in problem.items
+        if item.max_option_under_cap() > 0
+    )
+    if not well_ordered:
+        return base.value + sum(dv for _, dv, _w in pool)
+
+    bound = base.value
+    for _density, dv, dw in sorted(pool, reverse=True):
+        if residual <= 0:
+            break
+        if dw <= residual:
+            bound += dv
+            residual -= dw
+        else:
+            bound += dv * residual / dw
+            residual = 0.0
+    return bound

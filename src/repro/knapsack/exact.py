@@ -1,0 +1,176 @@
+"""Exact solvers for the separable nonlinear knapsack.
+
+Two implementations are provided:
+
+* :func:`solve_exact` — depth-first branch-and-bound over the option
+  menus.  This is the paper's "brute force" offline optimum
+  (Section IV uses it for the 5-user simulations), made practical for
+  slightly larger instances by budget and value-bound pruning.
+* :func:`solve_dynamic_programming` — pseudo-polynomial DP over a
+  discretised weight axis; useful as an independent cross-check and
+  for instances too large for branch-and-bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.knapsack.problem import SeparableKnapsack, Solution
+
+_EPS = 1e-9
+
+
+def _allowed_options(problem: SeparableKnapsack, n: int) -> List[int]:
+    """Options available to item ``n`` after applying its cap.
+
+    Includes the skip option (-1) when the problem allows it.  Options
+    are returned best-weight-first (lightest first) so that the DFS
+    finds a feasible incumbent quickly.
+    """
+    item = problem.items[n]
+    top = item.max_option_under_cap()
+    options = list(range(top + 1))
+    if problem.allow_skip:
+        options = [-1] + options
+    if not options:
+        raise InfeasibleAllocationError(
+            f"item {n}: no option satisfies cap {item.cap} and skipping is disabled"
+        )
+    return options
+
+
+def solve_exact(problem: SeparableKnapsack) -> Solution:
+    """Find the optimal assignment by branch-and-bound.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        When no assignment satisfies the caps and budget.
+    """
+    n_items = problem.num_items
+    menus = [_allowed_options(problem, n) for n in range(n_items)]
+
+    # Suffix bound: best per-item value ignoring the shared budget, and
+    # minimal per-item weight, for items n..N-1.
+    best_value_suffix = [0.0] * (n_items + 1)
+    min_weight_suffix = [0.0] * (n_items + 1)
+    for n in range(n_items - 1, -1, -1):
+        best_value_suffix[n] = best_value_suffix[n + 1] + max(
+            problem.option_value(n, k) for k in menus[n]
+        )
+        min_weight_suffix[n] = min_weight_suffix[n + 1] + min(
+            problem.option_weight(n, k) for k in menus[n]
+        )
+
+    best: List[Optional[Tuple[float, Tuple[int, ...]]]] = [None]
+    assignment = [0] * n_items
+    group_weights = [0.0] * problem.num_groups
+
+    def dfs(n: int, weight: float, value: float) -> None:
+        if weight > problem.budget + _EPS:
+            return
+        if best[0] is not None:
+            if value + best_value_suffix[n] <= best[0][0] + _EPS:
+                return
+        if weight + min_weight_suffix[n] > problem.budget + _EPS:
+            return
+        if n == n_items:
+            if best[0] is None or value > best[0][0]:
+                best[0] = (value, tuple(assignment))
+            return
+        group = problem.group_of[n] if problem.group_of is not None else None
+        # Explore highest-value options first to tighten the incumbent.
+        ordered = sorted(menus[n], key=lambda k: -problem.option_value(n, k))
+        for k in ordered:
+            w = problem.option_weight(n, k)
+            if group is not None:
+                if group_weights[group] + w > problem.group_budgets[group] + _EPS:
+                    continue
+                group_weights[group] += w
+            assignment[n] = k
+            dfs(n + 1, weight + w, value + problem.option_value(n, k))
+            if group is not None:
+                group_weights[group] -= w
+        assignment[n] = 0
+
+    dfs(0, 0.0, 0.0)
+    if best[0] is None:
+        raise InfeasibleAllocationError(
+            f"no feasible assignment within budget {problem.budget}"
+        )
+    return problem.evaluate(best[0][1])
+
+
+def solve_dynamic_programming(
+    problem: SeparableKnapsack,
+    resolution: int = 1000,
+) -> Solution:
+    """Approximately exact solve by DP over a discretised weight axis.
+
+    Weights are scaled so the budget spans ``resolution`` integer
+    units and rounded *up*, so every assignment the DP declares
+    feasible is feasible in the original instance (the converse may
+    fail for coarse resolutions: the DP optimum can be slightly below
+    the true optimum, by at most the value affected by one weight unit
+    per item).
+
+    Parameters
+    ----------
+    resolution:
+        Number of integer budget units; higher is tighter but slower.
+        Runtime is ``O(num_items * num_options * resolution)``.
+    """
+    if problem.num_groups:
+        raise ConfigurationError(
+            "the weight-axis DP does not support group budgets; use solve_exact"
+        )
+    if problem.budget <= 0:
+        # Degenerate: only zero-weight assignments are feasible.
+        return solve_exact(problem)
+    scale = resolution / problem.budget
+    menus = [_allowed_options(problem, n) for n in range(problem.num_items)]
+    int_weights = [
+        [int(math.ceil(problem.option_weight(n, k) * scale - _EPS)) for k in menus[n]]
+        for n in range(problem.num_items)
+    ]
+
+    NEG = float("-inf")
+    # dp[w] = best value using a prefix of items with total weight w.
+    dp: List[float] = [NEG] * (resolution + 1)
+    dp[0] = 0.0
+    choice: List[List[int]] = []  # choice[n][w] = option index chosen
+
+    for n in range(problem.num_items):
+        ndp = [NEG] * (resolution + 1)
+        nchoice = [-2] * (resolution + 1)
+        for w in range(resolution + 1):
+            if dp[w] == NEG:
+                continue
+            for ki, k in enumerate(menus[n]):
+                nw = w + int_weights[n][ki]
+                if nw > resolution:
+                    continue
+                nv = dp[w] + problem.option_value(n, k)
+                if nv > ndp[nw]:
+                    ndp[nw] = nv
+                    nchoice[nw] = k
+        dp = ndp
+        choice.append(nchoice)
+
+    best_w = max(range(resolution + 1), key=lambda w: dp[w])
+    if dp[best_w] == NEG:
+        raise InfeasibleAllocationError(
+            f"no feasible assignment within budget {problem.budget} at resolution {resolution}"
+        )
+
+    # Backtrack.
+    options = [0] * problem.num_items
+    w = best_w
+    for n in range(problem.num_items - 1, -1, -1):
+        k = choice[n][w]
+        options[n] = k
+        ki = menus[n].index(k)
+        w -= int_weights[n][ki]
+    return problem.evaluate(options)

@@ -1,0 +1,334 @@
+"""Problem representation for the separable nonlinear knapsack.
+
+An instance consists of ``N`` items.  Item ``n`` carries an *ordered
+menu* of options ``0..K_n``; choosing option ``k`` yields value
+``values[k]`` and consumes weight ``weights[k]``.  Option 0 is the
+mandatory base: a solution always assigns every item at least its base
+option (in the paper, quality level 1).  Feasibility requires
+
+* ``weights[k_n] <= cap_n`` for every item (per-user throughput (3)),
+* ``sum_n weights[k_n] <= budget`` (server throughput (2)).
+
+The paper's guarantee (Theorem 1) additionally assumes the value curve
+is concave and the weight curve is convex in the option index; those
+structural properties are checked by :meth:`ItemCurve.is_concave` and
+:meth:`ItemCurve.is_convex_weights` and exploited by the greedy
+solvers, but the solvers remain correct (feasible output) without
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ItemCurve:
+    """Value/weight menu for a single item.
+
+    Parameters
+    ----------
+    values:
+        ``values[k]`` is the objective contribution if option ``k`` is
+        chosen.  Any real numbers; the paper's ``h_n`` may be negative.
+    weights:
+        ``weights[k]`` is the consumed weight; must be strictly
+        increasing so that marginal densities are well defined.
+    cap:
+        Per-item weight cap (``B_n(t)``).  ``math.inf`` disables it.
+    """
+
+    values: Tuple[float, ...]
+    weights: Tuple[float, ...]
+    cap: float = math.inf
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights):
+            raise ConfigurationError(
+                "values and weights must have equal length; got "
+                f"{len(self.values)} and {len(self.weights)}"
+            )
+        if not self.values:
+            raise ConfigurationError("an item needs at least one option")
+        for a, b in zip(self.weights, self.weights[1:]):
+            if b <= a + _EPS:
+                raise ConfigurationError(
+                    "weights must be strictly increasing (convex rate "
+                    f"curves are strictly increasing): {self.weights}"
+                )
+        if self.cap < 0:
+            raise ConfigurationError(f"cap must be non-negative, got {self.cap}")
+
+    @classmethod
+    def from_sequences(
+        cls,
+        values: Sequence[float],
+        weights: Sequence[float],
+        cap: float = math.inf,
+    ) -> "ItemCurve":
+        """Build an item curve from arbitrary sequences."""
+        return cls(tuple(float(v) for v in values), tuple(float(w) for w in weights), float(cap))
+
+    @property
+    def num_options(self) -> int:
+        """Number of options, including the base option 0."""
+        return len(self.values)
+
+    @property
+    def max_option(self) -> int:
+        """Largest option index."""
+        return len(self.values) - 1
+
+    def max_option_under_cap(self) -> int:
+        """Largest option whose weight respects the per-item cap.
+
+        Returns -1 when even the base option exceeds the cap.
+        """
+        best = -1
+        for k, w in enumerate(self.weights):
+            if w <= self.cap + _EPS:
+                best = k
+        return best
+
+    def value_delta(self, k: int) -> float:
+        """Value gained by moving from option ``k`` to ``k + 1``."""
+        return self.values[k + 1] - self.values[k]
+
+    def weight_delta(self, k: int) -> float:
+        """Weight added by moving from option ``k`` to ``k + 1``."""
+        return self.weights[k + 1] - self.weights[k]
+
+    def density(self, k: int) -> float:
+        """Marginal value per unit weight for the ``k -> k+1`` upgrade."""
+        return self.value_delta(k) / self.weight_delta(k)
+
+    def is_concave(self, tol: float = 1e-7) -> bool:
+        """True when the value curve has non-increasing increments."""
+        deltas = [self.value_delta(k) for k in range(self.max_option)]
+        return all(b <= a + tol for a, b in zip(deltas, deltas[1:]))
+
+    def is_convex_weights(self, tol: float = 1e-7) -> bool:
+        """True when the weight curve has non-decreasing increments."""
+        deltas = [self.weight_delta(k) for k in range(self.max_option)]
+        return all(b >= a - tol for a, b in zip(deltas, deltas[1:]))
+
+    def has_decreasing_density(self, tol: float = 1e-7) -> bool:
+        """True when marginal densities are non-increasing.
+
+        This is the property (implied by concave values + convex
+        weights with positive increments) that makes the greedy sweep
+        of Algorithm 1 well ordered.
+        """
+        dens = [self.density(k) for k in range(self.max_option)]
+        return all(b <= a + tol for a, b in zip(dens, dens[1:]))
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A (not necessarily optimal) assignment of options to items."""
+
+    options: Tuple[int, ...]
+    value: float
+    weight: float
+
+    def __iter__(self):
+        return iter(self.options)
+
+
+@dataclass
+class SeparableKnapsack:
+    """A separable nonlinear knapsack instance.
+
+    Parameters
+    ----------
+    items:
+        One :class:`ItemCurve` per item.
+    budget:
+        Global weight budget (``B(t)``).
+    allow_skip:
+        When True, an item may be dropped entirely (option ``-1``),
+        contributing zero weight and the value ``skip_values[n]``.
+        The paper's model always delivers at least level 1; the system
+        emulation enables skipping to survive estimate overshoot.
+    skip_values:
+        Per-item value of skipping (default 0 for every item).
+    group_of:
+        Optional group index per item.  With ``group_budgets`` this
+        adds one shared-budget constraint per group — in the VR
+        system, the per-router air-time that the paper's single
+        ``B(t)`` aggregates away.
+    group_budgets:
+        Weight budget of each group (indexed by the values appearing
+        in ``group_of``).
+    """
+
+    items: List[ItemCurve]
+    budget: float
+    allow_skip: bool = False
+    skip_values: Sequence[float] = field(default_factory=tuple)
+    group_of: Sequence[int] = None
+    group_budgets: Sequence[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ConfigurationError("a knapsack instance needs at least one item")
+        if self.budget < 0:
+            raise ConfigurationError(f"budget must be non-negative, got {self.budget}")
+        if self.skip_values and len(self.skip_values) != len(self.items):
+            raise ConfigurationError(
+                "skip_values must have one entry per item when provided"
+            )
+        if self.allow_skip and not self.skip_values:
+            self.skip_values = tuple(0.0 for _ in self.items)
+        if (self.group_of is None) != (self.group_budgets is None):
+            raise ConfigurationError(
+                "group_of and group_budgets must be provided together"
+            )
+        if self.group_of is not None:
+            if len(self.group_of) != len(self.items):
+                raise ConfigurationError(
+                    "group_of must have one entry per item"
+                )
+            for g in self.group_of:
+                if not 0 <= g < len(self.group_budgets):
+                    raise ConfigurationError(
+                        f"group index {g} outside 0..{len(self.group_budgets) - 1}"
+                    )
+            for budget in self.group_budgets:
+                if budget < 0:
+                    raise ConfigurationError(
+                        f"group budgets must be non-negative, got {budget}"
+                    )
+
+    @property
+    def num_groups(self) -> int:
+        """Number of group constraints (0 when ungrouped)."""
+        return len(self.group_budgets) if self.group_budgets is not None else 0
+
+    def group_weights(self, options: Sequence[int]) -> List[float]:
+        """Total weight per group under an assignment."""
+        if self.group_of is None:
+            return []
+        totals = [0.0] * len(self.group_budgets)
+        for n, k in enumerate(options):
+            totals[self.group_of[n]] += self.option_weight(n, k)
+        return totals
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    def base_weight(self) -> float:
+        """Total weight when every item sits at its base option."""
+        return sum(item.weights[0] for item in self.items)
+
+    def base_is_feasible(self) -> bool:
+        """True when assigning option 0 everywhere satisfies all caps."""
+        if self.base_weight() > self.budget + _EPS:
+            return False
+        return all(item.weights[0] <= item.cap + _EPS for item in self.items)
+
+    def option_value(self, n: int, k: int) -> float:
+        """Value of item ``n`` at option ``k`` (-1 means skipped)."""
+        if k < 0:
+            if not self.allow_skip:
+                raise ConfigurationError("skip option used but allow_skip is False")
+            return float(self.skip_values[n])
+        return self.items[n].values[k]
+
+    def option_weight(self, n: int, k: int) -> float:
+        """Weight of item ``n`` at option ``k`` (-1 means skipped)."""
+        if k < 0:
+            return 0.0
+        return self.items[n].weights[k]
+
+    def evaluate(self, options: Sequence[int]) -> Solution:
+        """Evaluate an assignment, without checking feasibility."""
+        if len(options) != self.num_items:
+            raise ConfigurationError(
+                f"expected {self.num_items} options, got {len(options)}"
+            )
+        value = sum(self.option_value(n, k) for n, k in enumerate(options))
+        weight = sum(self.option_weight(n, k) for n, k in enumerate(options))
+        return Solution(tuple(int(k) for k in options), value, weight)
+
+    def is_feasible(self, options: Sequence[int]) -> bool:
+        """True when the assignment satisfies caps, budget, and groups."""
+        total = 0.0
+        for n, k in enumerate(options):
+            if k < -1 or k > self.items[n].max_option:
+                return False
+            if k == -1 and not self.allow_skip:
+                return False
+            w = self.option_weight(n, k)
+            if k >= 0 and w > self.items[n].cap + _EPS:
+                return False
+            total += w
+        if total > self.budget + _EPS:
+            return False
+        if self.group_of is not None:
+            for g, weight in enumerate(self.group_weights(options)):
+                if weight > self.group_budgets[g] + _EPS:
+                    return False
+        return True
+
+    def base_solution(self) -> Solution:
+        """The all-base assignment, degrading to skips when necessary.
+
+        When the base assignment is infeasible and skipping is allowed,
+        items with the worst base density are skipped until the budget
+        holds.  When skipping is not allowed, raises
+        :class:`InfeasibleAllocationError`.
+        """
+        options = [0] * self.num_items
+        for n, item in enumerate(self.items):
+            if item.weights[0] > item.cap + _EPS:
+                if not self.allow_skip:
+                    raise InfeasibleAllocationError(
+                        f"item {n}: base weight {item.weights[0]} exceeds cap {item.cap}"
+                    )
+                options[n] = -1
+        if self.is_feasible(options):
+            return self.evaluate(options)
+        if not self.allow_skip:
+            total = sum(self.option_weight(n, k) for n, k in enumerate(options))
+            raise InfeasibleAllocationError(
+                f"base weight {total} exceeds budget {self.budget} "
+                "(or a group budget)"
+            )
+        # Shed the least valuable base deliveries first: smallest
+        # (value gain over skipping) per unit of base weight.  A shed
+        # item relieves the global budget and its group's budget.
+        candidates = [
+            (
+                (self.items[n].values[0] - float(self.skip_values[n]))
+                / self.items[n].weights[0],
+                n,
+            )
+            for n, k in enumerate(options)
+            if k == 0
+        ]
+        candidates.sort()
+        for _, n in candidates:
+            if self.is_feasible(options):
+                break
+            # Shed only where it helps: when the global budget is
+            # over, or this item's own group is over.
+            total = sum(self.option_weight(i, k) for i, k in enumerate(options))
+            helps = total > self.budget + _EPS
+            if not helps and self.group_of is not None:
+                group_weight = self.group_weights(options)[self.group_of[n]]
+                helps = group_weight > self.group_budgets[self.group_of[n]] + _EPS
+            if helps:
+                options[n] = -1
+        if not self.is_feasible(options):
+            raise InfeasibleAllocationError(
+                f"cannot satisfy budget {self.budget} even with all items skipped"
+            )
+        return self.evaluate(options)

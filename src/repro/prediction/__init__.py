@@ -1,0 +1,46 @@
+"""Estimation substrate: motion, coverage, throughput, and delay.
+
+The scheduler of the paper never sees ground truth — it works from
+estimates:
+
+* 6-DoF motion is predicted with per-axis **linear regression**
+  (Section V, following Firefly's methodology),
+* the coverage indicator ``1_n(t)`` and its running mean
+  ``delta_bar_n(t)`` capture how often the delivered FoV-with-margin
+  actually covered the user's true view (Section II/III),
+* available bandwidth is estimated with an **exponential moving
+  average** (Section V),
+* delivery delay is predicted with **polynomial regression** over
+  (rate, delay) samples because the delay-rate curve is nonlinear
+  (Section V).
+"""
+
+from repro.prediction.pose import Pose
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.predictors import (
+    PREDICTOR_REGISTRY,
+    ConstantVelocityPredictor,
+    ExponentialSmoothingPredictor,
+    LastPosePredictor,
+    make_predictor,
+)
+from repro.prediction.fov import CoverageEvaluator, CoverageOutcome
+from repro.prediction.accuracy import RunningMean, PredictionAccuracyTracker
+from repro.prediction.throughput import EmaThroughputEstimator
+from repro.prediction.delay import PolynomialDelayPredictor
+
+__all__ = [
+    "Pose",
+    "LinearMotionPredictor",
+    "LastPosePredictor",
+    "ConstantVelocityPredictor",
+    "ExponentialSmoothingPredictor",
+    "PREDICTOR_REGISTRY",
+    "make_predictor",
+    "CoverageEvaluator",
+    "CoverageOutcome",
+    "RunningMean",
+    "PredictionAccuracyTracker",
+    "EmaThroughputEstimator",
+    "PolynomialDelayPredictor",
+]

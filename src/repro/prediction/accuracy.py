@@ -1,0 +1,93 @@
+"""Running estimators for the prediction success probability.
+
+Section III: "the successful prediction probability can be estimated
+via the average prediction probability ``delta_bar_n(t)``, which
+converges to ``delta_n`` as ``t -> infinity``".  The tracker here is
+that running average, with a small-sample prior so the scheduler does
+not divide its world by the first unlucky slot.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RunningMean:
+    """Numerically stable incremental mean (Welford's update)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Current mean; 0.0 before any update."""
+        return self._mean
+
+    def update(self, value: float) -> float:
+        """Fold in a new sample and return the updated mean."""
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        return self._mean
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+
+
+class PredictionAccuracyTracker:
+    """Estimates ``delta_n`` from observed coverage indicators.
+
+    A Beta-style prior (``prior_success`` successes out of
+    ``prior_count`` pseudo-observations) keeps early estimates away
+    from the degenerate 0/1 extremes; as real observations accumulate
+    the estimate converges to the empirical mean, matching the paper's
+    ``delta_bar_n(t) -> delta_n``.
+    """
+
+    def __init__(self, prior_success: float = 0.9, prior_count: float = 5.0) -> None:
+        if not 0.0 <= prior_success <= 1.0:
+            raise ConfigurationError(
+                f"prior_success must be in [0, 1], got {prior_success}"
+            )
+        if prior_count < 0:
+            raise ConfigurationError(
+                f"prior_count must be non-negative, got {prior_count}"
+            )
+        self._prior_success = prior_success
+        self._prior_count = prior_count
+        self._successes = 0
+        self._trials = 0
+
+    @property
+    def trials(self) -> int:
+        return self._trials
+
+    @property
+    def successes(self) -> int:
+        return self._successes
+
+    def record(self, indicator: int) -> None:
+        """Record one slot's ``1_n(t)`` (0 or 1)."""
+        if indicator not in (0, 1):
+            raise ConfigurationError(f"indicator must be 0 or 1, got {indicator}")
+        self._trials += 1
+        self._successes += indicator
+
+    def estimate(self) -> float:
+        """Current ``delta_bar_n(t)`` including the prior."""
+        num = self._successes + self._prior_success * self._prior_count
+        den = self._trials + self._prior_count
+        return num / den if den > 0 else self._prior_success
+
+    def empirical(self) -> float:
+        """Prior-free empirical success rate (NaN-free: 0 when empty)."""
+        return self._successes / self._trials if self._trials else 0.0
+
+    def reset(self) -> None:
+        self._successes = 0
+        self._trials = 0

@@ -1,0 +1,113 @@
+"""Polynomial-regression delay prediction.
+
+Section V: "the relationship between the delay and the rate is
+non-linear.  Therefore, we use polynomial regression to predict the
+delay instead of linear regression to avoid extra performance
+degradation."
+
+The predictor keeps a sliding window of measured (rate, delay)
+samples — on the real system these come from first/last-packet
+timestamps per slot — fits a low-degree polynomial, and answers
+"what delay should I expect if I send at rate r?" queries for the
+scheduler's ``E[d_n(f^R(q))]`` term.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PolynomialDelayPredictor:
+    """Sliding-window polynomial fit of delay as a function of rate.
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree; 2 captures the convex bend of the measured
+        RTT curve (Fig. 1b) without overfitting.
+    window:
+        Number of recent samples retained.
+    min_samples:
+        Below this count the predictor answers with the mean observed
+        delay (or ``fallback_delay`` when empty) instead of fitting.
+    fallback_delay:
+        Prediction before any data arrives.
+    """
+
+    def __init__(
+        self,
+        degree: int = 2,
+        window: int = 120,
+        min_samples: int = 8,
+        fallback_delay: float = 0.5,
+    ) -> None:
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if window < degree + 1:
+            raise ConfigurationError(
+                f"window must exceed degree; got window={window}, degree={degree}"
+            )
+        if min_samples < degree + 1:
+            raise ConfigurationError(
+                f"min_samples must be at least degree + 1, got {min_samples}"
+            )
+        if fallback_delay < 0:
+            raise ConfigurationError(
+                f"fallback_delay must be non-negative, got {fallback_delay}"
+            )
+        self.degree = degree
+        self.min_samples = min_samples
+        self.fallback_delay = fallback_delay
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self._coeffs: np.ndarray = np.array([])
+        self._dirty = True
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def observe(self, rate_mbps: float, delay: float) -> None:
+        """Record one measured (sending rate, delay) pair."""
+        if rate_mbps < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate_mbps}")
+        if delay < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        self._samples.append((rate_mbps, delay))
+        self._dirty = True
+
+    def _fit(self) -> None:
+        rates = np.array([s[0] for s in self._samples], dtype=float)
+        delays = np.array([s[1] for s in self._samples], dtype=float)
+        # A window of near-identical rates makes the Vandermonde matrix
+        # rank deficient; degrade the fit degree to what the data
+        # supports instead of emitting garbage coefficients.
+        distinct = len(np.unique(np.round(rates, 6)))
+        degree = min(self.degree, max(distinct - 1, 0))
+        if degree == 0:
+            self._coeffs = np.array([float(delays.mean())])
+        else:
+            self._coeffs = np.polyfit(rates, delays, degree)
+        self._dirty = False
+
+    def predict(self, rate_mbps: float) -> float:
+        """Expected delay at the given sending rate (never negative)."""
+        if rate_mbps < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate_mbps}")
+        if len(self._samples) < self.min_samples:
+            if not self._samples:
+                return self.fallback_delay
+            return float(np.mean([s[1] for s in self._samples]))
+        if self._dirty:
+            self._fit()
+        value = float(np.polyval(self._coeffs, rate_mbps))
+        return max(value, 0.0)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._coeffs = np.array([])
+        self._dirty = True

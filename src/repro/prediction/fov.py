@@ -1,0 +1,110 @@
+"""The coverage indicator ``1_n(t)``.
+
+Section II: the server delivers "a portion that covers the FoV with
+some fixed margin"; ``1_n(t) = 1`` when the delivered portion covers
+the *actual* FoV, considering both virtual location and head
+orientation.  The footnote notes that the margin only absorbs
+orientation error; location error is judged by whether the predicted
+grid cell matches the actual one (a wrong viewpoint cell means the
+delivered panorama is the wrong one entirely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.content.projection import FieldOfView
+from repro.content.tiles import GridWorld, TileGrid
+from repro.errors import ConfigurationError
+from repro.prediction.pose import Pose
+
+
+@dataclass(frozen=True)
+class CoverageOutcome:
+    """Result of evaluating one slot's delivery against the truth."""
+
+    covered: bool
+    delivered_tiles: FrozenSet[int]
+    needed_tiles: FrozenSet[int]
+    predicted_cell: int
+    actual_cell: int
+
+    @property
+    def indicator(self) -> int:
+        """``1_n(t)`` as an integer."""
+        return 1 if self.covered else 0
+
+
+class CoverageEvaluator:
+    """Decides which tiles to deliver and whether they covered the FoV.
+
+    Parameters
+    ----------
+    world:
+        Viewpoint grid (position -> cell).
+    grid:
+        Panorama tile partition (Fig. 5).
+    fov:
+        The user's true field of view.
+    margin_deg:
+        Fixed angular margin added on every side of the predicted FoV
+        when selecting tiles to deliver (Section V: "transmit all
+        tiles that overlap with this margin").
+    cell_tolerance:
+        Chebyshev cell distance within which a predicted viewpoint
+        still shows the correct panorama.  0 requires an exact cell
+        match; the 5 cm grid of the paper makes a small tolerance
+        realistic since adjacent panoramas are nearly identical.
+    """
+
+    def __init__(
+        self,
+        world: GridWorld,
+        grid: TileGrid,
+        fov: FieldOfView = FieldOfView(),
+        margin_deg: float = 15.0,
+        cell_tolerance: int = 1,
+    ) -> None:
+        if margin_deg < 0:
+            raise ConfigurationError(f"margin must be non-negative, got {margin_deg}")
+        if cell_tolerance < 0:
+            raise ConfigurationError(
+                f"cell_tolerance must be non-negative, got {cell_tolerance}"
+            )
+        self.world = world
+        self.grid = grid
+        self.fov = fov
+        self.margin_deg = margin_deg
+        self.cell_tolerance = cell_tolerance
+        self._delivery_fov = fov.with_margin(margin_deg)
+
+    def tiles_to_deliver(self, predicted: Pose) -> FrozenSet[int]:
+        """Tiles overlapping the predicted FoV enlarged by the margin."""
+        return self.grid.tiles_overlapping(predicted.yaw, predicted.pitch, self._delivery_fov)
+
+    def tiles_needed(self, actual: Pose) -> FrozenSet[int]:
+        """Tiles overlapping the true (margin-free) FoV."""
+        return self.grid.tiles_overlapping(actual.yaw, actual.pitch, self.fov)
+
+    def _cells_close(self, cell_a: int, cell_b: int) -> bool:
+        row_a, col_a = divmod(cell_a, self.world.cols)
+        row_b, col_b = divmod(cell_b, self.world.cols)
+        return (
+            abs(row_a - row_b) <= self.cell_tolerance
+            and abs(col_a - col_b) <= self.cell_tolerance
+        )
+
+    def evaluate(self, predicted: Pose, actual: Pose) -> CoverageOutcome:
+        """Compute ``1_n(t)`` for one slot.
+
+        Coverage requires (a) the predicted viewpoint cell to be within
+        the tolerance of the actual cell and (b) every tile the true
+        FoV needs to be inside the delivered set.
+        """
+        delivered = self.tiles_to_deliver(predicted)
+        needed = self.tiles_needed(actual)
+        predicted_cell = self.world.cell_of(predicted.x, predicted.y)
+        actual_cell = self.world.cell_of(actual.x, actual.y)
+        covered = self._cells_close(predicted_cell, actual_cell) and needed <= delivered
+        return CoverageOutcome(covered, delivered, needed, predicted_cell, actual_cell)

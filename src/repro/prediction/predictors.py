@@ -1,0 +1,196 @@
+"""Alternative motion predictors.
+
+Section II: "any existing motion prediction model can be applied to
+this paper to predict each user's 6-DoF motion".  The evaluated
+system uses per-axis linear regression
+(:class:`~repro.prediction.motion.LinearMotionPredictor`); this module
+adds drop-in alternatives so the sensitivity of the scheduler to
+prediction quality can be studied:
+
+* :class:`LastPosePredictor` — the zero-order hold (no prediction);
+* :class:`ConstantVelocityPredictor` — first-order extrapolation from
+  the last two poses (cheaper than regression, noisier);
+* :class:`ExponentialSmoothingPredictor` — double exponential
+  smoothing (Holt's method) per axis, an online alternative that
+  needs no window.
+
+All predictors implement the same ``observe / predict / reset``
+protocol as the linear-regression predictor and are registered in
+:data:`PREDICTOR_REGISTRY` for configuration by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.content.projection import wrap_angle_deg
+from repro.errors import ConfigurationError
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.pose import Pose
+
+_ANGULAR_AXES = (3, 5)
+_PITCH_AXIS = 4
+
+
+def _finalize(vector: np.ndarray) -> Pose:
+    """Clamp/wrap a predicted 6-DoF vector into a valid pose."""
+    vector = np.array(vector, dtype=float)
+    vector[_PITCH_AXIS] = min(max(vector[_PITCH_AXIS], -90.0), 90.0)
+    for axis in _ANGULAR_AXES:
+        vector[axis] = wrap_angle_deg(vector[axis])
+    return Pose.from_vector(vector)
+
+
+def _angle_delta(current: float, previous: float) -> float:
+    """Shortest signed angular step in degrees."""
+    return wrap_angle_deg(current - previous)
+
+
+class LastPosePredictor:
+    """Zero-order hold: predict the last observed pose.
+
+    The weakest baseline — equivalent to no motion prediction, i.e.
+    the margin alone must absorb all motion between the pose upload
+    and display.
+    """
+
+    def __init__(self, horizon: int = 1) -> None:
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self._last: Optional[Pose] = None
+
+    def observe(self, pose: Pose) -> None:
+        self._last = pose
+
+    def predict(self, horizon: Optional[int] = None) -> Optional[Pose]:
+        del horizon
+        return self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class ConstantVelocityPredictor:
+    """First-order extrapolation from the last two poses."""
+
+    def __init__(self, horizon: int = 1) -> None:
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self._previous: Optional[Pose] = None
+        self._last: Optional[Pose] = None
+
+    def observe(self, pose: Pose) -> None:
+        self._previous = self._last
+        self._last = pose
+
+    def predict(self, horizon: Optional[int] = None) -> Optional[Pose]:
+        if self._last is None:
+            return None
+        h = self.horizon if horizon is None else horizon
+        if h < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {h}")
+        if self._previous is None:
+            return self._last
+        last = np.array(self._last.as_vector())
+        prev = np.array(self._previous.as_vector())
+        velocity = last - prev
+        for axis in _ANGULAR_AXES:
+            velocity[axis] = _angle_delta(last[axis], prev[axis])
+        return _finalize(last + h * velocity)
+
+    def reset(self) -> None:
+        self._previous = None
+        self._last = None
+
+
+class ExponentialSmoothingPredictor:
+    """Holt's double exponential smoothing per axis.
+
+    Maintains a smoothed level and trend per DoF axis; prediction is
+    ``level + horizon * trend``.  Compared to windowed regression it
+    adapts continuously and needs O(1) state.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 1,
+        level_alpha: float = 0.5,
+        trend_beta: float = 0.3,
+    ) -> None:
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        if not 0 < level_alpha <= 1:
+            raise ConfigurationError(
+                f"level_alpha must be in (0, 1], got {level_alpha}"
+            )
+        if not 0 < trend_beta <= 1:
+            raise ConfigurationError(
+                f"trend_beta must be in (0, 1], got {trend_beta}"
+            )
+        self.horizon = horizon
+        self.level_alpha = level_alpha
+        self.trend_beta = trend_beta
+        self._level: Optional[np.ndarray] = None
+        self._trend: Optional[np.ndarray] = None
+        self._last_raw: Optional[np.ndarray] = None
+
+    def observe(self, pose: Pose) -> None:
+        raw = np.array(pose.as_vector(), dtype=float)
+        if self._level is None:
+            self._level = raw.copy()
+            self._trend = np.zeros(6)
+            self._last_raw = raw
+            return
+        # Work in unwrapped coordinates for the angular axes.
+        adjusted = raw.copy()
+        for axis in _ANGULAR_AXES:
+            adjusted[axis] = self._level[axis] + _angle_delta(
+                raw[axis], self._level[axis]
+            )
+        previous_level = self._level.copy()
+        self._level = (
+            self.level_alpha * adjusted
+            + (1 - self.level_alpha) * (self._level + self._trend)
+        )
+        self._trend = (
+            self.trend_beta * (self._level - previous_level)
+            + (1 - self.trend_beta) * self._trend
+        )
+        self._last_raw = raw
+
+    def predict(self, horizon: Optional[int] = None) -> Optional[Pose]:
+        if self._level is None:
+            return None
+        h = self.horizon if horizon is None else horizon
+        if h < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {h}")
+        return _finalize(self._level + h * self._trend)
+
+    def reset(self) -> None:
+        self._level = None
+        self._trend = None
+        self._last_raw = None
+
+
+#: Predictor factories by name, each accepting a ``horizon`` kwarg.
+PREDICTOR_REGISTRY: Dict[str, Callable[..., object]] = {
+    "linear-regression": LinearMotionPredictor,
+    "last-pose": LastPosePredictor,
+    "constant-velocity": ConstantVelocityPredictor,
+    "exponential-smoothing": ExponentialSmoothingPredictor,
+}
+
+
+def make_predictor(name: str, horizon: int = 1, **kwargs):
+    """Instantiate a registered predictor by name."""
+    try:
+        factory = PREDICTOR_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown predictor {name!r}; available: {sorted(PREDICTOR_REGISTRY)}"
+        ) from None
+    return factory(horizon=horizon, **kwargs)

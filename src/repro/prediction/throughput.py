@@ -1,0 +1,80 @@
+"""Exponential-moving-average throughput estimation.
+
+Section V: "We estimate the available bandwidth for each user using
+Exponential Moving Average (EMA)."  The estimator consumes per-slot
+observed goodput samples (Mbps) and exposes the smoothed estimate the
+scheduler plugs into constraints (2)-(3) in place of the true
+``B_n(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class EmaThroughputEstimator:
+    """EMA over observed per-slot throughput samples.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; higher reacts faster.
+    initial_mbps:
+        Estimate returned before any sample arrives.  ``None`` makes
+        the first sample the initial estimate.
+    safety_factor:
+        Multiplier in (0, 1] applied by :meth:`conservative` — a
+        scheduler that fills 100% of an EMA estimate overshoots on
+        every downward fluctuation, so the system emulation budgets a
+        fraction of it.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        initial_mbps: Optional[float] = None,
+        safety_factor: float = 0.9,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if initial_mbps is not None and initial_mbps < 0:
+            raise ConfigurationError(
+                f"initial estimate must be non-negative, got {initial_mbps}"
+            )
+        if not 0.0 < safety_factor <= 1.0:
+            raise ConfigurationError(
+                f"safety_factor must be in (0, 1], got {safety_factor}"
+            )
+        self.alpha = alpha
+        self.safety_factor = safety_factor
+        self._estimate = initial_mbps
+        self._samples = 0
+
+    @property
+    def num_samples(self) -> int:
+        return self._samples
+
+    def observe(self, mbps: float) -> float:
+        """Fold in a throughput sample; returns the updated estimate."""
+        if mbps < 0:
+            raise ConfigurationError(f"throughput sample must be >= 0, got {mbps}")
+        if self._estimate is None:
+            self._estimate = mbps
+        else:
+            self._estimate += self.alpha * (mbps - self._estimate)
+        self._samples += 1
+        return self._estimate
+
+    def estimate(self) -> float:
+        """Current smoothed estimate (0.0 before any data)."""
+        return self._estimate if self._estimate is not None else 0.0
+
+    def conservative(self) -> float:
+        """Safety-discounted estimate for budget decisions."""
+        return self.estimate() * self.safety_factor
+
+    def reset(self, initial_mbps: Optional[float] = None) -> None:
+        self._estimate = initial_mbps
+        self._samples = 0

@@ -1,0 +1,35 @@
+"""Trace-driven simulation (Section IV of the paper).
+
+The simulator replays network and motion traces slot by slot: it
+predicts each user's pose, selects the tiles to deliver, asks the
+configured allocator for quality levels under the true throughput
+constraints (the paper's simulation assumes perfect network
+knowledge), computes the M/M/1 delivery delay (eq. 13), evaluates the
+coverage indicator against the true pose, and accumulates each user's
+QoE ledger.
+"""
+
+from repro.simulation.delaymodel import MM1DelayModel, sample_rtts
+from repro.simulation.metrics import (
+    EpisodeResult,
+    MultiEpisodeResults,
+    UserEpisodeSummary,
+    summarize_ledger,
+)
+from repro.simulation.simulator import SimulationConfig, TraceSimulator
+from repro.simulation.sweep import SweepPoint, best_point, run_sweep, sweep_table
+
+__all__ = [
+    "SweepPoint",
+    "run_sweep",
+    "sweep_table",
+    "best_point",
+    "MM1DelayModel",
+    "sample_rtts",
+    "UserEpisodeSummary",
+    "EpisodeResult",
+    "MultiEpisodeResults",
+    "summarize_ledger",
+    "SimulationConfig",
+    "TraceSimulator",
+]

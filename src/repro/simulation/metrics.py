@@ -1,0 +1,137 @@
+"""Per-episode and cross-episode metric collection.
+
+The paper's CDF figures (Figs. 2-3) pool per-user averages over many
+(user, trace) pairs; :class:`MultiEpisodeResults` accumulates exactly
+those samples and exposes them as :class:`~repro.analysis.cdf.EmpiricalCdf`
+objects per metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.core.qoe import QoEWeights, UserQoELedger
+from repro.errors import ConfigurationError
+
+#: Metric keys reported by the simulation figures.
+METRICS = ("qoe", "quality", "delay", "variance")
+
+
+@dataclass(frozen=True)
+class UserEpisodeSummary:
+    """One user's averaged metrics over one episode.
+
+    ``qoe`` is the per-slot average QoE (the paper plots per-user
+    average QoE); ``quality`` is the mean successfully-viewed quality;
+    ``delay`` the mean delivery delay; ``variance`` the viewed-quality
+    variance; ``fps`` the realized display rate (system emulation
+    only).
+    """
+
+    qoe: float
+    quality: float
+    delay: float
+    variance: float
+    mean_level: float
+    fps: Optional[float] = None
+
+    def metric(self, key: str) -> float:
+        """Look up a metric by its figure key."""
+        try:
+            return float(getattr(self, key))
+        except AttributeError:
+            raise ConfigurationError(f"unknown metric {key!r}") from None
+
+
+def summarize_ledger(
+    ledger: UserQoELedger, weights: QoEWeights, fps: Optional[float] = None
+) -> UserEpisodeSummary:
+    """Collapse a QoE ledger into the figure metrics."""
+    return UserEpisodeSummary(
+        qoe=ledger.qoe_per_slot(weights),
+        quality=ledger.mean_viewed_quality(),
+        delay=ledger.mean_delay(),
+        variance=ledger.quality_variance(),
+        mean_level=ledger.mean_allocated_level(),
+        fps=fps,
+    )
+
+
+@dataclass
+class EpisodeResult:
+    """All users' summaries for one episode, plus system aggregates."""
+
+    users: List[UserEpisodeSummary]
+    episode: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.users:
+            raise ConfigurationError("an episode result needs at least one user")
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    def mean(self, key: str) -> float:
+        """Population mean of a metric across users."""
+        return sum(u.metric(key) for u in self.users) / self.num_users
+
+    def system_qoe_per_slot(self) -> float:
+        """Sum of per-slot-average QoE over users (eq. (1) scaled by T)."""
+        return sum(u.qoe for u in self.users)
+
+    def fairness(self, key: str = "qoe") -> float:
+        """Jain's fairness index of a metric across users."""
+        from repro.analysis.stats import jain_fairness
+
+        return jain_fairness([u.metric(key) for u in self.users])
+
+    def mean_fps(self) -> Optional[float]:
+        values = [u.fps for u in self.users if u.fps is not None]
+        return sum(values) / len(values) if values else None
+
+
+@dataclass
+class MultiEpisodeResults:
+    """Pooled per-user samples across episodes for one algorithm."""
+
+    algorithm: str
+    episodes: List[EpisodeResult] = field(default_factory=list)
+
+    def add(self, result: EpisodeResult) -> None:
+        self.episodes.append(result)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episodes)
+
+    def samples(self, key: str) -> List[float]:
+        """All (user, episode) samples of one metric."""
+        return [u.metric(key) for ep in self.episodes for u in ep.users]
+
+    def cdf(self, key: str) -> EmpiricalCdf:
+        """Empirical CDF of a metric — one curve of Fig. 2/3."""
+        return EmpiricalCdf(self.samples(key))
+
+    def mean(self, key: str) -> float:
+        values = self.samples(key)
+        if not values:
+            raise ConfigurationError("no episodes recorded yet")
+        return sum(values) / len(values)
+
+    def means(self, keys: Sequence[str] = METRICS) -> Dict[str, float]:
+        return {k: self.mean(k) for k in keys}
+
+    def mean_fps(self) -> Optional[float]:
+        values = [
+            u.fps for ep in self.episodes for u in ep.users if u.fps is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def mean_fairness(self, key: str = "qoe") -> float:
+        """Mean per-episode Jain fairness of a metric."""
+        if not self.episodes:
+            raise ConfigurationError("no episodes recorded yet")
+        return sum(ep.fairness(key) for ep in self.episodes) / len(self.episodes)

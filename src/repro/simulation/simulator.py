@@ -1,0 +1,282 @@
+"""The trace-driven simulator of Section IV.
+
+Each episode replays one network trace and one motion trace per user.
+Per slot the simulator:
+
+1. predicts every user's pose with linear regression over the poses
+   the server has received so far;
+2. derives the content (viewpoint cell) and its rate curve
+   ``f_c^R(q)``;
+3. builds the per-slot problem with the *true* ``B_n(t)`` and ``B(t)``
+   (the paper's simulation assumes the server knows the network
+   perfectly) and asks the allocator for quality levels;
+4. computes the M/M/1 delivery delay (eq. 13) of each user's chosen
+   level;
+5. evaluates the coverage indicator ``1_n(t)`` by comparing the
+   delivered FoV-with-margin against the true pose;
+6. folds everything into the per-user QoE ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.content.projection import FieldOfView
+from repro.content.rate import RateModel
+from repro.content.tiles import GridWorld, TileGrid
+from repro.core.allocation import QualityAllocator
+from repro.core.qoe import QoEWeights
+from repro.core.scheduler import CollaborativeVrScheduler
+from repro.errors import ConfigurationError
+from repro.prediction.fov import CoverageEvaluator
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.predictors import make_predictor
+from repro.prediction.throughput import EmaThroughputEstimator
+from repro.simulation.delaymodel import MM1DelayModel
+from repro.simulation.metrics import (
+    EpisodeResult,
+    MultiEpisodeResults,
+    summarize_ledger,
+)
+from repro.traces.dataset import TraceDataset
+from repro.traces.network import TraceCatalog
+from repro.units import (
+    DEFAULT_NUM_LEVELS,
+    SERVER_MBPS_PER_USER,
+    SLOT_DURATION_S,
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of the Section IV simulation.
+
+    Defaults follow the paper: six quality levels, alpha=0.02,
+    beta=0.5, server budget 36 Mbps per user, 20-100 Mbps user traces.
+    ``duration_slots`` defaults to a compact 30 simulated seconds —
+    long enough for the running statistics to converge — rather than
+    the paper's full 300 s; scale it up freely.
+    """
+
+    num_users: int = 5
+    num_levels: int = DEFAULT_NUM_LEVELS
+    weights: QoEWeights = field(default_factory=QoEWeights.simulation_defaults)
+    duration_slots: int = 1800
+    slot_s: float = SLOT_DURATION_S
+    server_mbps_per_user: float = SERVER_MBPS_PER_USER
+    margin_deg: float = 15.0
+    cell_tolerance: int = 1
+    predictor: str = "linear-regression"
+    predictor_window: int = 10
+    world_size_m: float = 8.0
+    content_spread: float = 0.2
+    #: Section IV assumes "the server has the perfect knowledge of the
+    #: delay and throughput"; set False to feed the allocator EMA
+    #: bandwidth estimates instead (the Section VI regime), bridging
+    #: the simulator toward the real-system robustness study.
+    perfect_network_knowledge: bool = True
+    ema_alpha: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {self.num_users}")
+        if self.duration_slots < 1:
+            raise ConfigurationError(
+                f"duration_slots must be >= 1, got {self.duration_slots}"
+            )
+        if self.server_mbps_per_user <= 0:
+            raise ConfigurationError(
+                f"server budget per user must be positive, got {self.server_mbps_per_user}"
+            )
+
+    @property
+    def server_budget_mbps(self) -> float:
+        """``B(t) = 36 Mbps * N`` (constant, Section IV)."""
+        return self.server_mbps_per_user * self.num_users
+
+
+class TraceSimulator:
+    """Replays episodes and evaluates allocators on them.
+
+    The random substrate (traces, motion, content curves) depends only
+    on ``(config.seed, episode)`` — every allocator sees exactly the
+    same world, which is what makes the CDF comparisons of Figs. 2-3
+    paired and fair.
+    """
+
+    def __init__(self, config: SimulationConfig = SimulationConfig()) -> None:
+        self.config = config
+        self.world = GridWorld(
+            0.0, config.world_size_m, 0.0, config.world_size_m, cell_size=0.05
+        )
+        self.grid = TileGrid()
+        self.rate_model = RateModel(
+            num_levels=config.num_levels,
+            content_spread=config.content_spread,
+            seed=config.seed,
+        )
+        self.dataset = TraceDataset(
+            self.world,
+            catalog=TraceCatalog(seed=config.seed),
+            slot_s=config.slot_s,
+            seed=config.seed,
+        )
+        self.coverage = CoverageEvaluator(
+            self.world,
+            self.grid,
+            FieldOfView(),
+            margin_deg=config.margin_deg,
+            cell_tolerance=config.cell_tolerance,
+        )
+        self.delay_model = MM1DelayModel()
+
+    def _make_predictor(self):
+        """Instantiate the configured motion predictor."""
+        if self.config.predictor == "linear-regression":
+            return LinearMotionPredictor(
+                window=self.config.predictor_window, horizon=1
+            )
+        return make_predictor(self.config.predictor, horizon=1)
+
+    def run_episode(
+        self,
+        allocator: QualityAllocator,
+        episode: int = 0,
+        telemetry=None,
+    ) -> EpisodeResult:
+        """Simulate one episode with the given allocator.
+
+        Pass a :class:`~repro.system.telemetry.Telemetry` collector to
+        capture per-slot records (level, planned rate, believed and
+        true bandwidth, coverage, delay) — the same forensics view the
+        system emulation offers.
+        """
+        cfg = self.config
+        schedule = self.dataset.episode(cfg.num_users, cfg.duration_slots, episode)
+        allocator.reset()
+        scheduler = CollaborativeVrScheduler(
+            cfg.num_users, allocator, cfg.weights, allow_skip=False
+        )
+        predictors = [self._make_predictor() for _ in range(cfg.num_users)]
+        estimators = (
+            [
+                EmaThroughputEstimator(alpha=cfg.ema_alpha)
+                for _ in range(cfg.num_users)
+            ]
+            if not cfg.perfect_network_knowledge
+            else None
+        )
+
+        # Cache rate curves per content cell: users revisit cells often.
+        curve_cache: Dict[int, Sequence[float]] = {}
+
+        num_slots = min(cfg.duration_slots, schedule.num_slots)
+        for t in range(num_slots):
+            caps = schedule.bandwidth_mbps[:, t]
+            if estimators is None:
+                believed_caps = [float(c) for c in caps]
+            else:
+                # Imperfect knowledge: the allocator sees the EMA of
+                # *past* bandwidth samples, never the current truth.
+                believed_caps = [
+                    est.estimate() if est.num_samples else float(caps[n])
+                    for n, est in enumerate(estimators)
+                ]
+            sizes: List[Sequence[float]] = []
+            delay_fns = []
+            predicted_poses = []
+            for n in range(cfg.num_users):
+                predicted = predictors[n].predict()
+                if predicted is None:
+                    # Connection setup delivers the initial pose.
+                    predicted = schedule.poses[n][t]
+                predicted_poses.append(predicted)
+                cell = self.world.cell_of(predicted.x, predicted.y)
+                if cell not in curve_cache:
+                    curve_cache[cell] = self.rate_model.curve(cell).as_tuple()
+                sizes.append(curve_cache[cell])
+                delay_fns.append(self.delay_model.delay_fn(believed_caps[n]))
+
+            problem = scheduler.build_slot_problem(
+                sizes, delay_fns, believed_caps, cfg.server_budget_mbps
+            )
+            levels = scheduler.allocate(problem)
+
+            indicators = []
+            delays = []
+            for n in range(cfg.num_users):
+                actual = schedule.poses[n][t]
+                if levels[n] > 0:
+                    outcome = self.coverage.evaluate(predicted_poses[n], actual)
+                    indicators.append(outcome.indicator)
+                    delays.append(
+                        self.delay_model.delay(
+                            sizes[n][levels[n] - 1], float(caps[n])
+                        )
+                    )
+                else:
+                    indicators.append(0)
+                    delays.append(0.0)
+                predictors[n].observe(actual)
+
+            scheduler.record_outcomes(levels, indicators, delays)
+            if telemetry is not None:
+                from repro.system.telemetry import SlotUserRecord
+
+                for n in range(cfg.num_users):
+                    rate = sizes[n][levels[n] - 1] if levels[n] > 0 else 0.0
+                    telemetry.add(
+                        SlotUserRecord(
+                            slot=t,
+                            user=n,
+                            level=levels[n],
+                            demand_mbps=rate,
+                            achieved_mbps=float(caps[n]),
+                            believed_cap_mbps=believed_caps[n],
+                            displayed=levels[n] > 0,
+                            covered=bool(indicators[n]),
+                            delay_slots=delays[n],
+                        )
+                    )
+            if estimators is not None:
+                for n in range(cfg.num_users):
+                    estimators[n].observe(float(caps[n]))
+
+        return EpisodeResult(
+            users=[
+                summarize_ledger(ledger, cfg.weights)
+                for ledger in scheduler.ledgers
+            ],
+            episode=episode,
+        )
+
+    def run(
+        self,
+        allocator: QualityAllocator,
+        num_episodes: int = 1,
+        first_episode: int = 0,
+    ) -> MultiEpisodeResults:
+        """Simulate several episodes and pool the per-user samples."""
+        if num_episodes < 1:
+            raise ConfigurationError(
+                f"num_episodes must be >= 1, got {num_episodes}"
+            )
+        results = MultiEpisodeResults(algorithm=allocator.name)
+        for episode in range(first_episode, first_episode + num_episodes):
+            results.add(self.run_episode(allocator, episode))
+        return results
+
+    def compare(
+        self,
+        allocators: Mapping[str, QualityAllocator],
+        num_episodes: int = 1,
+    ) -> Dict[str, MultiEpisodeResults]:
+        """Run every allocator over the same episodes."""
+        if not allocators:
+            raise ConfigurationError("compare needs at least one allocator")
+        return {
+            name: self.run(allocator, num_episodes)
+            for name, allocator in allocators.items()
+        }

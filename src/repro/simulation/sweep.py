@@ -1,0 +1,119 @@
+"""Parameter sweeps over the simulation configuration.
+
+Section II frames ``alpha`` and ``beta`` as application knobs (gaming
+is delay-sensitive, museum touring is consistency-sensitive); the
+margin and the server budget rule are further design constants the
+paper fixes by experimentation.  This module runs structured sweeps
+over any subset of :class:`~repro.simulation.simulator.SimulationConfig`
+fields and collects per-point metrics, so those choices can be
+re-examined quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.core.allocation import QualityAllocator
+from repro.core.qoe import QoEWeights
+from repro.errors import ConfigurationError
+from repro.simulation.metrics import MultiEpisodeResults
+from repro.simulation.simulator import SimulationConfig, TraceSimulator
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration point and its pooled results."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    results: MultiEpisodeResults
+
+    def override(self, field: str) -> object:
+        for name, value in self.overrides:
+            if name == field:
+                return value
+        raise ConfigurationError(f"field {field!r} not part of this sweep")
+
+
+def _apply_overrides(
+    base: SimulationConfig, overrides: Mapping[str, object]
+) -> SimulationConfig:
+    weights_fields = {
+        k: v for k, v in overrides.items() if k in ("alpha", "beta")
+    }
+    config_fields = {
+        k: v for k, v in overrides.items() if k not in ("alpha", "beta")
+    }
+    config = replace(base, **config_fields) if config_fields else base
+    if weights_fields:
+        config = replace(
+            config,
+            weights=QoEWeights(
+                alpha=float(weights_fields.get("alpha", config.weights.alpha)),
+                beta=float(weights_fields.get("beta", config.weights.beta)),
+            ),
+        )
+    return config
+
+
+def run_sweep(
+    base: SimulationConfig,
+    allocator_factory,
+    grid: Mapping[str, Sequence[object]],
+    num_episodes: int = 1,
+) -> List[SweepPoint]:
+    """Run the allocator across the Cartesian product of a grid.
+
+    Parameters
+    ----------
+    base:
+        Baseline configuration; each point overrides some fields.
+        ``alpha``/``beta`` are accepted as virtual fields that rebuild
+        the :class:`QoEWeights`.
+    allocator_factory:
+        Zero-argument callable producing a fresh allocator per point
+        (stateful allocators must not leak across points).
+    grid:
+        ``{field: [values...]}``.
+    """
+    if not grid:
+        raise ConfigurationError("a sweep needs at least one field")
+    for field, values in grid.items():
+        if not values:
+            raise ConfigurationError(f"field {field!r} has no sweep values")
+
+    fields = list(grid)
+    points: List[SweepPoint] = []
+    for combo in product(*(grid[f] for f in fields)):
+        overrides = dict(zip(fields, combo))
+        config = _apply_overrides(base, overrides)
+        simulator = TraceSimulator(config)
+        allocator: QualityAllocator = allocator_factory()
+        results = simulator.run(allocator, num_episodes=num_episodes)
+        points.append(SweepPoint(tuple(overrides.items()), results))
+    return points
+
+
+def sweep_table(
+    points: Sequence[SweepPoint],
+    metrics: Sequence[str] = ("qoe", "quality", "delay", "variance"),
+) -> List[List[object]]:
+    """Rows of [override values..., metric values...] for reporting."""
+    if not points:
+        raise ConfigurationError("no sweep points to tabulate")
+    rows = []
+    for point in points:
+        row: List[object] = [value for _, value in point.overrides]
+        row.extend(point.results.mean(metric) for metric in metrics)
+        rows.append(row)
+    return rows
+
+
+def best_point(
+    points: Sequence[SweepPoint], metric: str = "qoe"
+) -> SweepPoint:
+    """The sweep point maximising a metric."""
+    if not points:
+        raise ConfigurationError("no sweep points to compare")
+    return max(points, key=lambda p: p.results.mean(metric))

@@ -1,0 +1,91 @@
+"""Real-system emulation (Sections V-VI of the paper).
+
+The paper evaluates its algorithm on 8-15 commodity Android phones
+behind one or two Wi-Fi routers, with Linux TC throttling each user,
+RTP/UDP tile delivery, TCP pose/ACK channels, hardware decoders, and
+a transmit/decode/display pipeline.  This subpackage emulates that
+testbed as a discrete-event simulation:
+
+* :mod:`~repro.system.events` — the event engine;
+* :mod:`~repro.system.netem` — TC-style token throttles, router
+  fair-sharing, fading, and the two-router interference field;
+* :mod:`~repro.system.transport` — RTP-like lossy delivery and the
+  reliable TCP side channel;
+* :mod:`~repro.system.client` — decoder pool, tile cache, display
+  deadline accounting (FPS);
+* :mod:`~repro.system.server` — the edge server: estimation, tile
+  selection, dedup, and the pluggable quality allocator;
+* :mod:`~repro.system.experiment` — the setup-1 / setup-2 runners
+  behind Figs. 7 and 8.
+
+Unlike the Section IV simulator, every quantity the scheduler sees
+here is an *estimate* (EMA throughput, polynomial-regression delay),
+which is exactly the robustness regime Figs. 7-8 probe.
+"""
+
+from repro.system.events import EventScheduler
+from repro.system.netem import (
+    FadingProcess,
+    InterferenceField,
+    Router,
+    ThrottledLink,
+    TokenBucket,
+    max_min_fair_share,
+)
+from repro.system.transport import RtpChannel, TcpChannel, TransmissionResult
+from repro.system.client import Client, DecoderPool, FrameOutcome
+from repro.system.server import EdgeServer
+from repro.system.experiment import (
+    ExperimentConfig,
+    SystemExperiment,
+    setup1_config,
+    setup2_config,
+)
+from repro.system.rendering import (
+    GpuSpec,
+    OnlineRenderingPipeline,
+    RenderJob,
+    min_gpus_for,
+)
+from repro.system.telemetry import SlotUserRecord, Telemetry
+from repro.system.protocol import (
+    DeliveryAck,
+    PoseUpdate,
+    ReleaseAck,
+    TileBundleHeader,
+    decode_stream,
+    encode_stream,
+)
+
+__all__ = [
+    "EventScheduler",
+    "FadingProcess",
+    "ThrottledLink",
+    "Router",
+    "InterferenceField",
+    "TokenBucket",
+    "max_min_fair_share",
+    "RtpChannel",
+    "TcpChannel",
+    "TransmissionResult",
+    "DecoderPool",
+    "Client",
+    "FrameOutcome",
+    "EdgeServer",
+    "ExperimentConfig",
+    "SystemExperiment",
+    "setup1_config",
+    "setup2_config",
+    "GpuSpec",
+    "RenderJob",
+    "OnlineRenderingPipeline",
+    "min_gpus_for",
+    "Telemetry",
+    "SlotUserRecord",
+    "PoseUpdate",
+    "TileBundleHeader",
+    "DeliveryAck",
+    "ReleaseAck",
+    "encode_stream",
+    "decode_stream",
+]

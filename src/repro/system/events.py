@@ -1,0 +1,89 @@
+"""A minimal discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples on a binary heap;
+the sequence number breaks ties FIFO so same-time events run in
+scheduling order, which keeps the slot pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class EventScheduler:
+    """Priority-queue event loop with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not yet executed events."""
+        return len(self._queue)
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> None:
+        """Schedule a callback at an absolute time (>= now)."""
+        if time_s < self._now - 1e-12:
+            raise ConfigurationError(
+                f"cannot schedule in the past: {time_s} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (time_s, next(self._sequence), callback))
+
+    def schedule_in(self, delay_s: float, callback: Callable[[], None]) -> None:
+        """Schedule a callback ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay_s}")
+        self.schedule_at(self._now + delay_s, callback)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time_s, _, callback = heapq.heappop(self._queue)
+        if time_s < self._now - 1e-12:
+            raise SimulationError("event queue produced a time in the past")
+        self._now = time_s
+        callback()
+        return True
+
+    def run_until(self, t_end_s: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``t_end_s``; returns the event count.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self._queue and self._queue[0][0] <= t_end_s + 1e-12:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"run_until exceeded max_events={max_events}; "
+                    "suspected runaway event loop"
+                )
+            self.step()
+            executed += 1
+        # Advance the clock to the horizon even if the queue went quiet.
+        self._now = max(self._now, t_end_s)
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"run_all exceeded max_events={max_events}; "
+                    "suspected runaway event loop"
+                )
+        return executed

@@ -1,0 +1,181 @@
+"""The control-plane wire protocol.
+
+Section V of the paper: poses travel client→server over TCP; the
+server answers with RTP tile data identified by compact video ids;
+delivery ACKs and cache-release ACKs travel back over TCP so the
+server can dedup repetitive tiles.  This module defines those
+messages and a compact binary codec (network byte order, fixed
+headers), so the emulation's control plane is carried by real bytes
+and the formats are testable artifacts.
+
+Frame layout::
+
+    0       1        3            ...
+    ┌───────┬────────┬────────────┐
+    │ type  │ length │  payload   │
+    │ u8    │ u16    │  (length)  │
+    └───────┴────────┴────────────┘
+
+Payloads:
+
+* ``PoseUpdate`` — u16 user, u32 slot, 6 x f32 (x y z yaw pitch roll);
+* ``TileBundleHeader`` — u16 user, u32 slot, u8 level, u16 count,
+  count x u32 video ids (sent ahead of the RTP data);
+* ``DeliveryAck`` — u16 user, u32 slot, u16 count, count x u32 ids;
+* ``ReleaseAck`` — u16 user, u16 count, count x u32 ids.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import TransportError
+from repro.prediction.pose import Pose
+
+_HEADER = struct.Struct("!BH")
+
+#: Message type tags.
+TYPE_POSE = 1
+TYPE_TILE_BUNDLE = 2
+TYPE_DELIVERY_ACK = 3
+TYPE_RELEASE_ACK = 4
+
+_POSE_BODY = struct.Struct("!HI6f")
+_BUNDLE_HEAD = struct.Struct("!HIBH")
+_DELIVERY_HEAD = struct.Struct("!HIH")
+_RELEASE_HEAD = struct.Struct("!HH")
+
+_MAX_IDS = 0xFFFF
+
+
+@dataclass(frozen=True)
+class PoseUpdate:
+    """Client -> server: the pose measured in a slot."""
+
+    user: int
+    slot: int
+    pose: Pose
+
+    def encode(self) -> bytes:
+        body = _POSE_BODY.pack(self.user, self.slot, *self.pose.as_vector())
+        return _HEADER.pack(TYPE_POSE, len(body)) + body
+
+
+@dataclass(frozen=True)
+class TileBundleHeader:
+    """Server -> client: what the RTP stream is about to carry."""
+
+    user: int
+    slot: int
+    level: int
+    video_ids: Tuple[int, ...]
+
+    def encode(self) -> bytes:
+        if len(self.video_ids) > _MAX_IDS:
+            raise TransportError(f"too many tiles in one bundle: {len(self.video_ids)}")
+        body = _BUNDLE_HEAD.pack(self.user, self.slot, self.level, len(self.video_ids))
+        body += struct.pack(f"!{len(self.video_ids)}I", *self.video_ids)
+        return _HEADER.pack(TYPE_TILE_BUNDLE, len(body)) + body
+
+
+@dataclass(frozen=True)
+class DeliveryAck:
+    """Client -> server: tiles that arrived intact this slot."""
+
+    user: int
+    slot: int
+    video_ids: Tuple[int, ...]
+
+    def encode(self) -> bytes:
+        if len(self.video_ids) > _MAX_IDS:
+            raise TransportError(f"too many ids in one ack: {len(self.video_ids)}")
+        body = _DELIVERY_HEAD.pack(self.user, self.slot, len(self.video_ids))
+        body += struct.pack(f"!{len(self.video_ids)}I", *self.video_ids)
+        return _HEADER.pack(TYPE_DELIVERY_ACK, len(body)) + body
+
+
+@dataclass(frozen=True)
+class ReleaseAck:
+    """Client -> server: tiles evicted from the client cache."""
+
+    user: int
+    video_ids: Tuple[int, ...]
+
+    def encode(self) -> bytes:
+        if len(self.video_ids) > _MAX_IDS:
+            raise TransportError(f"too many ids in one ack: {len(self.video_ids)}")
+        body = _RELEASE_HEAD.pack(self.user, len(self.video_ids))
+        body += struct.pack(f"!{len(self.video_ids)}I", *self.video_ids)
+        return _HEADER.pack(TYPE_RELEASE_ACK, len(body)) + body
+
+
+Message = Union[PoseUpdate, TileBundleHeader, DeliveryAck, ReleaseAck]
+
+
+def decode(frame: bytes) -> Tuple[Message, bytes]:
+    """Decode one frame; returns ``(message, remaining_bytes)``."""
+    if len(frame) < _HEADER.size:
+        raise TransportError("frame shorter than header")
+    msg_type, length = _HEADER.unpack_from(frame)
+    body = frame[_HEADER.size:_HEADER.size + length]
+    if len(body) < length:
+        raise TransportError(
+            f"truncated frame: expected {length} payload bytes, got {len(body)}"
+        )
+    rest = frame[_HEADER.size + length:]
+
+    if msg_type == TYPE_POSE:
+        if length != _POSE_BODY.size:
+            raise TransportError(f"bad pose payload length {length}")
+        user, slot, x, y, z, yaw, pitch, roll = _POSE_BODY.unpack(body)
+        return PoseUpdate(user, slot, Pose.from_vector((x, y, z, yaw, pitch, roll))), rest
+
+    if msg_type == TYPE_TILE_BUNDLE:
+        if length < _BUNDLE_HEAD.size:
+            raise TransportError(f"bad bundle payload length {length}")
+        user, slot, level, count = _BUNDLE_HEAD.unpack_from(body)
+        ids = _unpack_ids(body, _BUNDLE_HEAD.size, count, length)
+        return TileBundleHeader(user, slot, level, ids), rest
+
+    if msg_type == TYPE_DELIVERY_ACK:
+        if length < _DELIVERY_HEAD.size:
+            raise TransportError(f"bad ack payload length {length}")
+        user, slot, count = _DELIVERY_HEAD.unpack_from(body)
+        ids = _unpack_ids(body, _DELIVERY_HEAD.size, count, length)
+        return DeliveryAck(user, slot, ids), rest
+
+    if msg_type == TYPE_RELEASE_ACK:
+        if length < _RELEASE_HEAD.size:
+            raise TransportError(f"bad release payload length {length}")
+        user, count = _RELEASE_HEAD.unpack_from(body)
+        ids = _unpack_ids(body, _RELEASE_HEAD.size, count, length)
+        return ReleaseAck(user, ids), rest
+
+    raise TransportError(f"unknown message type {msg_type}")
+
+
+def _unpack_ids(body: bytes, offset: int, count: int, length: int) -> Tuple[int, ...]:
+    expected = offset + 4 * count
+    if length != expected:
+        raise TransportError(
+            f"id list length mismatch: payload {length}, expected {expected}"
+        )
+    if count == 0:
+        return tuple()
+    return struct.unpack_from(f"!{count}I", body, offset)
+
+
+def decode_stream(data: bytes) -> List[Message]:
+    """Decode a concatenation of frames (a drained TCP buffer)."""
+    messages: List[Message] = []
+    while data:
+        message, data = decode(data)
+        messages.append(message)
+    return messages
+
+
+def encode_stream(messages: Sequence[Message]) -> bytes:
+    """Concatenate frames for a single TCP write."""
+    return b"".join(message.encode() for message in messages)

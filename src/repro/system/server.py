@@ -1,0 +1,340 @@
+"""The edge server: estimation, tile selection, dedup, allocation.
+
+The server side of Fig. 4: it receives poses over TCP, predicts each
+user's display-time pose, selects the tiles covering the predicted
+FoV plus margin, runs the pluggable quality allocator against
+*estimated* constraints (EMA throughput, polynomial-regression
+delay), and transmits only the tiles the user does not already hold
+(the repetitive-tile dedup of Section V, mirrored from client ACKs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.content.database import ServerTileCache, TileDatabase
+from repro.content.gop import GopModel
+from repro.content.tiles import TileKey, VideoId
+from repro.core.allocation import QualityAllocator
+from repro.core.qoe import QoEWeights
+from repro.core.scheduler import CollaborativeVrScheduler
+from repro.errors import ConfigurationError
+from repro.prediction.delay import PolynomialDelayPredictor
+from repro.prediction.fov import CoverageEvaluator
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.pose import Pose
+from repro.units import SLOT_DURATION_S
+
+_EPS = 1e-9
+
+
+@dataclass
+class UserPlan:
+    """One user's share of a slot plan."""
+
+    level: int
+    predicted_pose: Optional[Pose]
+    cell_id: int
+    tile_indices: Tuple[int, ...]
+    missing_keys: List[TileKey]
+    missing_bits: List[float]
+    demand_mbps: float
+    nominal_rate_mbps: float
+    #: Extra transmission start latency this slot (server tile-cache
+    #: miss: the panorama had to be fetched from disk first).
+    startup_delay_s: float = 0.0
+
+
+@dataclass
+class SlotPlan:
+    """The server's decisions for one transmission slot."""
+
+    slot: int
+    users: List[UserPlan]
+
+    @property
+    def levels(self) -> List[int]:
+        return [u.level for u in self.users]
+
+    @property
+    def demands_mbps(self) -> List[float]:
+        return [u.demand_mbps for u in self.users]
+
+
+class EdgeServer:
+    """Slot-by-slot planner mirroring the paper's server application.
+
+    Parameters
+    ----------
+    num_users:
+        Number of connected phones.
+    allocator:
+        Quality allocator plug-in (Algorithm 1 or a baseline).
+    weights:
+        QoE weights (Section VI uses alpha=0.1, beta=0.5).
+    database:
+        Offline tile database (sizes, video ids).
+    coverage:
+        Tile selection / coverage geometry.
+    server_budget_mbps:
+        The wired-side budget ``B`` (400 or 800 Mbps in the paper).
+    initial_cap_mbps:
+        Optimistic initial per-user capacity estimate (the server
+        does not know the TC guidelines).
+    prediction_horizon:
+        Slots between the last received pose and display time; the
+        t/t+1/t+2 pipeline of Section V implies 2.
+    cap_probe_gain:
+        Multiplicative upward drift applied to a user's capacity
+        estimate in unsaturated slots — without it an EMA of achieved
+        goodput can never discover that a link got better.
+    content_refresh_slots:
+        How many slots a delivered tile stays valid.  ``1`` models a
+        live scene (the VR classroom with an active teacher) where
+        every slot needs fresh content at rate ``f^R(q)`` — exactly
+        the per-slot rate model of Section II.  Larger values model
+        partially static content; ``0`` means a fully static scene,
+        where the repetitive-tile dedup of Section V saves almost all
+        bandwidth in steady state.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        allocator: QualityAllocator,
+        weights: QoEWeights,
+        database: TileDatabase,
+        coverage: CoverageEvaluator,
+        server_budget_mbps: float,
+        initial_cap_mbps: float = 60.0,
+        prediction_horizon: int = 2,
+        predictor_window: int = 10,
+        ema_alpha: float = 0.25,
+        safety_factor: float = 0.85,
+        cap_probe_gain: float = 1.01,
+        max_cap_mbps: float = 150.0,
+        content_refresh_slots: int = 1,
+        router_of: Optional[Sequence[int]] = None,
+        router_budgets_mbps: Optional[Sequence[float]] = None,
+        gop: Optional[GopModel] = None,
+        cache_radius_cells: int = 10,
+        cache_miss_penalty_s: float = 0.004,
+        slot_s: float = SLOT_DURATION_S,
+    ) -> None:
+        if num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {num_users}")
+        if server_budget_mbps <= 0:
+            raise ConfigurationError(
+                f"server budget must be positive, got {server_budget_mbps}"
+            )
+        if cap_probe_gain < 1.0:
+            raise ConfigurationError(
+                f"cap_probe_gain must be >= 1, got {cap_probe_gain}"
+            )
+        if content_refresh_slots < 0:
+            raise ConfigurationError(
+                f"content_refresh_slots must be >= 0, got {content_refresh_slots}"
+            )
+        self.num_users = num_users
+        self.database = database
+        self.coverage = coverage
+        self.server_budget_mbps = server_budget_mbps
+        self.slot_s = slot_s
+        self.cap_probe_gain = cap_probe_gain
+        self.max_cap_mbps = max_cap_mbps
+        self.scheduler = CollaborativeVrScheduler(
+            num_users, allocator, weights, allow_skip=True
+        )
+        self._predictors = [
+            LinearMotionPredictor(window=predictor_window, horizon=prediction_horizon)
+            for _ in range(num_users)
+        ]
+        # Plain float estimates with EMA updates on saturated samples;
+        # see observe-throughput logic in complete_slot.
+        self._cap_estimates = [float(initial_cap_mbps)] * num_users
+        self._ema_alpha = ema_alpha
+        self._safety = safety_factor
+        self._delay_predictors = [PolynomialDelayPredictor() for _ in range(num_users)]
+        self._delivered: List[Set[int]] = [set() for _ in range(num_users)]
+        self.content_refresh_slots = content_refresh_slots
+        if (router_of is None) != (router_budgets_mbps is None):
+            raise ConfigurationError(
+                "router_of and router_budgets_mbps must be provided together"
+            )
+        self.router_of = list(router_of) if router_of is not None else None
+        self.router_budgets_mbps = (
+            list(router_budgets_mbps) if router_budgets_mbps is not None else None
+        )
+        self.gop = gop if gop is not None else GopModel()
+        if cache_miss_penalty_s < 0:
+            raise ConfigurationError(
+                f"cache miss penalty must be >= 0, got {cache_miss_penalty_s}"
+            )
+        # Section V: the server holds an in-memory window of tiles
+        # around each user's position; a miss means fetching from the
+        # (171 GB) on-disk database before transmission can start.
+        self._tile_caches = [
+            ServerTileCache(database, radius_cells=cache_radius_cells)
+            for _ in range(num_users)
+        ]
+        self.cache_miss_penalty_s = cache_miss_penalty_s
+        self._epoch = 0
+        self._slot = 0
+
+    # ------------------------------------------------------------------
+    # Uplink: poses and ACKs
+    # ------------------------------------------------------------------
+    def observe_pose(self, user: int, pose: Pose) -> None:
+        """Fold a pose upload (TCP) into the user's motion history."""
+        self._predictors[user].observe(pose)
+
+    def acknowledge_release(self, user: int, video_ids: Sequence[int]) -> None:
+        """Client evicted tiles: forget them so they can be resent."""
+        self._delivered[user].difference_update(video_ids)
+
+    def delivered_count(self, user: int) -> int:
+        """Number of tiles the server believes the user holds."""
+        return len(self._delivered[user])
+
+    def cache_hit_ratio(self, user: int) -> float:
+        """Fraction of this user's slots served from the memory window."""
+        return self._tile_caches[user].hit_ratio()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def estimated_cap(self, user: int) -> float:
+        """Safety-discounted capacity estimate used as ``B_n(t)``."""
+        return self._cap_estimates[user] * self._safety
+
+    def plan_slot(self) -> SlotPlan:
+        """Allocate quality and select missing tiles for every user."""
+        if self.content_refresh_slots > 0:
+            epoch = self._slot // self.content_refresh_slots
+            if epoch != self._epoch:
+                # The scene's content advanced: previously delivered
+                # tiles are stale and must be re-sent if requested.
+                self._epoch = epoch
+                for delivered in self._delivered:
+                    delivered.clear()
+        sizes: List[Sequence[float]] = []
+        delay_fns = []
+        caps = []
+        raw_caps = []
+        predicted: List[Optional[Pose]] = []
+        cells: List[int] = []
+        tile_sets: List[Tuple[int, ...]] = []
+
+        for n in range(self.num_users):
+            pose = self._predictors[n].predict()
+            predicted.append(pose)
+            if pose is None:
+                # No pose yet: plan a placeholder the allocator can
+                # skip; cell 0 keeps the rate curve well defined.
+                cells.append(0)
+                tile_sets.append(tuple())
+            else:
+                cells.append(self.coverage.world.cell_of(pose.x, pose.y))
+                tile_sets.append(tuple(sorted(self.coverage.tiles_to_deliver(pose))))
+            curve = self.database.rate_model.curve(cells[n])
+            sizes.append(curve.as_tuple())
+            delay_fns.append(self._delay_predictors[n].predict)
+            caps.append(self.estimated_cap(n))
+            raw_caps.append(self._cap_estimates[n])
+
+        problem = self.scheduler.build_slot_problem(
+            sizes,
+            delay_fns,
+            caps,
+            self.server_budget_mbps,
+            raw_caps_mbps=raw_caps,
+            router_of=self.router_of,
+            router_budgets_mbps=self.router_budgets_mbps,
+        )
+        levels = self.scheduler.allocate(problem)
+
+        users: List[UserPlan] = []
+        for n in range(self.num_users):
+            level = levels[n] if predicted[n] is not None else 0
+            missing_keys: List[TileKey] = []
+            missing_bits: List[float] = []
+            startup_delay_s = 0.0
+            if level > 0:
+                # In-memory tile window: a miss pays the disk fetch
+                # before transmission; the window then re-centres.
+                if not self._tile_caches[n].lookup(cells[n]):
+                    startup_delay_s = self.cache_miss_penalty_s
+                self._tile_caches[n].move_to(cells[n])
+            if level > 0:
+                # Per-frame burstiness: the curve is the GoP average,
+                # the wire carries I/P-sized frames.
+                frame_multiplier = self.gop.multiplier(self._slot, stream_id=n)
+                for key in self.database.tiles_for(cells[n], tile_sets[n], level):
+                    if VideoId.encode(key) not in self._delivered[n]:
+                        missing_keys.append(key)
+                        missing_bits.append(
+                            self.database.tile_size_bits(key, self.slot_s)
+                            * frame_multiplier
+                        )
+            demand_mbps = sum(missing_bits) / 1e6 / self.slot_s
+            users.append(
+                UserPlan(
+                    level=level,
+                    predicted_pose=predicted[n],
+                    cell_id=cells[n],
+                    tile_indices=tile_sets[n],
+                    missing_keys=missing_keys,
+                    missing_bits=missing_bits,
+                    demand_mbps=demand_mbps,
+                    nominal_rate_mbps=sizes[n][level - 1] if level > 0 else 0.0,
+                    startup_delay_s=startup_delay_s,
+                )
+            )
+        return SlotPlan(slot=self._slot, users=users)
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def complete_slot(
+        self,
+        plan: SlotPlan,
+        indicators: Sequence[int],
+        delays_slots: Sequence[float],
+        achieved_mbps: Sequence[float],
+        delivered_ids: Sequence[Sequence[int]],
+        released_ids: Sequence[Sequence[int]],
+    ) -> None:
+        """Fold one slot's realized results into the server's state.
+
+        ``delivered_ids[n]`` are the tiles that actually reached user
+        ``n`` (the ACKs); ``released_ids[n]`` the tiles its cache
+        evicted; ``achieved_mbps[n]`` the rate the link actually
+        sustained while the flow was transmitting.
+        """
+        for n, user_plan in enumerate(plan.users):
+            self._delivered[n].update(delivered_ids[n])
+            self._delivered[n].difference_update(released_ids[n])
+
+            demand = user_plan.demand_mbps
+            achieved = float(achieved_mbps[n])
+            if demand > _EPS:
+                # The flow transmitted at its bottleneck rate, so the
+                # achieved rate is a direct capacity sample (the EMA
+                # estimation of Section V).
+                est = self._cap_estimates[n]
+                self._cap_estimates[n] = est + self._ema_alpha * (achieved - est)
+            else:
+                # Idle slot: no sample; probe upward slowly so the
+                # estimate can recover after a bad stretch.
+                self._cap_estimates[n] = min(
+                    self._cap_estimates[n] * self.cap_probe_gain,
+                    self.max_cap_mbps,
+                )
+            if user_plan.level > 0 and demand > _EPS:
+                self._delay_predictors[n].observe(
+                    user_plan.nominal_rate_mbps, float(delays_slots[n])
+                )
+
+        self.scheduler.record_outcomes(plan.levels, indicators, delays_slots)
+        self._slot += 1

@@ -1,0 +1,132 @@
+"""Per-slot telemetry for the system emulation.
+
+The paper's evaluation reports end-of-run averages; debugging a
+scheduler needs the *time series* — which slots missed, what the
+estimates believed, how demand tracked capacity.  A
+:class:`Telemetry` collector can be passed to
+:meth:`repro.system.experiment.SystemExperiment.run_repeat` to capture
+one record per (slot, user) with the planner's view and the realized
+outcome, exportable as rows or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Column order of the exported rows.
+FIELDS = (
+    "slot",
+    "user",
+    "level",
+    "demand_mbps",
+    "achieved_mbps",
+    "believed_cap_mbps",
+    "displayed",
+    "covered",
+    "delay_slots",
+)
+
+
+@dataclass(frozen=True)
+class SlotUserRecord:
+    """One user's planner view and outcome in one slot."""
+
+    slot: int
+    user: int
+    level: int
+    demand_mbps: float
+    achieved_mbps: float
+    believed_cap_mbps: float
+    displayed: bool
+    covered: bool
+    delay_slots: float
+
+    def as_row(self) -> List[object]:
+        return [getattr(self, field) for field in FIELDS]
+
+
+class Telemetry:
+    """Append-only per-slot record store with summary helpers."""
+
+    def __init__(self) -> None:
+        self._records: List[SlotUserRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[SlotUserRecord]:
+        return tuple(self._records)
+
+    def add(self, record: SlotUserRecord) -> None:
+        self._records.append(record)
+
+    def for_user(self, user: int) -> List[SlotUserRecord]:
+        return [r for r in self._records if r.user == user]
+
+    def for_slot(self, slot: int) -> List[SlotUserRecord]:
+        return [r for r in self._records if r.slot == slot]
+
+    def miss_slots(self, user: int) -> List[int]:
+        """Slots where the user had content allocated but no display."""
+        return [
+            r.slot
+            for r in self._records
+            if r.user == user and r.level > 0 and not r.displayed
+        ]
+
+    def level_timeline(self, user: int) -> List[int]:
+        """The user's allocated level per slot, in slot order."""
+        return [r.level for r in sorted(self.for_user(user), key=lambda r: r.slot)]
+
+    def utilisation(self, user: int) -> float:
+        """Mean demand / achieved over the user's transmitting slots."""
+        samples = [
+            r.demand_mbps / r.achieved_mbps
+            for r in self.for_user(user)
+            if r.demand_mbps > 0 and r.achieved_mbps > 0
+        ]
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate counters across all records."""
+        if not self._records:
+            raise ConfigurationError("no telemetry recorded yet")
+        total = len(self._records)
+        transmitted = [r for r in self._records if r.level > 0]
+        displayed = sum(1 for r in transmitted if r.displayed)
+        return {
+            "records": float(total),
+            "transmit_fraction": len(transmitted) / total,
+            "display_fraction": (
+                displayed / len(transmitted) if transmitted else 0.0
+            ),
+            "mean_demand_mbps": (
+                sum(r.demand_mbps for r in transmitted) / len(transmitted)
+                if transmitted
+                else 0.0
+            ),
+            "mean_achieved_mbps": (
+                sum(r.achieved_mbps for r in transmitted) / len(transmitted)
+                if transmitted
+                else 0.0
+            ),
+        }
+
+    def save_csv(self, path: PathLike) -> None:
+        """Write all records as CSV with a header row."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(FIELDS)
+            for record in self._records:
+                writer.writerow(record.as_row())
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,164 @@
+"""Parsers for the paper's actual public datasets.
+
+The synthetic generators in :mod:`repro.traces.network` stand in for
+two public datasets; when you have the real files, these parsers turn
+them into :class:`~repro.traces.network.NetworkTrace` objects the
+rest of the pipeline consumes unchanged.
+
+* **FCC Measuring Broadband America, ``curr_webget`` tables** — the
+  "Web browsing" category the paper samples.  CSV with (at least)
+  ``unit_id``, ``dtime``, and ``bytes_sec`` columns; one row per
+  fetch measurement.  :func:`load_fcc_webget_csv` groups rows by
+  unit, orders by time, and emits one piecewise-constant trace per
+  unit where each measurement's throughput holds until the next
+  measurement.
+* **Ghent 4G/LTE logs** (van der Hooft et al.) — per-interval
+  bandwidth logs.  :func:`load_bandwidth_log` reads the common
+  two-column text form ``<timestamp_ms> <bytes_in_interval>`` and
+  converts to Mbps segments.
+
+Both parsers are tolerant of column order and extra columns, validate
+what they consume, and raise :class:`~repro.errors.TraceError` with
+row context on malformed input.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from datetime import datetime
+from typing import Dict, List, Optional, Union
+
+from repro.errors import TraceError
+from repro.traces.network import NetworkTrace, TraceSegment
+
+PathLike = Union[str, pathlib.Path]
+
+#: Column names used by the FCC MBA webget tables.
+_FCC_UNIT = "unit_id"
+_FCC_TIME = "dtime"
+_FCC_RATE = "bytes_sec"
+
+#: Accepted timestamp layouts in FCC exports.
+_FCC_TIME_FORMATS = ("%Y-%m-%d %H:%M:%S", "%m/%d/%Y %H:%M", "%Y-%m-%dT%H:%M:%S")
+
+
+def _parse_fcc_time(token: str, path: PathLike, row_number: int) -> datetime:
+    for fmt in _FCC_TIME_FORMATS:
+        try:
+            return datetime.strptime(token.strip(), fmt)
+        except ValueError:
+            continue
+    raise TraceError(f"{path}: row {row_number}: unparseable dtime {token!r}")
+
+
+def load_fcc_webget_csv(
+    path: PathLike,
+    unit_id: Optional[str] = None,
+    max_hold_s: float = 30.0,
+) -> Dict[str, NetworkTrace]:
+    """Parse an FCC ``curr_webget``-style CSV into per-unit traces.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row containing at least ``unit_id``,
+        ``dtime``, ``bytes_sec``.
+    unit_id:
+        When given, only this unit's rows are parsed.
+    max_hold_s:
+        Cap on a single segment's duration: gaps between measurements
+        longer than this (the tables sample sparsely) are truncated so
+        one stale sample cannot dominate a trace.
+
+    Returns a mapping from unit id to its trace (units with fewer than
+    two measurements are dropped — no duration can be derived).
+    """
+    rows_by_unit: Dict[str, List] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise TraceError(f"{path}: empty file")
+        missing = {c for c in (_FCC_UNIT, _FCC_TIME, _FCC_RATE)} - set(
+            name.strip() for name in reader.fieldnames
+        )
+        if missing:
+            raise TraceError(
+                f"{path}: missing required columns {sorted(missing)}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            unit = (row.get(_FCC_UNIT) or "").strip()
+            if not unit or (unit_id is not None and unit != unit_id):
+                continue
+            when = _parse_fcc_time(row[_FCC_TIME], path, row_number)
+            try:
+                bytes_sec = float(row[_FCC_RATE])
+            except (TypeError, ValueError):
+                raise TraceError(
+                    f"{path}: row {row_number}: bad bytes_sec {row.get(_FCC_RATE)!r}"
+                ) from None
+            if bytes_sec < 0:
+                raise TraceError(
+                    f"{path}: row {row_number}: negative bytes_sec"
+                )
+            rows_by_unit.setdefault(unit, []).append((when, bytes_sec))
+
+    traces: Dict[str, NetworkTrace] = {}
+    for unit, samples in rows_by_unit.items():
+        samples.sort(key=lambda pair: pair[0])
+        segments: List[TraceSegment] = []
+        for (t0, rate), (t1, _) in zip(samples, samples[1:]):
+            hold = min((t1 - t0).total_seconds(), max_hold_s)
+            if hold <= 0:
+                continue
+            segments.append(TraceSegment(hold, rate * 8.0 / 1e6))
+        if segments:
+            traces[unit] = NetworkTrace(segments, name=f"fcc-webget-{unit}")
+    if unit_id is not None and unit_id not in traces:
+        raise TraceError(f"{path}: no usable rows for unit {unit_id!r}")
+    return traces
+
+
+def load_bandwidth_log(
+    path: PathLike,
+    name: str = "",
+) -> NetworkTrace:
+    """Parse a ``<timestamp_ms> <bytes_in_interval>`` bandwidth log.
+
+    The format used by the Ghent 4G/LTE dataset's logs: each line
+    gives a wall-clock timestamp in milliseconds and the bytes
+    received since the previous line.  Throughput of an interval is
+    ``bytes * 8 / interval``.
+    """
+    samples: List = []
+    with open(path) as handle:
+        for row_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise TraceError(
+                    f"{path}: line {row_number}: expected 'timestamp_ms bytes'"
+                )
+            try:
+                timestamp_ms = float(parts[0])
+                payload_bytes = float(parts[1])
+            except ValueError:
+                raise TraceError(
+                    f"{path}: line {row_number}: non-numeric fields {parts[:2]}"
+                ) from None
+            if payload_bytes < 0:
+                raise TraceError(f"{path}: line {row_number}: negative bytes")
+            samples.append((timestamp_ms, payload_bytes))
+
+    if len(samples) < 2:
+        raise TraceError(f"{path}: need at least two log lines")
+    segments: List[TraceSegment] = []
+    for (t0, _), (t1, received) in zip(samples, samples[1:]):
+        interval_s = (t1 - t0) / 1e3
+        if interval_s <= 0:
+            raise TraceError(f"{path}: non-increasing timestamps at {t1}")
+        mbps = received * 8.0 / 1e6 / interval_s
+        segments.append(TraceSegment(interval_s, mbps))
+    return NetworkTrace(segments, name=name or str(path))

@@ -1,0 +1,125 @@
+"""Trace file I/O.
+
+The generators in :mod:`repro.traces.network` substitute for the FCC
+and Ghent datasets, but users holding the real data (or any other
+bandwidth logs) can replay it through the same pipeline: this module
+reads and writes the piecewise-constant trace format as CSV
+(``duration_s,mbps`` rows) or JSON, and pose traces as CSV
+(``x,y,z,yaw,pitch,roll`` rows, one per slot).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import List, Sequence, Union
+
+from repro.errors import TraceError
+from repro.prediction.pose import Pose
+from repro.traces.network import NetworkTrace, TraceSegment
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_network_trace_csv(trace: NetworkTrace, path: PathLike) -> None:
+    """Write a trace as ``duration_s,mbps`` CSV rows with a header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["duration_s", "mbps"])
+        for segment in trace.segments:
+            writer.writerow([segment.duration_s, segment.mbps])
+
+
+def load_network_trace_csv(path: PathLike, name: str = "") -> NetworkTrace:
+    """Read a ``duration_s,mbps`` CSV (header optional)."""
+    segments: List[TraceSegment] = []
+    with open(path, newline="") as handle:
+        for row_number, row in enumerate(csv.reader(handle), start=1):
+            if not row or not row[0].strip():
+                continue
+            if row_number == 1 and not _is_number(row[0]):
+                continue  # header
+            if len(row) < 2:
+                raise TraceError(
+                    f"{path}: row {row_number} needs duration_s and mbps"
+                )
+            try:
+                duration = float(row[0])
+                mbps = float(row[1])
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}: row {row_number} is not numeric: {row}"
+                ) from exc
+            segments.append(TraceSegment(duration, mbps))
+    if not segments:
+        raise TraceError(f"{path}: no trace segments found")
+    return NetworkTrace(segments, name=name or str(path))
+
+
+def save_network_trace_json(trace: NetworkTrace, path: PathLike) -> None:
+    """Write a trace as JSON ``{"name", "segments": [[dur, mbps], ...]}``."""
+    payload = {
+        "name": trace.name,
+        "segments": [[s.duration_s, s.mbps] for s in trace.segments],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_network_trace_json(path: PathLike) -> NetworkTrace:
+    """Read a trace written by :func:`save_network_trace_json`."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: invalid JSON: {exc}") from exc
+    try:
+        segments = [
+            TraceSegment(float(d), float(m)) for d, m in payload["segments"]
+        ]
+        name = payload.get("name", str(path))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path}: malformed trace payload") from exc
+    if not segments:
+        raise TraceError(f"{path}: no trace segments found")
+    return NetworkTrace(segments, name=name)
+
+
+def save_pose_trace_csv(poses: Sequence[Pose], path: PathLike) -> None:
+    """Write one pose per slot as ``x,y,z,yaw,pitch,roll`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "z", "yaw", "pitch", "roll"])
+        for pose in poses:
+            writer.writerow(pose.as_vector())
+
+
+def load_pose_trace_csv(path: PathLike) -> List[Pose]:
+    """Read a pose-per-slot CSV (header optional)."""
+    poses: List[Pose] = []
+    with open(path, newline="") as handle:
+        for row_number, row in enumerate(csv.reader(handle), start=1):
+            if not row or not row[0].strip():
+                continue
+            if row_number == 1 and not _is_number(row[0]):
+                continue
+            if len(row) < 6:
+                raise TraceError(f"{path}: row {row_number} needs 6 DoF values")
+            try:
+                poses.append(Pose.from_vector([float(v) for v in row[:6]]))
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}: row {row_number} is not numeric: {row}"
+                ) from exc
+    if not poses:
+        raise TraceError(f"{path}: no poses found")
+    return poses
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii import ascii_bars, ascii_cdf
+from repro.analysis.cdf import EmpiricalCdf
+from repro.errors import ConfigurationError
+
+
+class TestAsciiBars:
+    def test_renders_all_labels(self):
+        chart = ascii_bars({"ours": 2.0, "firefly": 1.0})
+        assert "ours" in chart
+        assert "firefly" in chart
+
+    def test_longest_bar_is_largest_value(self):
+        chart = ascii_bars({"a": 4.0, "b": 1.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_negative_values_marked(self):
+        chart = ascii_bars({"bad": -1.0, "good": 1.0})
+        assert "-" in chart.splitlines()[0]
+
+    def test_zero_scale(self):
+        chart = ascii_bars({"a": 0.0})
+        assert "0.000" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars({})
+        with pytest.raises(ConfigurationError):
+            ascii_bars({"a": 1.0}, width=2)
+
+
+class TestAsciiCdf:
+    def test_renders_grid_and_legend(self):
+        cdfs = {
+            "ours": EmpiricalCdf([2.0, 3.0, 4.0]),
+            "firefly": EmpiricalCdf([1.0, 2.0, 3.0]),
+        }
+        chart = ascii_cdf(cdfs)
+        assert "o=ours" in chart
+        assert "x=firefly" in chart
+        assert "1.00 |" in chart
+
+    def test_single_series(self):
+        chart = ascii_cdf({"only": EmpiricalCdf([1.0, 5.0])})
+        assert "o=only" in chart
+
+    def test_degenerate_support(self):
+        chart = ascii_cdf({"const": EmpiricalCdf([3.0, 3.0])})
+        assert "const" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf({})
+        with pytest.raises(ConfigurationError):
+            ascii_cdf({"a": EmpiricalCdf([1.0])}, width=2)
+        too_many = {
+            f"s{i}": EmpiricalCdf([float(i)]) for i in range(9)
+        }
+        with pytest.raises(ConfigurationError):
+            ascii_cdf(too_many)

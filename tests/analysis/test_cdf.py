@@ -1,0 +1,82 @@
+"""Tests for the empirical CDF utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.errors import ConfigurationError
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.num_samples == 4
+        assert cdf.min == 1.0
+        assert cdf.max == 4.0
+        assert cdf.mean() == pytest.approx(2.5)
+
+    def test_evaluate(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(0.5) == 2.0
+        assert cdf.quantile(1.0) == 4.0
+        assert cdf.median() == 2.0
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([1.0, float("nan")])
+
+    def test_rejects_bad_quantile(self):
+        cdf = EmpiricalCdf([1.0])
+        with pytest.raises(ConfigurationError):
+            cdf.quantile(1.5)
+
+    def test_curve(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0])
+        xs, ys = cdf.curve(points=10)
+        assert len(xs) == 10
+        assert ys[0] > 0.0  # right-continuous at the minimum
+        assert ys[-1] == 1.0
+        assert (np.diff(ys) >= 0).all()
+
+    def test_curve_rejects_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([1.0]).curve(points=1)
+
+    def test_stochastic_dominance(self):
+        better = EmpiricalCdf([3.0, 4.0, 5.0])
+        worse = EmpiricalCdf([1.0, 2.0, 3.0])
+        assert better.stochastically_dominates(worse)
+        assert not worse.stochastically_dominates(better)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, samples):
+        cdf = EmpiricalCdf(samples)
+        assert cdf.evaluate(cdf.max) == 1.0
+        assert cdf.evaluate(cdf.min - 1.0) == 0.0
+        # Monotone non-decreasing over arbitrary probe points.
+        probes = np.linspace(cdf.min - 1, cdf.max + 1, 13)
+        values = [cdf.evaluate(x) for x in probes]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50),
+        st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_inverts_evaluate(self, samples, p):
+        cdf = EmpiricalCdf(samples)
+        q = cdf.quantile(p)
+        assert cdf.evaluate(q) >= p - 1e-12

@@ -1,0 +1,69 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    comparison_table,
+    format_table,
+    improvement_percent,
+)
+from repro.errors import ConfigurationError
+
+
+class TestImprovementPercent:
+    def test_positive_baseline(self):
+        assert improvement_percent(1.819, 1.0) == pytest.approx(81.9)
+
+    def test_regression(self):
+        assert improvement_percent(0.5, 1.0) == pytest.approx(-50.0)
+
+    def test_negative_baseline(self):
+        """Fig. 8: improvement over a negative-QoE baseline keeps sign."""
+        assert improvement_percent(1.0, -0.5) == pytest.approx(300.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            improvement_percent(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestComparisonTable:
+    def metrics(self):
+        return {
+            "ours": {"qoe": 2.0, "delay": 0.5},
+            "firefly": {"qoe": 1.0, "delay": 1.0},
+        }
+
+    def test_basic(self):
+        table = comparison_table(self.metrics(), ["qoe", "delay"])
+        assert "ours" in table
+        assert "firefly" in table
+
+    def test_reference_column(self):
+        table = comparison_table(self.metrics(), ["qoe", "delay"], reference="firefly")
+        assert "+100.0" in table
+        assert "vs firefly" in table
+
+    def test_unknown_reference(self):
+        with pytest.raises(ConfigurationError):
+            comparison_table(self.metrics(), ["qoe"], reference="nope")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparison_table({}, ["qoe"])

@@ -1,0 +1,47 @@
+"""Tests for remaining report/CDF helpers."""
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.report import cdf_summary_rows
+
+
+class TestCdfSummaryRows:
+    def test_rows_per_algorithm(self):
+        cdfs = {
+            "ours": EmpiricalCdf([1.0, 2.0, 3.0, 4.0]),
+            "firefly": EmpiricalCdf([0.0, 1.0, 2.0, 3.0]),
+        }
+        rows = cdf_summary_rows(cdfs, quantiles=(0.25, 0.5, 0.75))
+        assert set(rows) == {"ours", "firefly"}
+        assert rows["ours"] == [
+            pytest.approx(1.0),
+            pytest.approx(2.0),
+            pytest.approx(3.0),
+        ]
+
+    def test_default_quantiles(self):
+        rows = cdf_summary_rows({"x": EmpiricalCdf([5.0])})
+        assert len(rows["x"]) == 5
+        assert all(v == 5.0 for v in rows["x"])
+
+
+class TestStochasticDominance:
+    def test_identical_distributions_dominate_each_other(self):
+        a = EmpiricalCdf([1.0, 2.0])
+        b = EmpiricalCdf([1.0, 2.0])
+        assert a.stochastically_dominates(b)
+        assert b.stochastically_dominates(a)
+
+    def test_crossing_distributions_no_dominance(self):
+        # a has lower spread around the same median; CDFs cross.
+        a = EmpiricalCdf([1.9, 2.0, 2.1])
+        b = EmpiricalCdf([1.0, 2.0, 3.0])
+        assert not a.stochastically_dominates(b)
+        assert not b.stochastically_dominates(a)
+
+    def test_shifted_distribution_dominates(self):
+        low = EmpiricalCdf([1.0, 2.0, 3.0])
+        high = EmpiricalCdf([2.0, 3.0, 4.0])
+        assert high.stochastically_dominates(low)
+        assert not low.stochastically_dominates(high)

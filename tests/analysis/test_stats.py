@@ -1,0 +1,90 @@
+"""Tests for the statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    jain_fairness,
+    mean_difference_significant,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapCi:
+    def test_contains_mean(self):
+        mean, lo, hi = bootstrap_ci([1.0, 2.0, 3.0, 4.0], num_resamples=500)
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(2.5)
+
+    def test_tightens_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        _, lo_s, hi_s = bootstrap_ci(small, num_resamples=500)
+        _, lo_l, hi_l = bootstrap_ci(large, num_resamples=500)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_ci([1.0, 5.0, 9.0], seed=3, num_resamples=200)
+        b = bootstrap_ci([1.0, 5.0, 9.0], seed=3, num_resamples=200)
+        assert a == b
+
+    def test_degenerate_sample(self):
+        mean, lo, hi = bootstrap_ci([2.0], num_resamples=100)
+        assert mean == lo == hi == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], num_resamples=5)
+
+
+class TestMeanDifferenceSignificant:
+    def test_clear_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(5, 0.5, size=100)
+        b = rng.normal(1, 0.5, size=100)
+        assert mean_difference_significant(a, b)
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, size=100)
+        b = rng.normal(0, 1, size=100)
+        assert not mean_difference_significant(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_difference_significant([], [1.0])
+
+
+class TestJainFairness:
+    def test_perfect_equality(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        n = 4
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(1.0 / n)
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            values = rng.uniform(0, 10, size=int(rng.integers(2, 10)))
+            index = jain_fairness(values)
+            assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    def test_negative_values_shifted(self):
+        # The shift maps the min to zero; ordering still sensible.
+        skewed = jain_fairness([-1.0, 5.0])
+        balanced = jain_fairness([2.0, 2.0])
+        assert skewed < balanced
+
+    def test_all_zero(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness([])

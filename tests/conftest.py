@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.content.rate import RateModel
+from repro.core.qoe import QoEWeights
+from repro.knapsack import ItemCurve, SeparableKnapsack
+from repro.knapsack.random_instances import (
+    random_concave_convex_item,
+    random_instance,
+)
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed random generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rate_model():
+    """Default CRF-derived rate model with a fixed seed."""
+    return RateModel(seed=0)
+
+
+@pytest.fixture
+def weights():
+    """The Section IV simulation QoE weights."""
+    return QoEWeights.simulation_defaults()
+
+
+def make_concave_convex_item(
+    rng: np.random.Generator,
+    num_options: int = 6,
+    cap: float = math.inf,
+) -> ItemCurve:
+    """Random Theorem-1-class item (see repro.knapsack.random_instances)."""
+    return random_concave_convex_item(rng, num_options, cap)
+
+
+def make_random_instance(
+    rng: np.random.Generator,
+    num_items: int = 4,
+    num_options: int = 5,
+    tightness: float = 0.5,
+    with_caps: bool = False,
+) -> SeparableKnapsack:
+    """Random Theorem-1-class instance (see repro.knapsack.random_instances)."""
+    return random_instance(rng, num_items, num_options, tightness, with_caps)

@@ -1,0 +1,58 @@
+"""Tests for the CRF <-> quality level mapping."""
+
+import pytest
+
+from repro.content.crf import (
+    crf_to_level,
+    level_to_crf,
+    quality_levels,
+    size_ratio_per_level,
+)
+from repro.errors import ConfigurationError
+
+
+class TestQualityLevels:
+    def test_default_levels(self):
+        assert quality_levels() == (1, 2, 3, 4, 5, 6)
+
+    def test_custom_count(self):
+        assert quality_levels(3) == (1, 2, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            quality_levels(0)
+
+
+class TestCrfMapping:
+    def test_paper_mapping(self):
+        # Section VI: CRF {15,19,23,27,31,35} -> levels {6,5,4,3,2,1}.
+        assert level_to_crf(6) == 15
+        assert level_to_crf(1) == 35
+        assert level_to_crf(4) == 23
+
+    def test_roundtrip(self):
+        for level in range(1, 7):
+            assert crf_to_level(level_to_crf(level)) == level
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(ConfigurationError):
+            level_to_crf(0)
+        with pytest.raises(ConfigurationError):
+            level_to_crf(7)
+
+    def test_rejects_unknown_crf(self):
+        with pytest.raises(ConfigurationError):
+            crf_to_level(18)
+
+
+class TestSizeRatio:
+    def test_paper_step_ratio(self):
+        # 4-point CRF step with 6-point doubling -> 2^(2/3).
+        assert size_ratio_per_level(4.0) == pytest.approx(2 ** (4 / 6))
+
+    def test_larger_step_larger_ratio(self):
+        assert size_ratio_per_level(6.0) > size_ratio_per_level(4.0)
+
+    def test_rejects_non_positive_step(self):
+        with pytest.raises(ConfigurationError):
+            size_ratio_per_level(0.0)

@@ -1,0 +1,81 @@
+"""Tests for the GoP frame-size burstiness model."""
+
+import numpy as np
+import pytest
+
+from repro.content.gop import GopModel
+from repro.errors import ConfigurationError
+
+
+class TestGopModel:
+    def test_disabled_by_default(self):
+        model = GopModel()
+        assert not model.enabled
+        assert model.multiplier(0) == 1.0
+        assert model.multiplier(123, stream_id=4) == 1.0
+        assert not model.is_i_frame(0)
+
+    def test_i_frames_periodic(self):
+        model = GopModel(gop_length=30, stagger=False)
+        i_slots = [s for s in range(90) if model.is_i_frame(s)]
+        assert i_slots == [0, 30, 60]
+
+    def test_i_frame_larger_than_p(self):
+        model = GopModel(gop_length=30, i_to_p_ratio=5.0, stagger=False)
+        i_size = model.multiplier(0)
+        p_size = model.multiplier(1)
+        assert i_size == pytest.approx(5.0 * p_size)
+        assert p_size < 1.0 < i_size
+
+    def test_gop_averages_to_one(self):
+        for g, ratio in [(10, 3.0), (30, 5.0), (60, 8.0)]:
+            model = GopModel(gop_length=g, i_to_p_ratio=ratio, stagger=False)
+            multipliers = [model.multiplier(s) for s in range(g)]
+            assert np.mean(multipliers) == pytest.approx(1.0)
+            assert model.mean_multiplier() == pytest.approx(1.0)
+
+    def test_stagger_desynchronises_streams(self):
+        model = GopModel(gop_length=30, stagger=True)
+        i_slots_a = {s for s in range(30) if model.is_i_frame(s, stream_id=0)}
+        i_slots_b = {s for s in range(30) if model.is_i_frame(s, stream_id=1)}
+        assert i_slots_a != i_slots_b
+
+    def test_no_stagger_synchronises(self):
+        model = GopModel(gop_length=30, stagger=False)
+        for stream in range(5):
+            assert model.is_i_frame(0, stream_id=stream)
+
+    def test_ratio_one_is_constant(self):
+        model = GopModel(gop_length=10, i_to_p_ratio=1.0, stagger=False)
+        for s in range(10):
+            assert model.multiplier(s) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GopModel(gop_length=-1)
+        with pytest.raises(ConfigurationError):
+            GopModel(gop_length=10, i_to_p_ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            GopModel(gop_length=10).multiplier(-1)
+
+
+class TestSystemIntegration:
+    def test_experiment_with_gop_burstiness(self):
+        from dataclasses import replace
+
+        from repro.core import DensityValueGreedyAllocator
+        from repro.system import SystemExperiment, setup1_config
+        from repro.system.experiment import scaled_config
+
+        smooth = scaled_config(setup1_config(seed=8), duration_slots=240)
+        bursty = replace(smooth, gop_length=30, gop_i_to_p_ratio=5.0)
+        smooth_result = SystemExperiment(smooth).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        bursty_result = SystemExperiment(bursty).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        # Burstiness makes I-frame slots overshoot: FPS must not rise.
+        assert bursty_result.mean_fps() <= smooth_result.mean_fps() + 0.5
+        for user in bursty_result.users:
+            assert 0.0 <= user.quality <= 6.0

@@ -1,0 +1,177 @@
+"""Tests for tile partitioning, the grid world, and video ids."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.projection import FieldOfView
+from repro.content.tiles import GridWorld, TileGrid, TileKey, VideoId
+from repro.errors import ConfigurationError
+
+
+class TestTileGrid:
+    def test_paper_default_four_tiles(self):
+        assert TileGrid().num_tiles == 4
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            TileGrid(cols=0)
+
+    def test_tile_of_quadrants(self):
+        grid = TileGrid()
+        # Top-left: west yaw, high pitch.
+        assert grid.tile_of(-90.0, 45.0) == 0
+        assert grid.tile_of(90.0, 45.0) == 1
+        assert grid.tile_of(-90.0, -45.0) == 2
+        assert grid.tile_of(90.0, -45.0) == 3
+
+    def test_tile_of_boundaries(self):
+        grid = TileGrid()
+        assert grid.tile_of(-180.0, 89.999) == 0
+        # Wrapped yaw 180 == -180.
+        assert grid.tile_of(180.0, 89.999) == 0
+
+    def test_narrow_fov_single_column(self):
+        grid = TileGrid()
+        fov = FieldOfView(horizontal_deg=40.0, vertical_deg=40.0)
+        tiles = grid.tiles_overlapping(-90.0, 45.0, fov)
+        assert tiles == frozenset({0})
+
+    def test_fov_straddling_columns(self):
+        grid = TileGrid()
+        fov = FieldOfView(horizontal_deg=90.0, vertical_deg=40.0)
+        tiles = grid.tiles_overlapping(0.0, 45.0, fov)
+        assert tiles == frozenset({0, 1})
+
+    def test_fov_straddling_rows(self):
+        grid = TileGrid()
+        fov = FieldOfView(horizontal_deg=40.0, vertical_deg=90.0)
+        tiles = grid.tiles_overlapping(-90.0, 0.0, fov)
+        assert tiles == frozenset({0, 2})
+
+    def test_fov_wraparound_yaw(self):
+        grid = TileGrid()
+        fov = FieldOfView(horizontal_deg=90.0, vertical_deg=40.0)
+        # Facing the antimeridian: straddles the texture seam, which
+        # for a 2-column grid is still columns 0 and 1.
+        tiles = grid.tiles_overlapping(180.0, 45.0, fov)
+        assert tiles == frozenset({0, 1})
+
+    def test_full_panorama_fov(self):
+        grid = TileGrid()
+        fov = FieldOfView(horizontal_deg=360.0, vertical_deg=180.0)
+        assert grid.tiles_overlapping(0.0, 0.0, fov) == frozenset({0, 1, 2, 3})
+
+    def test_delivery_fov_typically_four_tiles(self):
+        """The 90+2x15 degree delivery FoV usually spans all 4 tiles."""
+        grid = TileGrid()
+        fov = FieldOfView().with_margin(15.0)
+        counts = []
+        for yaw in range(-180, 180, 20):
+            counts.append(len(grid.tiles_overlapping(float(yaw), 0.0, fov)))
+        assert all(c in (2, 4) for c in counts)
+        assert sum(counts) / len(counts) > 3.0
+
+
+class TestGridWorld:
+    def test_dimensions(self):
+        world = GridWorld(0.0, 1.0, 0.0, 2.0, cell_size=0.05)
+        assert world.cols == 20
+        assert world.rows == 40
+        assert world.num_cells == 800
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GridWorld(1.0, 1.0, 0.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.0)
+
+    def test_cell_of_corners(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.5)
+        assert world.cell_of(0.1, 0.1) == 0
+        assert world.cell_of(0.9, 0.1) == 1
+        assert world.cell_of(0.1, 0.9) == 2
+        assert world.cell_of(0.9, 0.9) == 3
+
+    def test_clamp_out_of_bounds(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.5)
+        assert world.cell_of(-5.0, -5.0) == 0
+        assert world.cell_of(5.0, 5.0) == 3
+
+    def test_cell_center_roundtrip(self):
+        world = GridWorld(0.0, 2.0, 0.0, 2.0, cell_size=0.05)
+        for cell in (0, 17, world.num_cells - 1):
+            x, y = world.cell_center(cell)
+            assert world.cell_of(x, y) == cell
+
+    def test_cell_center_rejects_out_of_range(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.5)
+        with pytest.raises(ConfigurationError):
+            world.cell_center(4)
+
+    def test_cells_within_radius(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.1)
+        center = world.cell_of(0.55, 0.55)
+        window = world.cells_within(center, radius_cells=1)
+        assert len(window) == 9
+        assert center in window
+
+    def test_cells_within_clipped_at_edges(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.1)
+        corner = world.cell_of(0.01, 0.01)
+        window = world.cells_within(corner, radius_cells=1)
+        assert len(window) == 4
+
+    def test_cells_within_rejects_negative_radius(self):
+        world = GridWorld(0.0, 1.0, 0.0, 1.0, cell_size=0.1)
+        with pytest.raises(ConfigurationError):
+            world.cells_within(0, -1)
+
+    def test_paper_granularity(self):
+        """5 cm cells (Section VI) on an 8 m room."""
+        world = GridWorld(0.0, 8.0, 0.0, 8.0, cell_size=0.05)
+        assert world.cols == 160
+        assert world.num_cells == 25_600
+
+
+class TestVideoId:
+    def test_roundtrip_simple(self):
+        key = TileKey(cell_id=123, tile_index=2, level=5)
+        assert VideoId.decode(VideoId.encode(key)) == key
+
+    @given(
+        st.integers(0, 10**6),
+        st.integers(0, 15),
+        st.integers(1, 15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, cell, tile, level):
+        key = TileKey(cell, tile, level)
+        assert VideoId.decode(VideoId.encode(key)) == key
+
+    def test_encode_injective_on_samples(self):
+        seen = set()
+        for cell in range(10):
+            for tile in range(4):
+                for level in range(1, 7):
+                    vid = VideoId.encode(TileKey(cell, tile, level))
+                    assert vid not in seen
+                    seen.add(vid)
+
+    def test_rejects_invalid_key_fields(self):
+        with pytest.raises(ConfigurationError):
+            TileKey(-1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            TileKey(0, 16, 1)
+        with pytest.raises(ConfigurationError):
+            TileKey(0, 0, 0)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            VideoId.decode(-1)
+
+    def test_encode_many(self):
+        keys = [TileKey(1, t, 3) for t in range(4)]
+        ids = VideoId.encode_many(keys)
+        assert len(ids) == 4
+        assert [VideoId.decode(i) for i in ids] == keys

@@ -1,0 +1,81 @@
+"""Tests for the Section VIII loss-aware extension."""
+
+import pytest
+
+from repro.core.extensions import (
+    LossAwareAllocator,
+    delivery_success_probability,
+)
+from repro.errors import ConfigurationError
+from tests.core.test_allocation import make_problem
+
+
+class TestDeliverySuccessProbability:
+    def test_low_utilisation_near_certain(self):
+        assert delivery_success_probability(10.0, 100.0) > 0.99
+
+    def test_full_utilisation_coin_toss(self):
+        assert delivery_success_probability(100.0, 100.0) == pytest.approx(
+            0.5, abs=0.25
+        )
+
+    def test_overshoot_mostly_fails(self):
+        assert delivery_success_probability(150.0, 100.0) < 0.05
+
+    def test_monotone_decreasing_in_rate(self):
+        probs = [
+            delivery_success_probability(r, 100.0) for r in range(10, 160, 10)
+        ]
+        assert all(b <= a for a, b in zip(probs, probs[1:]))
+
+    def test_zero_capacity(self):
+        assert delivery_success_probability(10.0, 0.0) == 0.0
+        assert delivery_success_probability(0.0, 0.0) == 1.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            delivery_success_probability(-1.0, 100.0)
+
+
+class TestLossAwareAllocator:
+    def test_feasible(self):
+        problem = make_problem(num_users=3, budget=100.0)
+        levels = LossAwareAllocator().allocate(problem)
+        assert problem.is_feasible(levels)
+
+    def test_more_conservative_near_cap(self):
+        """Levels close to the cap are discounted versus plain Alg. 1."""
+        from repro.core.allocation import DensityValueGreedyAllocator
+
+        # Cap 45 makes level 4 (size 42) a 93%-utilisation gamble.
+        problem = make_problem(num_users=1, budget=1000.0, cap=45.0,
+                               bandwidth=60.0, qbar=3.0, t=50)
+        plain = DensityValueGreedyAllocator().allocate(problem)[0]
+        aware = LossAwareAllocator().allocate(problem)[0]
+        assert aware <= plain
+
+    def test_matches_plain_when_headroom_large(self):
+        from repro.core.allocation import DensityValueGreedyAllocator
+
+        problem = make_problem(num_users=2, budget=80.0, cap=200.0,
+                               bandwidth=300.0)
+        plain = DensityValueGreedyAllocator().allocate(problem)
+        aware = LossAwareAllocator().allocate(problem)
+        assert aware == plain
+
+    def test_skip_supported(self):
+        problem = make_problem(num_users=2, budget=5.0, allow_skip=True)
+        levels = LossAwareAllocator().allocate(problem)
+        assert problem.is_feasible(levels)
+
+    def test_name(self):
+        assert LossAwareAllocator().name == "loss-aware-greedy"
+
+
+class TestLossAwareWithRouters:
+    def test_respects_router_budgets(self):
+        from tests.core.test_router_aware import make_problem
+
+        problem = make_problem(router_budgets=(25.0, 1000.0))
+        levels = LossAwareAllocator().allocate(problem)
+        assert problem.is_feasible(levels)

@@ -1,0 +1,117 @@
+"""Tests for the single-user exact horizon oracle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.horizon import horizon_optimal_qoe
+from repro.core.qoe import QoEWeights
+from repro.errors import ConfigurationError
+from repro.simulation.delaymodel import MM1DelayModel
+
+SIZES = (6.0, 14.0, 22.0)
+WEIGHTS = QoEWeights(alpha=0.3, beta=0.8)
+MODEL = MM1DelayModel()
+
+
+def constant_bandwidth(_t):
+    return 40.0
+
+
+def alternating_bandwidth(t):
+    return 50.0 if t % 2 else 25.0
+
+
+def exhaustive(sizes, bandwidth_of_slot, horizon, weights):
+    best = -np.inf
+    best_seq = None
+    levels = range(1, len(sizes) + 1)
+    for seq in itertools.product(levels, repeat=horizon):
+        if any(
+            sizes[l - 1] > bandwidth_of_slot(t + 1) + 1e-9
+            for t, l in enumerate(seq)
+        ):
+            continue
+        viewed = np.array(seq, dtype=float)
+        qoe = (
+            viewed.sum()
+            - weights.alpha
+            * sum(
+                MODEL.delay(sizes[l - 1], bandwidth_of_slot(t + 1))
+                for t, l in enumerate(seq)
+            )
+            - weights.beta * horizon * viewed.var()
+        )
+        if qoe > best:
+            best, best_seq = qoe, seq
+    return best, best_seq
+
+
+class TestHorizonOptimalQoe:
+    @pytest.mark.parametrize("horizon", [1, 3, 5, 7])
+    def test_matches_exhaustive_constant_bandwidth(self, horizon):
+        value, sequence = horizon_optimal_qoe(
+            SIZES, constant_bandwidth, horizon, WEIGHTS, MODEL.delay
+        )
+        expected, _ = exhaustive(SIZES, constant_bandwidth, horizon, WEIGHTS)
+        assert value == pytest.approx(expected)
+        assert len(sequence) == horizon
+
+    @pytest.mark.parametrize("horizon", [2, 4, 6])
+    def test_matches_exhaustive_alternating_bandwidth(self, horizon):
+        value, _ = horizon_optimal_qoe(
+            SIZES, alternating_bandwidth, horizon, WEIGHTS, MODEL.delay
+        )
+        expected, _ = exhaustive(SIZES, alternating_bandwidth, horizon, WEIGHTS)
+        assert value == pytest.approx(expected)
+
+    def test_sequence_achieves_reported_value(self):
+        horizon = 6
+        value, sequence = horizon_optimal_qoe(
+            SIZES, alternating_bandwidth, horizon, WEIGHTS, MODEL.delay
+        )
+        viewed = np.array(sequence, dtype=float)
+        recomputed = (
+            viewed.sum()
+            - WEIGHTS.alpha
+            * sum(
+                MODEL.delay(SIZES[l - 1], alternating_bandwidth(t + 1))
+                for t, l in enumerate(sequence)
+            )
+            - WEIGHTS.beta * horizon * viewed.var()
+        )
+        assert recomputed == pytest.approx(value)
+
+    def test_sequence_respects_bandwidth(self):
+        _, sequence = horizon_optimal_qoe(
+            SIZES, alternating_bandwidth, 8, WEIGHTS, MODEL.delay
+        )
+        for t, level in enumerate(sequence, start=1):
+            assert SIZES[level - 1] <= alternating_bandwidth(t) + 1e-9
+
+    def test_high_beta_prefers_constant_sequence(self):
+        heavy = QoEWeights(alpha=0.01, beta=10.0)
+        _, sequence = horizon_optimal_qoe(
+            SIZES, constant_bandwidth, 8, heavy, MODEL.delay
+        )
+        assert len(set(sequence)) == 1
+
+    def test_zero_beta_maximises_per_slot(self):
+        none = QoEWeights(alpha=0.01, beta=0.0)
+        _, sequence = horizon_optimal_qoe(
+            SIZES, constant_bandwidth, 5, none, MODEL.delay
+        )
+        assert all(level == 3 for level in sequence)
+
+    def test_infeasible_slot_raises(self):
+        with pytest.raises(ConfigurationError):
+            horizon_optimal_qoe(
+                SIZES, lambda t: 1.0, 3, WEIGHTS, MODEL.delay
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            horizon_optimal_qoe(SIZES, constant_bandwidth, 0, WEIGHTS, MODEL.delay)
+        with pytest.raises(ConfigurationError):
+            horizon_optimal_qoe(tuple(), constant_bandwidth, 3, WEIGHTS, MODEL.delay)

@@ -1,0 +1,39 @@
+"""Tests for the per-slot offline optimal allocator."""
+
+import pytest
+
+from repro.core.allocation import DensityValueGreedyAllocator
+from repro.core.offline import OfflineOptimalAllocator
+from repro.errors import ConfigurationError
+from tests.core.test_allocation import make_problem
+
+
+class TestOfflineOptimalAllocator:
+    def test_dominates_greedy(self):
+        for budget in (40.0, 90.0, 150.0, 400.0):
+            problem = make_problem(num_users=4, budget=budget)
+            optimal = OfflineOptimalAllocator().allocate(problem)
+            greedy = DensityValueGreedyAllocator().allocate(problem)
+            assert problem.objective_value(optimal) >= (
+                problem.objective_value(greedy) - 1e-9
+            )
+
+    def test_feasible(self):
+        problem = make_problem(num_users=4, budget=75.0)
+        levels = OfflineOptimalAllocator().allocate(problem)
+        assert problem.is_feasible(levels)
+
+    def test_refuses_large_instances(self):
+        problem = make_problem(num_users=3)
+        allocator = OfflineOptimalAllocator(max_users=2)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(problem)
+
+    def test_name(self):
+        assert OfflineOptimalAllocator().name == "offline-optimal"
+
+    def test_skip_supported(self):
+        problem = make_problem(num_users=2, budget=5.0, allow_skip=True)
+        levels = OfflineOptimalAllocator().allocate(problem)
+        assert problem.is_feasible(levels)
+        assert 0 in levels  # budget below one base size forces a skip

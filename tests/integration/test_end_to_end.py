@@ -1,0 +1,107 @@
+"""Cross-module integration tests.
+
+These tie the layers together: the simulator's ledgers must agree with
+the analytic QoE formula, the per-slot decisions must respect the
+theorem guarantee inside a live simulation, and the public API surface
+must stay importable.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import (
+    DensityValueGreedyAllocator,
+    OfflineOptimalAllocator,
+    QoEWeights,
+)
+from repro.core.qoe import UserQoELedger
+from repro.simulation import SimulationConfig, TraceSimulator
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestLedgerConsistency:
+    def test_simulator_qoe_matches_manual_recomputation(self):
+        """Replay the ledger by hand and re-derive QoE_n(T)."""
+        config = SimulationConfig(num_users=2, duration_slots=120, seed=4)
+        simulator = TraceSimulator(config)
+
+        # Run once, capturing the scheduler's ledgers via the episode
+        # result; then rebuild the QoE from the raw ledger series.
+        allocator = DensityValueGreedyAllocator()
+        schedule_result = simulator.run_episode(allocator)
+        weights = config.weights
+
+        for user in schedule_result.users:
+            # qoe_per_slot = quality - alpha*delay - beta*variance
+            reconstructed = (
+                user.quality
+                - weights.alpha * user.delay
+                - weights.beta * user.variance
+            )
+            assert user.qoe == pytest.approx(reconstructed, rel=1e-9, abs=1e-9)
+
+    def test_ledger_identity_on_synthetic_series(self):
+        weights = QoEWeights(0.07, 0.3)
+        ledger = UserQoELedger()
+        rng = np.random.default_rng(2)
+        viewed = []
+        delays = []
+        for _ in range(500):
+            level = int(rng.integers(0, 7))
+            indicator = int(rng.uniform() < 0.9) if level > 0 else 0
+            delay = float(rng.uniform(0.0, 2.0)) if level > 0 else 0.0
+            ledger.record(level, indicator, delay)
+            viewed.append(level * indicator)
+            delays.append(delay)
+        expected = (
+            sum(viewed)
+            - weights.alpha * sum(delays)
+            - weights.beta * len(viewed) * float(np.var(viewed))
+        )
+        assert ledger.qoe(weights) == pytest.approx(expected)
+
+
+class TestTheoremInsideSimulation:
+    def test_per_slot_guarantee_holds_in_live_run(self):
+        """Sample live slot problems; greedy >= 1/2 optimal on each."""
+        config = SimulationConfig(num_users=4, duration_slots=60, seed=9)
+        simulator = TraceSimulator(config)
+
+        captured = []
+
+        class CapturingAllocator(DensityValueGreedyAllocator):
+            def allocate(self, problem):
+                levels = super().allocate(problem)
+                captured.append((problem, list(levels)))
+                return levels
+
+        simulator.run_episode(CapturingAllocator())
+        oracle = OfflineOptimalAllocator()
+        assert captured
+        for problem, levels in captured[::7]:
+            optimal_levels = oracle.allocate(problem)
+            v_greedy = problem.objective_value(levels)
+            v_opt = problem.objective_value(optimal_levels)
+            base = problem.objective_value([1] * problem.num_users)
+            assert v_greedy - base >= 0.5 * (v_opt - base) - 1e-7
+
+
+class TestCrossAllocatorFairness:
+    def test_all_allocators_see_identical_world(self):
+        """Same seed => same traces => paired comparisons are fair."""
+        config = SimulationConfig(num_users=2, duration_slots=80, seed=3)
+        sim_a = TraceSimulator(config)
+        sim_b = TraceSimulator(config)
+        schedule_a = sim_a.dataset.episode(2, 80, 0)
+        schedule_b = sim_b.dataset.episode(2, 80, 0)
+        assert np.allclose(schedule_a.bandwidth_mbps, schedule_b.bandwidth_mbps)
+        assert schedule_a.poses[0][40] == schedule_b.poses[0][40]

@@ -1,0 +1,68 @@
+"""Tests for the fractional relaxation upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.knapsack import (
+    ItemCurve,
+    SeparableKnapsack,
+    fractional_upper_bound,
+    solve_exact,
+)
+from tests.conftest import make_random_instance
+
+
+class TestFractionalUpperBound:
+    def test_bounds_exact_optimum(self):
+        rng = np.random.default_rng(31)
+        for _ in range(25):
+            problem = make_random_instance(
+                rng, num_items=4, num_options=4, tightness=float(rng.uniform(0.1, 0.9))
+            )
+            bound = fractional_upper_bound(problem)
+            exact = solve_exact(problem)
+            assert bound >= exact.value - 1e-9
+
+    def test_bound_tight_when_budget_loose(self):
+        rng = np.random.default_rng(33)
+        problem = make_random_instance(rng, num_items=3, tightness=1.0)
+        bound = fractional_upper_bound(problem)
+        exact = solve_exact(problem)
+        assert bound == pytest.approx(exact.value)
+
+    def test_bound_equals_base_value_when_budget_is_base(self):
+        items = [
+            ItemCurve.from_sequences([1.0, 3.0], [1.0, 2.0]),
+            ItemCurve.from_sequences([2.0, 3.0], [1.0, 3.0]),
+        ]
+        problem = SeparableKnapsack(items, budget=2.0)
+        assert fractional_upper_bound(problem) == pytest.approx(3.0)
+
+    def test_fractional_last_increment(self):
+        # One item, one upgrade of weight 2 worth 4; budget allows
+        # exactly half the upgrade -> bound = base + 2.
+        item = ItemCurve.from_sequences([0.0, 4.0], [1.0, 3.0])
+        problem = SeparableKnapsack([item], budget=2.0)
+        assert fractional_upper_bound(problem) == pytest.approx(2.0)
+
+    def test_respects_caps(self):
+        item = ItemCurve.from_sequences([0.0, 4.0, 6.0], [1.0, 2.0, 3.0], cap=2.0)
+        problem = SeparableKnapsack([item], budget=100.0)
+        # Option 2 is cap-blocked: bound must not count its value.
+        assert fractional_upper_bound(problem) == pytest.approx(4.0)
+
+    def test_negative_deltas_excluded(self):
+        item = ItemCurve.from_sequences([3.0, 1.0], [1.0, 2.0])
+        problem = SeparableKnapsack([item], budget=100.0)
+        assert fractional_upper_bound(problem) == pytest.approx(3.0)
+
+    def test_fallback_bound_for_non_monotone_density(self):
+        # Convex value curve violates the density ordering; the bound
+        # must fall back to base + sum of positive deltas and still
+        # dominate the optimum.
+        item = ItemCurve.from_sequences([0.0, 0.5, 3.0], [1.0, 2.0, 3.0])
+        problem = SeparableKnapsack([item], budget=2.5)
+        bound = fractional_upper_bound(problem)
+        exact = solve_exact(problem)
+        assert bound >= exact.value
+        assert bound == pytest.approx(3.0)

@@ -1,0 +1,134 @@
+"""Tests for the exact solvers (branch-and-bound and DP)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleAllocationError
+from repro.knapsack import (
+    ItemCurve,
+    SeparableKnapsack,
+    solve_dynamic_programming,
+    solve_exact,
+)
+from tests.conftest import make_random_instance
+
+
+def brute_force(problem: SeparableKnapsack):
+    """Reference optimum by full enumeration."""
+    menus = []
+    for n in range(problem.num_items):
+        options = list(range(problem.items[n].max_option_under_cap() + 1))
+        if problem.allow_skip:
+            options = [-1] + options
+        menus.append(options)
+    best = None
+    for combo in itertools.product(*menus):
+        if not problem.is_feasible(combo):
+            continue
+        value = sum(problem.option_value(n, k) for n, k in enumerate(combo))
+        if best is None or value > best:
+            best = value
+    return best
+
+
+class TestSolveExact:
+    def test_matches_brute_force_on_random_instances(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            problem = make_random_instance(
+                rng, num_items=3, num_options=4, tightness=float(rng.uniform(0.1, 0.9))
+            )
+            exact = solve_exact(problem)
+            assert exact.value == pytest.approx(brute_force(problem))
+            assert problem.is_feasible(exact.options)
+
+    def test_matches_brute_force_with_caps(self):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            problem = make_random_instance(
+                rng, num_items=3, num_options=4, with_caps=True, tightness=0.5
+            )
+            if not problem.base_is_feasible():
+                continue
+            exact = solve_exact(problem)
+            assert exact.value == pytest.approx(brute_force(problem))
+
+    def test_matches_brute_force_with_skip(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            base = make_random_instance(rng, num_items=3, num_options=4, tightness=0.3)
+            problem = SeparableKnapsack(
+                base.items, base.budget * 0.5, allow_skip=True
+            )
+            exact = solve_exact(problem)
+            assert exact.value == pytest.approx(brute_force(problem))
+
+    def test_raises_when_infeasible(self):
+        item = ItemCurve.from_sequences([1.0], [5.0])
+        problem = SeparableKnapsack([item], budget=1.0)
+        with pytest.raises(InfeasibleAllocationError):
+            solve_exact(problem)
+
+    def test_cap_below_base_raises_without_skip(self):
+        item = ItemCurve.from_sequences([1.0], [5.0], cap=1.0)
+        problem = SeparableKnapsack([item], budget=100.0)
+        with pytest.raises(InfeasibleAllocationError):
+            solve_exact(problem)
+
+    def test_negative_values_allowed(self):
+        # h_n can be negative (large variance penalties); the solver
+        # must still pick the least-bad feasible assignment.
+        item = ItemCurve.from_sequences([-5.0, -1.0, -4.0], [1.0, 2.0, 3.0])
+        problem = SeparableKnapsack([item], budget=10.0)
+        assert solve_exact(problem).options == (1,)
+
+    def test_prefers_skip_when_everything_negative(self):
+        item = ItemCurve.from_sequences([-5.0, -1.0], [1.0, 2.0])
+        problem = SeparableKnapsack([item], budget=10.0, allow_skip=True)
+        assert solve_exact(problem).options == (-1,)
+
+
+class TestDynamicProgramming:
+    def test_matches_exact_at_high_resolution(self):
+        rng = np.random.default_rng(21)
+        for _ in range(10):
+            problem = make_random_instance(
+                rng, num_items=3, num_options=4, tightness=0.5
+            )
+            dp = solve_dynamic_programming(problem, resolution=4000)
+            exact = solve_exact(problem)
+            assert dp.value <= exact.value + 1e-9
+            assert dp.value >= exact.value - 0.15 * abs(exact.value) - 1e-9
+            assert problem.is_feasible(dp.options)
+
+    def test_dp_solution_always_feasible(self):
+        rng = np.random.default_rng(23)
+        for resolution in (50, 200, 1000):
+            problem = make_random_instance(rng, num_items=4, tightness=0.4)
+            dp = solve_dynamic_programming(problem, resolution=resolution)
+            assert problem.is_feasible(dp.options)
+
+    def test_dp_zero_budget_delegates(self):
+        item = ItemCurve.from_sequences([1.0], [1.0])
+        problem = SeparableKnapsack([item], budget=0.0, allow_skip=True)
+        assert solve_dynamic_programming(problem).options == (-1,)
+
+    def test_dp_infeasible_raises(self):
+        item = ItemCurve.from_sequences([1.0], [5.0])
+        problem = SeparableKnapsack([item], budget=1.0)
+        with pytest.raises(InfeasibleAllocationError):
+            solve_dynamic_programming(problem, resolution=100)
+
+    def test_dp_exact_agree_on_integral_weights(self):
+        # With integer weights and resolution == budget, rounding is
+        # lossless and the DP must equal the exact optimum.
+        items = [
+            ItemCurve.from_sequences([0.0, 3.0, 4.0], [1.0, 2.0, 3.0]),
+            ItemCurve.from_sequences([0.0, 2.0, 5.0], [1.0, 3.0, 5.0]),
+        ]
+        problem = SeparableKnapsack(items, budget=6.0)
+        dp = solve_dynamic_programming(problem, resolution=6)
+        assert dp.value == pytest.approx(solve_exact(problem).value)

@@ -1,0 +1,163 @@
+"""Tests for the greedy solvers, including the paper's two worked examples."""
+
+import math
+
+import pytest
+
+from repro.knapsack import (
+    ItemCurve,
+    SeparableKnapsack,
+    combined_greedy,
+    density_greedy,
+    solve_exact,
+    value_greedy,
+)
+
+
+def linear_item(values, weights, cap=math.inf):
+    return ItemCurve.from_sequences(values, weights, cap=cap)
+
+
+class TestPaperCounterexamples:
+    """Section III gives one failure case for each greedy order.
+
+    The paper's examples are stated with 0/1 items; here they are
+    embedded as upgrade menus with a zero-value zero-ish-weight base,
+    preserving the structure: density-greedy wastes budget on a cheap
+    item; value-greedy burns the budget on one big item.
+    """
+
+    def density_trap(self):
+        # User 1: upgrade worth 1 at weight 0.5 (density 2).
+        # User 2: upgrade worth 4 at weight 2.4 (density 1.67).
+        # Budget leaves room for only one of them after bases.
+        user1 = linear_item([0.0, 1.0], [0.05, 0.55])
+        user2 = linear_item([0.0, 4.0], [0.05, 2.45])
+        return SeparableKnapsack([user1, user2], budget=2.5)
+
+    def value_trap(self):
+        # Four users with upgrades worth 2 at weight 0.5 each, one
+        # user with an upgrade worth 3 at weight 1.9; budget 2.0.
+        items = [linear_item([0.0, 2.0], [0.025, 0.525]) for _ in range(4)]
+        items.append(linear_item([0.0, 3.0], [0.025, 1.925]))
+        return SeparableKnapsack(items, budget=2.125)
+
+    def test_density_greedy_fails_on_density_trap(self):
+        problem = self.density_trap()
+        dens = density_greedy(problem)
+        opt = solve_exact(problem)
+        assert dens.value < opt.value
+
+    def test_value_greedy_rescues_density_trap(self):
+        problem = self.density_trap()
+        val = value_greedy(problem)
+        opt = solve_exact(problem)
+        assert val.value == pytest.approx(opt.value)
+
+    def test_value_greedy_fails_on_value_trap(self):
+        problem = self.value_trap()
+        val = value_greedy(problem)
+        opt = solve_exact(problem)
+        assert val.value < opt.value
+
+    def test_density_greedy_rescues_value_trap(self):
+        problem = self.value_trap()
+        dens = density_greedy(problem)
+        opt = solve_exact(problem)
+        assert dens.value == pytest.approx(opt.value)
+
+    def test_combined_greedy_solves_both_traps(self):
+        for problem in (self.density_trap(), self.value_trap()):
+            combined = combined_greedy(problem)
+            opt = solve_exact(problem)
+            assert combined.value == pytest.approx(opt.value)
+
+
+class TestGreedyMechanics:
+    def test_all_upgrades_granted_with_loose_budget(self):
+        items = [
+            linear_item([0.0, 1.0, 1.8], [1.0, 2.0, 3.0]),
+            linear_item([0.0, 2.0, 3.0], [1.0, 2.5, 4.5]),
+        ]
+        problem = SeparableKnapsack(items, budget=100.0)
+        for solver in (density_greedy, value_greedy, combined_greedy):
+            assert solver(problem).options == (2, 2)
+
+    def test_stops_at_negative_marginal(self):
+        # Second upgrade loses value; concave curve peaks at option 1.
+        item = linear_item([0.0, 2.0, 1.0], [1.0, 2.0, 3.5])
+        problem = SeparableKnapsack([item], budget=100.0)
+        for solver in (density_greedy, value_greedy, combined_greedy):
+            assert solver(problem).options == (1,)
+
+    def test_respects_per_item_cap(self):
+        item = linear_item([0.0, 1.0, 1.5], [1.0, 2.0, 3.0], cap=2.0)
+        problem = SeparableKnapsack([item], budget=100.0)
+        solution = combined_greedy(problem)
+        assert solution.options == (1,)
+
+    def test_respects_budget(self):
+        items = [linear_item([0.0, 1.0], [1.0, 5.0]) for _ in range(3)]
+        problem = SeparableKnapsack(items, budget=7.0)
+        solution = combined_greedy(problem)
+        assert solution.weight <= 7.0 + 1e-9
+        # Only one full upgrade fits (3 bases + one 4-unit increment).
+        assert sum(solution.options) == 1
+
+    def test_budget_violation_retires_user_but_others_continue(self):
+        # Item 0's upgrade is too heavy; item 1's still fits after.
+        heavy = linear_item([0.0, 10.0], [1.0, 50.0])
+        light = linear_item([0.0, 1.0], [1.0, 2.0])
+        problem = SeparableKnapsack([heavy, light], budget=4.0)
+        solution = density_greedy(problem)
+        assert solution.options == (0, 1)
+
+    def test_base_only_when_budget_exactly_base(self):
+        items = [linear_item([1.0, 2.0], [1.0, 2.0]) for _ in range(2)]
+        problem = SeparableKnapsack(items, budget=2.0)
+        solution = combined_greedy(problem)
+        assert solution.options == (0, 0)
+
+    def test_combined_returns_max_of_both(self):
+        import numpy as np
+
+        from tests.conftest import make_random_instance
+
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            problem = make_random_instance(rng, num_items=4, tightness=0.4)
+            d = density_greedy(problem)
+            v = value_greedy(problem)
+            c = combined_greedy(problem)
+            assert c.value == pytest.approx(max(d.value, v.value))
+
+    def test_greedy_output_always_feasible(self):
+        import numpy as np
+
+        from tests.conftest import make_random_instance
+
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            problem = make_random_instance(rng, with_caps=True, tightness=0.3)
+            if not problem.base_is_feasible():
+                continue
+            for solver in (density_greedy, value_greedy, combined_greedy):
+                solution = solver(problem)
+                assert problem.is_feasible(solution.options)
+
+    def test_skipped_base_items_stay_skipped(self):
+        blocked = linear_item([0.0, 5.0], [3.0, 4.0], cap=1.0)
+        open_item = linear_item([0.0, 1.0], [1.0, 2.0])
+        problem = SeparableKnapsack(
+            [blocked, open_item], budget=10.0, allow_skip=True
+        )
+        solution = combined_greedy(problem)
+        assert solution.options[0] == -1
+        assert solution.options[1] == 1
+
+    def test_single_option_items(self):
+        items = [linear_item([2.0], [1.0]), linear_item([3.0], [1.5])]
+        problem = SeparableKnapsack(items, budget=5.0)
+        solution = combined_greedy(problem)
+        assert solution.options == (0, 0)
+        assert solution.value == pytest.approx(5.0)

@@ -1,0 +1,149 @@
+"""Tests for the grouped-budget (per-router) knapsack extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.knapsack import (
+    ItemCurve,
+    SeparableKnapsack,
+    combined_greedy,
+    density_greedy,
+    solve_dynamic_programming,
+    solve_exact,
+)
+
+
+def item(values=(0.0, 2.0, 3.0), weights=(1.0, 2.0, 3.5)):
+    return ItemCurve.from_sequences(values, weights)
+
+
+def grouped(budget=100.0, group_budgets=(4.0, 4.0), n=4, **kwargs):
+    items = [item() for _ in range(n)]
+    return SeparableKnapsack(
+        items,
+        budget,
+        group_of=[i % len(group_budgets) for i in range(n)],
+        group_budgets=list(group_budgets),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_groups_need_budgets(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack([item()], 10.0, group_of=[0])
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack([item()], 10.0, group_budgets=[5.0])
+
+    def test_group_index_range(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack(
+                [item()], 10.0, group_of=[2], group_budgets=[5.0]
+            )
+
+    def test_group_of_length(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack(
+                [item(), item()], 10.0, group_of=[0], group_budgets=[5.0]
+            )
+
+    def test_negative_group_budget(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack(
+                [item()], 10.0, group_of=[0], group_budgets=[-1.0]
+            )
+
+
+class TestFeasibility:
+    def test_group_weights(self):
+        problem = grouped()
+        totals = problem.group_weights([0, 0, 1, 1])
+        assert totals == [1.0 + 2.0, 1.0 + 2.0]
+
+    def test_is_feasible_checks_groups(self):
+        problem = grouped(group_budgets=(3.0, 100.0))
+        assert problem.is_feasible([0, 0, 0, 0])       # group 0: 2.0
+        assert not problem.is_feasible([2, 0, 2, 0])   # group 0: 7.0 > 3
+
+    def test_base_solution_respects_groups(self):
+        # Group 0 budget below two bases: must shed one (with skip).
+        problem = grouped(group_budgets=(1.5, 100.0), allow_skip=True)
+        base = problem.base_solution()
+        assert problem.is_feasible(base.options)
+        assert base.options.count(-1) == 1
+        # The shed item belongs to group 0.
+        shed = base.options.index(-1)
+        assert shed % 2 == 0
+
+    def test_base_infeasible_without_skip(self):
+        problem = grouped(group_budgets=(1.5, 100.0))
+        with pytest.raises(InfeasibleAllocationError):
+            problem.base_solution()
+
+
+class TestSolvers:
+    def test_greedy_respects_group_budgets(self):
+        problem = grouped(group_budgets=(4.0, 100.0))
+        solution = combined_greedy(problem)
+        assert problem.is_feasible(solution.options)
+        totals = problem.group_weights(solution.options)
+        assert totals[0] <= 4.0 + 1e-9
+
+    def test_greedy_upgrades_unconstrained_group(self):
+        problem = grouped(budget=1000.0, group_budgets=(2.0, 1000.0))
+        solution = density_greedy(problem)
+        # Group 1 items can max out; group 0 items stay at base.
+        assert solution.options[1] == 2
+        assert solution.options[3] == 2
+        assert solution.options[0] == 0
+        assert solution.options[2] == 0
+
+    def test_exact_respects_group_budgets(self):
+        problem = grouped(group_budgets=(4.5, 5.5))
+        solution = solve_exact(problem)
+        assert problem.is_feasible(solution.options)
+
+    def test_exact_matches_enumeration(self):
+        import itertools
+
+        problem = grouped(budget=9.0, group_budgets=(4.5, 5.5))
+        best = max(
+            (
+                problem.evaluate(combo).value
+                for combo in itertools.product(range(3), repeat=4)
+                if problem.is_feasible(combo)
+            ),
+        )
+        assert solve_exact(problem).value == pytest.approx(best)
+
+    def test_exact_dominates_greedy_with_groups(self):
+        rng = np.random.default_rng(17)
+        from repro.knapsack.random_instances import random_instance
+
+        for _ in range(10):
+            base = random_instance(rng, num_items=4, num_options=4,
+                                   tightness=0.6)
+            per_group = sum(i.weights[-1] for i in base.items) / 3.0
+            problem = SeparableKnapsack(
+                base.items,
+                base.budget,
+                group_of=[i % 2 for i in range(4)],
+                group_budgets=[per_group, per_group],
+            )
+            if not problem.is_feasible([0] * 4):
+                continue
+            greedy = combined_greedy(problem)
+            exact = solve_exact(problem)
+            assert problem.is_feasible(greedy.options)
+            assert exact.value >= greedy.value - 1e-9
+
+    def test_dp_rejects_groups(self):
+        with pytest.raises(ConfigurationError):
+            solve_dynamic_programming(grouped())
+
+    def test_ungrouped_behaviour_unchanged(self):
+        plain = SeparableKnapsack([item(), item()], 5.0)
+        assert plain.num_groups == 0
+        assert plain.group_weights([0, 0]) == []
+        assert combined_greedy(plain).options == (1, 1)

@@ -1,0 +1,165 @@
+"""Unit tests for the separable knapsack problem representation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.knapsack import ItemCurve, SeparableKnapsack
+
+
+def simple_item(cap=math.inf):
+    return ItemCurve.from_sequences([1.0, 2.5, 3.0], [1.0, 2.0, 4.0], cap=cap)
+
+
+class TestItemCurve:
+    def test_basic_construction(self):
+        item = simple_item()
+        assert item.num_options == 3
+        assert item.max_option == 2
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            ItemCurve.from_sequences([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ItemCurve(tuple(), tuple())
+
+    def test_rejects_non_increasing_weights(self):
+        with pytest.raises(ConfigurationError):
+            ItemCurve.from_sequences([1.0, 2.0], [2.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            ItemCurve.from_sequences([1.0, 2.0], [2.0, 1.0])
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ConfigurationError):
+            ItemCurve.from_sequences([1.0], [1.0], cap=-1.0)
+
+    def test_max_option_under_cap(self):
+        item = simple_item(cap=2.5)
+        assert item.max_option_under_cap() == 1
+        assert simple_item(cap=0.5).max_option_under_cap() == -1
+        assert simple_item().max_option_under_cap() == 2
+
+    def test_deltas_and_density(self):
+        item = simple_item()
+        assert item.value_delta(0) == pytest.approx(1.5)
+        assert item.weight_delta(0) == pytest.approx(1.0)
+        assert item.density(0) == pytest.approx(1.5)
+        assert item.density(1) == pytest.approx(0.5 / 2.0)
+
+    def test_concavity_checks(self):
+        assert simple_item().is_concave()
+        convex_values = ItemCurve.from_sequences([0.0, 1.0, 3.0], [1.0, 2.0, 3.0])
+        assert not convex_values.is_concave()
+
+    def test_convex_weight_check(self):
+        assert simple_item().is_convex_weights()
+        concave_weights = ItemCurve.from_sequences([0.0, 1.0, 1.5], [1.0, 5.0, 6.0])
+        assert not concave_weights.is_convex_weights()
+
+    def test_decreasing_density(self):
+        assert simple_item().has_decreasing_density()
+
+
+class TestSeparableKnapsack:
+    def test_requires_items(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack([], budget=1.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack([simple_item()], budget=-1.0)
+
+    def test_base_weight_and_feasibility(self):
+        problem = SeparableKnapsack([simple_item(), simple_item()], budget=2.0)
+        assert problem.base_weight() == pytest.approx(2.0)
+        assert problem.base_is_feasible()
+
+    def test_base_infeasible_when_budget_small(self):
+        problem = SeparableKnapsack([simple_item(), simple_item()], budget=1.5)
+        assert not problem.base_is_feasible()
+
+    def test_base_infeasible_when_cap_below_base(self):
+        problem = SeparableKnapsack([simple_item(cap=0.5)], budget=10.0)
+        assert not problem.base_is_feasible()
+
+    def test_evaluate(self):
+        problem = SeparableKnapsack([simple_item(), simple_item()], budget=10.0)
+        solution = problem.evaluate([0, 2])
+        assert solution.value == pytest.approx(1.0 + 3.0)
+        assert solution.weight == pytest.approx(1.0 + 4.0)
+        assert tuple(solution) == (0, 2)
+
+    def test_evaluate_rejects_wrong_length(self):
+        problem = SeparableKnapsack([simple_item()], budget=10.0)
+        with pytest.raises(ConfigurationError):
+            problem.evaluate([0, 0])
+
+    def test_is_feasible(self):
+        problem = SeparableKnapsack(
+            [simple_item(cap=2.0), simple_item()], budget=5.0
+        )
+        assert problem.is_feasible([0, 0])
+        assert problem.is_feasible([1, 1])
+        assert not problem.is_feasible([2, 0])  # cap violated
+        assert not problem.is_feasible([1, 2])  # budget violated
+        assert not problem.is_feasible([-1, 0])  # skip without allow_skip
+
+    def test_skip_requires_allow_skip(self):
+        problem = SeparableKnapsack([simple_item()], budget=10.0)
+        with pytest.raises(ConfigurationError):
+            problem.option_value(0, -1)
+
+    def test_skip_values_default_to_zero(self):
+        problem = SeparableKnapsack([simple_item()], budget=10.0, allow_skip=True)
+        assert problem.option_value(0, -1) == 0.0
+        assert problem.option_weight(0, -1) == 0.0
+
+    def test_skip_values_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            SeparableKnapsack(
+                [simple_item()], budget=10.0, allow_skip=True, skip_values=[0.0, 1.0]
+            )
+
+    def test_base_solution_feasible(self):
+        problem = SeparableKnapsack([simple_item(), simple_item()], budget=3.0)
+        base = problem.base_solution()
+        assert base.options == (0, 0)
+        assert base.weight == pytest.approx(2.0)
+
+    def test_base_solution_raises_when_infeasible_without_skip(self):
+        problem = SeparableKnapsack([simple_item(), simple_item()], budget=1.0)
+        with pytest.raises(InfeasibleAllocationError):
+            problem.base_solution()
+
+    def test_base_solution_sheds_to_skip(self):
+        problem = SeparableKnapsack(
+            [simple_item(), simple_item()], budget=1.0, allow_skip=True
+        )
+        base = problem.base_solution()
+        assert sorted(base.options) == [-1, 0]
+        assert base.weight <= 1.0 + 1e-9
+
+    def test_base_solution_cap_forces_skip(self):
+        problem = SeparableKnapsack(
+            [simple_item(cap=0.5), simple_item()], budget=10.0, allow_skip=True
+        )
+        base = problem.base_solution()
+        assert base.options == (-1, 0)
+
+    def test_base_solution_sheds_lowest_value_density_first(self):
+        cheap = ItemCurve.from_sequences([0.1], [1.0])
+        precious = ItemCurve.from_sequences([5.0], [1.0])
+        problem = SeparableKnapsack([cheap, precious], budget=1.0, allow_skip=True)
+        base = problem.base_solution()
+        assert base.options == (-1, 0)
+
+    def test_base_solution_total_skip_when_budget_zero(self):
+        problem = SeparableKnapsack(
+            [simple_item(), simple_item()], budget=0.0, allow_skip=True
+        )
+        base = problem.base_solution()
+        assert base.options == (-1, -1)
+        assert base.weight == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the running mean and prediction accuracy tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.prediction.accuracy import PredictionAccuracyTracker, RunningMean
+
+
+class TestRunningMean:
+    def test_empty(self):
+        mean = RunningMean()
+        assert mean.mean == 0.0
+        assert mean.count == 0
+
+    def test_single(self):
+        mean = RunningMean()
+        assert mean.update(5.0) == 5.0
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_mean(self, values):
+        mean = RunningMean()
+        for v in values:
+            mean.update(v)
+        assert mean.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+
+    def test_reset(self):
+        mean = RunningMean()
+        mean.update(3.0)
+        mean.reset()
+        assert mean.count == 0
+        assert mean.mean == 0.0
+
+
+class TestPredictionAccuracyTracker:
+    def test_prior_before_data(self):
+        tracker = PredictionAccuracyTracker(prior_success=0.9, prior_count=5.0)
+        assert tracker.estimate() == pytest.approx(0.9)
+
+    def test_record_updates_counts(self):
+        tracker = PredictionAccuracyTracker()
+        tracker.record(1)
+        tracker.record(0)
+        assert tracker.trials == 2
+        assert tracker.successes == 1
+
+    def test_rejects_non_binary(self):
+        tracker = PredictionAccuracyTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.record(2)
+
+    def test_converges_to_empirical_rate(self):
+        """delta_bar_n(t) -> delta_n (Section III)."""
+        tracker = PredictionAccuracyTracker(prior_success=0.5, prior_count=5.0)
+        rng = np.random.default_rng(0)
+        true_delta = 0.85
+        for _ in range(5000):
+            tracker.record(int(rng.uniform() < true_delta))
+        assert tracker.estimate() == pytest.approx(true_delta, abs=0.02)
+        assert tracker.empirical() == pytest.approx(true_delta, abs=0.02)
+
+    def test_prior_dampens_early_extremes(self):
+        tracker = PredictionAccuracyTracker(prior_success=0.9, prior_count=5.0)
+        tracker.record(0)
+        # One failure should not drive the estimate near zero.
+        assert tracker.estimate() > 0.7
+
+    def test_empirical_zero_when_empty(self):
+        assert PredictionAccuracyTracker().empirical() == 0.0
+
+    def test_reset(self):
+        tracker = PredictionAccuracyTracker()
+        tracker.record(1)
+        tracker.reset()
+        assert tracker.trials == 0
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ConfigurationError):
+            PredictionAccuracyTracker(prior_success=1.5)
+        with pytest.raises(ConfigurationError):
+            PredictionAccuracyTracker(prior_count=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for the polynomial-regression delay predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.delay import PolynomialDelayPredictor
+
+
+class TestPolynomialDelayPredictor:
+    def test_fallback_before_data(self):
+        predictor = PolynomialDelayPredictor(fallback_delay=0.7)
+        assert predictor.predict(30.0) == 0.7
+
+    def test_mean_with_few_samples(self):
+        predictor = PolynomialDelayPredictor(min_samples=8)
+        predictor.observe(10.0, 0.2)
+        predictor.observe(20.0, 0.4)
+        assert predictor.predict(50.0) == pytest.approx(0.3)
+
+    def test_recovers_quadratic_relationship(self):
+        """Delay = 0.001 r^2 + 0.01 r must be learned accurately."""
+        predictor = PolynomialDelayPredictor(degree=2, window=100, min_samples=8)
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            r = float(rng.uniform(5.0, 60.0))
+            predictor.observe(r, 0.001 * r * r + 0.01 * r)
+        for r in (10.0, 30.0, 55.0):
+            expected = 0.001 * r * r + 0.01 * r
+            assert predictor.predict(r) == pytest.approx(expected, rel=1e-6)
+
+    def test_degenerate_rates_fall_back_to_mean(self):
+        """All samples at one rate: rank-deficient fit must not blow up."""
+        predictor = PolynomialDelayPredictor(degree=2, min_samples=3)
+        for _ in range(10):
+            predictor.observe(25.0, 0.5)
+        assert predictor.predict(25.0) == pytest.approx(0.5)
+        assert predictor.predict(60.0) == pytest.approx(0.5)
+
+    def test_two_distinct_rates_fit_line(self):
+        predictor = PolynomialDelayPredictor(degree=2, min_samples=4)
+        for _ in range(5):
+            predictor.observe(10.0, 0.1)
+            predictor.observe(20.0, 0.3)
+        assert predictor.predict(30.0) == pytest.approx(0.5, abs=1e-6)
+
+    def test_prediction_never_negative(self):
+        predictor = PolynomialDelayPredictor(degree=2, min_samples=4)
+        for r, d in [(10.0, 0.5), (20.0, 0.3), (30.0, 0.1), (40.0, 0.05)]:
+            predictor.observe(r, d)
+            predictor.observe(r + 1, d)
+        assert predictor.predict(80.0) >= 0.0
+
+    def test_sliding_window_forgets(self):
+        predictor = PolynomialDelayPredictor(degree=1, window=4, min_samples=2)
+        for _ in range(4):
+            predictor.observe(10.0, 5.0)
+        for _ in range(4):
+            predictor.observe(10.0, 1.0)
+        assert predictor.predict(10.0) == pytest.approx(1.0)
+
+    def test_reset(self):
+        predictor = PolynomialDelayPredictor(fallback_delay=0.9)
+        predictor.observe(10.0, 1.0)
+        predictor.reset()
+        assert predictor.num_samples == 0
+        assert predictor.predict(10.0) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialDelayPredictor(degree=0)
+        with pytest.raises(ConfigurationError):
+            PolynomialDelayPredictor(degree=3, window=3)
+        with pytest.raises(ConfigurationError):
+            PolynomialDelayPredictor(min_samples=1)
+        with pytest.raises(ConfigurationError):
+            PolynomialDelayPredictor(fallback_delay=-1.0)
+        predictor = PolynomialDelayPredictor()
+        with pytest.raises(ConfigurationError):
+            predictor.observe(-1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            predictor.observe(1.0, -0.5)
+        with pytest.raises(ConfigurationError):
+            predictor.predict(-1.0)

@@ -1,0 +1,100 @@
+"""Tests for the linear-regression 6-DoF predictor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.pose import Pose
+
+
+def linear_walk(n, dx=0.1, dyaw=2.0):
+    """Poses moving at constant velocity (exactly linear)."""
+    return [
+        Pose(i * dx, 0.0, 1.6, yaw=i * dyaw, pitch=0.0) for i in range(n)
+    ]
+
+
+class TestLinearMotionPredictor:
+    def test_no_observation_returns_none(self):
+        assert LinearMotionPredictor().predict() is None
+
+    def test_single_observation_returns_it(self):
+        predictor = LinearMotionPredictor()
+        pose = Pose(1.0, 2.0, 1.6, 30.0, 5.0)
+        predictor.observe(pose)
+        assert predictor.predict() == pose
+
+    def test_exact_on_linear_motion(self):
+        predictor = LinearMotionPredictor(window=5, horizon=1)
+        for pose in linear_walk(5):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.x == pytest.approx(0.5, abs=1e-9)
+        assert predicted.yaw == pytest.approx(10.0, abs=1e-9)
+
+    def test_horizon_extrapolation(self):
+        predictor = LinearMotionPredictor(window=5, horizon=3)
+        for pose in linear_walk(5):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.x == pytest.approx(0.7, abs=1e-9)
+
+    def test_explicit_horizon_overrides_default(self):
+        predictor = LinearMotionPredictor(window=5, horizon=1)
+        for pose in linear_walk(5):
+            predictor.observe(pose)
+        predicted = predictor.predict(horizon=2)
+        assert predicted.x == pytest.approx(0.6, abs=1e-9)
+
+    def test_yaw_wraparound_handled(self):
+        """A trajectory crossing +-180 must not jump 360 degrees."""
+        predictor = LinearMotionPredictor(window=5, horizon=1)
+        for yaw in (170.0, 174.0, 178.0, -178.0, -174.0):
+            predictor.observe(Pose(0, 0, 0, yaw=yaw, pitch=0.0))
+        predicted = predictor.predict()
+        assert predicted.yaw == pytest.approx(-170.0, abs=1e-6)
+
+    def test_pitch_clamped(self):
+        predictor = LinearMotionPredictor(window=3, horizon=5)
+        for pitch in (70.0, 80.0, 89.0):
+            predictor.observe(Pose(0, 0, 0, yaw=0.0, pitch=pitch))
+        assert predictor.predict().pitch <= 90.0
+
+    def test_window_limits_history(self):
+        predictor = LinearMotionPredictor(window=3, horizon=1)
+        # Old non-linear history should be forgotten: feed garbage
+        # then a clean linear tail of window size.
+        predictor.observe(Pose(100.0, 0, 0, 0, 0))
+        for pose in linear_walk(3):
+            predictor.observe(pose)
+        assert predictor.num_observations == 3
+        assert predictor.predict().x == pytest.approx(0.3, abs=1e-9)
+
+    def test_stationary_user(self):
+        predictor = LinearMotionPredictor(window=4, horizon=1)
+        pose = Pose(1.0, 1.0, 1.6, 45.0, -10.0)
+        for _ in range(4):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.translation_distance(pose) < 1e-9
+        assert predicted.orientation_distance(pose) < 1e-9
+
+    def test_reset(self):
+        predictor = LinearMotionPredictor()
+        predictor.observe(Pose(0, 0, 0, 0, 0))
+        predictor.reset()
+        assert predictor.predict() is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearMotionPredictor(window=1)
+        with pytest.raises(ConfigurationError):
+            LinearMotionPredictor(horizon=0)
+        predictor = LinearMotionPredictor()
+        predictor.observe(Pose(0, 0, 0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            predictor.predict(horizon=0)
+
+    def test_predict_or_last_raises_when_empty(self):
+        with pytest.raises(ConfigurationError):
+            LinearMotionPredictor().predict_or_last()

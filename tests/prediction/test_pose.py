@@ -1,0 +1,44 @@
+"""Tests for the 6-DoF pose type."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.pose import Pose
+
+
+class TestPose:
+    def test_construction_wraps_angles(self):
+        pose = Pose(1.0, 2.0, 1.6, yaw=190.0, pitch=10.0, roll=-190.0)
+        assert pose.yaw == pytest.approx(-170.0)
+        assert pose.roll == pytest.approx(170.0)
+
+    def test_rejects_out_of_range_pitch(self):
+        with pytest.raises(ConfigurationError):
+            Pose(0.0, 0.0, 0.0, 0.0, pitch=91.0)
+
+    def test_position_and_orientation(self):
+        pose = Pose(1.0, 2.0, 3.0, 10.0, 20.0, 30.0)
+        assert pose.position() == (1.0, 2.0, 3.0)
+        assert pose.orientation() == (10.0, 20.0, 30.0)
+
+    def test_as_vector_roundtrip(self):
+        pose = Pose(1.0, 2.0, 3.0, 10.0, 20.0, 30.0)
+        assert Pose.from_vector(pose.as_vector()) == pose
+
+    def test_from_vector_clamps_pitch(self):
+        pose = Pose.from_vector([0, 0, 0, 0, 120.0, 0])
+        assert pose.pitch == 90.0
+
+    def test_from_vector_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            Pose.from_vector([1, 2, 3])
+
+    def test_translation_distance(self):
+        a = Pose(0.0, 0.0, 0.0, 0.0, 0.0)
+        b = Pose(3.0, 4.0, 0.0, 0.0, 0.0)
+        assert a.translation_distance(b) == pytest.approx(5.0)
+
+    def test_orientation_distance_wraps(self):
+        a = Pose(0, 0, 0, yaw=175.0, pitch=0.0)
+        b = Pose(0, 0, 0, yaw=-175.0, pitch=5.0)
+        assert a.orientation_distance(b) == pytest.approx(10.0)

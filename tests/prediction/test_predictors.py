@@ -1,0 +1,131 @@
+"""Tests for the alternative motion predictors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.predictors import (
+    PREDICTOR_REGISTRY,
+    ConstantVelocityPredictor,
+    ExponentialSmoothingPredictor,
+    LastPosePredictor,
+    make_predictor,
+)
+from repro.prediction.pose import Pose
+
+
+def linear_walk(n, dx=0.1, dyaw=2.0):
+    return [Pose(i * dx, 0.0, 1.6, yaw=i * dyaw, pitch=0.0) for i in range(n)]
+
+
+ALL_PREDICTORS = [
+    LastPosePredictor,
+    ConstantVelocityPredictor,
+    ExponentialSmoothingPredictor,
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_none_before_observation(self, cls):
+        assert cls().predict() is None
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_single_observation_returns_it(self, cls):
+        predictor = cls()
+        pose = Pose(1.0, 2.0, 1.6, 30.0, 5.0)
+        predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.translation_distance(pose) < 1e-9
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_reset(self, cls):
+        predictor = cls()
+        predictor.observe(Pose(0, 0, 0, 0, 0))
+        predictor.reset()
+        assert predictor.predict() is None
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_rejects_bad_horizon(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(horizon=0)
+
+
+class TestLastPose:
+    def test_holds_last(self):
+        predictor = LastPosePredictor()
+        for pose in linear_walk(5):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted == linear_walk(5)[-1]
+
+
+class TestConstantVelocity:
+    def test_exact_on_linear_motion(self):
+        predictor = ConstantVelocityPredictor(horizon=1)
+        for pose in linear_walk(4):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.x == pytest.approx(0.4)
+        assert predicted.yaw == pytest.approx(8.0)
+
+    def test_horizon_scaling(self):
+        predictor = ConstantVelocityPredictor(horizon=3)
+        for pose in linear_walk(3):
+            predictor.observe(pose)
+        assert predictor.predict().x == pytest.approx(0.5)
+
+    def test_yaw_wraparound(self):
+        predictor = ConstantVelocityPredictor()
+        predictor.observe(Pose(0, 0, 0, yaw=176.0, pitch=0.0))
+        predictor.observe(Pose(0, 0, 0, yaw=-178.0, pitch=0.0))
+        # Step was +6 degrees across the seam; next is -172.
+        assert predictor.predict().yaw == pytest.approx(-172.0)
+
+    def test_pitch_clamped(self):
+        predictor = ConstantVelocityPredictor(horizon=10)
+        predictor.observe(Pose(0, 0, 0, 0.0, 60.0))
+        predictor.observe(Pose(0, 0, 0, 0.0, 80.0))
+        assert predictor.predict().pitch == 90.0
+
+
+class TestExponentialSmoothing:
+    def test_converges_on_linear_motion(self):
+        predictor = ExponentialSmoothingPredictor(horizon=1)
+        walk = linear_walk(60)
+        for pose in walk:
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        # After convergence the trend matches the constant velocity.
+        assert predicted.x == pytest.approx(6.0, abs=0.05)
+
+    def test_stationary_user(self):
+        predictor = ExponentialSmoothingPredictor()
+        pose = Pose(1.0, 1.0, 1.6, 45.0, -10.0)
+        for _ in range(30):
+            predictor.observe(pose)
+        predicted = predictor.predict()
+        assert predicted.translation_distance(pose) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSmoothingPredictor(level_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialSmoothingPredictor(trend_beta=1.5)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in PREDICTOR_REGISTRY:
+            predictor = make_predictor(name, horizon=2)
+            predictor.observe(Pose(0, 0, 0, 0, 0))
+            assert predictor.predict() is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_predictor("oracle")
+
+    def test_linear_regression_registered(self):
+        predictor = make_predictor("linear-regression", horizon=1)
+        for pose in linear_walk(5):
+            predictor.observe(pose)
+        assert predictor.predict().x == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,61 @@
+"""Tests for the EMA throughput estimator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.throughput import EmaThroughputEstimator
+
+
+class TestEmaThroughputEstimator:
+    def test_first_sample_sets_estimate(self):
+        est = EmaThroughputEstimator(alpha=0.3)
+        assert est.observe(50.0) == 50.0
+
+    def test_initial_estimate_used(self):
+        est = EmaThroughputEstimator(alpha=0.5, initial_mbps=40.0)
+        assert est.estimate() == 40.0
+        assert est.observe(60.0) == pytest.approx(50.0)
+
+    def test_ema_recursion(self):
+        est = EmaThroughputEstimator(alpha=0.25, initial_mbps=40.0)
+        est.observe(80.0)
+        assert est.estimate() == pytest.approx(40.0 + 0.25 * 40.0)
+
+    def test_converges_to_constant_input(self):
+        est = EmaThroughputEstimator(alpha=0.3, initial_mbps=10.0)
+        for _ in range(100):
+            est.observe(55.0)
+        assert est.estimate() == pytest.approx(55.0, abs=1e-6)
+
+    def test_conservative_discount(self):
+        est = EmaThroughputEstimator(alpha=0.3, initial_mbps=100.0, safety_factor=0.9)
+        assert est.conservative() == pytest.approx(90.0)
+
+    def test_estimate_zero_when_uninitialised(self):
+        assert EmaThroughputEstimator().estimate() == 0.0
+
+    def test_num_samples(self):
+        est = EmaThroughputEstimator()
+        est.observe(1.0)
+        est.observe(2.0)
+        assert est.num_samples == 2
+
+    def test_reset(self):
+        est = EmaThroughputEstimator()
+        est.observe(10.0)
+        est.reset(initial_mbps=5.0)
+        assert est.estimate() == 5.0
+        assert est.num_samples == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmaThroughputEstimator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EmaThroughputEstimator(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            EmaThroughputEstimator(initial_mbps=-1.0)
+        with pytest.raises(ConfigurationError):
+            EmaThroughputEstimator(safety_factor=0.0)
+        est = EmaThroughputEstimator()
+        with pytest.raises(ConfigurationError):
+            est.observe(-5.0)

@@ -1,0 +1,92 @@
+"""Tests for episode metric collection."""
+
+import pytest
+
+from repro.core.qoe import QoEWeights, UserQoELedger
+from repro.errors import ConfigurationError
+from repro.simulation.metrics import (
+    EpisodeResult,
+    MultiEpisodeResults,
+    UserEpisodeSummary,
+    summarize_ledger,
+)
+
+
+def summary(qoe=1.0, quality=3.0, delay=0.5, variance=0.2, fps=None):
+    return UserEpisodeSummary(qoe, quality, delay, variance, mean_level=3.0, fps=fps)
+
+
+class TestUserEpisodeSummary:
+    def test_metric_lookup(self):
+        s = summary()
+        assert s.metric("qoe") == 1.0
+        assert s.metric("variance") == 0.2
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            summary().metric("nope")
+
+
+class TestSummarizeLedger:
+    def test_from_ledger(self):
+        ledger = UserQoELedger()
+        ledger.record(4, 1, 0.5)
+        ledger.record(2, 1, 1.5)
+        weights = QoEWeights(0.1, 0.5)
+        s = summarize_ledger(ledger, weights, fps=58.0)
+        assert s.quality == pytest.approx(3.0)
+        assert s.delay == pytest.approx(1.0)
+        assert s.variance == pytest.approx(1.0)
+        assert s.qoe == pytest.approx(ledger.qoe_per_slot(weights))
+        assert s.fps == 58.0
+
+
+class TestEpisodeResult:
+    def test_means(self):
+        result = EpisodeResult([summary(qoe=1.0), summary(qoe=3.0)])
+        assert result.mean("qoe") == pytest.approx(2.0)
+        assert result.num_users == 2
+
+    def test_system_qoe(self):
+        result = EpisodeResult([summary(qoe=1.0), summary(qoe=3.0)])
+        assert result.system_qoe_per_slot() == pytest.approx(4.0)
+
+    def test_mean_fps(self):
+        result = EpisodeResult([summary(fps=60.0), summary(fps=50.0)])
+        assert result.mean_fps() == pytest.approx(55.0)
+        assert EpisodeResult([summary()]).mean_fps() is None
+
+    def test_requires_users(self):
+        with pytest.raises(ConfigurationError):
+            EpisodeResult([])
+
+
+class TestMultiEpisodeResults:
+    def test_pooling(self):
+        results = MultiEpisodeResults("test")
+        results.add(EpisodeResult([summary(qoe=1.0), summary(qoe=2.0)], episode=0))
+        results.add(EpisodeResult([summary(qoe=3.0), summary(qoe=4.0)], episode=1))
+        assert results.num_episodes == 2
+        assert sorted(results.samples("qoe")) == [1.0, 2.0, 3.0, 4.0]
+        assert results.mean("qoe") == pytest.approx(2.5)
+
+    def test_cdf(self):
+        results = MultiEpisodeResults("test")
+        results.add(EpisodeResult([summary(qoe=1.0), summary(qoe=3.0)]))
+        cdf = results.cdf("qoe")
+        assert cdf.evaluate(2.0) == pytest.approx(0.5)
+
+    def test_means_dict(self):
+        results = MultiEpisodeResults("test")
+        results.add(EpisodeResult([summary()]))
+        means = results.means()
+        assert set(means) == {"qoe", "quality", "delay", "variance"}
+
+    def test_mean_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            MultiEpisodeResults("x").mean("qoe")
+
+    def test_mean_fps_none_when_absent(self):
+        results = MultiEpisodeResults("x")
+        results.add(EpisodeResult([summary()]))
+        assert results.mean_fps() is None

@@ -1,0 +1,106 @@
+"""Integration tests for the Section IV trace-driven simulator."""
+
+import pytest
+
+from repro.core import (
+    DensityValueGreedyAllocator,
+    FireflyAllocator,
+    OfflineOptimalAllocator,
+    PavqAllocator,
+)
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationConfig, TraceSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return TraceSimulator(SimulationConfig(num_users=3, duration_slots=150, seed=2))
+
+
+class TestTraceSimulator:
+    def test_episode_produces_full_metrics(self, simulator):
+        result = simulator.run_episode(DensityValueGreedyAllocator())
+        assert result.num_users == 3
+        for user in result.users:
+            assert 0.0 <= user.quality <= 6.0
+            assert user.delay >= 0.0
+            assert user.variance >= 0.0
+            assert user.fps is None
+
+    def test_deterministic_given_seed(self):
+        a = TraceSimulator(SimulationConfig(num_users=2, duration_slots=100, seed=5))
+        b = TraceSimulator(SimulationConfig(num_users=2, duration_slots=100, seed=5))
+        ra = a.run_episode(DensityValueGreedyAllocator())
+        rb = b.run_episode(DensityValueGreedyAllocator())
+        assert ra.users[0].qoe == pytest.approx(rb.users[0].qoe)
+        assert ra.users[1].variance == pytest.approx(rb.users[1].variance)
+
+    def test_different_seeds_differ(self):
+        a = TraceSimulator(SimulationConfig(num_users=2, duration_slots=100, seed=5))
+        b = TraceSimulator(SimulationConfig(num_users=2, duration_slots=100, seed=6))
+        ra = a.run_episode(DensityValueGreedyAllocator())
+        rb = b.run_episode(DensityValueGreedyAllocator())
+        assert ra.users[0].qoe != pytest.approx(rb.users[0].qoe)
+
+    def test_run_pools_episodes(self, simulator):
+        results = simulator.run(DensityValueGreedyAllocator(), num_episodes=2)
+        assert results.num_episodes == 2
+        assert len(results.samples("qoe")) == 6
+
+    def test_compare_runs_all(self, simulator):
+        comparison = simulator.compare(
+            {"ours": DensityValueGreedyAllocator(), "pavq": PavqAllocator()},
+            num_episodes=1,
+        )
+        assert set(comparison) == {"ours", "pavq"}
+
+    def test_server_budget_rule(self):
+        config = SimulationConfig(num_users=7)
+        assert config.server_budget_mbps == pytest.approx(7 * 36.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(duration_slots=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(server_mbps_per_user=0.0)
+        with pytest.raises(ConfigurationError):
+            TraceSimulator().run(DensityValueGreedyAllocator(), num_episodes=0)
+        with pytest.raises(ConfigurationError):
+            TraceSimulator().compare({})
+
+
+class TestSimulatorShape:
+    """The Fig. 2 orderings on a short but meaningful run."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        simulator = TraceSimulator(
+            SimulationConfig(num_users=4, duration_slots=400, seed=1)
+        )
+        return simulator.compare(
+            {
+                "ours": DensityValueGreedyAllocator(),
+                "optimal": OfflineOptimalAllocator(),
+                "pavq": PavqAllocator(),
+                "firefly": FireflyAllocator(),
+            },
+            num_episodes=2,
+        )
+
+    def test_ours_close_to_offline_optimal(self, comparison):
+        ours = comparison["ours"].mean("qoe")
+        optimal = comparison["optimal"].mean("qoe")
+        assert ours >= 0.97 * optimal
+
+    def test_ours_beats_firefly(self, comparison):
+        assert comparison["ours"].mean("qoe") > comparison["firefly"].mean("qoe")
+
+    def test_ours_at_least_pavq(self, comparison):
+        assert comparison["ours"].mean("qoe") >= comparison["pavq"].mean("qoe") - 0.05
+
+    def test_firefly_worst_variance(self, comparison):
+        firefly_var = comparison["firefly"].mean("variance")
+        assert firefly_var >= comparison["ours"].mean("variance")
+        assert firefly_var >= comparison["pavq"].mean("variance")

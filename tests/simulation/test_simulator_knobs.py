@@ -1,0 +1,134 @@
+"""Tests for the simulator's predictor and knowledge knobs."""
+
+import pytest
+
+from repro.core import DensityValueGreedyAllocator
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationConfig, TraceSimulator
+from repro.simulation.metrics import EpisodeResult, UserEpisodeSummary
+
+
+class TestPredictorSelection:
+    @pytest.mark.parametrize(
+        "predictor",
+        ["linear-regression", "last-pose", "constant-velocity",
+         "exponential-smoothing"],
+    )
+    def test_all_predictors_run(self, predictor):
+        config = SimulationConfig(
+            num_users=2, duration_slots=60, seed=1, predictor=predictor
+        )
+        result = TraceSimulator(config).run_episode(DensityValueGreedyAllocator())
+        assert result.num_users == 2
+
+    def test_unknown_predictor_raises(self):
+        config = SimulationConfig(
+            num_users=2, duration_slots=60, seed=1, predictor="oracle"
+        )
+        with pytest.raises(ConfigurationError):
+            TraceSimulator(config).run_episode(DensityValueGreedyAllocator())
+
+    def test_tight_margin_separates_predictors(self):
+        """With a 2-degree margin, no-prediction loses coverage vs LR."""
+        def quality(predictor):
+            config = SimulationConfig(
+                num_users=2, duration_slots=400, seed=3,
+                predictor=predictor, margin_deg=2.0, cell_tolerance=0,
+            )
+            sim = TraceSimulator(config)
+            return sim.run_episode(DensityValueGreedyAllocator()).mean("quality")
+
+        assert quality("linear-regression") >= quality("last-pose") - 0.05
+
+
+class TestImperfectKnowledge:
+    def test_runs_and_degrades_gracefully(self):
+        perfect = SimulationConfig(num_users=3, duration_slots=300, seed=2)
+        imperfect = SimulationConfig(
+            num_users=3, duration_slots=300, seed=2,
+            perfect_network_knowledge=False,
+        )
+        q_perfect = TraceSimulator(perfect).run_episode(
+            DensityValueGreedyAllocator()
+        ).mean("qoe")
+        q_imperfect = TraceSimulator(imperfect).run_episode(
+            DensityValueGreedyAllocator()
+        ).mean("qoe")
+        # Estimation error cannot help; it should cost at most a
+        # modest fraction of the QoE in the benign trace regime.
+        assert q_imperfect <= q_perfect + 0.05
+        assert q_imperfect > 0.5 * q_perfect
+
+    def test_estimates_differ_from_truth_in_decisions(self):
+        """A badly lagging estimator must actually change outcomes.
+
+        With a near-frozen EMA (alpha 0.01) the believed caps barely
+        track the bandwidth trace, so some slots pick different levels
+        than the perfect-knowledge run.
+        """
+        base = dict(num_users=2, duration_slots=400, seed=7)
+        a = TraceSimulator(SimulationConfig(**base)).run_episode(
+            DensityValueGreedyAllocator()
+        )
+        b = TraceSimulator(
+            SimulationConfig(
+                perfect_network_knowledge=False, ema_alpha=0.01, **base
+            )
+        ).run_episode(DensityValueGreedyAllocator())
+        assert any(
+            ua.qoe != pytest.approx(ub.qoe)
+            for ua, ub in zip(a.users, b.users)
+        )
+
+
+class TestFairnessMetrics:
+    def summary(self, qoe):
+        return UserEpisodeSummary(qoe, 3.0, 0.5, 0.2, mean_level=3.0)
+
+    def test_equal_users_fully_fair(self):
+        result = EpisodeResult([self.summary(2.0), self.summary(2.0)])
+        assert result.fairness() == pytest.approx(1.0)
+
+    def test_skewed_users_less_fair(self):
+        result = EpisodeResult([self.summary(4.0), self.summary(0.0)])
+        assert result.fairness() < 0.6
+
+    def test_multi_episode_mean_fairness(self):
+        from repro.simulation.metrics import MultiEpisodeResults
+
+        results = MultiEpisodeResults("x")
+        results.add(EpisodeResult([self.summary(2.0), self.summary(2.0)]))
+        results.add(EpisodeResult([self.summary(4.0), self.summary(0.0)]))
+        assert 0.5 < results.mean_fairness() < 1.0
+
+    def test_mean_fairness_requires_episodes(self):
+        from repro.simulation.metrics import MultiEpisodeResults
+
+        with pytest.raises(ConfigurationError):
+            MultiEpisodeResults("x").mean_fairness()
+
+
+class TestSimulatorTelemetry:
+    def test_records_per_slot_and_user(self):
+        from repro.system.telemetry import Telemetry
+
+        config = SimulationConfig(num_users=2, duration_slots=50, seed=1)
+        telemetry = Telemetry()
+        TraceSimulator(config).run_episode(
+            DensityValueGreedyAllocator(), telemetry=telemetry
+        )
+        assert len(telemetry) == 100
+        summary = telemetry.summary()
+        assert summary["transmit_fraction"] == 1.0  # no skips in the sim
+        assert summary["mean_demand_mbps"] > 0
+
+    def test_believed_equals_true_under_perfect_knowledge(self):
+        from repro.system.telemetry import Telemetry
+
+        config = SimulationConfig(num_users=2, duration_slots=40, seed=1)
+        telemetry = Telemetry()
+        TraceSimulator(config).run_episode(
+            DensityValueGreedyAllocator(), telemetry=telemetry
+        )
+        for record in telemetry.records:
+            assert record.believed_cap_mbps == record.achieved_mbps

@@ -1,0 +1,88 @@
+"""Tests for the parameter sweep utilities."""
+
+import pytest
+
+from repro.core import DensityValueGreedyAllocator
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationConfig
+from repro.simulation.sweep import best_point, run_sweep, sweep_table
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return SimulationConfig(num_users=2, duration_slots=120, seed=5)
+
+
+class TestRunSweep:
+    def test_grid_cartesian_product(self, base_config):
+        points = run_sweep(
+            base_config,
+            DensityValueGreedyAllocator,
+            {"alpha": [0.02, 0.5], "beta": [0.1, 0.5]},
+        )
+        assert len(points) == 4
+        combos = {tuple(v for _, v in p.overrides) for p in points}
+        assert (0.02, 0.1) in combos
+        assert (0.5, 0.5) in combos
+
+    def test_alpha_changes_delay_posture(self, base_config):
+        points = run_sweep(
+            base_config,
+            DensityValueGreedyAllocator,
+            {"alpha": [0.02, 1.0]},
+        )
+        low, high = points
+        assert low.override("alpha") == 0.02
+        assert high.results.mean("delay") <= low.results.mean("delay") + 1e-9
+
+    def test_config_field_override(self, base_config):
+        points = run_sweep(
+            base_config,
+            DensityValueGreedyAllocator,
+            {"margin_deg": [5.0, 25.0]},
+        )
+        assert len(points) == 2
+        assert points[0].override("margin_deg") == 5.0
+
+    def test_validation(self, base_config):
+        with pytest.raises(ConfigurationError):
+            run_sweep(base_config, DensityValueGreedyAllocator, {})
+        with pytest.raises(ConfigurationError):
+            run_sweep(base_config, DensityValueGreedyAllocator, {"alpha": []})
+
+    def test_override_lookup_unknown_field(self, base_config):
+        points = run_sweep(
+            base_config, DensityValueGreedyAllocator, {"alpha": [0.02]}
+        )
+        with pytest.raises(ConfigurationError):
+            points[0].override("beta")
+
+
+class TestSweepReporting:
+    @pytest.fixture(scope="class")
+    def points(self, base_config):
+        return run_sweep(
+            base_config,
+            DensityValueGreedyAllocator,
+            {"beta": [0.0, 2.0]},
+        )
+
+    def test_table_shape(self, points):
+        rows = sweep_table(points, metrics=("qoe", "variance"))
+        assert len(rows) == 2
+        assert len(rows[0]) == 3  # 1 override + 2 metrics
+
+    def test_beta_controls_variance(self, points):
+        rows = sweep_table(points, metrics=("variance",))
+        no_penalty, heavy_penalty = rows[0][1], rows[1][1]
+        assert heavy_penalty <= no_penalty + 1e-9
+
+    def test_best_point(self, points):
+        best = best_point(points, metric="qoe")
+        assert best in points
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_table([])
+        with pytest.raises(ConfigurationError):
+            best_point([])

@@ -1,0 +1,133 @@
+"""Tests for the client-side emulation (decoders, cache, display)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.client import Client, DecoderPool
+
+
+class TestDecoderPool:
+    def test_empty_frame(self):
+        assert DecoderPool().decode_time_s([]) == 0.0
+        assert DecoderPool().decode_time_s([0.0, 0.0]) == 0.0
+
+    def test_single_tile(self):
+        pool = DecoderPool(num_decoders=5, decode_rate_mbps=100.0)
+        assert pool.decode_time_s([1e6]) == pytest.approx(0.01)
+
+    def test_parallel_speedup(self):
+        serial = DecoderPool(num_decoders=1, decode_rate_mbps=100.0)
+        parallel = DecoderPool(num_decoders=4, decode_rate_mbps=100.0)
+        tiles = [1e6] * 4
+        assert parallel.decode_time_s(tiles) == pytest.approx(
+            serial.decode_time_s(tiles) / 4
+        )
+
+    def test_makespan_is_busiest_decoder(self):
+        pool = DecoderPool(num_decoders=2, decode_rate_mbps=100.0)
+        # LPT: big job alone (0.03 s), two smaller share (0.02 s).
+        assert pool.decode_time_s([3e6, 1e6, 1e6]) == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecoderPool(num_decoders=0)
+        with pytest.raises(ConfigurationError):
+            DecoderPool(decode_rate_mbps=0.0)
+
+
+class TestClient:
+    def make_client(self, cache=10):
+        return Client(0, cache_capacity_tiles=cache, slot_s=1 / 60)
+
+    def test_successful_frame(self):
+        client = self.make_client()
+        outcome = client.receive_frame(
+            [101, 102], [1e5, 1e5], [], transmission_s=0.01, covered=True, level=3
+        )
+        assert outcome.displayed
+        assert outcome.indicator == 1
+        assert outcome.viewed_quality == 3.0
+        assert 101 in client.cache
+
+    def test_late_frame_missed(self):
+        client = self.make_client()
+        outcome = client.receive_frame(
+            [101], [1e5], [], transmission_s=0.05, covered=True, level=3
+        )
+        assert not outcome.on_time
+        assert not outcome.displayed
+        assert outcome.viewed_quality == 0.0
+
+    def test_lost_tile_misses_frame(self):
+        client = self.make_client()
+        outcome = client.receive_frame(
+            [101, 102], [1e5, 1e5], [1], transmission_s=0.01, covered=True, level=3
+        )
+        assert not outcome.tiles_complete
+        assert not outcome.displayed
+        # The lost tile must not enter the cache.
+        assert 102 not in client.cache
+        assert 101 in client.cache
+
+    def test_uncovered_frame_displays_but_zero_quality(self):
+        client = self.make_client()
+        outcome = client.receive_frame(
+            [101], [1e5], [], transmission_s=0.01, covered=False, level=4
+        )
+        assert outcome.displayed
+        assert outcome.indicator == 0
+        assert outcome.viewed_quality == 0.0
+
+    def test_skip_slot(self):
+        client = self.make_client()
+        outcome = client.receive_frame([], [], [], 0.0, covered=False, level=0)
+        assert not outcome.displayed
+        assert outcome.level == 0
+        assert outcome.delay_slots == 0.0
+
+    def test_cached_frame_zero_transmission_displays(self):
+        client = self.make_client()
+        outcome = client.receive_frame([], [], [], 0.0, covered=True, level=4)
+        assert outcome.displayed
+        assert outcome.viewed_quality == 4.0
+
+    def test_undecodable_frame(self):
+        slow_pool = DecoderPool(num_decoders=1, decode_rate_mbps=1.0)
+        client = Client(0, 10, slow_pool, slot_s=1 / 60)
+        outcome = client.receive_frame(
+            [101], [1e6], [], transmission_s=0.001, covered=True, level=2
+        )
+        assert not outcome.decodable
+        assert not outcome.displayed
+
+    def test_eviction_surfaces_release_acks(self):
+        client = self.make_client(cache=2)
+        client.receive_frame([1, 2], [1e4, 1e4], [], 0.001, True, 1)
+        client.receive_frame([3], [1e4], [], 0.001, True, 1)
+        assert client.last_released == [1]
+
+    def test_fps_accounting(self):
+        client = self.make_client()
+        client.receive_frame([1], [1e4], [], 0.001, True, 3)   # displayed
+        client.receive_frame([2], [1e4], [], 0.050, True, 3)   # late
+        client.receive_frame([], [], [], 0.0, False, 0)        # skipped
+        client.receive_frame([3], [1e4], [], 0.001, True, 3)   # displayed
+        assert client.fps(60.0) == pytest.approx(30.0)
+
+    def test_fps_empty(self):
+        assert self.make_client().fps(60.0) == 0.0
+
+    def test_mean_delay(self):
+        client = self.make_client()
+        client.receive_frame([1], [1e4], [], 1 / 120, True, 3)
+        client.receive_frame([2], [1e4], [], 1 / 60, True, 3)
+        assert client.mean_delay_slots() == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Client(-1, 10)
+        with pytest.raises(ConfigurationError):
+            Client(0, 10, slot_s=0.0)
+        client = self.make_client()
+        with pytest.raises(ConfigurationError):
+            client.receive_frame([1], [], [], 0.01, True, 3)

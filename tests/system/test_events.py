@@ -1,0 +1,105 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.system.events import EventScheduler
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        engine = EventScheduler()
+        order = []
+        engine.schedule_at(2.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(3.0, lambda: order.append("c"))
+        engine.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        engine = EventScheduler()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda t=tag: order.append(t))
+        engine.run_all()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances(self):
+        engine = EventScheduler()
+        times = []
+        engine.schedule_at(0.5, lambda: times.append(engine.now))
+        engine.schedule_at(1.5, lambda: times.append(engine.now))
+        engine.run_all()
+        assert times == [0.5, 1.5]
+
+    def test_schedule_in_relative(self):
+        engine = EventScheduler()
+        result = []
+        engine.schedule_at(1.0, lambda: engine.schedule_in(0.5, lambda: result.append(engine.now)))
+        engine.run_all()
+        assert result == [1.5]
+
+    def test_events_can_schedule_events(self):
+        engine = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                engine.schedule_in(1.0, tick)
+
+        engine.schedule_at(0.0, tick)
+        engine.run_all()
+        assert count[0] == 5
+        assert engine.now == pytest.approx(4.0)
+
+    def test_run_until_horizon(self):
+        engine = EventScheduler()
+        ran = []
+        engine.schedule_at(1.0, lambda: ran.append(1))
+        engine.schedule_at(5.0, lambda: ran.append(5))
+        executed = engine.run_until(2.0)
+        assert executed == 1
+        assert ran == [1]
+        assert engine.now == pytest.approx(2.0)
+        assert engine.pending == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert not EventScheduler().step()
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventScheduler()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run_all()
+        with pytest.raises(ConfigurationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+    def test_run_all_guards_runaway(self):
+        engine = EventScheduler()
+
+        def forever():
+            engine.schedule_in(0.001, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=100)
+
+    def test_run_until_guards_runaway(self):
+        engine = EventScheduler()
+
+        def forever():
+            engine.schedule_in(0.0001, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0, max_events=50)
+
+    def test_pending_count(self):
+        engine = EventScheduler()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending == 2

@@ -1,0 +1,96 @@
+"""Failure-injection tests for the system emulation.
+
+These drive the full experiment loop through hostile regimes —
+starved links, constant interference, tiny client caches, saturating
+decoders — and assert the system degrades gracefully (valid metrics,
+no crashes, sane invariants) instead of producing garbage.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import DensityValueGreedyAllocator
+from repro.system import SystemExperiment, setup1_config
+from repro.system.experiment import scaled_config
+
+
+def tiny(config, **overrides):
+    return replace(scaled_config(config, duration_slots=180), **overrides)
+
+
+class TestHostileRegimes:
+    def test_constant_interference(self):
+        """Spectrum jammed 100% of the time at 20-25% capacity."""
+        config = tiny(
+            setup1_config(seed=1),
+            interference_onset=1.0,
+            interference_severity=(0.2, 0.25),
+        )
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        for user in result.users:
+            assert 0.0 <= user.quality <= 6.0
+            assert user.fps is not None and 0.0 <= user.fps <= 60.0
+        # Heavy interference must show up as lost frames.
+        assert result.mean_fps() < 55.0
+
+    def test_tiny_client_caches(self):
+        """A 4-tile cache forces constant eviction/release traffic."""
+        config = tiny(setup1_config(seed=2), client_cache_tiles=4)
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        assert result.num_users == 8
+        assert all(u.delay >= 0.0 for u in result.users)
+
+    def test_static_scene_with_tiny_cache_still_works(self):
+        """Static content + tiny cache: dedup and eviction fight."""
+        config = tiny(
+            setup1_config(seed=2), client_cache_tiles=4,
+            content_refresh_slots=0,
+        )
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        assert result.mean("qoe") > -10.0  # finite, not exploded
+
+    def test_saturating_decoders(self):
+        """One slow decoder makes decode the bottleneck; frames drop."""
+        config = tiny(
+            setup1_config(seed=3), num_decoders=1, decode_rate_mbps=20.0
+        )
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        assert result.mean_fps() < 40.0
+
+    def test_throttles_below_base_level(self):
+        """Guidelines below the level-1 size force skips, not crashes."""
+        config = tiny(
+            setup1_config(seed=4),
+            throttle_guidelines=(8.0, 10.0),
+            initial_cap_mbps=10.0,
+        )
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        # Nearly everything is skipped or missed; metrics stay sane.
+        assert result.mean("quality") < 2.0
+        for user in result.users:
+            assert user.fps is not None
+
+    def test_single_user_system(self):
+        config = tiny(setup1_config(seed=5), num_users=1)
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        assert result.num_users == 1
+
+    def test_more_routers_than_users(self):
+        config = tiny(setup1_config(seed=6), num_users=2, num_routers=2)
+        result = SystemExperiment(config).run_repeat(
+            DensityValueGreedyAllocator(), 0
+        )
+        assert result.num_users == 2

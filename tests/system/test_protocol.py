@@ -1,0 +1,127 @@
+"""Tests for the control-plane wire protocol."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.prediction.pose import Pose
+from repro.system.protocol import (
+    DeliveryAck,
+    PoseUpdate,
+    ReleaseAck,
+    TileBundleHeader,
+    decode,
+    decode_stream,
+    encode_stream,
+)
+
+
+def pose(x=1.5, y=2.5, yaw=33.0, pitch=-7.5):
+    return Pose(x, y, 1.6, yaw, pitch, 0.0)
+
+
+class TestRoundTrips:
+    def test_pose_update(self):
+        msg = PoseUpdate(user=3, slot=1234, pose=pose())
+        decoded, rest = decode(msg.encode())
+        assert rest == b""
+        assert decoded.user == 3
+        assert decoded.slot == 1234
+        # f32 precision: compare loosely.
+        assert decoded.pose.translation_distance(msg.pose) < 1e-4
+        assert decoded.pose.orientation_distance(msg.pose) < 1e-3
+
+    def test_tile_bundle(self):
+        msg = TileBundleHeader(user=1, slot=7, level=4,
+                               video_ids=(100, 2000, 30000))
+        decoded, rest = decode(msg.encode())
+        assert rest == b""
+        assert decoded == TileBundleHeader(1, 7, 4, (100, 2000, 30000))
+
+    def test_empty_bundle(self):
+        msg = TileBundleHeader(user=0, slot=0, level=1, video_ids=tuple())
+        decoded, _ = decode(msg.encode())
+        assert decoded.video_ids == tuple()
+
+    def test_delivery_ack(self):
+        msg = DeliveryAck(user=2, slot=55, video_ids=(1, 2, 3))
+        decoded, _ = decode(msg.encode())
+        assert decoded == msg
+
+    def test_release_ack(self):
+        msg = ReleaseAck(user=9, video_ids=(4242,))
+        decoded, _ = decode(msg.encode())
+        assert decoded == msg
+
+    @given(
+        st.integers(0, 65535),
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 15),
+        st.lists(st.integers(0, 2**32 - 1), max_size=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bundle_roundtrip_property(self, user, slot, level, ids):
+        msg = TileBundleHeader(user, slot, level, tuple(ids))
+        decoded, rest = decode(msg.encode())
+        assert decoded == msg
+        assert rest == b""
+
+
+class TestStream:
+    def test_multiplexed_stream(self):
+        messages = [
+            PoseUpdate(0, 1, pose()),
+            DeliveryAck(0, 1, (7, 8)),
+            ReleaseAck(0, (9,)),
+            PoseUpdate(1, 1, pose(x=3.0)),
+        ]
+        decoded = decode_stream(encode_stream(messages))
+        assert len(decoded) == 4
+        assert isinstance(decoded[0], PoseUpdate)
+        assert isinstance(decoded[1], DeliveryAck)
+        assert isinstance(decoded[2], ReleaseAck)
+        assert decoded[3].user == 1
+
+    def test_empty_stream(self):
+        assert decode_stream(b"") == []
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(TransportError):
+            decode(b"\x01")
+
+    def test_truncated_payload(self):
+        frame = DeliveryAck(0, 1, (7,)).encode()
+        with pytest.raises(TransportError):
+            decode(frame[:-2])
+
+    def test_unknown_type(self):
+        frame = struct.pack("!BH", 99, 0)
+        with pytest.raises(TransportError):
+            decode(frame)
+
+    def test_id_count_mismatch(self):
+        # Claim 2 ids but carry 1.
+        body = struct.pack("!HH", 0, 2) + struct.pack("!I", 7)
+        frame = struct.pack("!BH", 4, len(body)) + body
+        with pytest.raises(TransportError):
+            decode(frame)
+
+    def test_bad_pose_length(self):
+        body = b"\x00" * 10
+        frame = struct.pack("!BH", 1, len(body)) + body
+        with pytest.raises(TransportError):
+            decode(frame)
+
+    def test_oversized_id_list_rejected_on_encode(self):
+        with pytest.raises(TransportError):
+            ReleaseAck(0, tuple(range(70000))).encode()
+
+    def test_garbage_after_valid_frame(self):
+        frame = ReleaseAck(0, (1,)).encode() + b"\xff"
+        with pytest.raises(TransportError):
+            decode_stream(frame)

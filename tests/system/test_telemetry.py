@@ -1,0 +1,115 @@
+"""Tests for the telemetry collector and its experiment integration."""
+
+import pytest
+
+from repro.core import DensityValueGreedyAllocator
+from repro.errors import ConfigurationError
+from repro.system import SystemExperiment, Telemetry, setup1_config
+from repro.system.experiment import scaled_config
+from repro.system.telemetry import FIELDS, SlotUserRecord
+
+
+def record(slot=0, user=0, level=3, demand=30.0, achieved=45.0,
+           believed=40.0, displayed=True, covered=True, delay=0.7):
+    return SlotUserRecord(
+        slot, user, level, demand, achieved, believed, displayed, covered, delay
+    )
+
+
+class TestTelemetry:
+    def test_add_and_query(self):
+        telemetry = Telemetry()
+        telemetry.add(record(slot=0, user=0))
+        telemetry.add(record(slot=0, user=1))
+        telemetry.add(record(slot=1, user=0, displayed=False))
+        assert len(telemetry) == 3
+        assert len(telemetry.for_user(0)) == 2
+        assert len(telemetry.for_slot(0)) == 2
+
+    def test_miss_slots(self):
+        telemetry = Telemetry()
+        telemetry.add(record(slot=0, displayed=True))
+        telemetry.add(record(slot=1, displayed=False))
+        telemetry.add(record(slot=2, level=0, displayed=False))
+        assert telemetry.miss_slots(0) == [1]  # skips are not misses
+
+    def test_level_timeline_ordered(self):
+        telemetry = Telemetry()
+        telemetry.add(record(slot=2, level=4))
+        telemetry.add(record(slot=0, level=2))
+        telemetry.add(record(slot=1, level=3))
+        assert telemetry.level_timeline(0) == [2, 3, 4]
+
+    def test_utilisation(self):
+        telemetry = Telemetry()
+        telemetry.add(record(demand=30.0, achieved=60.0))
+        telemetry.add(record(demand=45.0, achieved=45.0))
+        assert telemetry.utilisation(0) == pytest.approx(0.75)
+
+    def test_summary(self):
+        telemetry = Telemetry()
+        telemetry.add(record(displayed=True))
+        telemetry.add(record(level=0, demand=0.0))
+        summary = telemetry.summary()
+        assert summary["records"] == 2.0
+        assert summary["transmit_fraction"] == pytest.approx(0.5)
+        assert summary["display_fraction"] == pytest.approx(1.0)
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            Telemetry().summary()
+
+    def test_save_csv(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.add(record())
+        path = tmp_path / "telemetry.csv"
+        telemetry.save_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(FIELDS)
+        assert len(lines) == 2
+
+    def test_clear(self):
+        telemetry = Telemetry()
+        telemetry.add(record())
+        telemetry.clear()
+        assert len(telemetry) == 0
+
+
+class TestExperimentIntegration:
+    def test_telemetry_captured(self):
+        config = scaled_config(setup1_config(seed=9), duration_slots=120)
+        experiment = SystemExperiment(config)
+        telemetry = Telemetry()
+        experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, telemetry=telemetry
+        )
+        # One record per (transmission slot, user).
+        assert len(telemetry) == (config.duration_slots - 1) * config.num_users
+        summary = telemetry.summary()
+        assert 0.0 < summary["display_fraction"] <= 1.0
+        assert summary["mean_demand_mbps"] > 0.0
+
+    def test_pose_staleness_degrades_coverage(self):
+        def covered_fraction(latency):
+            from dataclasses import replace
+
+            config = replace(
+                scaled_config(setup1_config(seed=10), duration_slots=240),
+                pose_upload_latency_slots=latency,
+                margin_deg=3.0,
+                cell_tolerance=0,
+            )
+            telemetry = Telemetry()
+            SystemExperiment(config).run_repeat(
+                DensityValueGreedyAllocator(), 0, telemetry=telemetry
+            )
+            transmitted = [r for r in telemetry.records if r.level > 0]
+            return sum(1 for r in transmitted if r.covered) / len(transmitted)
+
+        assert covered_fraction(12) <= covered_fraction(0) + 0.02
+
+    def test_staleness_validation(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            replace(setup1_config(), pose_upload_latency_slots=-1)

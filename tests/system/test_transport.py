@@ -1,0 +1,98 @@
+"""Tests for the RTP-like transport and TCP side channel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TransportError
+from repro.system.transport import RtpChannel, TcpChannel
+
+
+class TestRtpChannel:
+    def test_packets_for(self):
+        channel = RtpChannel(packet_bits=12_000.0)
+        assert channel.packets_for(0.0) == 0
+        assert channel.packets_for(1.0) == 1
+        assert channel.packets_for(12_000.0) == 1
+        assert channel.packets_for(12_001.0) == 2
+
+    def test_packets_rejects_negative(self):
+        with pytest.raises(TransportError):
+            RtpChannel().packets_for(-1.0)
+
+    def test_loss_floor_on_clean_link(self):
+        channel = RtpChannel(base_loss=0.001, congestion_loss=0.25)
+        assert channel.loss_probability(10.0, 50.0) == pytest.approx(0.001)
+
+    def test_loss_grows_with_overshoot(self):
+        channel = RtpChannel(base_loss=0.001, congestion_loss=0.25)
+        mild = channel.loss_probability(55.0, 50.0)
+        severe = channel.loss_probability(100.0, 50.0)
+        assert 0.001 < mild < severe
+        assert severe == pytest.approx(0.001 + 0.25)
+
+    def test_loss_capped(self):
+        channel = RtpChannel(base_loss=0.9, congestion_loss=1.0)
+        assert channel.loss_probability(1000.0, 1.0) <= 0.99
+
+    def test_idle_flow_no_loss(self):
+        assert RtpChannel().loss_probability(0.0, 50.0) == 0.0
+
+    def test_transmit_empty_bundle(self, rng):
+        result = RtpChannel().transmit([], 0.0, 50.0, rng)
+        assert result.duration_s == 0.0
+        assert result.packets_sent == 0
+        assert result.loss_ratio == 0.0
+
+    def test_transmit_duration(self, rng):
+        channel = RtpChannel(base_loss=0.0)
+        # 1 Mbit at 50 Mbps = 20 ms.
+        result = channel.transmit([1e6], 1.0, 50.0, rng)
+        assert result.duration_s == pytest.approx(0.02)
+
+    def test_transmit_counts_conserved(self, rng):
+        channel = RtpChannel(base_loss=0.3)
+        tile_bits = [50_000.0, 80_000.0, 20_000.0]
+        result = channel.transmit(tile_bits, 9.0, 10.0, rng)
+        expected_packets = sum(channel.packets_for(b) for b in tile_bits)
+        assert result.packets_sent == expected_packets
+        assert 0 <= result.packets_lost <= result.packets_sent
+        assert all(0 <= i < len(tile_bits) for i in result.lost_tile_indices)
+
+    def test_lossless_when_base_zero_and_no_overshoot(self, rng):
+        channel = RtpChannel(base_loss=0.0)
+        result = channel.transmit([1e5, 1e5], 10.0, 50.0, rng)
+        assert result.packets_lost == 0
+        assert result.lost_tile_indices == tuple()
+
+    def test_heavy_overshoot_loses_tiles(self):
+        channel = RtpChannel(base_loss=0.0, congestion_loss=0.5)
+        rng = np.random.default_rng(0)
+        result = channel.transmit([1e6] * 4, 100.0, 10.0, rng)
+        assert result.packets_lost > 0
+        assert len(result.lost_tile_indices) > 0
+
+    def test_starved_link_loses_everything(self, rng):
+        result = RtpChannel().transmit([1e5, 1e5], 10.0, 0.0, rng)
+        assert math.isinf(result.duration_s)
+        assert result.packets_lost == result.packets_sent
+        assert result.lost_tile_indices == (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RtpChannel(packet_bits=0.0)
+        with pytest.raises(ConfigurationError):
+            RtpChannel(base_loss=1.0)
+        with pytest.raises(ConfigurationError):
+            RtpChannel(congestion_loss=1.5)
+
+
+class TestTcpChannel:
+    def test_delivery_time(self):
+        channel = TcpChannel(latency_s=0.002)
+        assert channel.delivery_time(1.0) == pytest.approx(1.002)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            TcpChannel(latency_s=-0.1)

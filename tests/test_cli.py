@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sim_defaults(self):
+        args = build_parser().parse_args(["sim"])
+        assert args.users == 5
+        assert args.command == "sim"
+
+    def test_system_setup_choices(self):
+        args = build_parser().parse_args(["system", "--setup", "2"])
+        assert args.setup == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["system", "--setup", "3"])
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "fig1"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1a" in out
+        assert "Fig. 1b" in out
+        assert "mean RTT" in out
+
+    def test_theorem1(self, capsys):
+        assert main(["theorem1", "--instances", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction optimal" in out
+
+    def test_sim_small(self, capsys):
+        assert main(["sim", "--users", "2", "--slots", "60",
+                     "--episodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "optimal" in out
+        assert "QoE CDFs" in out
+
+    def test_sim_no_optimal(self, capsys):
+        assert main(["sim", "--users", "2", "--slots", "60",
+                     "--episodes", "1", "--no-optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" not in out.split("QoE CDFs")[0].splitlines()[3]
+
+    def test_system_small(self, capsys):
+        assert main(["system", "--setup", "1", "--slots", "120",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fps" in out
+        assert "Average QoE" in out
+
+
+class TestSweepCommand:
+    def test_sweep_alpha(self, capsys):
+        assert main(["sweep", "alpha", "0.02,0.5", "--users", "2",
+                     "--slots", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep over alpha" in out
+        assert "variance" in out
+
+    def test_sweep_config_field(self, capsys):
+        assert main(["sweep", "margin_deg", "5,25", "--users", "2",
+                     "--slots", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "margin_deg" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "fig1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "Fig. 1a" in result.stdout

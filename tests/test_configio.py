@@ -1,0 +1,88 @@
+"""Tests for configuration serialisation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.configio import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.qoe import QoEWeights
+from repro.errors import ConfigurationError
+from repro.simulation import SimulationConfig
+from repro.system.experiment import ExperimentConfig, setup2_config
+
+
+class TestRoundTrips:
+    def test_simulation_config_dict_roundtrip(self):
+        config = SimulationConfig(
+            num_users=7, duration_slots=321, seed=9,
+            weights=QoEWeights(0.07, 0.9), predictor="constant-velocity",
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_experiment_config_dict_roundtrip(self):
+        config = replace(setup2_config(seed=4), router_aware=True)
+        rebuilt = config_from_dict(config_to_dict(config))
+        # Tuples serialise as lists; compare field by field via dicts.
+        assert config_to_dict(rebuilt) == config_to_dict(config)
+        assert rebuilt.weights == config.weights
+        assert rebuilt.num_users == 15
+
+    def test_json_roundtrip(self, tmp_path):
+        config = SimulationConfig(num_users=3, seed=2)
+        path = tmp_path / "config.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_json_roundtrip_system(self, tmp_path):
+        config = setup2_config(seed=1)
+        path = tmp_path / "system.json"
+        save_config(config, path)
+        loaded = load_config(path)
+        assert isinstance(loaded, ExperimentConfig)
+        assert loaded.interference_onset == config.interference_onset
+
+
+class TestErrors:
+    def test_missing_kind(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"alpha": 0.1, "beta": 0.5})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"kind": "nope", "alpha": 0.1, "beta": 0.5})
+
+    def test_missing_weights(self):
+        payload = config_to_dict(SimulationConfig())
+        del payload["alpha"]
+        with pytest.raises(ConfigurationError):
+            config_from_dict(payload)
+
+    def test_unknown_field(self):
+        payload = config_to_dict(SimulationConfig())
+        payload["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            config_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+    def test_validation_still_applies(self):
+        payload = config_to_dict(SimulationConfig())
+        payload["num_users"] = 0
+        with pytest.raises(ConfigurationError):
+            config_from_dict(payload)

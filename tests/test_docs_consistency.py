@@ -1,0 +1,96 @@
+"""Documentation-code consistency checks.
+
+DESIGN.md's experiment index and the README's bench table point at
+benchmark files and module paths; these tests fail when a rename
+leaves the documentation dangling.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _referenced_paths(text):
+    return set(re.findall(r"`(benchmarks/[\w/]+\.py)", text))
+
+
+class TestDesignMd:
+    def test_bench_targets_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        refs = _referenced_paths(text)
+        assert refs, "DESIGN.md should reference bench files"
+        for ref in refs:
+            assert (ROOT / ref).exists(), f"DESIGN.md references missing {ref}"
+
+    def test_bench_test_names_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for path, test in re.findall(r"`(benchmarks/[\w/]+\.py)::(\w+)`", text):
+            source = (ROOT / path).read_text()
+            assert f"def {test}(" in source, f"{path} lacks {test}"
+
+    def test_module_map_files_exist(self):
+        """Every `<name>.py` in the DESIGN module map is a real file."""
+        text = (ROOT / "DESIGN.md").read_text()
+        in_map = False
+        current_pkg = ""
+        missing = []
+        for line in text.splitlines():
+            if line.startswith("src/repro/"):
+                in_map = True
+                continue
+            if in_map and line.startswith("```"):
+                break
+            if not in_map:
+                continue
+            pkg = re.match(r"  (\w+)/", line)
+            if pkg:
+                current_pkg = pkg.group(1)
+                continue
+            mod = re.match(r"  (?:  )?([\w.]+\.py)\b", line.replace("baselines/", ""))
+            if mod:
+                name = mod.group(1)
+                candidates = [
+                    ROOT / "src/repro" / name,
+                    ROOT / "src/repro" / current_pkg / name,
+                    ROOT / "src/repro" / current_pkg / "baselines" / name,
+                ]
+                if not any(c.exists() for c in candidates):
+                    missing.append(name)
+        assert not missing, f"DESIGN module map names missing files: {missing}"
+
+
+class TestReadme:
+    def test_bench_table_files_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for ref in _referenced_paths(text):
+            assert (ROOT / ref).exists(), f"README references missing {ref}"
+
+    def test_example_table_files_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for ref in re.findall(r"`(examples/\w+\.py)`", text):
+            assert (ROOT / ref).exists(), f"README references missing {ref}"
+
+    def test_doc_links_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for ref in re.findall(r"\]\((docs/\w+\.md|DESIGN\.md|EXPERIMENTS\.md)\)", text):
+            assert (ROOT / ref).exists(), f"README links missing {ref}"
+
+
+class TestExperimentsMd:
+    def test_bench_references_exist(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for ref in _referenced_paths(text):
+            assert (ROOT / ref).exists(), f"EXPERIMENTS.md references missing {ref}"
+
+    def test_results_files_exist(self):
+        """Every results file named in EXPERIMENTS.md was generated."""
+        text = (ROOT / "docs/reproduction.md").read_text()
+        for ref in re.findall(r"`(\w+)\.txt`", text):
+            # Wildcard-ish rows (fig2{a..d}) are expanded manually.
+            if "{" in ref:
+                continue
+            candidates = list((ROOT / "benchmarks/results").glob(f"{ref}*.txt"))
+            assert candidates or "_" not in ref, (
+                f"reproduction.md references {ref}.txt but no results match"
+            )

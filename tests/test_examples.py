@@ -1,0 +1,63 @@
+"""Smoke tests for the runnable examples.
+
+Each parameterisable example is executed as a subprocess with tiny
+arguments; fixed-scale examples that take minutes are exercised by
+their underlying library paths elsewhere and excluded here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(script, *args, timeout=180):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "greedy objective" in out
+        assert "Theorem 1 guarantees >= 0.5" in out
+
+    def test_trace_simulation_tiny(self):
+        out = run_example(
+            "trace_simulation.py", "--users", "2", "--slots", "80",
+            "--episodes", "1",
+        )
+        assert "ours (Alg. 1)" in out
+        assert "QoE CDF quantiles" in out
+
+    def test_vr_classroom_tiny(self):
+        out = run_example(
+            "vr_classroom.py", "--setup", "1", "--slots", "120",
+            "--repeats", "1",
+        )
+        assert "QoE improvement over pavq" in out
+        assert "fps" in out
+
+    def test_session_timeline(self):
+        out = run_example("session_timeline.py")
+        assert "quality-level timeline" in out
+        assert "utilisation" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            source = script.read_text()
+            assert '"""' in source.split("\n", 3)[1] or source.startswith(
+                "#!"
+            ), f"{script.name} missing docstring"
+            assert '__name__ == "__main__"' in source, (
+                f"{script.name} missing main guard"
+            )

@@ -1,0 +1,45 @@
+"""Tests for the shared unit conventions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert units.TARGET_FPS == 60
+        assert units.DEFAULT_NUM_LEVELS == 6
+        assert units.CRF_VALUES == (15, 19, 23, 27, 31, 35)
+        assert units.SERVER_MBPS_PER_USER == 36.0
+        assert units.TRACE_MIN_MBPS == 20.0
+        assert units.TRACE_MAX_MBPS == 100.0
+        assert units.SETUP1_SERVER_MBPS == 400.0
+        assert units.SETUP2_SERVER_MBPS == 800.0
+        assert units.CLIENT_DECODERS == 5
+        assert units.THROTTLE_GUIDELINES_MBPS == (40.0, 45.0, 50.0, 55.0, 60.0)
+
+    def test_slot_duration(self):
+        assert units.SLOT_DURATION_S == pytest.approx(1 / 60)
+        assert units.TRACE_SLOT_DURATION_S == 0.015
+
+    def test_qoe_weight_constants(self):
+        assert (units.SIM_ALPHA, units.SIM_BETA) == (0.02, 0.5)
+        assert (units.SYSTEM_ALPHA, units.SYSTEM_BETA) == (0.1, 0.5)
+
+    def test_fov_fraction(self):
+        assert units.FOV_FRACTION == 0.20
+
+
+class TestConversions:
+    def test_mbps_to_bits_roundtrip(self):
+        bits = units.mbps_to_bits_per_slot(36.0)
+        assert bits == pytest.approx(36.0e6 / 60)
+        assert units.bits_per_slot_to_mbps(bits) == pytest.approx(36.0)
+
+    def test_custom_slot_duration(self):
+        bits = units.mbps_to_bits_per_slot(10.0, slot_s=0.015)
+        assert bits == pytest.approx(150_000.0)
+        assert units.bits_per_slot_to_mbps(bits, slot_s=0.015) == pytest.approx(10.0)
+
+    def test_zero_rate(self):
+        assert units.mbps_to_bits_per_slot(0.0) == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the real-dataset parsers."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.datasets import load_bandwidth_log, load_fcc_webget_csv
+
+
+@pytest.fixture
+def fcc_csv(tmp_path):
+    path = tmp_path / "curr_webget.csv"
+    path.write_text(
+        "unit_id,dtime,target,bytes_sec\n"
+        "100,2021-03-01 10:00:00,example.com,5000000\n"
+        "100,2021-03-01 10:00:10,example.com,6000000\n"
+        "100,2021-03-01 10:00:20,example.com,4000000\n"
+        "200,2021-03-01 10:00:00,example.com,2500000\n"
+        "200,2021-03-01 10:01:00,example.com,2500000\n"
+    )
+    return path
+
+
+class TestFccWebgetCsv:
+    def test_per_unit_traces(self, fcc_csv):
+        traces = load_fcc_webget_csv(fcc_csv)
+        assert set(traces) == {"100", "200"}
+        trace = traces["100"]
+        assert len(trace.segments) == 2
+        # bytes_sec 5e6 -> 40 Mbps for 10 seconds.
+        assert trace.segments[0].duration_s == pytest.approx(10.0)
+        assert trace.segments[0].mbps == pytest.approx(40.0)
+
+    def test_unit_filter(self, fcc_csv):
+        traces = load_fcc_webget_csv(fcc_csv, unit_id="200")
+        assert set(traces) == {"200"}
+
+    def test_gap_truncated(self, fcc_csv):
+        traces = load_fcc_webget_csv(fcc_csv, max_hold_s=30.0)
+        # Unit 200's two samples are 60 s apart: truncated to 30 s.
+        assert traces["200"].segments[0].duration_s == pytest.approx(30.0)
+
+    def test_rows_unordered_are_sorted(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text(
+            "unit_id,dtime,bytes_sec\n"
+            "1,2021-03-01 10:00:10,2000000\n"
+            "1,2021-03-01 10:00:00,1000000\n"
+        )
+        trace = load_fcc_webget_csv(path)["1"]
+        assert trace.segments[0].mbps == pytest.approx(8.0)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("unit_id,when\n1,2021-03-01\n")
+        with pytest.raises(TraceError):
+            load_fcc_webget_csv(path)
+
+    def test_bad_rate(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("unit_id,dtime,bytes_sec\n1,2021-03-01 10:00:00,abc\n")
+        with pytest.raises(TraceError):
+            load_fcc_webget_csv(path)
+
+    def test_bad_time(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("unit_id,dtime,bytes_sec\n1,yesterday,100\n")
+        with pytest.raises(TraceError):
+            load_fcc_webget_csv(path)
+
+    def test_unknown_unit_requested(self, fcc_csv):
+        with pytest.raises(TraceError):
+            load_fcc_webget_csv(fcc_csv, unit_id="999")
+
+    def test_alternate_time_format(self, tmp_path):
+        path = tmp_path / "alt.csv"
+        path.write_text(
+            "unit_id,dtime,bytes_sec\n"
+            "1,03/01/2021 10:00,1000000\n"
+            "1,03/01/2021 10:01,1000000\n"
+        )
+        assert "1" in load_fcc_webget_csv(path)
+
+
+class TestBandwidthLog:
+    def test_parses_intervals(self, tmp_path):
+        path = tmp_path / "lte.log"
+        # 1 s intervals; 1.25 MB -> 10 Mbps.
+        path.write_text("0 0\n1000 1250000\n2000 2500000\n")
+        trace = load_bandwidth_log(path, name="lte-1")
+        assert trace.name == "lte-1"
+        assert len(trace.segments) == 2
+        assert trace.segments[0].mbps == pytest.approx(10.0)
+        assert trace.segments[1].mbps == pytest.approx(20.0)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "lte.log"
+        path.write_text("# header\n\n0 0\n500 625000\n")
+        trace = load_bandwidth_log(path)
+        assert trace.segments[0].duration_s == pytest.approx(0.5)
+        assert trace.segments[0].mbps == pytest.approx(10.0)
+
+    def test_non_increasing_timestamps(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("1000 1\n1000 2\n")
+        with pytest.raises(TraceError):
+            load_bandwidth_log(path)
+
+    def test_short_file(self, tmp_path):
+        path = tmp_path / "one.log"
+        path.write_text("0 100\n")
+        with pytest.raises(TraceError):
+            load_bandwidth_log(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("0\n")
+        with pytest.raises(TraceError):
+            load_bandwidth_log(path)
+
+    def test_feeds_pipeline(self, tmp_path):
+        """Parsed traces slot-expand like the synthetic ones."""
+        path = tmp_path / "lte.log"
+        path.write_text("0 0\n1000 1250000\n2000 1250000\n")
+        trace = load_bandwidth_log(path).clamped()
+        slots = trace.to_slots(1 / 60)
+        assert len(slots) == 120
+        assert (slots >= 20.0).all()

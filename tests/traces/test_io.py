@@ -1,0 +1,116 @@
+"""Tests for trace file I/O."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.prediction.pose import Pose
+from repro.traces.io import (
+    load_network_trace_csv,
+    load_network_trace_json,
+    load_pose_trace_csv,
+    save_network_trace_csv,
+    save_network_trace_json,
+    save_pose_trace_csv,
+)
+from repro.traces.network import NetworkTrace, TraceSegment
+
+
+@pytest.fixture
+def trace():
+    return NetworkTrace(
+        [TraceSegment(1.5, 30.0), TraceSegment(2.0, 55.5)], name="demo"
+    )
+
+
+@pytest.fixture
+def poses():
+    return [
+        Pose(1.0, 2.0, 1.6, 30.0, -5.0, 0.0),
+        Pose(1.1, 2.0, 1.6, 32.0, -4.5, 0.0),
+    ]
+
+
+class TestNetworkTraceCsv:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_network_trace_csv(trace, path)
+        loaded = load_network_trace_csv(path)
+        assert [s.mbps for s in loaded.segments] == [30.0, 55.5]
+        assert loaded.duration_s == pytest.approx(3.5)
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0,20\n2.0,40\n")
+        loaded = load_network_trace_csv(path, name="raw")
+        assert loaded.name == "raw"
+        assert len(loaded.segments) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("duration_s,mbps\n1.0,20\n\n2.0,40\n")
+        assert len(load_network_trace_csv(path).segments) == 2
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,not-a-number\n")
+        with pytest.raises(TraceError):
+            load_network_trace_csv(path)
+
+    def test_short_row_raises(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(TraceError):
+            load_network_trace_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_network_trace_csv(path)
+
+
+class TestNetworkTraceJson:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_network_trace_json(trace, path)
+        loaded = load_network_trace_json(path)
+        assert loaded.name == "demo"
+        assert [s.duration_s for s in loaded.segments] == [1.5, 2.0]
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_network_trace_json(path)
+
+    def test_missing_segments_raises(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(TraceError):
+            load_network_trace_json(path)
+
+    def test_empty_segments_raises(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text('{"name": "x", "segments": []}')
+        with pytest.raises(TraceError):
+            load_network_trace_json(path)
+
+
+class TestPoseTraceCsv:
+    def test_roundtrip(self, poses, tmp_path):
+        path = tmp_path / "poses.csv"
+        save_pose_trace_csv(poses, path)
+        loaded = load_pose_trace_csv(path)
+        assert loaded == poses
+
+    def test_short_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(TraceError):
+            load_pose_trace_csv(path)
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y,z,yaw,pitch,roll\n")
+        with pytest.raises(TraceError):
+            load_pose_trace_csv(path)
