@@ -1,0 +1,43 @@
+"""Smoke the benchmark harness at tiny scale (not a timing test)."""
+
+import json
+
+from repro.perf import (
+    BENCH_ALLOCATOR_FILE,
+    BENCH_SIMULATOR_FILE,
+    bench_allocator,
+    bench_simulator,
+    persist_run,
+)
+
+
+def test_bench_allocator_smoke():
+    run = bench_allocator(sizes=(5, 30), repeats=1)
+    assert [r["num_items"] for r in run["sizes"]] == [5, 30]
+    for row in run["sizes"]:
+        assert row["solutions_identical"]
+        assert row["reference_s"] > 0 and row["heap_s"] > 0
+
+
+def test_bench_simulator_smoke():
+    run = bench_simulator(num_users=2, num_slots=60, num_episodes=2, max_workers=2)
+    assert run["parallel_matches_serial"]
+    assert run["warm_slots_per_s"] > 0
+    assert run["parallel_speedup"] > 0
+
+
+def test_persist_run_bounds_history(tmp_path):
+    path = tmp_path / BENCH_ALLOCATOR_FILE
+    for i in range(25):
+        document = persist_run({"kind": "allocator", "i": i}, path, now=float(i))
+    assert len(document["runs"]) == 20
+    assert document["latest"]["i"] == 24
+    assert document["runs"][0]["i"] == 5  # oldest runs dropped
+    on_disk = json.loads(path.read_text())
+    assert on_disk["latest"]["cpu_count"] is not None
+
+    # A corrupt file is replaced, not crashed on.
+    bad = tmp_path / BENCH_SIMULATOR_FILE
+    bad.write_text("{not json")
+    document = persist_run({"kind": "simulator"}, bad, now=0.0)
+    assert len(document["runs"]) == 1

@@ -165,6 +165,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        BENCH_ALLOCATOR_FILE,
+        BENCH_SIMULATOR_FILE,
+        bench_allocator,
+        bench_simulator,
+        persist_run,
+    )
+
+    sizes = [int(v) for v in args.sizes.split(",")]
+    repeats = args.repeats
+    sim_slots, episodes, workers = args.sim_slots, args.episodes, args.workers
+    if args.quick:
+        sizes = [s for s in sizes if s <= 100] or [5, 30]
+        repeats = 1
+        sim_slots = min(sim_slots, 120)
+        episodes = min(episodes, 2)
+        workers = min(workers, 2)
+
+    out = Path(args.out)
+    print(f"allocator benchmark (reference vs heap, repeats={repeats}):\n")
+    allocator_run = bench_allocator(sizes=sizes, repeats=repeats, seed=args.seed)
+    print(
+        format_table(
+            ["N", "reference (s)", "heap (s)", "speedup"],
+            [
+                [r["num_items"], r["reference_s"], r["heap_s"], r["speedup"]]
+                for r in allocator_run["sizes"]
+            ],
+        )
+    )
+    persist_run(allocator_run, out / BENCH_ALLOCATOR_FILE)
+
+    print(
+        f"\nsimulator benchmark ({args.sim_users} users, {sim_slots} slots, "
+        f"{episodes} episodes, {workers} workers):\n"
+    )
+    simulator_run = bench_simulator(
+        num_users=args.sim_users,
+        num_slots=sim_slots,
+        num_episodes=episodes,
+        max_workers=workers,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["cold slots/s", simulator_run["cold_slots_per_s"]],
+                ["warm slots/s", simulator_run["warm_slots_per_s"]],
+                ["serial (s)", simulator_run["serial_s"]],
+                [f"parallel x{workers} (s)", simulator_run["parallel_s"]],
+                ["parallel speedup", simulator_run["parallel_speedup"]],
+            ],
+        )
+    )
+    persist_run(simulator_run, out / BENCH_SIMULATOR_FILE)
+    print(
+        f"\nwrote {out / BENCH_ALLOCATOR_FILE} and {out / BENCH_SIMULATOR_FILE}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--slots", type=int, default=400)
     sweep.add_argument("--episodes", type=int, default=1)
 
+    bench = sub.add_parser(
+        "bench", help="fast-path benchmarks (writes BENCH_*.json)"
+    )
+    bench.add_argument("--out", default=".",
+                       help="directory for the BENCH_*.json history files")
+    bench.add_argument("--sizes", default="5,30,100,1000",
+                       help="comma-separated allocator instance sizes")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--sim-users", type=int, default=5)
+    bench.add_argument("--sim-slots", type=int, default=600)
+    bench.add_argument("--episodes", type=int, default=4)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke-test scale for CI")
+
     return parser
 
 
@@ -206,6 +286,7 @@ _COMMANDS = {
     "system": _cmd_system,
     "theorem1": _cmd_theorem1,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

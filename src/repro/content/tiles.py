@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Set, Tuple
 
+import numpy as np
+
 from repro.content.projection import FieldOfView, wrap_angle_deg
 from repro.errors import ConfigurationError
 
@@ -64,6 +66,10 @@ class TileGrid:
             cols.add(min(int(u * self.cols), self.cols - 1))
         return cols
 
+    def row_of(self, pitch_deg: float) -> int:
+        """Row index containing a pitch angle."""
+        return min(int((90.0 - pitch_deg) / 180.0 * self.rows), self.rows - 1)
+
     def tiles_overlapping(
         self,
         center_yaw_deg: float,
@@ -78,8 +84,7 @@ class TileGrid:
         yaw_lo, yaw_hi = fov.yaw_range(center_yaw_deg)
         pitch_lo, pitch_hi = fov.pitch_range(center_pitch_deg)
         cols = self._col_range(yaw_lo, yaw_hi)
-        row_of = lambda pitch: min(int((90.0 - pitch) / 180.0 * self.rows), self.rows - 1)  # noqa: E731
-        rows = set(range(row_of(pitch_hi), row_of(pitch_lo) + 1))
+        rows = set(range(self.row_of(pitch_hi), self.row_of(pitch_lo) + 1))
         return frozenset(r * self.cols + c for r in rows for c in cols)
 
 
@@ -130,6 +135,21 @@ class GridWorld:
         row = int((y - self.y_min) / self.cell_size)
         col = min(col, self.cols - 1)
         row = min(row, self.rows - 1)
+        return row * self.cols + col
+
+    def cells_of(self, xs, ys):
+        """Vectorized :meth:`cell_of` over position arrays.
+
+        Accepts array-likes of equal shape and returns an integer
+        array of cell ids; replicates the scalar clamp/truncate
+        arithmetic exactly, so ``cells_of(xs, ys)[i] ==
+        cell_of(xs[i], ys[i])`` bit-for-bit.
+        """
+        eps = 1e-9
+        x = np.minimum(np.maximum(np.asarray(xs, dtype=float), self.x_min), self.x_max - eps)
+        y = np.minimum(np.maximum(np.asarray(ys, dtype=float), self.y_min), self.y_max - eps)
+        col = np.minimum(((x - self.x_min) / self.cell_size).astype(int), self.cols - 1)
+        row = np.minimum(((y - self.y_min) / self.cell_size).astype(int), self.rows - 1)
         return row * self.cols + col
 
     def cell_center(self, cell_id: int) -> Tuple[float, float]:

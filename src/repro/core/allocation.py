@@ -232,12 +232,18 @@ class DensityValueGreedyAllocator(QualityAllocator):
     Stateless across slots — all the coupling lives in the
     ``qbar``/``delta`` fields of the :class:`SlotProblem`, which the
     :class:`~repro.core.scheduler.CollaborativeVrScheduler` maintains.
+
+    ``strategy`` selects the greedy implementation: ``"heap"`` (the
+    O(log N)-per-upgrade fast path, default) or ``"reference"`` (the
+    direct Algorithm 1 loop kept as the oracle).  Both produce
+    bit-identical allocations.
     """
 
     name: str = field(default="density-value-greedy", init=False)
+    strategy: str = "heap"
 
     def allocate(self, problem: SlotProblem) -> List[int]:
-        solution = combined_greedy(problem.to_knapsack())
+        solution = combined_greedy(problem.to_knapsack(), strategy=self.strategy)
         return _options_to_levels(solution.options)
 
 
@@ -246,9 +252,10 @@ class DensityGreedyAllocator(QualityAllocator):
     """Density-greedy half of Algorithm 1 (ablation)."""
 
     name: str = field(default="density-greedy", init=False)
+    strategy: str = "heap"
 
     def allocate(self, problem: SlotProblem) -> List[int]:
-        solution = density_greedy(problem.to_knapsack())
+        solution = density_greedy(problem.to_knapsack(), strategy=self.strategy)
         return _options_to_levels(solution.options)
 
 
@@ -257,7 +264,8 @@ class ValueGreedyAllocator(QualityAllocator):
     """Value-greedy half of Algorithm 1 (ablation)."""
 
     name: str = field(default="value-greedy", init=False)
+    strategy: str = "heap"
 
     def allocate(self, problem: SlotProblem) -> List[int]:
-        solution = value_greedy(problem.to_knapsack())
+        solution = value_greedy(problem.to_knapsack(), strategy=self.strategy)
         return _options_to_levels(solution.options)

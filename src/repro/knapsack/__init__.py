@@ -24,6 +24,7 @@ the paper can be tested and benchmarked in isolation:
 
 from repro.knapsack.problem import ItemCurve, SeparableKnapsack, Solution
 from repro.knapsack.greedy import (
+    STRATEGIES,
     combined_greedy,
     density_greedy,
     value_greedy,
@@ -35,6 +36,7 @@ __all__ = [
     "ItemCurve",
     "SeparableKnapsack",
     "Solution",
+    "STRATEGIES",
     "density_greedy",
     "value_greedy",
     "combined_greedy",

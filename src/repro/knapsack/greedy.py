@@ -14,18 +14,83 @@ Either order alone can be a factor-2 loser on adversarial instances
 solver runs both and keeps the better result, which achieves at least
 1/2 of the optimum when value curves are concave and weight curves are
 convex (Theorem 1).
+
+Two interchangeable implementations back every solver:
+
+* ``strategy="reference"`` — the direct transcription of Algorithm 1:
+  each round rescans every active item in increasing index order and
+  grants the best upgrade, so one upgrade costs O(N).
+* ``strategy="heap"`` — the fast path: each active item keeps exactly
+  one max-heap entry keyed by the priority of its *next* upgrade, so
+  one upgrade costs O(log N).  Because an item's priority depends only
+  on its own curve (never on other items' choices), popped entries are
+  always fresh; a stale-entry guard remains as a defensive invariant.
+
+Both implementations grant the same upgrades in the same order — exact
+priority ties break toward the lowest item index — and therefore
+return bit-identical solutions (property-tested over random plain,
+capped, grouped, and skip-allowed instances in
+``tests/knapsack/test_heap_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Set
+import heapq
+from typing import Callable, List, Set, Tuple
 
+from repro.errors import ConfigurationError
 from repro.knapsack.problem import SeparableKnapsack, Solution
 
 _EPS = 1e-9
 
+#: Implementation names accepted by the ``strategy`` argument.
+STRATEGIES = ("reference", "heap")
 
-def _greedy(
+
+def _start_state(problem: SeparableKnapsack):
+    """Shared warm-up: the base assignment and its running weights."""
+    base = problem.base_solution()
+    options: List[int] = list(base.options)
+    return options, base.weight, problem.group_weights(options)
+
+
+def _try_upgrade(
+    problem: SeparableKnapsack,
+    options: List[int],
+    group_weights: List[float],
+    total_weight: float,
+    n: int,
+) -> Tuple[float, bool, bool]:
+    """``quality_verification(q, I)`` from Algorithm 1 for one upgrade.
+
+    Attempts to move item ``n`` up one level.  Returns
+    ``(total_weight, granted, still_active)``: a cap/budget violation
+    (global or per-group) leaves ``options`` untouched and retires the
+    item; a granted upgrade retires the item only when it reaches its
+    top level.
+    """
+    item = problem.items[n]
+    k = options[n]
+    delta = item.weight_delta(k)
+    new_weight = total_weight + delta
+    group = problem.group_of[n] if problem.group_of is not None else None
+    group_over = (
+        group is not None
+        and group_weights[group] + delta > problem.group_budgets[group] + _EPS
+    )
+    if (
+        item.weights[k + 1] > item.cap + _EPS
+        or new_weight > problem.budget + _EPS
+        or group_over
+    ):
+        return total_weight, False, False
+    options[n] = k + 1
+    if group is not None:
+        group_weights[group] += delta
+    return new_weight, True, options[n] < item.max_option
+
+
+def _greedy_reference(
     problem: SeparableKnapsack,
     score: Callable[[float, float], float],
 ) -> Solution:
@@ -36,23 +101,34 @@ def _greedy(
     highest-priority upgrade and stops as soon as the best available
     priority is negative (with concave values every later upgrade of
     every user would be worse, exactly as argued in the paper).
-    """
-    base = problem.base_solution()
-    options: List[int] = list(base.options)
-    total_weight = base.weight
-    group_weights = problem.group_weights(options)
 
-    active: Set[int] = set()
-    for n, item in enumerate(problem.items):
-        if options[n] < 0:
-            continue  # skipped at base: never upgraded
-        if options[n] < item.max_option:
-            active.add(n)
+    Deterministic iteration order: each round scans the active items
+    once in **increasing item index** and keeps the first strict
+    maximum, so exact priority ties break toward the lowest index.
+    The heap fast path reproduces this order bit-for-bit; the
+    equivalence tests rely on this contract.
+    """
+    options, total_weight, group_weights = _start_state(problem)
+
+    active: Set[int] = {
+        n
+        for n, item in enumerate(problem.items)
+        # Items skipped at base (option -1) are never upgraded.
+        if 0 <= options[n] < item.max_option
+    }
+    # Increasing-index scan order; retired items are skipped and the
+    # list compacted once it is mostly dead, keeping one upgrade O(N)
+    # without re-sorting the active set every round.
+    order = sorted(active)
 
     while active:
+        if len(order) > 2 * len(active):
+            order = [n for n in order if n in active]
         best_n = -1
         best_score = float("-inf")
-        for n in sorted(active):
+        for n in order:
+            if n not in active:
+                continue
             item = problem.items[n]
             k = options[n]
             s = score(item.value_delta(k), item.weight_delta(k))
@@ -62,56 +138,97 @@ def _greedy(
         if best_score < 0:
             # argmax is negative => every candidate upgrade loses value.
             break
-
-        item = problem.items[best_n]
-        options[best_n] += 1
-        delta = item.weight_delta(options[best_n] - 1)
-        new_weight = total_weight + delta
-        group = (
-            problem.group_of[best_n] if problem.group_of is not None else None
+        total_weight, _granted, still_active = _try_upgrade(
+            problem, options, group_weights, total_weight, best_n
         )
-        group_over = (
-            group is not None
-            and group_weights[group] + delta > problem.group_budgets[group] + _EPS
-        )
-
-        # quality_verification(q, I) from Algorithm 1: cap/budget
-        # (global or per-group) violations revert the upgrade and
-        # retire the user; reaching the top level retires the user
-        # but keeps the upgrade.
-        if (
-            item.weights[options[best_n]] > item.cap + _EPS
-            or new_weight > problem.budget + _EPS
-            or group_over
-        ):
-            options[best_n] -= 1
-            active.discard(best_n)
-            continue
-        total_weight = new_weight
-        if group is not None:
-            group_weights[group] += delta
-        if options[best_n] == item.max_option:
+        if not still_active:
             active.discard(best_n)
 
     return problem.evaluate(options)
 
 
-def density_greedy(problem: SeparableKnapsack) -> Solution:
+def _greedy_heap(
+    problem: SeparableKnapsack,
+    score: Callable[[float, float], float],
+) -> Solution:
+    """Heap fast path: identical upgrade sequence, O(log N) per upgrade.
+
+    Heap entries are ``(-priority, item, option)`` so the smallest
+    tuple is the highest-priority upgrade with ties broken toward the
+    lowest item index — exactly the reference scan order.  Each live
+    item owns one entry for its current option; an entry whose option
+    no longer matches (or whose item was retired) is stale and skipped.
+    """
+    options, total_weight, group_weights = _start_state(problem)
+
+    live = [False] * problem.num_items
+    heap: List[Tuple[float, int, int]] = []
+    for n, item in enumerate(problem.items):
+        if 0 <= options[n] < item.max_option:
+            k = options[n]
+            live[n] = True
+            heap.append((-score(item.value_delta(k), item.weight_delta(k)), n, k))
+    heapq.heapify(heap)
+
+    while heap:
+        neg_score, n, k = heapq.heappop(heap)
+        if not live[n] or k != options[n]:
+            continue  # stale entry (defensive; see module docstring)
+        if -neg_score < 0:
+            # Best fresh priority is negative: same stop as reference.
+            break
+        total_weight, _granted, still_active = _try_upgrade(
+            problem, options, group_weights, total_weight, n
+        )
+        if still_active:
+            item = problem.items[n]
+            k = options[n]
+            heapq.heappush(
+                heap, (-score(item.value_delta(k), item.weight_delta(k)), n, k)
+            )
+        else:
+            live[n] = False
+
+    return problem.evaluate(options)
+
+
+_IMPLEMENTATIONS = {
+    "reference": _greedy_reference,
+    "heap": _greedy_heap,
+}
+
+
+def _greedy(
+    problem: SeparableKnapsack,
+    score: Callable[[float, float], float],
+    strategy: str = "heap",
+) -> Solution:
+    """Dispatch an upgrade-greedy run to the selected implementation."""
+    try:
+        impl = _IMPLEMENTATIONS[strategy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown greedy strategy {strategy!r}; expected one of {STRATEGIES}"
+        ) from None
+    return impl(problem, score)
+
+
+def density_greedy(problem: SeparableKnapsack, strategy: str = "heap") -> Solution:
     """Upgrade-greedy ordered by marginal density ``dv / dw``."""
-    return _greedy(problem, lambda dv, dw: dv / dw)
+    return _greedy(problem, lambda dv, dw: dv / dw, strategy)
 
 
-def value_greedy(problem: SeparableKnapsack) -> Solution:
+def value_greedy(problem: SeparableKnapsack, strategy: str = "heap") -> Solution:
     """Upgrade-greedy ordered by raw marginal value ``dv``."""
-    return _greedy(problem, lambda dv, _dw: dv)
+    return _greedy(problem, lambda dv, _dw: dv, strategy)
 
 
-def combined_greedy(problem: SeparableKnapsack) -> Solution:
+def combined_greedy(problem: SeparableKnapsack, strategy: str = "heap") -> Solution:
     """Algorithm 1: the better of density-greedy and value-greedy.
 
     Under concave value curves and convex weight curves this achieves
     at least half the optimal objective (Theorem 1 of the paper).
     """
-    d = density_greedy(problem)
-    v = value_greedy(problem)
+    d = density_greedy(problem, strategy)
+    v = value_greedy(problem, strategy)
     return d if d.value >= v.value else v

@@ -211,6 +211,33 @@ class SeparableKnapsack:
         """Number of group constraints (0 when ungrouped)."""
         return len(self.group_budgets) if self.group_budgets is not None else 0
 
+    def solve(self, order: str = "combined", strategy: str = "heap") -> Solution:
+        """Solve with Algorithm 1's greedy family.
+
+        ``order`` picks the attractiveness order — ``"density"``,
+        ``"value"``, or ``"combined"`` (the paper's Algorithm 1, the
+        better of the two).  ``strategy`` picks the implementation:
+        ``"heap"`` is the O(log N)-per-upgrade fast path, and
+        ``"reference"`` the direct O(N)-per-upgrade transcription kept
+        as the equivalence oracle.  Both strategies return bit-identical
+        solutions.
+        """
+        # Imported here because the greedy module imports this one.
+        from repro.knapsack import greedy
+
+        try:
+            solver = {
+                "density": greedy.density_greedy,
+                "value": greedy.value_greedy,
+                "combined": greedy.combined_greedy,
+            }[order]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown greedy order {order!r}; expected "
+                "'density', 'value', or 'combined'"
+            ) from None
+        return solver(self, strategy=strategy)
+
     def group_weights(self, options: Sequence[int]) -> List[float]:
         """Total weight per group under an assignment."""
         if self.group_of is None:

@@ -41,11 +41,20 @@ def random_instance(
     num_options: int = 5,
     tightness: float = 0.5,
     with_caps: bool = False,
+    num_groups: int = 0,
+    allow_skip: bool = False,
 ) -> SeparableKnapsack:
     """A random Theorem-1-class knapsack instance.
 
     ``tightness`` interpolates the budget between the all-base weight
-    (0.0) and the all-max weight (1.0).
+    (0.0) and the all-max weight (1.0).  ``num_groups > 0`` adds that
+    many shared-budget group constraints (the per-router air-time of
+    the real system) with random membership; ``allow_skip`` enables
+    the option ``-1`` degradation path with random skip values.
+
+    The extra draws for groups and skips happen *after* the base
+    draws, so callers that keep the defaults see exactly the same
+    random stream as before these knobs existed.
     """
     caps = (
         [float(rng.uniform(3.0, 25.0)) for _ in range(num_items)]
@@ -59,4 +68,31 @@ def random_instance(
     base = sum(item.weights[0] for item in items)
     top = sum(item.weights[-1] for item in items)
     budget = base + tightness * (top - base)
-    return SeparableKnapsack(items, budget)
+
+    group_of = None
+    group_budgets = None
+    if num_groups > 0:
+        group_of = [int(g) for g in rng.integers(0, num_groups, size=num_items)]
+        group_budgets = []
+        for g in range(num_groups):
+            members = [i for i in range(num_items) if group_of[i] == g]
+            g_base = sum(items[i].weights[0] for i in members)
+            g_top = sum(items[i].weights[-1] for i in members)
+            # A per-group tightness around the global one keeps some
+            # groups binding and others slack.
+            g_tight = float(rng.uniform(0.5, 1.2)) * tightness
+            group_budgets.append(g_base + min(g_tight, 1.0) * (g_top - g_base))
+
+    skip_values = (
+        tuple(float(rng.uniform(-1.0, 1.0)) for _ in range(num_items))
+        if allow_skip
+        else tuple()
+    )
+    return SeparableKnapsack(
+        items,
+        budget,
+        allow_skip=allow_skip,
+        skip_values=skip_values,
+        group_of=group_of,
+        group_budgets=group_budgets,
+    )

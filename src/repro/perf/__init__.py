@@ -1,0 +1,25 @@
+"""Persistent performance benchmarks for the fast-path engine.
+
+The harness times the two hot layers — the Algorithm 1 greedy
+(reference loop vs heap fast path) and the trace simulator (slots/s,
+serial vs process-pool episodes) — and appends the results to
+``BENCH_allocator.json`` / ``BENCH_simulator.json`` so regressions
+show up as history, not anecdotes.  Run it with
+``python -m repro bench`` (see ``benchmarks/perf/README.md``).
+"""
+
+from repro.perf.bench import (
+    BENCH_ALLOCATOR_FILE,
+    BENCH_SIMULATOR_FILE,
+    bench_allocator,
+    bench_simulator,
+    persist_run,
+)
+
+__all__ = [
+    "BENCH_ALLOCATOR_FILE",
+    "BENCH_SIMULATOR_FILE",
+    "bench_allocator",
+    "bench_simulator",
+    "persist_run",
+]

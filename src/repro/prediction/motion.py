@@ -112,3 +112,83 @@ class LinearMotionPredictor:
         if pose is None:
             raise ConfigurationError("predict_or_last called before any observation")
         return pose
+
+
+def _fit_window_vector(data: np.ndarray, horizon: int) -> np.ndarray:
+    """One window's prediction — the exact per-axis math of `predict`."""
+    n = data.shape[0]
+    times = np.arange(n, dtype=float)
+    target_t = float(n - 1 + horizon)
+    predicted = np.empty(6, dtype=float)
+    for axis in range(6):
+        series = data[:, axis]
+        if axis in _ANGULAR_AXES:
+            series = _unwrap_deg(series)
+        t_mean = times.mean()
+        s_mean = series.mean()
+        denom = float(((times - t_mean) ** 2).sum())
+        slope = float(((times - t_mean) * (series - s_mean)).sum()) / denom
+        predicted[axis] = s_mean + slope * (target_t - t_mean)
+    predicted[_PITCH_AXIS] = min(max(predicted[_PITCH_AXIS], -90.0), 90.0)
+    for axis in _ANGULAR_AXES:
+        predicted[axis] = wrap_angle_deg(predicted[axis])
+    return predicted
+
+
+def batch_linear_predictions(
+    pose_vectors: np.ndarray, window: int, horizon: int = 1
+) -> np.ndarray:
+    """All of one trajectory's predictions at once, for the simulator.
+
+    ``pose_vectors`` holds a user's *observed* poses as a ``(T, 6)``
+    array (``Pose.as_vector`` rows).  Returns a ``(T, 6)`` array whose
+    row ``t`` equals what ``LinearMotionPredictor(window, horizon)``
+    would return from ``predict()`` after observing poses ``0..t-1`` —
+    the simulator's per-slot call sequence — computed with identical
+    arithmetic, so the results match the sequential predictor
+    bit-for-bit.  Row 0 is NaN (no observation yet); the caller
+    applies its own fallback, as the simulator does.
+
+    Warm-up rows (fewer than ``window`` observations) reuse the
+    sequential per-window fit; full windows are evaluated in one
+    vectorized sweep over a sliding-window view.
+    """
+    if window < 2:
+        raise ConfigurationError(f"window must be >= 2, got {window}")
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    vectors = np.asarray(pose_vectors, dtype=float)
+    if vectors.ndim != 2 or vectors.shape[1] != 6:
+        raise ConfigurationError(
+            f"pose_vectors must have shape (T, 6), got {vectors.shape}"
+        )
+    num_slots = vectors.shape[0]
+    out = np.full((num_slots, 6), np.nan)
+    if num_slots > 1:
+        out[1] = vectors[0]  # single observation: zero-velocity fallback
+    for t in range(2, min(window, num_slots)):
+        out[t] = _fit_window_vector(vectors[:t], horizon)
+    if num_slots <= window:
+        return out
+
+    times = np.arange(window, dtype=float)
+    t_mean = times.mean()
+    centered = times - t_mean
+    denom = float((centered ** 2).sum())
+    target_t = float(window - 1 + horizon)
+    # windows[i] = vectors[i : i + window] predicts slot t = i + window.
+    windows = np.lib.stride_tricks.sliding_window_view(vectors, window, axis=0)
+    windows = windows[: num_slots - window]
+    for axis in range(6):
+        series = windows[:, axis, :]
+        if axis in _ANGULAR_AXES:
+            series = _unwrap_deg(series)
+        s_mean = series.mean(axis=-1)
+        slope = (centered * (series - s_mean[:, None])).sum(axis=-1) / denom
+        out[window:, axis] = s_mean + slope * (target_t - t_mean)
+    out[window:, _PITCH_AXIS] = np.minimum(
+        np.maximum(out[window:, _PITCH_AXIS], -90.0), 90.0
+    )
+    for axis in _ANGULAR_AXES:
+        out[window:, axis] = (out[window:, axis] + 180.0) % 360.0 - 180.0
+    return out

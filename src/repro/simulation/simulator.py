@@ -15,12 +15,29 @@ Per slot the simulator:
 5. evaluates the coverage indicator ``1_n(t)`` by comparing the
    delivered FoV-with-margin against the true pose;
 6. folds everything into the per-user QoE ledgers.
+
+Fast path
+---------
+The per-slot pipeline is hoisted out of the hot loop wherever the
+inputs are allocator-independent: pose predictions and viewpoint
+cells are precomputed per episode with vectorized numpy (bit-identical
+to the sequential predictor — see
+:func:`repro.prediction.motion.batch_linear_predictions`), rate curves
+and M/M/1 delay closures are memoized, and the coverage evaluator
+memoizes its tile-overlap queries on exact keys.  Because the random
+substrate depends only on ``(config.seed, episode)``, episodes are
+independent and :meth:`TraceSimulator.run` can fan them out over a
+process pool (``max_workers``) with results identical to the serial
+path and returned in episode order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.content.projection import FieldOfView
 from repro.content.rate import RateModel
@@ -30,7 +47,8 @@ from repro.core.qoe import QoEWeights
 from repro.core.scheduler import CollaborativeVrScheduler
 from repro.errors import ConfigurationError
 from repro.prediction.fov import CoverageEvaluator
-from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.motion import LinearMotionPredictor, batch_linear_predictions
+from repro.prediction.pose import Pose
 from repro.prediction.predictors import make_predictor
 from repro.prediction.throughput import EmaThroughputEstimator
 from repro.simulation.delaymodel import MM1DelayModel
@@ -39,13 +57,19 @@ from repro.simulation.metrics import (
     MultiEpisodeResults,
     summarize_ledger,
 )
-from repro.traces.dataset import TraceDataset
+from repro.system.telemetry import SlotUserRecord
+from repro.traces.dataset import SlotSchedule, TraceDataset
 from repro.traces.network import TraceCatalog
 from repro.units import (
     DEFAULT_NUM_LEVELS,
     SERVER_MBPS_PER_USER,
     SLOT_DURATION_S,
 )
+
+#: Episodes of precomputed schedules/predictions kept per simulator.
+_EPISODE_CACHE_LIMIT = 8
+#: Distinct bandwidth values whose delay closures are memoized.
+_DELAY_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -103,7 +127,10 @@ class TraceSimulator:
     The random substrate (traces, motion, content curves) depends only
     on ``(config.seed, episode)`` — every allocator sees exactly the
     same world, which is what makes the CDF comparisons of Figs. 2-3
-    paired and fair.
+    paired and fair.  The same independence lets :meth:`run` replay
+    episodes in parallel worker processes, and lets one simulator
+    reuse an episode's precomputed schedule and pose predictions
+    across the allocators of a :meth:`compare`.
     """
 
     def __init__(self, config: SimulationConfig = SimulationConfig()) -> None:
@@ -131,6 +158,14 @@ class TraceSimulator:
             cell_tolerance=config.cell_tolerance,
         )
         self.delay_model = MM1DelayModel()
+        # Allocator-independent per-episode state, reused across the
+        # allocators of a compare(); bounded to the last few episodes.
+        self._schedule_cache: Dict[Tuple[int, int, int], SlotSchedule] = {}
+        self._prediction_cache: Dict[Tuple[int, int, int], List[List[Pose]]] = {}
+        # Rate curves depend only on (model seed, cell): share forever.
+        self._curve_cache: Dict[int, Tuple[float, ...]] = {}
+        # One M/M/1 closure per distinct bandwidth value.
+        self._delay_fn_cache: Dict[float, Callable[[float], float]] = {}
 
     def _make_predictor(self):
         """Instantiate the configured motion predictor."""
@@ -139,6 +174,85 @@ class TraceSimulator:
                 window=self.config.predictor_window, horizon=1
             )
         return make_predictor(self.config.predictor, horizon=1)
+
+    @staticmethod
+    def _cache_put(cache: Dict, key, value) -> None:
+        """Insert into a bounded insertion-ordered cache."""
+        if len(cache) >= _EPISODE_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+
+    def _episode_schedule(self, episode: int) -> SlotSchedule:
+        """The episode's replay inputs, memoized across allocators."""
+        cfg = self.config
+        key = (cfg.num_users, cfg.duration_slots, episode)
+        schedule = self._schedule_cache.get(key)
+        if schedule is None:
+            schedule = self.dataset.episode(cfg.num_users, cfg.duration_slots, episode)
+            self._cache_put(self._schedule_cache, key, schedule)
+        return schedule
+
+    def _episode_predictions(
+        self, schedule: SlotSchedule, num_slots: int, episode: int
+    ) -> List[List[Pose]]:
+        """Predicted pose per (user, slot) — allocator-independent.
+
+        The predictor only ever observes the *true* poses, which the
+        schedule fixes upfront, so the whole prediction sequence can
+        be computed once per episode.  The linear-regression default
+        goes through the vectorized batch fit (bit-identical to the
+        sequential predictor); other predictors replay sequentially.
+        """
+        cfg = self.config
+        key = (cfg.num_users, num_slots, episode)
+        cached = self._prediction_cache.get(key)
+        if cached is not None:
+            return cached
+        predicted: List[List[Pose]] = []
+        if cfg.predictor == "linear-regression":
+            for n in range(cfg.num_users):
+                vectors = np.array(
+                    [p.as_vector() for p in schedule.poses[n][:num_slots]],
+                    dtype=float,
+                )
+                fitted = batch_linear_predictions(
+                    vectors, window=cfg.predictor_window, horizon=1
+                )
+                # Slot 0 has no observations: connection setup
+                # delivers the initial pose, exactly as the sequential
+                # loop falls back.
+                row = [schedule.poses[n][0]]
+                row.extend(Pose.from_vector(fitted[t]) for t in range(1, num_slots))
+                predicted.append(row)
+        else:
+            for n in range(cfg.num_users):
+                predictor = self._make_predictor()
+                row = []
+                for t in range(num_slots):
+                    pose = predictor.predict()
+                    row.append(pose if pose is not None else schedule.poses[n][t])
+                    predictor.observe(schedule.poses[n][t])
+                predicted.append(row)
+        self._cache_put(self._prediction_cache, key, predicted)
+        return predicted
+
+    def _curve(self, cell: int) -> Tuple[float, ...]:
+        """Rate curve of a viewpoint cell, memoized across episodes."""
+        curve = self._curve_cache.get(cell)
+        if curve is None:
+            curve = self._curve_cache[cell] = self.rate_model.curve(cell).as_tuple()
+        return curve
+
+    def _delay_fn(self, bandwidth_mbps: float) -> Callable[[float], float]:
+        """Per-bandwidth M/M/1 closure, memoized instead of rebuilt."""
+        fn = self._delay_fn_cache.get(bandwidth_mbps)
+        if fn is None:
+            if len(self._delay_fn_cache) >= _DELAY_CACHE_LIMIT:
+                self._delay_fn_cache.clear()
+            fn = self._delay_fn_cache[bandwidth_mbps] = self.delay_model.delay_fn(
+                bandwidth_mbps
+            )
+        return fn
 
     def run_episode(
         self,
@@ -154,12 +268,11 @@ class TraceSimulator:
         system emulation offers.
         """
         cfg = self.config
-        schedule = self.dataset.episode(cfg.num_users, cfg.duration_slots, episode)
+        schedule = self._episode_schedule(episode)
         allocator.reset()
         scheduler = CollaborativeVrScheduler(
             cfg.num_users, allocator, cfg.weights, allow_skip=False
         )
-        predictors = [self._make_predictor() for _ in range(cfg.num_users)]
         estimators = (
             [
                 EmaThroughputEstimator(alpha=cfg.ema_alpha)
@@ -169,10 +282,19 @@ class TraceSimulator:
             else None
         )
 
-        # Cache rate curves per content cell: users revisit cells often.
-        curve_cache: Dict[int, Sequence[float]] = {}
-
         num_slots = min(cfg.duration_slots, schedule.num_slots)
+        predicted_poses = self._episode_predictions(schedule, num_slots, episode)
+        # Viewpoint cells for every (user, slot) in two vectorized
+        # sweeps; bit-identical to calling world.cell_of per slot.
+        predicted_cells = self.world.cells_of(
+            [[p.x for p in row] for row in predicted_poses],
+            [[p.y for p in row] for row in predicted_poses],
+        )
+        actual_cells = self.world.cells_of(
+            [[p.x for p in row[:num_slots]] for row in schedule.poses],
+            [[p.y for p in row[:num_slots]] for row in schedule.poses],
+        )
+
         for t in range(num_slots):
             caps = schedule.bandwidth_mbps[:, t]
             if estimators is None:
@@ -186,18 +308,9 @@ class TraceSimulator:
                 ]
             sizes: List[Sequence[float]] = []
             delay_fns = []
-            predicted_poses = []
             for n in range(cfg.num_users):
-                predicted = predictors[n].predict()
-                if predicted is None:
-                    # Connection setup delivers the initial pose.
-                    predicted = schedule.poses[n][t]
-                predicted_poses.append(predicted)
-                cell = self.world.cell_of(predicted.x, predicted.y)
-                if cell not in curve_cache:
-                    curve_cache[cell] = self.rate_model.curve(cell).as_tuple()
-                sizes.append(curve_cache[cell])
-                delay_fns.append(self.delay_model.delay_fn(believed_caps[n]))
+                sizes.append(self._curve(int(predicted_cells[n][t])))
+                delay_fns.append(self._delay_fn(believed_caps[n]))
 
             problem = scheduler.build_slot_problem(
                 sizes, delay_fns, believed_caps, cfg.server_budget_mbps
@@ -209,7 +322,12 @@ class TraceSimulator:
             for n in range(cfg.num_users):
                 actual = schedule.poses[n][t]
                 if levels[n] > 0:
-                    outcome = self.coverage.evaluate(predicted_poses[n], actual)
+                    outcome = self.coverage.evaluate(
+                        predicted_poses[n][t],
+                        actual,
+                        predicted_cell=int(predicted_cells[n][t]),
+                        actual_cell=int(actual_cells[n][t]),
+                    )
                     indicators.append(outcome.indicator)
                     delays.append(
                         self.delay_model.delay(
@@ -219,12 +337,9 @@ class TraceSimulator:
                 else:
                     indicators.append(0)
                     delays.append(0.0)
-                predictors[n].observe(actual)
 
             scheduler.record_outcomes(levels, indicators, delays)
             if telemetry is not None:
-                from repro.system.telemetry import SlotUserRecord
-
                 for n in range(cfg.num_users):
                     rate = sizes[n][levels[n] - 1] if levels[n] > 0 else 0.0
                     telemetry.add(
@@ -257,26 +372,82 @@ class TraceSimulator:
         allocator: QualityAllocator,
         num_episodes: int = 1,
         first_episode: int = 0,
+        max_workers: Optional[int] = None,
     ) -> MultiEpisodeResults:
-        """Simulate several episodes and pool the per-user samples."""
+        """Simulate several episodes and pool the per-user samples.
+
+        ``max_workers`` fans the episodes out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  Episodes
+        are independent by construction (seeded by ``(config.seed,
+        episode)``), so the parallel path returns exactly the same
+        :class:`MultiEpisodeResults` as the serial one, in episode
+        order.  ``None``, 0, or 1 runs serially; if the pool cannot be
+        used (unpicklable allocator, no fork support) the serial path
+        is the silent fallback.
+        """
         if num_episodes < 1:
             raise ConfigurationError(
                 f"num_episodes must be >= 1, got {num_episodes}"
             )
+        if max_workers is not None and max_workers < 0:
+            raise ConfigurationError(
+                f"max_workers must be non-negative, got {max_workers}"
+            )
         results = MultiEpisodeResults(algorithm=allocator.name)
-        for episode in range(first_episode, first_episode + num_episodes):
+        episodes = range(first_episode, first_episode + num_episodes)
+        if max_workers is not None and max_workers > 1 and num_episodes > 1:
+            episode_results = self._run_episodes_parallel(
+                allocator, episodes, max_workers
+            )
+            if episode_results is not None:
+                for episode_result in episode_results:
+                    results.add(episode_result)
+                return results
+        for episode in episodes:
             results.add(self.run_episode(allocator, episode))
         return results
+
+    def _run_episodes_parallel(
+        self,
+        allocator: QualityAllocator,
+        episodes: Sequence[int],
+        max_workers: int,
+    ) -> Optional[List[EpisodeResult]]:
+        """Episodes over a process pool; ``None`` means fall back."""
+        payloads = [(self.config, allocator, episode) for episode in episodes]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(max_workers, len(payloads))
+            ) as pool:
+                return list(pool.map(_episode_task, payloads))
+        except Exception:
+            # Pool setup or pickling failed; any genuine simulation
+            # error re-raises identically on the serial fallback.
+            return None
 
     def compare(
         self,
         allocators: Mapping[str, QualityAllocator],
         num_episodes: int = 1,
+        max_workers: Optional[int] = None,
     ) -> Dict[str, MultiEpisodeResults]:
         """Run every allocator over the same episodes."""
         if not allocators:
             raise ConfigurationError("compare needs at least one allocator")
         return {
-            name: self.run(allocator, num_episodes)
+            name: self.run(allocator, num_episodes, max_workers=max_workers)
             for name, allocator in allocators.items()
         }
+
+
+#: Per-process simulator reused across the episodes a worker handles.
+_WORKER_SIMULATOR: Optional[TraceSimulator] = None
+
+
+def _episode_task(payload) -> EpisodeResult:
+    """Worker-process entry point for :meth:`TraceSimulator.run`."""
+    global _WORKER_SIMULATOR
+    config, allocator, episode = payload
+    if _WORKER_SIMULATOR is None or _WORKER_SIMULATOR.config != config:
+        _WORKER_SIMULATOR = TraceSimulator(config)
+    return _WORKER_SIMULATOR.run_episode(allocator, episode)

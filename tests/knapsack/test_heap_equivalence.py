@@ -1,0 +1,87 @@
+"""Heap fast path vs reference Algorithm 1 loop: exact equivalence.
+
+The heap variant must be a pure performance change — bit-identical
+``Solution.options`` on every instance, including grouped (router
+budgets), per-item capped, and skip-allowed ones.  A single property
+sweep over a few hundred random draws covers all three greedy orders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.knapsack import (
+    STRATEGIES,
+    combined_greedy,
+    density_greedy,
+    value_greedy,
+)
+from repro.knapsack.random_instances import random_instance
+
+_ORDERS = (density_greedy, value_greedy, combined_greedy)
+
+
+def _draw(rng, round_index):
+    """One random instance, cycling through the special shapes."""
+    shape = round_index % 4
+    return random_instance(
+        rng,
+        num_items=int(rng.integers(1, 9)),
+        num_options=int(rng.integers(1, 7)),
+        tightness=float(rng.uniform(0.0, 1.2)),
+        num_groups=int(rng.integers(1, 4)) if shape == 1 else 0,
+        allow_skip=shape == 2,
+    )
+
+
+class TestHeapMatchesReference:
+    def test_property_sweep(self):
+        """~200 draws x 3 orders: options must match exactly."""
+        rng = np.random.default_rng(20220713)
+        for round_index in range(200):
+            problem = _draw(rng, round_index)
+            for solver in _ORDERS:
+                reference = solver(problem, strategy="reference")
+                heap = solver(problem, strategy="heap")
+                assert heap.options == reference.options, (
+                    f"round {round_index}, {solver.__name__}: "
+                    f"{heap.options} != {reference.options}"
+                )
+                assert heap.value == reference.value
+                assert heap.weight == reference.weight
+
+    def test_large_instance(self):
+        """The size regime the heap exists for stays exact too."""
+        rng = np.random.default_rng(7)
+        problem = random_instance(
+            rng, num_items=400, num_options=6, tightness=0.4
+        )
+        for solver in _ORDERS:
+            assert (
+                solver(problem, strategy="heap").options
+                == solver(problem, strategy="reference").options
+            )
+
+
+class TestSolveApi:
+    def test_solve_dispatches_orders(self):
+        rng = np.random.default_rng(11)
+        problem = random_instance(rng, num_items=6, num_options=5, tightness=0.5)
+        for order, solver in (
+            ("density", density_greedy),
+            ("value", value_greedy),
+            ("combined", combined_greedy),
+        ):
+            for strategy in STRATEGIES:
+                assert (
+                    problem.solve(order=order, strategy=strategy).options
+                    == solver(problem, strategy=strategy).options
+                )
+
+    def test_solve_rejects_unknown(self):
+        rng = np.random.default_rng(11)
+        problem = random_instance(rng, num_items=3, num_options=3, tightness=0.5)
+        with pytest.raises(ConfigurationError):
+            problem.solve(order="steepest")
+        with pytest.raises(ConfigurationError):
+            problem.solve(strategy="quantum")

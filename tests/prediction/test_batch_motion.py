@@ -1,0 +1,54 @@
+"""Vectorized batch predictions vs the sequential predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.motion import LinearMotionPredictor, batch_linear_predictions
+from repro.prediction.pose import Pose
+
+
+def _random_walk(rng, num_slots):
+    """A pose trajectory that exercises wrap (yaw) and clamp (pitch)."""
+    steps = rng.normal(scale=[0.1, 0.1, 0.02, 25.0, 12.0, 5.0], size=(num_slots, 6))
+    raw = np.cumsum(steps, axis=0)
+    raw[:, 3] += 170.0  # start near the +-180 seam
+    raw[:, 4] = np.clip(raw[:, 4] + 80.0, -90.0, 90.0)  # ride the pitch clamp
+    return [Pose.from_vector(raw[t]) for t in range(num_slots)]
+
+
+class TestBatchLinearPredictions:
+    @pytest.mark.parametrize("window", [2, 3, 10])
+    def test_bitwise_equal_to_sequential(self, window):
+        rng = np.random.default_rng(42)
+        poses = _random_walk(rng, 120)
+        vectors = np.array([p.as_vector() for p in poses])
+        batch = batch_linear_predictions(vectors, window=window, horizon=1)
+
+        predictor = LinearMotionPredictor(window=window, horizon=1)
+        for t, pose in enumerate(poses):
+            sequential = predictor.predict()
+            if sequential is None:
+                assert np.isnan(batch[t]).all()
+            else:
+                assert tuple(batch[t]) == sequential.as_vector(), f"slot {t}"
+            predictor.observe(pose)
+
+    def test_short_trajectories(self):
+        rng = np.random.default_rng(0)
+        for num_slots in (1, 2, 3):
+            vectors = np.array(
+                [p.as_vector() for p in _random_walk(rng, num_slots)]
+            )
+            batch = batch_linear_predictions(vectors, window=10)
+            assert batch.shape == (num_slots, 6)
+            assert np.isnan(batch[0]).all()
+
+    def test_rejects_bad_arguments(self):
+        vectors = np.zeros((5, 6))
+        with pytest.raises(ConfigurationError):
+            batch_linear_predictions(vectors, window=1)
+        with pytest.raises(ConfigurationError):
+            batch_linear_predictions(vectors, window=5, horizon=0)
+        with pytest.raises(ConfigurationError):
+            batch_linear_predictions(np.zeros((5, 4)), window=3)
