@@ -48,7 +48,7 @@ class EmpiricalCdf:
         """Inverse CDF at ``p`` (nearest-rank, p in [0, 1])."""
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"quantile level must be in [0, 1], got {p}")
-        if p == 0.0:
+        if p <= 0.0:
             return self.min
         rank = int(np.ceil(p * self.num_samples)) - 1
         return float(self._sorted[min(rank, self.num_samples - 1)])

@@ -6,7 +6,8 @@ writing code:
 * ``python -m repro fig1``   — the Fig. 1a/1b convexity measurements;
 * ``python -m repro sim``    — the Fig. 2/3 trace-driven comparison;
 * ``python -m repro system`` — the Fig. 7/8 testbed emulation;
-* ``python -m repro theorem1`` — the approximation-ratio study.
+* ``python -m repro theorem1`` — the approximation-ratio study;
+* ``python -m repro lint``   — the domain-aware static analysis gate.
 
 Each command prints the figure's rows as a text table (and an ASCII
 CDF/bar sketch where that helps).  Scale flags (--slots, --episodes,
@@ -31,6 +32,7 @@ from repro.core import (
     PavqAllocator,
 )
 from repro.knapsack import combined_greedy, solve_exact
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.simulation import SimulationConfig, TraceSimulator
 from repro.simulation.delaymodel import mean_rtt_curve
 from repro.system import SystemExperiment, setup1_config, setup2_config
@@ -277,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="smoke-test scale for CI")
 
+    lint = sub.add_parser(
+        "lint", help="domain-aware static analysis (rules RL001-RL006)"
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -287,6 +294,7 @@ _COMMANDS = {
     "theorem1": _cmd_theorem1,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "lint": run_lint_command,
 }
 
 

@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.content.crf import size_ratio_per_level
 from repro.errors import ConfigurationError
-from repro.units import DEFAULT_NUM_LEVELS, SERVER_MBPS_PER_USER
+from repro.units import (
+    DEFAULT_NUM_LEVELS,
+    FOV_FRACTION,
+    SERVER_MBPS_PER_USER,
+    SLOT_DURATION_S,
+)
 
 
 @dataclass(frozen=True)
@@ -191,7 +196,7 @@ def storage_footprint_gb(
     model: RateModel,
     num_cells: int,
     tiles_per_cell: int = 4,
-    slot_duration_s: float = 1.0 / 60.0,
+    slot_duration_s: float = SLOT_DURATION_S,
 ) -> float:
     """Estimate the offline tile-database size, mirroring the paper's 171 GB.
 
@@ -208,7 +213,9 @@ def storage_footprint_gb(
         # model.curve() describes a FoV's worth of tiles; the full
         # panorama stored on disk is ~1/FOV_FRACTION times larger.
         fov_curve = model.curve(cell)
-        panorama_bits = sum(s / 0.20 * 1e6 * slot_duration_s for s in fov_curve.sizes)
+        panorama_bits = sum(
+            s / FOV_FRACTION * 1e6 * slot_duration_s for s in fov_curve.sizes
+        )
         total_bits += panorama_bits
     return total_bits / 8.0 / 1e9
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Set, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.content.projection import FieldOfView, wrap_angle_deg
 from repro.errors import ConfigurationError
@@ -137,7 +138,7 @@ class GridWorld:
         row = min(row, self.rows - 1)
         return row * self.cols + col
 
-    def cells_of(self, xs, ys):
+    def cells_of(self, xs: ArrayLike, ys: ArrayLike) -> np.ndarray:
         """Vectorized :meth:`cell_of` over position arrays.
 
         Accepts array-likes of equal shape and returns an integer

@@ -1,0 +1,93 @@
+"""The ``repro lint`` command.
+
+Exit codes follow the usual lint-tool contract:
+
+* ``0`` — scan completed, no error-severity findings;
+* ``1`` — scan completed, at least one error-severity finding;
+* ``2`` — usage error (unknown path, unreadable/invalid config).
+
+Kept separate from :mod:`repro.cli` so the lint subsystem stays fully
+importable (and testable) without the simulation stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import run_lint
+from repro.lint.reporters import render_json, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Paths scanned when the command is given none.
+DEFAULT_PATHS = ("src", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append per-rule hit counts to the text report",
+    )
+    parser.add_argument(
+        "--config", default="pyproject.toml",
+        help="pyproject file holding [tool.repro.lint] (default: "
+        "pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject overrides and lint with built-in defaults",
+    )
+
+
+def run_lint_command(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro lint`` from parsed arguments."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    try:
+        config: LintConfig = (
+            load_config(None) if args.no_config
+            else load_config(Path(args.config))
+        )
+        report = run_lint([Path(p) for p in args.paths], config)
+    except ConfigurationError as exc:
+        print(f"repro lint: error: {exc}", file=err)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(report), file=out)
+    else:
+        print(render_text(report, stats=args.stats), file=out)
+    return EXIT_FINDINGS if report.has_errors() else EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point: ``python -m repro.lint.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

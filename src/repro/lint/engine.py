@@ -1,0 +1,157 @@
+"""The lint engine: file discovery, rule dispatch, suppression.
+
+The engine is deliberately a plain function pipeline — discover files,
+parse each once, run every enabled in-scope rule over the shared AST,
+drop suppressed findings, and return an immutable
+:class:`~repro.lint.findings.LintReport` — so it can be driven equally
+from the CLI, from tests (over fixture snippets), and from future CI
+tooling.
+
+Files that fail to parse produce a synthetic ``RL000`` finding rather
+than aborting the run: a syntax error in one file must not hide the
+findings of the other two hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import repro.lint.rules  # noqa: F401  (registers RL001-RL006)
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig, default_config
+from repro.lint.findings import (
+    SEVERITY_ERROR,
+    Finding,
+    LintReport,
+    ModuleContext,
+    sort_findings,
+)
+from repro.lint.registry import RULE_REGISTRY, path_matches
+from repro.lint.suppressions import scan_suppressions
+
+#: Synthetic rule code for unparseable files.
+PARSE_ERROR_RULE = "RL000"
+
+
+def normalize_path(path: Path) -> str:
+    """Posix form, repo-relative when the file lives under the CWD."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def discover_files(
+    paths: Sequence[Path], exclude: Tuple[str, ...]
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    A path that does not exist raises :class:`ConfigurationError` — the
+    CLI treats that as a usage error (exit 2), because linting nothing
+    while reporting "clean" would be worse than failing loudly.
+    """
+    seen: Dict[str, Path] = {}
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            normalized = normalize_path(candidate)
+            if any(fragment in normalized for fragment in exclude):
+                continue
+            seen.setdefault(normalized, candidate)
+    return [seen[key] for key in sorted(seen)]
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig
+) -> Tuple[List[Finding], int]:
+    """Lint one in-memory source blob.
+
+    Returns ``(findings, suppressed_count)``.  Exposed separately so
+    fixture tests can lint snippets without touching the filesystem.
+    """
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    rule=PARSE_ERROR_RULE,
+                    severity=SEVERITY_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    suppressions = scan_suppressions(lines)
+    findings: List[Finding] = []
+    suppressed = 0
+    for code, rule_cls in sorted(RULE_REGISTRY.items()):
+        rule_config = config.rule(code)
+        if not rule_config.enabled:
+            continue
+        if not path_matches(path, rule_config.include):
+            continue
+        rule = rule_cls()
+        context = ModuleContext(
+            path=path, tree=tree, lines=lines, options=rule_config.options
+        )
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(code, finding.line):
+                suppressed += 1
+                continue
+            if finding.severity != rule_config.severity:
+                finding = Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    severity=rule_config.severity,
+                    message=finding.message,
+                )
+            findings.append(finding)
+    return findings, suppressed
+
+
+def run_lint(
+    paths: Sequence[Path], config: LintConfig | None = None
+) -> LintReport:
+    """Lint files/directories and return the aggregated report."""
+    effective = config if config is not None else default_config()
+    files = discover_files(paths, effective.exclude)
+    findings: List[Finding] = []
+    suppressed = 0
+    for file_path in files:
+        normalized = normalize_path(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read {normalized}: {exc}"
+            ) from exc
+        file_findings, file_suppressed = lint_source(
+            source, normalized, effective
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    rule_counts: Dict[str, int] = {code: 0 for code in sorted(RULE_REGISTRY)}
+    for finding in findings:
+        rule_counts[finding.rule] = rule_counts.get(finding.rule, 0) + 1
+    return LintReport(
+        findings=sort_findings(findings),
+        files_scanned=len(files),
+        rule_counts=rule_counts,
+        suppressed=suppressed,
+    )

@@ -1,0 +1,88 @@
+"""Data model shared by the lint engine, rules, and reporters.
+
+A :class:`Finding` is one rule violation anchored to a source location;
+a :class:`ModuleContext` bundles everything a rule may inspect about one
+file (path, parsed AST, raw lines).  Keeping both immutable makes the
+engine trivially safe to run over many files and lets reporters sort
+and serialize findings without defensive copies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+#: Severity levels, ordered from most to least drastic.  ``error``
+#: findings make the CLI exit nonzero; ``warning`` findings are
+#: reported but do not gate.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES: Tuple[str, ...] = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of text reports."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key order via dataclass order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule can inspect about one parsed source file."""
+
+    path: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def option(self, name: str, default: object = None) -> object:
+        """Rule-specific config option with a fallback."""
+        return self.options.get(name, default)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run over a set of files."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    rule_counts: Mapping[str, int]
+    suppressed: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    def has_errors(self) -> bool:
+        return self.error_count > 0
+
+
+def sort_findings(findings: List[Finding]) -> Tuple[Finding, ...]:
+    """Deterministic report order: path, then line, then column."""
+    return tuple(sorted(findings))

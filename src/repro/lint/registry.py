@@ -1,0 +1,88 @@
+"""Rule base class and the global rule registry.
+
+Rules are small AST visitors registered by code (``RL001`` ...).  Each
+declares a default severity and a default path scope; both can be
+overridden per-rule from ``[tool.repro.lint.rules.<CODE>]`` in
+``pyproject.toml``.  Registering two rules under one code is a
+programming error and raises immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import SEVERITIES, SEVERITY_ERROR, Finding, ModuleContext
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects.  ``default_includes`` restricts
+    the rule to files whose normalized posix path contains one of the
+    given substrings; the literal ``"*"`` (the default) matches every
+    file.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+    default_severity: str = SEVERITY_ERROR
+    default_includes: Tuple[str, ...] = ("*",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, line: int, col: int, message: str,
+        severity: str = "",
+    ) -> Finding:
+        """Build a finding for this rule at a location in ``module``."""
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col,
+            rule=self.code,
+            severity=severity or self.default_severity,
+            message=message,
+        )
+
+
+#: All registered rule classes, keyed by code, in registration order.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to :data:`RULE_REGISTRY`."""
+    if not cls.code or not cls.name:
+        raise ConfigurationError(
+            f"rule {cls.__name__} must declare a code and a name"
+        )
+    if cls.default_severity not in SEVERITIES:
+        raise ConfigurationError(
+            f"rule {cls.code}: invalid severity {cls.default_severity!r}"
+        )
+    if cls.code in RULE_REGISTRY:
+        raise ConfigurationError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rules in code order (RL001, RL002, ...)."""
+    return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+
+
+def path_matches(path: str, patterns: Tuple[str, ...]) -> bool:
+    """True when a normalized posix path is in a rule's scope.
+
+    ``"*"`` matches everything; any other pattern matches as a plain
+    substring of the posix path, which keeps scoping predictable for
+    both absolute and repo-relative invocations.
+    """
+    return any(p == "*" or p in path for p in patterns)
+
+
+RuleFactory = Callable[[], Rule]

@@ -1,0 +1,90 @@
+"""Text and JSON renderings of a :class:`~repro.lint.findings.LintReport`.
+
+The JSON document is versioned (``"version": 1``) and its schema is
+covered by tests so CI consumers can rely on it:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_scanned": 213,
+      "errors": 0,
+      "warnings": 0,
+      "suppressed": 1,
+      "stats": {"RL001": 0, "...": 0},
+      "findings": [
+        {"path": "...", "line": 1, "col": 0, "rule": "RL001",
+         "severity": "error", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import LintReport
+from repro.lint.registry import RULE_REGISTRY
+
+#: Schema version of the JSON report.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: LintReport, stats: bool = False) -> str:
+    """Human-oriented report: one finding per line plus a summary."""
+    lines: List[str] = [
+        f"{finding.location()}: {finding.rule} [{finding.severity}] "
+        f"{finding.message}"
+        for finding in report.findings
+    ]
+    if lines:
+        lines.append("")
+    if report.findings:
+        lines.append(
+            f"{len(report.findings)} finding(s): {report.error_count} "
+            f"error(s), {report.warning_count} warning(s) in "
+            f"{report.files_scanned} file(s) scanned"
+        )
+    else:
+        lines.append(
+            f"clean: no findings in {report.files_scanned} file(s) scanned"
+        )
+    if report.suppressed:
+        lines.append(f"{report.suppressed} finding(s) inline-suppressed")
+    if stats:
+        lines.append("")
+        lines.append(render_stats(report))
+    return "\n".join(lines)
+
+
+def render_stats(report: LintReport) -> str:
+    """Per-rule hit counts — the ``--stats`` summary block."""
+    width = max(
+        (len(rule_code) for rule_code in report.rule_counts), default=5
+    )
+    lines = ["rule hit counts:"]
+    for rule_code in sorted(report.rule_counts):
+        rule_cls = RULE_REGISTRY.get(rule_code)
+        label = rule_cls.name if rule_cls is not None else "parse-error"
+        lines.append(
+            f"  {rule_code:<{width}}  {report.rule_counts[rule_code]:>4}  "
+            f"({label})"
+        )
+    lines.append(f"  files scanned: {report.files_scanned}")
+    lines.append(f"  suppressed:    {report.suppressed}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-oriented report (see module docstring for the schema)."""
+    document: Dict[str, object] = {
+        "version": JSON_REPORT_VERSION,
+        "files_scanned": report.files_scanned,
+        "errors": report.error_count,
+        "warnings": report.warning_count,
+        "suppressed": report.suppressed,
+        "stats": dict(sorted(report.rule_counts.items())),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

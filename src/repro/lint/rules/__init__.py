@@ -1,0 +1,25 @@
+"""Domain rules RL001-RL006.
+
+Importing this package registers every rule with
+:data:`repro.lint.registry.RULE_REGISTRY`; the engine imports it for
+its side effect.  Each module holds one rule so the catalogue in
+``docs/static-analysis.md`` maps one-to-one onto the code.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.annotations import PublicApiAnnotationsRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.float_equality import FloatEqualityRule
+from repro.lint.rules.mutable_defaults import MutableDefaultArgsRule
+from repro.lint.rules.unit_safety import UnitSafetyRule
+
+__all__ = [
+    "UnitSafetyRule",
+    "DeterminismRule",
+    "ExceptionHygieneRule",
+    "FloatEqualityRule",
+    "MutableDefaultArgsRule",
+    "PublicApiAnnotationsRule",
+]

@@ -1,0 +1,108 @@
+"""RL006 — public-API-annotations.
+
+The package ships a ``py.typed`` marker, so downstream type checkers
+trust our annotations; an unannotated exported function is a hole in
+that contract (it silently degrades to ``Any`` at every call site).
+The rule requires full signatures — every parameter including ``*args``
+/ ``**kwargs``, and the return type — on public functions at module
+level and on public methods of public classes.  Private helpers
+(leading underscore anywhere in the definition chain), nested
+functions, and ``@overload``/``@no_type_check`` definitions are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_EXEMPT_DECORATORS = ("overload", "no_type_check")
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    return ""
+
+
+def _missing_annotations(node: _FunctionNode, is_method: bool) -> List[str]:
+    """Names of unannotated parameters, plus ``return`` if absent."""
+    args = node.args
+    positional = args.posonlyargs + args.args
+    missing: List[str] = []
+    decorators = {_decorator_name(d) for d in node.decorator_list}
+    skip_first = (
+        is_method
+        and "staticmethod" not in decorators
+        and bool(positional)
+    )
+    for index, arg in enumerate(positional):
+        if skip_first and index == 0:  # self / cls
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    missing.extend(
+        arg.arg for arg in args.kwonlyargs if arg.annotation is None
+    )
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register_rule
+class PublicApiAnnotationsRule(Rule):
+    code = "RL006"
+    name = "public-api-annotations"
+    description = (
+        "exported function or public method with unannotated "
+        "parameters or return type"
+    )
+    rationale = (
+        "py.typed publishes our annotations; an Any-typed export "
+        "defeats the strict-typing gate at every call site."
+    )
+    default_includes = ("src/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_body(module, module.tree.body, is_method=False)
+
+    def _check_body(
+        self,
+        module: ModuleContext,
+        body: List[ast.stmt],
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, is_method)
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from self._check_body(module, node.body, is_method=True)
+
+    def _check_function(
+        self, module: ModuleContext, node: _FunctionNode, is_method: bool
+    ) -> Iterator[Finding]:
+        if node.name.startswith("_"):
+            return
+        decorators = {_decorator_name(d) for d in node.decorator_list}
+        if decorators & set(_EXEMPT_DECORATORS):
+            return
+        missing = _missing_annotations(node, is_method)
+        if missing:
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"public {'method' if is_method else 'function'} "
+                f"{node.name}() missing annotations: {', '.join(missing)}",
+            )

@@ -1,0 +1,119 @@
+"""RL002 — determinism.
+
+Theorem 1's heap/reference equivalence guarantee (and every
+bit-identical fast path added since PR 1) holds only because the random
+substrate is derived from ``(config.seed, episode)`` through injected
+:class:`numpy.random.Generator` instances.  Touching process-global RNG
+state — the :mod:`random` module or the legacy ``np.random.*``
+functions — silently breaks replayability, so inside the algorithmic
+packages (``core/``, ``knapsack/``, ``simulation/`` by default) this
+rule requires a seeded generator passed in by the caller.
+
+Constructors such as ``np.random.default_rng(seed)`` and the
+``Generator``/``SeedSequence``/bit-generator types are allowed: they
+*create* isolated streams rather than mutating shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+#: ``np.random`` attributes that construct isolated, seedable streams.
+DEFAULT_ALLOWED_NP: Tuple[str, ...] = (
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the numpy module (``import numpy as np``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _random_module_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+@register_rule
+class DeterminismRule(Rule):
+    code = "RL002"
+    name = "determinism"
+    description = (
+        "global RNG state (random module or legacy np.random.*) used "
+        "inside the deterministic algorithmic packages"
+    )
+    rationale = (
+        "Episode results must be a pure function of (config.seed, "
+        "episode); Theorem 1's fast-path equivalence tests rely on it."
+    )
+    default_includes = (
+        "repro/core/", "repro/knapsack/", "repro/simulation/",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        allowed_raw = module.option("allowed_np", DEFAULT_ALLOWED_NP)
+        allowed: Set[str] = (
+            set(allowed_raw) if isinstance(allowed_raw, Sequence) else set()
+        )
+        numpy_names = _numpy_aliases(module.tree)
+        random_names = _random_module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                names = ", ".join(alias.name for alias in node.names)
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"'from random import {names}' pulls in process-global "
+                    "RNG state; inject a seeded np.random.Generator instead",
+                )
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(
+                    module, node, numpy_names, random_names, allowed
+                )
+
+    def _check_attribute(
+        self,
+        module: ModuleContext,
+        node: ast.Attribute,
+        numpy_names: Set[str],
+        random_names: Set[str],
+        allowed: Set[str],
+    ) -> Iterator[Finding]:
+        value = node.value
+        # random.<anything>: the stdlib module is global state through
+        # and through (random.seed, random.random, random.shuffle, ...).
+        if isinstance(value, ast.Name) and value.id in random_names:
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"random.{node.attr} mutates or reads the process-global "
+                "RNG; inject a seeded np.random.Generator instead",
+            )
+            return
+        # np.random.<fn> for legacy global-state functions.
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in numpy_names
+            and node.attr not in allowed
+        ):
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"np.random.{node.attr} uses numpy's legacy global RNG; "
+                "use an injected np.random.default_rng(seed) Generator",
+            )

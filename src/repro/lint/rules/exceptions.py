@@ -1,0 +1,101 @@
+"""RL003 — exception-hygiene.
+
+``repro/errors.py`` promises callers one catchable root
+(:class:`~repro.errors.ReproError`) while programming errors propagate.
+Two practices erode that contract:
+
+* bare ``except:`` / ``except Exception`` / ``except BaseException``
+  handlers, which swallow programming errors along with domain ones —
+  each surviving handler must name the exceptions it expects (or carry
+  an inline suppression explaining itself);
+* ``raise`` of generic builtins (``ValueError``, ``RuntimeError``,
+  ``Exception``, ...) for domain conditions, which callers then cannot
+  distinguish from bugs.  ``TypeError``/``NotImplementedError`` and
+  re-raises stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+#: Handler types considered over-broad.
+BROAD_HANDLERS: Tuple[str, ...] = ("Exception", "BaseException")
+
+#: Builtins whose ``raise`` marks a domain error hiding as a generic.
+DEFAULT_BANNED_RAISES: Tuple[str, ...] = (
+    "Exception", "BaseException", "ValueError", "RuntimeError",
+    "ArithmeticError",
+)
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    node = handler.type
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            yield element.id
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    code = "RL003"
+    name = "exception-hygiene"
+    description = (
+        "bare/broad except handlers, or raising generic builtins "
+        "instead of ReproError subclasses"
+    )
+    rationale = (
+        "The library's contract is a single catchable root "
+        "(ReproError) with programming errors left to propagate."
+    )
+    default_includes = ("src/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        banned_raw = module.option("banned_raises", DEFAULT_BANNED_RAISES)
+        banned: Set[str] = (
+            set(banned_raw) if isinstance(banned_raw, Sequence) else set()
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, banned)
+
+    def _check_handler(
+        self, module: ModuleContext, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                module, handler.lineno, handler.col_offset,
+                "bare 'except:' swallows every error including "
+                "KeyboardInterrupt; name the exceptions this code expects",
+            )
+            return
+        for name in _handler_names(handler):
+            if name in BROAD_HANDLERS:
+                yield self.finding(
+                    module, handler.lineno, handler.col_offset,
+                    f"'except {name}' hides programming errors behind the "
+                    "domain fallback; catch the specific exceptions (or "
+                    "ReproError for library errors)",
+                )
+
+    def _check_raise(
+        self, module: ModuleContext, node: ast.Raise, banned: Set[str]
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # re-raise inside a handler is always fine
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in banned:
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"raise {exc.id} for a domain condition; raise a "
+                "repro.errors.ReproError subclass so callers can catch "
+                "library errors with one handler",
+            )

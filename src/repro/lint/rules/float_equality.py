@@ -1,0 +1,67 @@
+"""RL004 — float-equality.
+
+QoE scores, Mbps rates, and M/M/1 delays are floating-point values
+produced by long arithmetic chains; ``==``/``!=`` against them encodes
+an exactness the representation cannot promise and breaks the moment a
+fast path reorders operations.  The rule flags equality comparisons
+where an operand is visibly a float: a float literal, a true-division
+expression, or a ``float(...)`` cast.  Use an explicit tolerance
+(``math.isclose``, ``abs(a - b) < eps``) or an order comparison
+instead; exact sentinel comparisons that are genuinely intended can
+carry an inline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        return isinstance(node.op, ast.Div) or (
+            _is_floatish(node.left) or _is_floatish(node.right)
+        )
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    code = "RL004"
+    name = "float-equality"
+    description = (
+        "== or != against an expression that is visibly floating-point"
+    )
+    rationale = (
+        "QoE/rate/delay values come out of reordered fast-path "
+        "arithmetic; equality on them is representation-dependent."
+    )
+    default_includes = ("src/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            has_eq = any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            )
+            if not has_eq:
+                continue
+            if any(
+                _is_floatish(operand)
+                for operand in [node.left, *node.comparators]
+            ):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "float equality comparison; use math.isclose, an "
+                    "epsilon bound, or an order comparison",
+                )

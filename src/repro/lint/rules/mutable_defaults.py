@@ -1,0 +1,64 @@
+"""RL005 — mutable-default-args.
+
+Default values are evaluated once at ``def`` time; a list/dict/set
+default is shared across every call and across every simulation
+episode, which is exactly the cross-episode state leak the seeded
+determinism contract forbids.  Both literal containers and
+``list()``/``dict()``/``set()`` constructor calls in default position
+are flagged — use ``None`` plus an inside-the-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "bytearray", "deque")
+
+
+def _mutable_kind(node: Optional[ast.expr]) -> Optional[str]:
+    if node is None:
+        return None
+    if isinstance(node, _MUTABLE_LITERALS):
+        return type(node).__name__.lower().replace("comp", " comprehension")
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+@register_rule
+class MutableDefaultArgsRule(Rule):
+    code = "RL005"
+    name = "mutable-default-args"
+    description = "list/dict/set (literal or constructor) as a default value"
+    rationale = (
+        "Defaults evaluate once per def; shared containers leak state "
+        "across calls and across simulation episodes."
+    )
+    default_includes: Tuple[str, ...] = ("*",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                kind = _mutable_kind(default)
+                if kind is not None:
+                    yield self.finding(
+                        module, default.lineno, default.col_offset,
+                        f"mutable default {kind} in {node.name}(); use "
+                        "None and create the container in the body",
+                    )

@@ -1,0 +1,151 @@
+"""RL001 — unit-safety.
+
+The library's unit convention (``repro/units.py``) fixes every rate and
+size as an Mbps-equivalent and keeps time slot-indexed unless a name is
+explicitly suffixed ``_s``.  Two violation classes are detected:
+
+* additive arithmetic or comparisons that mix identifiers carrying
+  different unit suffixes (``*_s`` seconds against ``*_slots`` slot
+  counts, ``*_mbps`` against ``*_bits``, ...) — multiplying or dividing
+  across units is a legitimate conversion and is not flagged;
+* numeric literals that shadow the canonical constants: a literal
+  ``1/60`` (or a float equal to it) instead of
+  :data:`repro.units.SLOT_DURATION_S`, and a re-typed CRF ladder
+  instead of :data:`repro.units.CRF_VALUES`.
+
+``repro/units.py`` itself — the module that *defines* the constants —
+is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+from repro.units import CRF_VALUES, SLOT_DURATION_S, TARGET_FPS
+
+#: Identifier suffix -> unit tag.  Longer suffixes first so ``_ms``
+#: wins over ``_s``.
+_SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_slots", "slots"),
+    ("_slot", "slots"),
+    ("_mbps", "Mbps"),
+    ("_bits", "bits"),
+    ("_ms", "milliseconds"),
+    ("_s", "seconds"),
+)
+
+_ADDITIVE = (ast.Add, ast.Sub)
+
+
+def _unit_of(node: ast.expr) -> Optional[str]:
+    """Unit tag of a bare identifier or attribute, if any.
+
+    Tags deliberately do not propagate through arithmetic: once an
+    expression multiplies or divides, a conversion may have happened
+    and the result's unit is unknown.
+    """
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    for suffix, unit in _SUFFIX_UNITS:
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+def _is_slot_duration_literal(node: ast.expr) -> bool:
+    """``1/60``-shaped division or a float constant equal to it."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        left, right = node.left, node.right
+        return (
+            isinstance(left, ast.Constant)
+            and isinstance(right, ast.Constant)
+            and isinstance(left.value, (int, float))
+            and isinstance(right.value, (int, float))
+            and left.value in (1, 1.0)
+            and right.value in (TARGET_FPS, float(TARGET_FPS))
+        )
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return abs(node.value - SLOT_DURATION_S) < 1e-12
+    return False
+
+
+def _is_crf_ladder_literal(node: ast.expr) -> bool:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return False
+    if len(node.elts) != len(CRF_VALUES):
+        return False
+    values = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, int)
+        ):
+            return False
+        values.append(element.value)
+    return tuple(values) == tuple(CRF_VALUES)
+
+
+@register_rule
+class UnitSafetyRule(Rule):
+    code = "RL001"
+    name = "unit-safety"
+    description = (
+        "additive mixing of differently-suffixed unit identifiers, or "
+        "numeric literals shadowing the repro.units constants"
+    )
+    rationale = (
+        "Section II of the paper unifies sizes and throughputs as "
+        "Mbps-equivalents per slot; constraint checks compare them "
+        "directly only while every module honours that convention."
+    )
+    default_includes = ("src/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.path.replace("\\", "/").endswith("repro/units.py"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+                yield from self._check_pair(
+                    module, node, node.left, node.right, "arithmetic"
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(
+                        module, node, left, right, "comparison"
+                    )
+            if isinstance(node, ast.expr) and _is_slot_duration_literal(node):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "literal slot duration 1/60; use repro.units."
+                    "SLOT_DURATION_S so the 60 FPS convention has one home",
+                )
+            elif isinstance(node, ast.expr) and _is_crf_ladder_literal(node):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "literal CRF ladder (15, 19, 23, 27, 31, 35); use "
+                    "repro.units.CRF_VALUES",
+                )
+
+    def _check_pair(
+        self,
+        module: ModuleContext,
+        node: ast.expr,
+        left: ast.expr,
+        right: ast.expr,
+        kind: str,
+    ) -> Iterator[Finding]:
+        left_unit, right_unit = _unit_of(left), _unit_of(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"{kind} mixes {left_unit} with {right_unit}; convert "
+                "explicitly (multiply/divide) before combining units",
+            )

@@ -1,0 +1,63 @@
+"""Inline suppression comments.
+
+Two forms are recognised, mirroring the conventions of pylint-style
+tools:
+
+* ``# repro-lint: disable=RL001`` on a line suppresses the named
+  rule(s) for findings anchored to that line (comma-separated codes,
+  ``all`` for every rule);
+* ``# repro-lint: disable-file=RL001`` anywhere in a file suppresses
+  the named rule(s) for the whole file.
+
+Suppressions are counted by the engine so reports can show how many
+findings were silenced — a silently shrinking gate is no gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+#: Sentinel code matching every rule.
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class SuppressionIndex:
+    """Per-file suppression lookup built once per module."""
+
+    line_codes: Dict[int, FrozenSet[str]]
+    file_codes: FrozenSet[str]
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if ALL_RULES in self.file_codes or rule in self.file_codes:
+            return True
+        codes = self.line_codes.get(line, frozenset())
+        return ALL_RULES in codes or rule in codes
+
+
+def scan_suppressions(lines: Sequence[str]) -> SuppressionIndex:
+    """Build the suppression index for one file's source lines."""
+    line_codes: Dict[int, FrozenSet[str]] = {}
+    file_codes: Set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        if match.group("kind") == "disable-file":
+            file_codes |= codes
+        else:
+            line_codes[lineno] = line_codes.get(lineno, frozenset()) | codes
+    return SuppressionIndex(line_codes=line_codes, file_codes=frozenset(file_codes))

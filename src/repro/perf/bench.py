@@ -21,7 +21,7 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -163,7 +163,9 @@ def bench_simulator(
     }
 
 
-def persist_run(payload: Dict, path, now: Optional[float] = None) -> Dict:
+def persist_run(
+    payload: Dict, path: Union[str, Path], now: Optional[float] = None
+) -> Dict:
     """Append a benchmark run to a bounded JSON history file.
 
     The file holds ``{"latest": <run>, "runs": [<run>, ...]}`` with

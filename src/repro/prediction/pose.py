@@ -8,7 +8,7 @@ paper's predictor tracks per user (Section II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.content.projection import angular_difference_deg, wrap_angle_deg
 from repro.errors import ConfigurationError
@@ -62,7 +62,7 @@ class Pose:
         )
 
     @staticmethod
-    def from_vector(vec) -> "Pose":
+    def from_vector(vec: Sequence[float]) -> "Pose":
         """Build a pose from a 6-element sequence, clamping pitch."""
         if len(vec) != 6:
             raise ConfigurationError(f"expected 6 DoF values, got {len(vec)}")

@@ -21,7 +21,7 @@ protocol as the linear-regression predictor and are registered in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Protocol
 
 import numpy as np
 
@@ -32,6 +32,19 @@ from repro.prediction.pose import Pose
 
 _ANGULAR_AXES = (3, 5)
 _PITCH_AXIS = 4
+
+
+class PosePredictor(Protocol):
+    """The ``observe / predict / reset`` protocol every predictor obeys."""
+
+    def observe(self, pose: Pose) -> None:
+        """Feed one received pose sample."""
+
+    def predict(self, horizon: Optional[int] = None) -> Optional[Pose]:
+        """Pose expected ``horizon`` slots ahead, or ``None`` if cold."""
+
+    def reset(self) -> None:
+        """Forget all observed history."""
 
 
 def _finalize(vector: np.ndarray) -> Pose:
@@ -177,7 +190,7 @@ class ExponentialSmoothingPredictor:
 
 
 #: Predictor factories by name, each accepting a ``horizon`` kwarg.
-PREDICTOR_REGISTRY: Dict[str, Callable[..., object]] = {
+PREDICTOR_REGISTRY: Dict[str, Callable[..., PosePredictor]] = {
     "linear-regression": LinearMotionPredictor,
     "last-pose": LastPosePredictor,
     "constant-velocity": ConstantVelocityPredictor,
@@ -185,7 +198,7 @@ PREDICTOR_REGISTRY: Dict[str, Callable[..., object]] = {
 }
 
 
-def make_predictor(name: str, horizon: int = 1, **kwargs):
+def make_predictor(name: str, horizon: int = 1, **kwargs: object) -> PosePredictor:
     """Instantiate a registered predictor by name."""
     try:
         factory = PREDICTOR_REGISTRY[name]

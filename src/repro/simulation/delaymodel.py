@@ -18,6 +18,7 @@ the round-trip time; the mean RTT versus sending rate is convex.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,7 +56,7 @@ class MM1DelayModel:
             return self.max_delay
         return min(rate_mbps / (bandwidth_mbps - rate_mbps), self.max_delay)
 
-    def delay_fn(self, bandwidth_mbps: float):
+    def delay_fn(self, bandwidth_mbps: float) -> Callable[[float], float]:
         """Freeze the bandwidth: the per-user ``d_n`` of one slot."""
         return lambda rate_mbps: self.delay(rate_mbps, bandwidth_mbps)
 
@@ -66,7 +67,7 @@ def sample_rtts(
     num_samples: int = 10_000,
     packet_bits: float = 12_000.0,
     base_rtt_ms: float = 2.0,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Simulate the Fig. 1b experiment: RTTs on a loaded, capped link.
 
@@ -110,11 +111,11 @@ def sample_rtts(
 
 
 def mean_rtt_curve(
-    rates_mbps,
+    rates_mbps: Sequence[float],
     capacity_mbps: float = 15.0,
     num_samples: int = 10_000,
     seed: int = 0,
-):
+) -> List[float]:
     """Mean RTT at each sending rate — the Fig. 1b curve."""
     rng = np.random.default_rng(seed)
     return [

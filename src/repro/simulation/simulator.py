@@ -34,7 +34,9 @@ path and returned in episode order.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pickle import PicklingError, dumps as _pickle_dumps
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,7 +59,7 @@ from repro.simulation.metrics import (
     MultiEpisodeResults,
     summarize_ledger,
 )
-from repro.system.telemetry import SlotUserRecord
+from repro.system.telemetry import SlotUserRecord, Telemetry
 from repro.traces.dataset import SlotSchedule, TraceDataset
 from repro.traces.network import TraceCatalog
 from repro.units import (
@@ -258,7 +260,7 @@ class TraceSimulator:
         self,
         allocator: QualityAllocator,
         episode: int = 0,
-        telemetry=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> EpisodeResult:
         """Simulate one episode with the given allocator.
 
@@ -416,13 +418,26 @@ class TraceSimulator:
         """Episodes over a process pool; ``None`` means fall back."""
         payloads = [(self.config, allocator, episode) for episode in episodes]
         try:
+            # Pre-flight: the payload must cross the process boundary.
+            # Unpicklable objects raise PicklingError, AttributeError
+            # (local objects), or TypeError depending on the cause;
+            # confining the catch to this explicit dumps() keeps the
+            # pool.map clause below from masking episode errors.
+            _pickle_dumps(payloads[0])
+        except (PicklingError, AttributeError, TypeError):
+            return None
+        try:
             with ProcessPoolExecutor(
                 max_workers=min(max_workers, len(payloads))
             ) as pool:
                 return list(pool.map(_episode_task, payloads))
-        except Exception:
-            # Pool setup or pickling failed; any genuine simulation
-            # error re-raises identically on the serial fallback.
+        except (ImportError, NotImplementedError, OSError, PicklingError,
+                BrokenProcessPool):
+            # Only "the pool itself is unusable" signals take the
+            # serial fallback: no multiprocessing support, fork/spawn
+            # failure, an unpicklable config or allocator, or a worker
+            # that died.  Genuine episode errors (ReproError and
+            # programming errors alike) propagate to the caller.
             return None
 
     def compare(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from itertools import product
-from typing import List, Mapping, Sequence, Tuple
+from typing import Callable, List, Mapping, Sequence, Tuple
 
 from repro.core.allocation import QualityAllocator
 from repro.core.qoe import QoEWeights
@@ -59,7 +59,7 @@ def _apply_overrides(
 
 def run_sweep(
     base: SimulationConfig,
-    allocator_factory,
+    allocator_factory: Callable[[], QualityAllocator],
     grid: Mapping[str, Sequence[object]],
     num_episodes: int = 1,
 ) -> List[SweepPoint]:

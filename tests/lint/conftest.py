@@ -1,0 +1,29 @@
+"""Shared helpers for the lint-subsystem tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULE_REGISTRY, LintConfig, default_config, merge_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tools" / "lint_fixtures"
+
+
+def everywhere_config() -> LintConfig:
+    """Every rule enabled and scoped to every path — fixture mode."""
+    return merge_config(
+        default_config(),
+        {"rules": {code: {"include": ["*"]} for code in RULE_REGISTRY}},
+    )
+
+
+@pytest.fixture(name="everywhere")
+def _everywhere() -> LintConfig:
+    return everywhere_config()
+
+
+@pytest.fixture(name="fixtures_dir")
+def _fixtures_dir() -> Path:
+    assert FIXTURES.is_dir(), f"missing fixture directory {FIXTURES}"
+    return FIXTURES

@@ -1,0 +1,194 @@
+"""[tool.repro.lint] configuration: defaults, overrides, parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    RULE_REGISTRY,
+    default_config,
+    lint_source,
+    load_config,
+    merge_config,
+)
+from repro.lint.config import _parse_toml_subset
+
+from tests.lint.conftest import FIXTURES
+
+RL005_SNIPPET = "def f(b: list = []) -> list:\n    return b\n"
+
+
+class TestDefaults:
+    def test_all_registered_rules_present_and_enabled(self):
+        config = default_config()
+        assert set(config.rules) == set(RULE_REGISTRY)
+        for code, rule_config in config.rules.items():
+            assert rule_config.enabled, code
+            assert rule_config.severity == "error", code
+
+    def test_default_scopes(self):
+        config = default_config()
+        assert config.rule("RL005").include == ("*",)
+        assert "repro/core/" in config.rule("RL002").include
+        assert config.rule("RL006").include == ("src/",)
+
+
+class TestMergeOverrides:
+    def test_disable_rule(self):
+        config = merge_config(
+            default_config(), {"rules": {"RL005": {"enabled": False}}}
+        )
+        findings, _ = lint_source(RL005_SNIPPET, "snippet.py", config)
+        assert findings == []
+
+    def test_severity_downgrade_to_warning(self):
+        config = merge_config(
+            default_config(), {"rules": {"RL005": {"severity": "warning"}}}
+        )
+        findings, _ = lint_source(RL005_SNIPPET, "snippet.py", config)
+        assert [f.severity for f in findings] == ["warning"]
+
+    def test_include_override_narrows_scope(self):
+        config = merge_config(
+            default_config(), {"rules": {"RL005": {"include": ["src/"]}}}
+        )
+        findings, _ = lint_source(RL005_SNIPPET, "elsewhere.py", config)
+        assert findings == []
+
+    def test_rule_option_passthrough(self):
+        config = merge_config(
+            default_config(),
+            {"rules": {"RL003": {"banned_raises": ["KeyError"]}}},
+        )
+        source = (FIXTURES / "rl003_fail.py").read_text(encoding="utf-8")
+        findings, _ = lint_source(source, "src/x.py", config)
+        # ValueError is no longer banned; the broad handlers still fire.
+        messages = [f.message for f in findings if f.rule == "RL003"]
+        assert not any("raise ValueError" in m for m in messages)
+        assert any("except" in m for m in messages)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_config(default_config(), {"rules": {"RL999": {}}})
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_config(
+                default_config(),
+                {"rules": {"RL001": {"severity": "fatal"}}},
+            )
+
+    def test_bad_include_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_config(
+                default_config(), {"rules": {"RL001": {"include": "src"}}}
+            )
+
+
+class TestLoadConfig:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert set(config.rules) == set(RULE_REGISTRY)
+
+    def test_none_yields_defaults(self):
+        config = load_config(None)
+        assert config.rule("RL001").enabled
+
+    def test_pyproject_overrides_applied(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.lint]\n"
+            'exclude = ["generated/"]\n'
+            "[tool.repro.lint.rules.RL005]\n"
+            "severity = \"warning\"\n"
+            "[tool.repro.lint.rules.RL002]\n"
+            "enabled = false\n",
+            encoding="utf-8",
+        )
+        config = load_config(pyproject)
+        assert config.exclude == ("generated/",)
+        assert config.rule("RL005").severity == "warning"
+        assert not config.rule("RL002").enabled
+
+    def test_unrelated_pyproject_ignored(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[project]\nname = \"x\"\n", encoding="utf-8")
+        config = load_config(pyproject)
+        assert set(config.rules) == set(RULE_REGISTRY)
+
+    def test_repo_pyproject_parses(self):
+        from tests.lint.conftest import REPO_ROOT
+
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert set(config.rules) == set(RULE_REGISTRY)
+
+
+class TestSubsetParser:
+    """The pre-3.11 fallback must agree with tomllib on our schema."""
+
+    SNIPPET = (
+        "# a comment\n"
+        "[tool.repro.lint]\n"
+        'exclude = ["a/", "b/"]  # trailing comment\n'
+        "\n"
+        "[tool.repro.lint.rules.RL001]\n"
+        "enabled = true\n"
+        "severity = \"warning\"\n"
+        "threshold = 3\n"
+        "factor = 1.5\n"
+        "include = []\n"
+    )
+
+    def test_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert _parse_toml_subset(self.SNIPPET) == tomllib.loads(self.SNIPPET)
+
+    def test_values(self):
+        parsed = _parse_toml_subset(self.SNIPPET)
+        section = parsed["tool"]["repro"]["lint"]
+        assert section["exclude"] == ["a/", "b/"]
+        rule = section["rules"]["RL001"]
+        assert rule == {
+            "enabled": True,
+            "severity": "warning",
+            "threshold": 3,
+            "factor": 1.5,
+            "include": [],
+        }
+
+    def test_rejects_garbage_inside_lint_section(self):
+        with pytest.raises(ValueError):
+            _parse_toml_subset("[tool.repro.lint]\nnot toml at all\n")
+
+    def test_skips_foreign_sections(self):
+        """Constructs outside [tool.repro.lint] never have to parse."""
+        text = (
+            "[project]\n"
+            'license = { text = "MIT" }\n'
+            "[tool.repro.lint]\n"
+            'exclude = ["a/"]\n'
+            "[[tool.mypy.overrides]]\n"
+            'module = "repro.*"\n'
+        )
+        parsed = _parse_toml_subset(text)
+        assert parsed["tool"]["repro"]["lint"]["exclude"] == ["a/"]
+        assert "project" not in parsed
+
+    def test_multiline_array(self):
+        text = (
+            "[tool.repro.lint]\n"
+            "exclude = [\n"
+            '    "a/",  # keep\n'
+            '    "b/",\n'
+            "]\n"
+        )
+        parsed = _parse_toml_subset(text)
+        assert parsed["tool"]["repro"]["lint"]["exclude"] == ["a/", "b/"]
+
+    def test_repo_pyproject_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        from tests.lint.conftest import REPO_ROOT
+
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        subset = _parse_toml_subset(text)["tool"]["repro"]["lint"]
+        full = tomllib.loads(text)["tool"]["repro"]["lint"]
+        assert subset == full

@@ -1,0 +1,72 @@
+"""Text/JSON reporters: formats, summary lines, schema stability."""
+
+import json
+
+from repro.lint import (
+    JSON_REPORT_VERSION,
+    RULE_REGISTRY,
+    default_config,
+    render_json,
+    render_stats,
+    render_text,
+    run_lint,
+)
+
+RL005_SNIPPET = "def f(b: list = []) -> list:\n    return b\n"
+
+
+def _report(tmp_path, source=RL005_SNIPPET):
+    (tmp_path / "mod.py").write_text(source)
+    return run_lint([tmp_path], default_config())
+
+
+class TestTextReporter:
+    def test_finding_lines_and_summary(self, tmp_path):
+        text = render_text(_report(tmp_path))
+        assert "mod.py:1:" in text
+        assert "RL005" in text
+        assert "[error]" in text
+        assert "1 finding(s): 1 error(s), 0 warning(s)" in text
+
+    def test_clean_summary(self, tmp_path):
+        text = render_text(_report(tmp_path, source="X = 1\n"))
+        assert "clean: no findings in 1 file(s) scanned" in text
+
+    def test_stats_block_appended(self, tmp_path):
+        text = render_text(_report(tmp_path), stats=True)
+        assert "rule hit counts:" in text
+        for code in RULE_REGISTRY:
+            assert code in text
+        assert "files scanned: 1" in text
+
+
+class TestJsonReporter:
+    def test_schema_round_trip(self, tmp_path):
+        document = json.loads(render_json(_report(tmp_path)))
+        assert document["version"] == JSON_REPORT_VERSION
+        assert document["files_scanned"] == 1
+        assert document["errors"] == 1
+        assert document["warnings"] == 0
+        assert document["suppressed"] == 0
+        assert set(document["stats"]) == set(RULE_REGISTRY)
+        assert document["stats"]["RL005"] == 1
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "rule", "severity", "message",
+        }
+        assert finding["rule"] == "RL005"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 1
+
+    def test_clean_tree_document(self, tmp_path):
+        document = json.loads(render_json(_report(tmp_path, source="X = 1\n")))
+        assert document["errors"] == 0
+        assert document["findings"] == []
+
+
+class TestStatsRenderer:
+    def test_counts_rendered_per_rule(self, tmp_path):
+        stats = render_stats(_report(tmp_path))
+        assert "RL005" in stats
+        assert "(mutable-default-args)" in stats
+        assert "suppressed:    0" in stats

@@ -1,0 +1,94 @@
+"""Every rule RL001-RL006 fires on its fail fixture, stays quiet on pass.
+
+The fixture pairing is the liveness guarantee the CI gate rests on: a
+rule that stops firing on its fail fixture turns the whole gate into
+dead code, so that regression must break the tier-1 suite.
+"""
+
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.lint import Finding, LintConfig, lint_source
+
+from tests.lint.conftest import FIXTURES, everywhere_config
+
+RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+#: rule -> minimum number of findings its fail fixture must produce.
+MIN_FAIL_FINDINGS = {
+    "RL001": 4,  # slot-duration literal, CRF ladder, add mix, compare mix
+    "RL002": 4,  # from-import, random.seed, shuffle?, np.random.seed/rand
+    "RL003": 3,  # except Exception, bare except, raise ValueError
+    "RL004": 3,  # float literal, division, float() cast
+    "RL005": 3,  # [], dict(), set()
+    "RL006": 3,  # exported(), half_annotated(), PublicThing.method()
+}
+
+
+def lint_fixture(name: str, config: LintConfig) -> Tuple[List[Finding], int]:
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"), path.as_posix(), config
+    )
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_fail_fixture_fires(self, code):
+        findings, _ = lint_fixture(
+            f"{code.lower()}_fail.py", everywhere_config()
+        )
+        hits = [f for f in findings if f.rule == code]
+        assert len(hits) >= MIN_FAIL_FINDINGS[code]
+        assert all(f.severity == "error" for f in hits)
+        assert all(f.line >= 1 for f in hits)
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_fail_fixture_fires_only_its_rule(self, code):
+        findings, _ = lint_fixture(
+            f"{code.lower()}_fail.py", everywhere_config()
+        )
+        assert findings, f"{code} fail fixture produced nothing"
+        assert {f.rule for f in findings} == {code}
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_pass_fixture_is_clean(self, code):
+        findings, suppressed = lint_fixture(
+            f"{code.lower()}_pass.py", everywhere_config()
+        )
+        assert findings == []
+        assert suppressed == 0
+
+
+class TestRuleScoping:
+    def test_rl002_default_scope_is_algorithmic_packages(self):
+        from repro.lint import default_config
+
+        source = (FIXTURES / "rl002_fail.py").read_text(encoding="utf-8")
+        config = default_config()
+        in_scope, _ = lint_source(
+            source, "src/repro/core/somefile.py", config
+        )
+        out_of_scope, _ = lint_source(
+            source, "src/repro/analysis/somefile.py", config
+        )
+        assert any(f.rule == "RL002" for f in in_scope)
+        assert not any(f.rule == "RL002" for f in out_of_scope)
+
+    def test_rl006_not_applied_outside_src(self):
+        from repro.lint import default_config
+
+        source = (FIXTURES / "rl006_fail.py").read_text(encoding="utf-8")
+        findings, _ = lint_source(
+            source, "tests/test_whatever.py", default_config()
+        )
+        assert not any(f.rule == "RL006" for f in findings)
+
+
+class TestFixtureInventory:
+    def test_every_rule_has_both_fixtures(self, fixtures_dir: Path):
+        for code in RULE_CODES:
+            assert (fixtures_dir / f"{code.lower()}_fail.py").is_file()
+            assert (fixtures_dir / f"{code.lower()}_pass.py").is_file()

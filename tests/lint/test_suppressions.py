@@ -1,0 +1,70 @@
+"""Inline suppression behaviour: line-scoped, file-scoped, counted."""
+
+from repro.lint import lint_source
+from repro.lint.suppressions import scan_suppressions
+
+from tests.lint.conftest import FIXTURES, everywhere_config
+
+
+def _lint(name):
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"), path.as_posix(), everywhere_config()
+    )
+
+
+class TestLineSuppression:
+    def test_suppressed_line_is_silenced_and_counted(self):
+        findings, suppressed = _lint("suppress_line.py")
+        assert suppressed == 1
+        lines = {f.line for f in findings if f.rule == "RL005"}
+        # Only the unsuppressed twin remains.
+        assert len(lines) == 1
+
+    def test_unrelated_rule_not_silenced_by_named_code(self):
+        source = (
+            "def f(x: float, b: list = []) -> bool:"
+            "  # repro-lint: disable=RL004\n"
+            "    return x == 1.0\n"
+        )
+        findings, suppressed = lint_source(
+            source, "snippet.py", everywhere_config()
+        )
+        # The directive names RL004 but the finding on line 1 is RL005.
+        assert any(f.rule == "RL005" for f in findings)
+        assert suppressed == 0
+
+
+class TestFileSuppression:
+    def test_disable_file_silences_all_instances_of_rule(self):
+        findings, suppressed = _lint("suppress_file.py")
+        assert not any(f.rule == "RL005" for f in findings)
+        assert suppressed == 2
+        assert any(f.rule == "RL004" for f in findings)
+
+    def test_disable_all_sentinel(self):
+        source = (
+            "# repro-lint: disable-file=all\n"
+            "def f(b: list = []) -> list:\n"
+            "    return b\n"
+        )
+        findings, suppressed = lint_source(
+            source, "snippet.py", everywhere_config()
+        )
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestDirectiveParsing:
+    def test_multiple_codes_one_directive(self):
+        index = scan_suppressions(
+            ["x = 1  # repro-lint: disable=RL001, RL004"]
+        )
+        assert index.is_suppressed("RL001", 1)
+        assert index.is_suppressed("RL004", 1)
+        assert not index.is_suppressed("RL005", 1)
+        assert not index.is_suppressed("RL001", 2)
+
+    def test_no_directives(self):
+        index = scan_suppressions(["x = 1", "y = 2"])
+        assert not index.is_suppressed("RL001", 1)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -74,6 +76,78 @@ class TestSweepCommand:
                      "--slots", "60"]) == 0
         out = capsys.readouterr().out
         assert "margin_deg" in out
+
+
+class TestLintCommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage error."""
+
+    CLEAN = "X = 1\n"
+    DIRTY = "def f(b: list = []) -> list:\n    return b\n"
+
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        assert main(["lint", str(target)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RL005" in out
+        assert "1 error(s)" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "ghost.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_config_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        config = tmp_path / "pyproject.toml"
+        config.write_text(
+            "[tool.repro.lint.rules.RL999]\nenabled = false\n"
+        )
+        assert main(
+            ["lint", str(target), "--config", str(config)]
+        ) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_path_filtering(self, tmp_path, capsys):
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        (clean_dir / "a.py").write_text(self.CLEAN)
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        assert main(["lint", str(clean_dir)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path)]) == 1
+
+    def test_json_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == 1
+        assert document["findings"][0]["rule"] == "RL005"
+
+    def test_stats_flag(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        assert main(["lint", str(target), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "rule hit counts:" in out
+        assert "files scanned: 1" in out
+
+    def test_repo_default_paths_are_clean(self, capsys):
+        """`python -m repro lint` over src+tests must stay at zero."""
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_usage_error_from_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["lint", "--format", "yaml"])
+        assert excinfo.value.code == 2
 
 
 class TestModuleEntryPoint:

@@ -1,0 +1,17 @@
+"""RL001 failing fixture: unit mixing and shadowed units constants."""
+
+from __future__ import annotations
+
+SLOT_DURATION = 1 / 60  # literal slot duration shadowing SLOT_DURATION_S
+
+CRF_LADDER = (15, 19, 23, 27, 31, 35)  # re-typed CRF ladder
+
+
+def total_time(duration_slots: int, startup_s: float) -> float:
+    """Adds a slot count to seconds without converting."""
+    return duration_slots + startup_s
+
+
+def deadline_check(elapsed_s: float, budget_slots: int) -> bool:
+    """Compares seconds against slots."""
+    return elapsed_s < budget_slots

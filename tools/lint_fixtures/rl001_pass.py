@@ -1,0 +1,17 @@
+"""RL001 passing fixture: explicit conversions, canonical constants."""
+
+from __future__ import annotations
+
+from repro.units import CRF_VALUES, SLOT_DURATION_S
+
+LADDER = CRF_VALUES
+
+
+def total_time_s(duration_slots: int, startup_s: float) -> float:
+    """Multiplying across units is a conversion, not a mix."""
+    return duration_slots * SLOT_DURATION_S + startup_s
+
+
+def deadline_check(elapsed_s: float, budget_slots: int) -> bool:
+    """Convert to a common unit before comparing."""
+    return elapsed_s < budget_slots * SLOT_DURATION_S

@@ -1,0 +1,16 @@
+"""RL002 failing fixture: process-global RNG state."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def scramble(values: list) -> list:
+    """Every line here mutates or reads shared RNG state."""
+    random.seed(0)
+    shuffle(values)
+    np.random.seed(0)
+    return [v + np.random.rand() for v in values]

@@ -1,0 +1,16 @@
+"""RL002 passing fixture: injected seeded generators only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def scramble(values: list, rng: np.random.Generator) -> list:
+    """An injected Generator keeps the episode replayable."""
+    order = rng.permutation(len(values))
+    return [values[i] for i in order]
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Constructing an isolated stream is allowed."""
+    return np.random.default_rng(np.random.SeedSequence(seed))

@@ -1,0 +1,16 @@
+"""RL003 failing fixture: broad handlers and generic raises."""
+
+from __future__ import annotations
+
+
+def read_all(path: str) -> str:
+    """Bare and broad excepts plus a generic domain raise."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:
+        pass
+    try:
+        return path.upper()
+    except:  # noqa: E722
+        raise ValueError("could not read " + path)

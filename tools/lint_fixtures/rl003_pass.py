@@ -1,0 +1,14 @@
+"""RL003 passing fixture: specific handlers, domain exceptions."""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+
+
+def read_all(path: str) -> str:
+    """Catch what the code expects; raise the library's own error."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise TraceError(f"cannot read trace {path}") from exc

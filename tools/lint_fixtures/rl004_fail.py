@@ -1,0 +1,15 @@
+"""RL004 failing fixture: equality on visibly-float expressions."""
+
+from __future__ import annotations
+
+
+def is_complete(progress: float) -> bool:
+    return progress == 1.0
+
+
+def is_partial(delivered: int, total: int) -> bool:
+    return delivered / total != 1.0
+
+
+def is_unit(scale: str) -> bool:
+    return float(scale) == 1

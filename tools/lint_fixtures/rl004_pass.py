@@ -1,0 +1,18 @@
+"""RL004 passing fixture: tolerance and order comparisons."""
+
+from __future__ import annotations
+
+import math
+
+
+def is_complete(progress: float) -> bool:
+    return progress >= 1.0
+
+
+def is_partial(delivered: int, total: int) -> bool:
+    return not math.isclose(delivered / total, 1.0)
+
+
+def count_matches(hits: int, expected: int) -> bool:
+    """Integer equality is exact and stays legal."""
+    return hits == expected

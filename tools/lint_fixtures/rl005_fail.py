@@ -1,0 +1,13 @@
+"""RL005 failing fixture: mutable defaults, literal and constructed."""
+
+from __future__ import annotations
+
+
+def collect(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket
+
+
+def index(key: str, table: dict = dict(), *, seen: set = set()) -> dict:
+    table[key] = key in seen
+    return table

@@ -1,0 +1,16 @@
+"""RL005 passing fixture: None sentinels, immutable defaults."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def collect(item: int, bucket: Optional[list] = None) -> list:
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def index(key: str, labels: tuple = (), *, limit: int = 10) -> dict:
+    return {key: key in labels[:limit]}

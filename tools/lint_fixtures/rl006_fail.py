@@ -1,0 +1,16 @@
+"""RL006 failing fixture: exported definitions with Any-typed holes."""
+
+from __future__ import annotations
+
+
+def exported(value):
+    return value
+
+
+def half_annotated(value: int, *extras, **options) -> int:
+    return value + len(extras) + len(options)
+
+
+class PublicThing:
+    def method(self, x):
+        return x

@@ -1,0 +1,31 @@
+"""RL006 passing fixture: full public signatures; private/nested free."""
+
+from __future__ import annotations
+
+
+def exported(value: int) -> int:
+    def helper(x):  # nested functions are not public API
+        return x
+
+    return helper(value)
+
+
+def _private(value):  # leading underscore: not exported
+    return value
+
+
+class PublicThing:
+    def method(self, x: float) -> float:
+        return x
+
+    @staticmethod
+    def build(tag: str) -> "PublicThing":
+        return PublicThing()
+
+    def _internal(self, x):
+        return x
+
+
+class _PrivateThing:
+    def method(self, x):
+        return x

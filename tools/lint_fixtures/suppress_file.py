@@ -1,0 +1,23 @@
+"""File-wide suppression fixture.
+
+# repro-lint: disable-file=RL005
+
+Every RL005 violation below is silenced by the directive above, but
+the RL004 float equality is not and must still fire.
+"""
+
+from __future__ import annotations
+
+
+def first(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket
+
+
+def second(item: int, table: dict = {}) -> dict:
+    table[item] = True
+    return table
+
+
+def is_done(progress: float) -> bool:
+    return progress == 1.0

@@ -1,0 +1,24 @@
+"""Inline line suppression fixture.
+
+The first default is suppressed with a justification; the second is
+identical but unsuppressed and must still fire.
+"""
+
+from __future__ import annotations
+
+_SHARED_REGISTRY: list = []
+
+
+def register(item: int, registry: list = _SHARED_REGISTRY) -> list:
+    registry.append(item)
+    return registry
+
+
+def suppressed(item: int, bucket: list = []) -> list:  # repro-lint: disable=RL005
+    bucket.append(item)
+    return bucket
+
+
+def unsuppressed(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket
