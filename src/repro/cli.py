@@ -226,9 +226,183 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     persist_run(simulator_run, out / BENCH_SIMULATOR_FILE)
+
+    from repro.serve import BENCH_SERVE_FILE, bench_serve
+
+    serve_users = [int(v) for v in args.serve_users.split(",")]
+    serve_slots = args.serve_slots
+    if args.quick:
+        serve_users = [u for u in serve_users if u <= 2] or [2]
+        serve_slots = min(serve_slots, 40)
     print(
-        f"\nwrote {out / BENCH_ALLOCATOR_FILE} and {out / BENCH_SIMULATOR_FILE}"
+        f"\nserving benchmark (fleets {serve_users}, {serve_slots} slots, "
+        f"target hit rate {args.serve_target}):\n"
     )
+    serve_run = bench_serve(
+        user_counts=serve_users,
+        slots=serve_slots,
+        seed=args.seed,
+        deadline_target=args.serve_target,
+    )
+    print(
+        format_table(
+            ["users", "hit rate", "p50 slot (ms)", "p99 slot (ms)"],
+            [
+                [
+                    int(r["users"]),
+                    r["deadline_hit_rate"],
+                    r["p50_slot_ms"],
+                    r["p99_slot_ms"],
+                ]
+                for r in serve_run["fleets"]
+            ],
+        )
+    )
+    print(
+        f"\nusers sustained at >={args.serve_target:.0%} hit rate: "
+        f"{serve_run['users_sustained']}"
+    )
+    persist_run(serve_run, out / BENCH_SERVE_FILE)
+    print(
+        f"\nwrote {out / BENCH_ALLOCATOR_FILE}, {out / BENCH_SIMULATOR_FILE} "
+        f"and {out / BENCH_SERVE_FILE}"
+    )
+    return 0
+
+
+def _print_serve_metrics(metrics: object) -> None:
+    """Render a ServingMetrics summary as text tables."""
+    summary = metrics.summary()  # type: ignore[attr-defined]
+    rows = [
+        ["slots", summary["slots"]],
+        ["deadline hit rate", summary["deadline_hit_rate"]],
+        ["slot deadline (ms)", summary["slot_deadline_ms"]],
+        ["joins", summary["joins"]],
+        ["leaves", summary["leaves"]],
+        ["timeouts", summary["timeouts"]],
+        ["degraded user-slots", summary["degraded_user_slots"]],
+        ["missed reports", summary["missed_reports"]],
+        ["dropped frames", summary["dropped_frames"]],
+    ]
+    for code, count in summary["rejects"].items():
+        rows.append([f"rejects[{code}]", count])
+    print(format_table(["metric", "value"], rows))
+    stage_rows = [
+        [stage, stats["p50_ms"], stats["p99_ms"], stats["max_ms"]]
+        for stage, stats in summary["stage_latency_ms"].items()
+    ]
+    if stage_rows:
+        print("\nper-stage latency:\n")
+        print(format_table(["stage", "p50 (ms)", "p99 (ms)", "max (ms)"], stage_rows))
+    quality = summary["per_user_mean_viewed_quality"]
+    if quality:
+        print("\nper-user mean viewed quality:\n")
+        print(format_table(["seat", "quality"], [[s, q] for s, q in quality.items()]))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from dataclasses import replace
+
+    from repro.errors import ReproError
+    from repro.serve import VrServeServer, serve_setup1
+    from repro.units import SLOT_DURATION_S
+
+    slot_s = SLOT_DURATION_S if args.slot_ms is None else args.slot_ms / 1e3
+    try:
+        config = serve_setup1(
+            max_users=args.users,
+            duration_slots=args.slots,
+            seed=args.seed,
+            slot_s=slot_s,
+            host=args.host,
+            port=args.port,
+            expect_clients=args.expect,
+            lockstep=args.lockstep,
+        )
+        config = replace(config, start_timeout_s=args.start_timeout)
+
+        async def _run() -> object:
+            server = VrServeServer(config)
+            await server.start()
+            print(f"serving on {config.host}:{server.port}", flush=True)
+            return await server.run()
+
+        result = asyncio.run(_run())
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"\nrun complete: {result.slots} slots, deadline hit rate "
+        f"{result.metrics.deadline_hit_rate:.4f}\n"
+    )
+    _print_serve_metrics(result.metrics)
+    if result.metrics.deadline_hit_rate < args.require_hit_rate:
+        print(
+            f"deadline hit rate {result.metrics.deadline_hit_rate:.4f} below "
+            f"required {args.require_hit_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serve import LoadGenConfig, run_fleet
+
+    try:
+        config = LoadGenConfig(
+            host=args.host,
+            port=args.port,
+            num_clients=args.clients,
+            seed=args.seed,
+            latency_s=args.latency_ms / 1e3,
+            jitter_s=args.jitter_ms / 1e3,
+            slow_clients=args.slow_clients,
+            slow_latency_s=args.slow_latency_ms / 1e3,
+            churn_clients=args.churn_clients,
+            churn_leave_after_slots=args.churn_leave,
+        )
+        fleet = asyncio.run(run_fleet(config))
+    except ReproError as exc:
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"loadgen failed: cannot reach server: {exc}", file=sys.stderr)
+        return 1
+    print(f"fleet of {args.clients} client(s) against {args.host}:{args.port}:\n")
+    print(
+        format_table(
+            ["client", "seat", "frames", "displayed", "quality", "fps", "end"],
+            [
+                [
+                    c.name,
+                    c.seat,
+                    c.frames,
+                    c.displayed,
+                    c.mean_viewed_quality,
+                    c.fps,
+                    c.end_reason if not c.rejected else f"rejected[{c.reject_code}]",
+                ]
+                for c in fleet.clients
+            ],
+        )
+    )
+    failed = [
+        c
+        for c in fleet.clients
+        if c.rejected or c.end_reason not in ("complete", "churned")
+    ]
+    if failed:
+        print(
+            f"{len(failed)} client(s) did not complete: "
+            + ", ".join(c.name for c in failed),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -276,8 +450,52 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sim-slots", type=int, default=600)
     bench.add_argument("--episodes", type=int, default=4)
     bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--serve-users", default="2,4,8",
+                       help="comma-separated fleet sizes for the serve bench")
+    bench.add_argument("--serve-slots", type=int, default=120)
+    bench.add_argument("--serve-target", type=float, default=0.99,
+                       help="deadline hit rate a fleet must sustain")
     bench.add_argument("--quick", action="store_true",
                        help="smoke-test scale for CI")
+
+    serve = sub.add_parser(
+        "serve", help="live edge server over TCP (setup-1 emulated network)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listening port (0 = ephemeral, printed at start)")
+    serve.add_argument("--users", type=int, default=8,
+                       help="scheduler seats / admission capacity K")
+    serve.add_argument("--expect", type=int, default=1,
+                       help="clients that must be ready before the loop starts")
+    serve.add_argument("--slots", type=int, default=300,
+                       help="total slots (the loop runs slots-1 tx slots)")
+    serve.add_argument("--lockstep", action="store_true",
+                       help="barrier-driven slots (deterministic; no pacing)")
+    serve.add_argument("--slot-ms", type=float, default=None,
+                       help="override the slot duration in milliseconds")
+    serve.add_argument("--start-timeout", type=float, default=30.0,
+                       help="seconds to wait for --expect clients")
+    serve.add_argument("--require-hit-rate", type=float, default=0.0,
+                       help="exit 1 if the slot-deadline hit rate ends lower")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="client fleet replaying motion traces at a server"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="server port to connect to")
+    loadgen.add_argument("--clients", type=int, default=1)
+    loadgen.add_argument("--latency-ms", type=float, default=0.0,
+                         help="think-time before each report")
+    loadgen.add_argument("--jitter-ms", type=float, default=0.0,
+                         help="uniform extra think-time bound")
+    loadgen.add_argument("--slow-clients", type=int, default=0,
+                         help="first N clients use --slow-latency-ms instead")
+    loadgen.add_argument("--slow-latency-ms", type=float, default=0.0)
+    loadgen.add_argument("--churn-clients", type=int, default=0,
+                         help="first N clients leave after --churn-leave slots")
+    loadgen.add_argument("--churn-leave", type=int, default=0)
 
     lint = sub.add_parser(
         "lint", help="domain-aware static analysis (rules RL001-RL006)"
@@ -294,6 +512,8 @@ _COMMANDS = {
     "theorem1": _cmd_theorem1,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "lint": run_lint_command,
 }
 

@@ -172,6 +172,21 @@ class CollaborativeVrScheduler:
         """System QoE (eq. (1)) accumulated so far."""
         return system_qoe(self.ledgers, self.weights)
 
+    def reset_user(self, user: int) -> None:
+        """Clear one user's running state without touching the others.
+
+        The serving layer reuses scheduler seats across sessions
+        (join/leave churn); a new occupant must not inherit the
+        previous session's ``qbar``, accuracy estimate, or ledger.
+        """
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        self._qbar[user].reset()
+        self._accuracy[user].reset()
+        self.ledgers[user].reset()
+
     def reset(self) -> None:
         """Clear all per-episode state, including the allocator's."""
         for mean in self._qbar:

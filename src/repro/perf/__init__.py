@@ -15,11 +15,14 @@ from repro.perf.bench import (
     bench_simulator,
     persist_run,
 )
+from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
 
 __all__ = [
     "BENCH_ALLOCATOR_FILE",
+    "BENCH_SERVE_FILE",
     "BENCH_SIMULATOR_FILE",
     "bench_allocator",
+    "bench_serve",
     "bench_simulator",
     "persist_run",
 ]

@@ -1,0 +1,60 @@
+"""repro.serve — the live asyncio edge-serving subsystem.
+
+The in-process :mod:`repro.system` experiment answers "what numbers
+does the algorithm produce"; this package answers "does it hold up
+behind real sockets".  A :class:`~repro.serve.server.VrServeServer`
+hosts the same :class:`~repro.system.server.EdgeServer` planning
+stack behind a TCP listener (length-prefixed JSON frames, see
+:mod:`repro.serve.protocol`), runs a fixed-cadence slot loop with
+per-stage deadline metrics, applies admission control and per-client
+graceful degradation under overload, and a
+:mod:`~repro.serve.loadgen` client fleet replays seeded motion
+traces against it over loopback.
+"""
+
+from repro.serve.admission import (
+    REJECT_CAPACITY,
+    REJECT_DRAINING,
+    REJECT_VERSION,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
+from repro.serve.config import PROTOCOL_VERSION, ServeConfig, serve_setup1
+from repro.serve.loadgen import (
+    ClientReport,
+    FleetReport,
+    LoadGenConfig,
+    run_fleet,
+    run_serve_and_fleet,
+)
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+from repro.serve.server import ServeResult, VrServeServer
+from repro.serve.sessions import Session, SessionRegistry
+from repro.serve.slotloop import DataPlane, SlotLoop
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BENCH_SERVE_FILE",
+    "ClientReport",
+    "DataPlane",
+    "FleetReport",
+    "LatencyHistogram",
+    "LoadGenConfig",
+    "PROTOCOL_VERSION",
+    "REJECT_CAPACITY",
+    "REJECT_DRAINING",
+    "REJECT_VERSION",
+    "ServeConfig",
+    "ServeResult",
+    "ServingMetrics",
+    "Session",
+    "SessionRegistry",
+    "SlotLoop",
+    "VrServeServer",
+    "bench_serve",
+    "run_fleet",
+    "run_serve_and_fleet",
+    "serve_setup1",
+]

@@ -1,0 +1,82 @@
+"""Admission control for the edge server.
+
+The ROADMAP's north star is "millions of users"; the first line of
+defence is refusing work the box cannot serve inside the slot
+deadline.  The policy is deliberately explicit-over-the-wire: a
+rejected client receives a machine-readable code and the current
+capacity so a fleet controller can back off or re-balance instead of
+retry-storming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Machine-readable rejection codes carried by the ``reject`` frame.
+REJECT_CAPACITY = "capacity"
+REJECT_VERSION = "version"
+REJECT_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    admitted: bool
+    code: str = ""
+    reason: str = ""
+
+
+class AdmissionPolicy:
+    """Cap-and-version admission control.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum concurrent sessions (scheduler seats) ``K``.
+    protocol_version:
+        The only wire-protocol version this server speaks.
+    """
+
+    def __init__(self, capacity: int, protocol_version: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.protocol_version = protocol_version
+        self._draining = False
+
+    def start_draining(self) -> None:
+        """Refuse new sessions while the run shuts down."""
+        self._draining = True
+
+    def decide(self, version: int, occupancy: int) -> AdmissionDecision:
+        """Admit or reject a join request given current occupancy."""
+        if occupancy < 0:
+            raise ConfigurationError(f"occupancy must be >= 0, got {occupancy}")
+        if version != self.protocol_version:
+            return AdmissionDecision(
+                admitted=False,
+                code=REJECT_VERSION,
+                reason=(
+                    f"protocol version {version} unsupported; server speaks "
+                    f"{self.protocol_version}"
+                ),
+            )
+        if self._draining:
+            return AdmissionDecision(
+                admitted=False,
+                code=REJECT_DRAINING,
+                reason="server is draining; no new sessions",
+            )
+        if occupancy >= self.capacity:
+            return AdmissionDecision(
+                admitted=False,
+                code=REJECT_CAPACITY,
+                reason=(
+                    f"at capacity: {occupancy}/{self.capacity} sessions "
+                    "connected"
+                ),
+            )
+        return AdmissionDecision(admitted=True)

@@ -1,0 +1,84 @@
+"""Serving capacity benchmark: users sustained within the slot deadline.
+
+For each fleet size the bench runs a full paced loopback serve —
+real sockets, real asyncio scheduling, the seeded emulated data plane
+— and records the slot-deadline hit rate and the p50/p99 slot
+pipeline latency.  The headline number is the largest fleet the box
+sustains at the target hit rate (99% by default): the serving-side
+answer to the paper's "how many users can one edge server carry"
+question.  Results append to ``BENCH_serve.json`` via
+:func:`repro.perf.bench.persist_run`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.serve.config import serve_setup1
+from repro.serve.loadgen import LoadGenConfig, run_serve_and_fleet
+
+BENCH_SERVE_FILE = "BENCH_serve.json"
+
+
+def bench_serve(
+    user_counts: Sequence[int] = (2, 4, 8),
+    slots: int = 120,
+    seed: int = 0,
+    deadline_target: float = 0.99,
+) -> Dict[str, object]:
+    """Measure slot-deadline behaviour across fleet sizes.
+
+    Each fleet size gets one paced loopback run of ``slots``
+    transmission slots with all clients local and zero think-time;
+    ``users_sustained`` is the largest size whose deadline hit rate
+    meets ``deadline_target``.
+    """
+    if slots < 3:
+        raise ConfigurationError(f"slots must be >= 3, got {slots}")
+    if not user_counts:
+        raise ConfigurationError("need at least one fleet size")
+    if not 0 < deadline_target <= 1:
+        raise ConfigurationError(
+            f"deadline_target must be in (0, 1], got {deadline_target}"
+        )
+    results: List[Dict[str, float]] = []
+    users_sustained = 0
+    for num_users in sorted(set(int(n) for n in user_counts)):
+        if num_users < 1:
+            raise ConfigurationError(f"fleet sizes must be >= 1, got {num_users}")
+        serve_config = serve_setup1(
+            max_users=num_users,
+            duration_slots=slots + 1,
+            seed=seed,
+            expect_clients=num_users,
+        )
+        fleet_config = LoadGenConfig(num_clients=num_users, seed=seed)
+        result, fleet = asyncio.run(
+            run_serve_and_fleet(serve_config, fleet_config)
+        )
+        metrics = result.metrics
+        hit_rate = metrics.deadline_hit_rate
+        if hit_rate >= deadline_target and not fleet.rejected:
+            users_sustained = max(users_sustained, num_users)
+        slot_hist = metrics.stage_latency["slot"]
+        results.append(
+            {
+                "users": float(num_users),
+                "slots": float(metrics.slots),
+                "deadline_hit_rate": hit_rate,
+                "p50_slot_ms": slot_hist.quantile(0.50) * 1e3,
+                "p99_slot_ms": slot_hist.quantile(0.99) * 1e3,
+                "max_slot_ms": slot_hist.max() * 1e3,
+                "degraded_user_slots": float(metrics.degraded_user_slots),
+                "missed_reports": float(metrics.missed_reports),
+            }
+        )
+    return {
+        "kind": "serve",
+        "slots": int(slots),
+        "deadline_target": float(deadline_target),
+        "users_sustained": int(users_sustained),
+        "fleets": results,
+    }

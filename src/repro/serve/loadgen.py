@@ -1,0 +1,364 @@
+"""Client-fleet load generator replaying motion traces over sockets.
+
+Each client emulates one commodity phone end-to-end: it joins the
+server, replays a seeded :mod:`repro.traces` motion trace, runs the
+real client display pipeline (:class:`~repro.system.client.Client`
+with a :class:`~repro.system.client.DecoderPool`), evaluates FoV
+coverage against its *own* next-slot pose exactly as the in-process
+experiment does, and reports delivery/release ACKs, the display
+indicator, and the measured delay back each slot.
+
+With ``seed`` equal to the server's experiment seed, client ``i``'s
+trace is drawn from ``default_rng((seed, 0, seat, 17))`` — the same
+stream :meth:`~repro.system.experiment.SystemExperiment.run_repeat`
+uses for user ``seat`` — which is what makes a full-house lockstep
+loopback run reproduce the experiment's numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.content.projection import FieldOfView
+from repro.content.tiles import GridWorld, TileGrid
+from repro.errors import ConfigurationError, TransportError
+from repro.prediction.fov import CoverageEvaluator
+from repro.prediction.pose import Pose
+from repro.serve.config import PROTOCOL_VERSION, ServeConfig
+from repro.serve.protocol import (
+    Bye,
+    EndOfRun,
+    JoinRequest,
+    Ready,
+    Reject,
+    SlotReport,
+    TilePlan,
+    Welcome,
+    pose_to_wire,
+    read_message,
+    send_message,
+)
+from repro.serve.server import ServeResult, VrServeServer
+from repro.system.client import Client, DecoderPool
+from repro.traces.motion import MotionConfig, MotionTraceGenerator
+from repro.units import TARGET_FPS
+
+#: Delay clamp applied client-side, matching the experiment loop.
+MAX_DELAY_SLOTS = 60.0
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One client fleet.
+
+    ``latency_s`` / ``jitter_s`` add think-time before each report
+    (emulated client-side network latency); the first
+    ``slow_clients`` clients use ``slow_latency_s`` instead, which in
+    a paced run drives them past the server's lag threshold and into
+    degraded (minimum-level) service.  The first ``churn_clients``
+    clients leave after ``churn_leave_after_slots`` slots.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    num_clients: int = 1
+    seed: int = 0
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    slow_clients: int = 0
+    slow_latency_s: float = 0.0
+    churn_clients: int = 0
+    churn_leave_after_slots: int = 0
+    client_prefix: str = "client"
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ConfigurationError(
+                f"num_clients must be >= 1, got {self.num_clients}"
+            )
+        if not 0 <= self.port <= 0xFFFF:
+            # Port 0 is a placeholder for "resolved later" (the
+            # in-process helper fills in the server's bound port).
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        for name in ("latency_s", "jitter_s", "slow_latency_s"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if not 0 <= self.slow_clients <= self.num_clients:
+            raise ConfigurationError(
+                f"slow_clients must be in [0, {self.num_clients}], "
+                f"got {self.slow_clients}"
+            )
+        if not 0 <= self.churn_clients <= self.num_clients:
+            raise ConfigurationError(
+                f"churn_clients must be in [0, {self.num_clients}], "
+                f"got {self.churn_clients}"
+            )
+        if self.churn_clients > 0 and self.churn_leave_after_slots < 1:
+            raise ConfigurationError(
+                "churn_leave_after_slots must be >= 1 when churn_clients > 0"
+            )
+
+
+@dataclass(frozen=True)
+class ClientReport:
+    """One client's end-of-run view."""
+
+    name: str
+    seat: int
+    frames: int
+    displayed: int
+    mean_viewed_quality: float
+    mean_delay_slots: float
+    fps: float
+    end_reason: str
+    reject_code: str = ""
+    reject_reason: str = ""
+    server_summary: Optional[Dict[str, float]] = None
+
+    @property
+    def rejected(self) -> bool:
+        return bool(self.reject_code)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """All clients' reports for one load-generation run."""
+
+    clients: Tuple[ClientReport, ...]
+
+    @property
+    def admitted(self) -> Tuple[ClientReport, ...]:
+        return tuple(c for c in self.clients if not c.rejected)
+
+    @property
+    def rejected(self) -> Tuple[ClientReport, ...]:
+        return tuple(c for c in self.clients if c.rejected)
+
+    def mean_viewed_quality(self) -> Dict[int, float]:
+        """Per-seat mean viewed quality across admitted clients."""
+        return {
+            c.seat: c.mean_viewed_quality
+            for c in sorted(self.admitted, key=lambda c: c.seat)
+        }
+
+
+async def _run_client(config: LoadGenConfig, index: int) -> ClientReport:
+    """Run one emulated phone against the server."""
+    name = f"{config.client_prefix}-{index}"
+    latency_s = (
+        config.slow_latency_s if index < config.slow_clients else config.latency_s
+    )
+    jitter_rng = np.random.default_rng((config.seed, 1009, index))
+    leave_after = (
+        config.churn_leave_after_slots if index < config.churn_clients else 0
+    )
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    try:
+        await send_message(
+            writer, JoinRequest(client=name, version=PROTOCOL_VERSION)
+        )
+        greeting = await read_message(reader)
+        if isinstance(greeting, Reject):
+            return ClientReport(
+                name=name,
+                seat=-1,
+                frames=0,
+                displayed=0,
+                mean_viewed_quality=0.0,
+                mean_delay_slots=0.0,
+                fps=0.0,
+                end_reason="rejected",
+                reject_code=greeting.code,
+                reject_reason=greeting.reason,
+            )
+        if not isinstance(greeting, Welcome):
+            raise TransportError(
+                f"expected welcome or reject, got {type(greeting).__name__}"
+            )
+        return await _run_session(
+            config, reader, writer, name, greeting, latency_s, jitter_rng,
+            leave_after,
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run_session(
+    config: LoadGenConfig,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    name: str,
+    welcome: Welcome,
+    latency_s: float,
+    jitter_rng: np.random.Generator,
+    leave_after_slots: int,
+) -> ClientReport:
+    """The admitted client's slot loop: plans in, reports out."""
+    world = GridWorld(
+        0.0, welcome.world_size_m, 0.0, welcome.world_size_m,
+        cell_size=welcome.world_cell_m,
+    )
+    coverage = CoverageEvaluator(
+        world,
+        TileGrid(),
+        FieldOfView(),
+        margin_deg=welcome.margin_deg,
+        cell_tolerance=welcome.cell_tolerance,
+    )
+    trace_rng = np.random.default_rng((config.seed, 0, welcome.seat, 17))
+    trace = MotionTraceGenerator(world, MotionConfig(), welcome.slot_s).generate(
+        welcome.num_tx_slots + 1, trace_rng
+    )
+    phone = Client(
+        welcome.seat,
+        welcome.client_cache_tiles,
+        DecoderPool(welcome.num_decoders, welcome.decode_rate_mbps),
+        welcome.slot_s,
+    )
+    await send_message(writer, Ready(pose=pose_to_wire(trace[0].as_vector())))
+
+    end_reason = "disconnected"
+    server_summary: Optional[Dict[str, float]] = None
+    while True:
+        message = await read_message(reader)
+        if message is None:
+            break
+        if isinstance(message, EndOfRun):
+            end_reason = message.reason
+            server_summary = dict(message.summary)
+            await send_message(writer, Bye(reason="complete"))
+            break
+        if not isinstance(message, TilePlan):
+            raise TransportError(
+                f"expected plan or end frame, got {type(message).__name__}"
+            )
+        if latency_s > 0 or config.jitter_s > 0:
+            think_s = latency_s + float(
+                jitter_rng.uniform(0.0, config.jitter_s)
+            )
+            if think_s > 0:
+                await asyncio.sleep(think_s)
+        report = _evaluate_plan(message, trace, coverage, phone)
+        await send_message(writer, report)
+        if leave_after_slots and message.slot + 1 >= leave_after_slots:
+            end_reason = "churned"
+            await send_message(writer, Bye(reason="churn"))
+            break
+
+    frames = len(phone.frames)
+    displayed = sum(1 for f in phone.frames if f.displayed)
+    mean_quality = (
+        sum(f.viewed_quality for f in phone.frames) / frames if frames else 0.0
+    )
+    delays = [f.delay_slots for f in phone.frames if f.level > 0]
+    mean_delay = sum(delays) / len(delays) if delays else 0.0
+    return ClientReport(
+        name=name,
+        seat=welcome.seat,
+        frames=frames,
+        displayed=displayed,
+        mean_viewed_quality=mean_quality,
+        mean_delay_slots=mean_delay,
+        fps=phone.fps(TARGET_FPS),
+        end_reason=end_reason,
+        server_summary=server_summary,
+    )
+
+
+def _evaluate_plan(
+    plan: TilePlan,
+    trace: List[Pose],
+    coverage: CoverageEvaluator,
+    phone: Client,
+) -> SlotReport:
+    """Run one slot through the client display pipeline.
+
+    Mirrors the experiment loop exactly: coverage is judged against
+    the trace's next-slot pose, the transmission span includes the
+    server's startup delay only when tiles were actually sent, and
+    the reported delay is clamped to the bounded worst case.
+    """
+    display_slot = min(plan.slot + 1, len(trace) - 1)
+    covered = False
+    if plan.level > 0 and plan.predicted_pose is not None:
+        covered = bool(
+            coverage.evaluate(
+                Pose.from_vector(plan.predicted_pose), trace[display_slot]
+            ).covered
+        )
+    transmission_s = (
+        plan.duration_s + plan.startup_delay_s
+        if plan.tile_bits
+        else plan.duration_s
+    )
+    outcome = phone.receive_frame(
+        list(plan.video_ids),
+        list(plan.tile_bits),
+        list(plan.lost_positions),
+        transmission_s,
+        covered,
+        plan.level,
+    )
+    delay_slots = (
+        min(outcome.delay_slots, MAX_DELAY_SLOTS)
+        if math.isfinite(outcome.delay_slots)
+        else MAX_DELAY_SLOTS
+    )
+    lost = set(plan.lost_positions)
+    delivered = tuple(
+        vid for position, vid in enumerate(plan.video_ids) if position not in lost
+    )
+    pose_slot = min(plan.slot, len(trace) - 1)
+    return SlotReport(
+        slot=plan.slot,
+        delivered_ids=delivered,
+        released_ids=tuple(phone.last_released),
+        indicator=outcome.indicator,
+        delay_slots=delay_slots,
+        viewed_quality=outcome.viewed_quality,
+        pose=pose_to_wire(trace[pose_slot].as_vector()),
+    )
+
+
+async def run_fleet(config: LoadGenConfig) -> FleetReport:
+    """Run every client concurrently and gather their reports."""
+    if config.port == 0:
+        raise ConfigurationError("fleet needs a concrete server port")
+    tasks = [
+        asyncio.ensure_future(_run_client(config, index))
+        for index in range(config.num_clients)
+    ]
+    reports = await asyncio.gather(*tasks)
+    return FleetReport(clients=tuple(reports))
+
+
+async def run_serve_and_fleet(
+    serve_config: ServeConfig, fleet_config: LoadGenConfig
+) -> Tuple[ServeResult, FleetReport]:
+    """Run a server and its fleet in-process (tests and benches).
+
+    Starts the server on its configured endpoint, points the fleet at
+    the bound port, and returns both end-of-run views.
+    """
+    server = VrServeServer(serve_config)
+    await server.start()
+    server_task = asyncio.ensure_future(server.run())
+    try:
+        fleet = await run_fleet(replace(fleet_config, port=server.port))
+        result = await server_task
+    finally:
+        if not server_task.done():
+            server_task.cancel()
+            await asyncio.gather(server_task, return_exceptions=True)
+    return result, fleet

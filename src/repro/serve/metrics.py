@@ -1,0 +1,191 @@
+"""Structured serving metrics: deadlines, stage latencies, realized QoE.
+
+The slot loop must finish predict + allocate + encode + send inside
+one ``SLOT_DURATION_S`` period or the frame misses its display slot
+(Section III ties QoE directly to that deadline).  The serving layer
+therefore times every stage of every slot, tracks the slot-deadline
+hit rate as its headline number, and folds each user's realized
+outcomes into the same :class:`~repro.system.telemetry.Telemetry`
+record stream the in-process experiment produces — one schema for
+both worlds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.system.telemetry import Telemetry
+
+#: Pipeline stages timed by the slot loop, in execution order.
+STAGES = ("predict", "allocate", "encode", "send", "slot")
+
+
+class LatencyHistogram:
+    """Exact-quantile latency recorder for one pipeline stage.
+
+    Stores every sample (a serving run is bounded by
+    ``duration_slots``, so memory is bounded too) and answers
+    quantile queries by sorting on demand; the sort is amortised by
+    caching until the next insert.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: List[float] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (negative values are invalid)."""
+        if seconds < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {seconds}")
+        self._samples.append(seconds)
+        self._dirty = True
+
+    def _ordered(self) -> List[float]:
+        if self._dirty:
+            self._sorted = sorted(self._samples)
+            self._dirty = False
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile in seconds (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        ordered = self._ordered()
+        if not ordered:
+            return 0.0
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def max(self) -> float:
+        ordered = self._ordered()
+        return ordered[-1] if ordered else 0.0
+
+    def fraction_below(self, threshold_s: float) -> float:
+        """Fraction of samples strictly below a threshold (1.0 when empty)."""
+        ordered = self._ordered()
+        if not ordered:
+            return 1.0
+        return bisect.bisect_left(ordered, threshold_s) / len(ordered)
+
+    def summary_ms(self) -> Dict[str, float]:
+        """p50/p90/p99/mean/max in milliseconds."""
+        return {
+            "count": float(len(self._samples)),
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p90_ms": self.quantile(0.90) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "mean_ms": self.mean() * 1e3,
+            "max_ms": self.max() * 1e3,
+        }
+
+
+class ServingMetrics:
+    """All counters and histograms for one serving run.
+
+    ``slot_s`` is the deadline each slot's pipeline is measured
+    against.  The embedded :class:`Telemetry` receives one
+    :class:`~repro.system.telemetry.SlotUserRecord` per (slot, seat)
+    from the slot loop — the same schema
+    :meth:`~repro.system.experiment.SystemExperiment.run_repeat`
+    emits, so existing analysis tooling applies unchanged.
+    """
+
+    def __init__(self, slot_s: float) -> None:
+        if slot_s <= 0:
+            raise ConfigurationError(f"slot_s must be positive, got {slot_s}")
+        self.slot_s = slot_s
+        self.stage_latency: Dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in STAGES
+        }
+        self.slots = 0
+        self.deadline_hits = 0
+        self.joins = 0
+        self.leaves = 0
+        self.timeouts = 0
+        self.rejects: Dict[str, int] = {}
+        self.degraded_user_slots = 0
+        self.missed_reports = 0
+        self.late_reports = 0
+        self.dropped_frames = 0
+        self.telemetry = Telemetry()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Time one pipeline stage of the current slot."""
+        if stage not in self.stage_latency:
+            raise ConfigurationError(
+                f"unknown stage {stage!r}; expected one of {STAGES}"
+            )
+        self.stage_latency[stage].record(seconds)
+
+    def record_slot(self, seconds: float) -> None:
+        """Close out one slot: total pipeline time vs the deadline."""
+        self.stage_latency["slot"].record(seconds)
+        self.slots += 1
+        if seconds < self.slot_s:
+            self.deadline_hits += 1
+
+    def record_reject(self, code: str) -> None:
+        self.rejects[code] = self.rejects.get(code, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of slots whose pipeline beat the slot deadline."""
+        return self.deadline_hits / self.slots if self.slots else 0.0
+
+    def per_user_quality(self) -> Dict[int, float]:
+        """Mean viewed quality per seat from the telemetry stream.
+
+        "Viewed quality" follows the experiment's convention: the
+        allocated level when the frame was displayed, 0 otherwise —
+        averaged over the seat's planned slots.
+        """
+        totals: Dict[int, Tuple[float, int]] = {}
+        for record in self.telemetry.records:
+            quality = float(record.level) if record.displayed else 0.0
+            total, count = totals.get(record.user, (0.0, 0))
+            totals[record.user] = (total + quality, count + 1)
+        return {
+            user: total / count for user, (total, count) in sorted(totals.items())
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """One JSON-serialisable dict with every headline figure."""
+        stages: Dict[str, Mapping[str, float]] = {
+            stage: hist.summary_ms()
+            for stage, hist in self.stage_latency.items()
+            if len(hist)
+        }
+        return {
+            "slots": self.slots,
+            "deadline_hits": self.deadline_hits,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "slot_deadline_ms": self.slot_s * 1e3,
+            "stage_latency_ms": stages,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "timeouts": self.timeouts,
+            "rejects": dict(sorted(self.rejects.items())),
+            "degraded_user_slots": self.degraded_user_slots,
+            "missed_reports": self.missed_reports,
+            "late_reports": self.late_reports,
+            "dropped_frames": self.dropped_frames,
+            "per_user_mean_viewed_quality": {
+                str(user): quality
+                for user, quality in self.per_user_quality().items()
+            },
+        }

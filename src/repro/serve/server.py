@@ -1,0 +1,311 @@
+"""The live edge server: sockets in front of the slot-loop pipeline.
+
+:class:`VrServeServer` binds a TCP listener, admits clients onto
+scheduler seats, and drives the :class:`~repro.serve.slotloop.SlotLoop`
+until ``duration_slots`` transmission slots have run or every client
+has left.  The planning stack is exactly the in-process experiment's —
+:class:`~repro.system.server.EdgeServer` over the same tile database,
+coverage geometry, and Algorithm 1 allocator — with the network
+between server and clients emulated by the seeded
+:class:`~repro.serve.slotloop.DataPlane`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.content.gop import GopModel
+from repro.core.allocation import DensityValueGreedyAllocator, QualityAllocator
+from repro.errors import TransportError
+from repro.prediction.pose import Pose
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.config import PROTOCOL_VERSION, ServeConfig
+from repro.serve.metrics import ServingMetrics
+from repro.serve.protocol import (
+    Bye,
+    JoinRequest,
+    Ready,
+    Reject,
+    ServeMessage,
+    SlotReport,
+    Welcome,
+    read_message,
+    send_message,
+)
+from repro.serve.sessions import Session, SessionRegistry
+from repro.serve.slotloop import DataPlane, SlotLoop
+from repro.system.experiment import SystemExperiment
+from repro.system.server import EdgeServer
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one serving run."""
+
+    port: int
+    slots: int
+    metrics: ServingMetrics
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        return self.metrics.deadline_hit_rate
+
+
+class VrServeServer:
+    """One edge-serving deployment over real loopback/LAN sockets.
+
+    Usage::
+
+        server = VrServeServer(serve_setup1(max_users=8))
+        result = await server.run()     # binds, serves, shuts down
+
+    or, for tests that need the bound port before clients start::
+
+        await server.start()
+        port = server.port
+        result = await server.run()
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        allocator: Optional[QualityAllocator] = None,
+    ) -> None:
+        self.config = config
+        cfg = config.experiment
+        self.experiment = SystemExperiment(cfg)
+        self.allocator = (
+            allocator if allocator is not None else DensityValueGreedyAllocator()
+        )
+        self.allocator.reset()
+        self.data_plane = DataPlane(cfg)
+        router_of = None
+        router_budgets = None
+        if cfg.router_aware:
+            router_of = [u % cfg.num_routers for u in range(cfg.num_users)]
+            router_budgets = [
+                cfg.router_capacity_mbps * cfg.router_planning_efficiency
+            ] * cfg.num_routers
+        self.edge = EdgeServer(
+            cfg.num_users,
+            self.allocator,
+            cfg.weights,
+            self.experiment.database,
+            self.experiment.coverage,
+            cfg.server_budget_mbps,
+            initial_cap_mbps=cfg.initial_cap_mbps,
+            content_refresh_slots=cfg.content_refresh_slots,
+            safety_factor=cfg.safety_factor,
+            router_of=router_of,
+            router_budgets_mbps=router_budgets,
+            gop=GopModel(cfg.gop_length, cfg.gop_i_to_p_ratio),
+            slot_s=cfg.slot_s,
+        )
+        self.registry = SessionRegistry(config.max_users)
+        self.admission = AdmissionPolicy(config.max_users, PROTOCOL_VERSION)
+        self.metrics = ServingMetrics(config.slot_s)
+        self.slot_loop = SlotLoop(
+            config, self.edge, self.registry, self.metrics, self.data_plane
+        )
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._bound_port = 0
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._ready_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._bound_port == 0:
+            raise TransportError("server is not listening yet")
+        return self._bound_port
+
+    async def start(self) -> None:
+        """Bind the listener (without running the slot loop yet)."""
+        if self._listener is not None:
+            return
+        self._listener = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+        if self._listener.sockets:
+            self._bound_port = int(
+                self._listener.sockets[0].getsockname()[1]
+            )
+
+    async def run(self) -> ServeResult:
+        """Serve one full run and shut down cleanly."""
+        await self.start()
+        try:
+            await self._wait_for_clients()
+            await self.slot_loop.run()
+        finally:
+            await self._shutdown()
+        return ServeResult(
+            port=self._bound_port,
+            slots=self.slot_loop.slots_run,
+            metrics=self.metrics,
+        )
+
+    async def _wait_for_clients(self) -> None:
+        """Block until ``expect_clients`` sessions are ready."""
+        loop = asyncio.get_running_loop()
+        deadline_s = loop.time() + self.config.start_timeout_s
+        while self.registry.ready_count() < self.config.expect_clients:
+            remaining_s = deadline_s - loop.time()
+            if remaining_s <= 0:
+                raise TransportError(
+                    f"timed out waiting for {self.config.expect_clients} "
+                    f"clients ({self.registry.ready_count()} ready after "
+                    f"{self.config.start_timeout_s:.1f}s)"
+                )
+            self._ready_event.clear()
+            try:
+                await asyncio.wait_for(self._ready_event.wait(), remaining_s)
+            except asyncio.TimeoutError:
+                continue
+
+    async def _shutdown(self) -> None:
+        """Send end-of-run frames, close every socket, reap all tasks."""
+        self.admission.start_draining()
+        for session, frame in self.slot_loop.end_frames("complete"):
+            try:
+                await send_message(session.writer, frame)
+            except (ConnectionError, OSError):
+                session.alive = False
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if self._conn_tasks:
+            # Clients answer the end frame with a bye/EOF; give the
+            # handlers a short grace period, then cancel stragglers.
+            done, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=self.config.join_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._conn_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Optional[Session] = None
+        timed_out = False
+        try:
+            session = await self._admit(reader, writer)
+            if session is None:
+                return
+            await self._session_frames(reader, session)
+        except asyncio.TimeoutError:
+            timed_out = True
+        except (TransportError, ConnectionError, OSError):
+            pass
+        finally:
+            if session is not None:
+                self.registry.release(session.seat, timed_out=timed_out)
+                self.metrics.leaves += 1
+                if timed_out:
+                    self.metrics.timeouts += 1
+                self.edge.reset_user(session.seat)
+                self._ready_event.set()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _admit(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[Session]:
+        """Run the join handshake; returns None when rejected."""
+        message = await asyncio.wait_for(
+            read_message(reader), self.config.join_timeout_s
+        )
+        if not isinstance(message, JoinRequest):
+            raise TransportError(
+                f"expected a join frame first, got {type(message).__name__}"
+            )
+        decision = self.admission.decide(
+            message.version, self.registry.occupancy()
+        )
+        if not decision.admitted:
+            self.metrics.record_reject(decision.code)
+            await send_message(
+                writer,
+                Reject(
+                    code=decision.code,
+                    reason=decision.reason,
+                    capacity=self.config.max_users,
+                ),
+            )
+            return None
+        session = self.registry.admit(
+            message.client,
+            writer,
+            guideline_mbps=0.0,
+            joined_slot=self.slot_loop.slots_run,
+        )
+        session.guideline_mbps = self.data_plane.guidelines_mbps[session.seat]
+        self.metrics.joins += 1
+        cfg = self.config.experiment
+        await send_message(
+            writer,
+            Welcome(
+                seat=session.seat,
+                version=PROTOCOL_VERSION,
+                slot_s=cfg.slot_s,
+                num_tx_slots=self.config.num_tx_slots,
+                guideline_mbps=session.guideline_mbps,
+                level_count=self.experiment.database.num_levels,
+                world_size_m=cfg.world_size_m,
+                world_cell_m=self.experiment.world.cell_size,
+                margin_deg=cfg.margin_deg,
+                cell_tolerance=cfg.cell_tolerance,
+                client_cache_tiles=cfg.client_cache_tiles,
+                num_decoders=cfg.num_decoders,
+                decode_rate_mbps=cfg.decode_rate_mbps,
+                lockstep=self.config.lockstep,
+            ),
+        )
+        return session
+
+    async def _session_frames(
+        self, reader: asyncio.StreamReader, session: Session
+    ) -> None:
+        """Consume a session's frames until bye, EOF, or timeout."""
+        while True:
+            message: Optional[ServeMessage] = await asyncio.wait_for(
+                read_message(reader), self.config.idle_timeout_s
+            )
+            if message is None or isinstance(message, Bye):
+                return
+            if isinstance(message, Ready):
+                if not session.ready:
+                    self.edge.observe_pose(
+                        session.seat, Pose.from_vector(message.pose)
+                    )
+                    session.ready = True
+                    self._ready_event.set()
+            elif isinstance(message, SlotReport):
+                session.store_report(message, self.slot_loop.slots_run)
+                self.registry.notify_report()
+            else:
+                raise TransportError(
+                    f"unexpected {type(message).__name__} frame mid-session"
+                )

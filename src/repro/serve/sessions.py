@@ -1,0 +1,202 @@
+"""Live session registry: seats, join/leave/timeout, report mailboxes.
+
+A *session* is one connected client bound to one scheduler seat.
+Seats are a fixed array (the admission capacity ``K``) so the
+planning layer — :class:`~repro.system.server.EdgeServer` with
+``num_users = K`` — never reshapes mid-run; an empty seat simply has
+no pose history and is skipped by the allocator at zero cost.  Seats
+are reassigned lowest-first so a lockstep fleet joining in order
+occupies seats ``0..N-1``, which is what makes a loopback run
+comparable to the in-process experiment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.protocol import SlotReport
+
+#: ``last_report_slot`` value before any report has been received.
+NEVER_REPORTED = -1
+
+
+@dataclass
+class Session:
+    """One connected client bound to a scheduler seat."""
+
+    seat: int
+    client: str
+    writer: asyncio.StreamWriter
+    guideline_mbps: float
+    ready: bool = False
+    alive: bool = True
+    degraded: bool = False
+    joined_slot: int = 0
+    last_report_slot: int = NEVER_REPORTED
+    reports: Dict[int, SlotReport] = field(default_factory=dict)
+    planned_slots: int = 0
+    missed_reports: int = 0
+    late_reports: int = 0
+    dropped_frames: int = 0
+
+    def store_report(self, report: SlotReport, folded_slots: int) -> bool:
+        """File a report; returns False when it is too old to matter.
+
+        ``folded_slots`` is how many slots the server has already
+        folded into scheduler state; a report for one of those (or a
+        duplicate) can no longer be used and is only counted.
+        """
+        if report.slot in self.reports or report.slot < folded_slots:
+            self.late_reports += 1
+            return False
+        self.reports[report.slot] = report
+        if report.slot > self.last_report_slot:
+            self.last_report_slot = report.slot
+        return True
+
+    def take_report(self, slot: int) -> Optional[SlotReport]:
+        """Remove and return the report for a slot, if present."""
+        return self.reports.pop(slot, None)
+
+    def lag_slots(self, current_slot: int) -> int:
+        """How many slots behind this session's reports are."""
+        reference = max(self.last_report_slot, self.joined_slot - 1)
+        return max(current_slot - 1 - reference, 0)
+
+    def write_buffer_bytes(self) -> int:
+        """Bytes queued on this session's socket (backpressure signal)."""
+        transport = self.writer.transport
+        if transport is None or transport.is_closing():
+            return 0
+        return int(transport.get_write_buffer_size())
+
+
+class SessionRegistry:
+    """Fixed-capacity seat map with deterministic seat reuse."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._sessions: Dict[int, Session] = {}
+        self._free_seats: List[int] = list(range(capacity))
+        heapq.heapify(self._free_seats)
+        #: Set by connection handlers whenever a report lands, so the
+        #: lockstep barrier can re-check completeness without polling.
+        self.report_event = asyncio.Event()
+        self.total_joins = 0
+        self.total_leaves = 0
+        self.total_timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return len(self._sessions)
+
+    def ready_count(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.ready and s.alive)
+
+    def active(self) -> List[Session]:
+        """Live sessions in seat order (the planning iteration order)."""
+        return [
+            self._sessions[seat]
+            for seat in sorted(self._sessions)
+            if self._sessions[seat].alive
+        ]
+
+    def get(self, seat: int) -> Optional[Session]:
+        return self._sessions.get(seat)
+
+    def admit(
+        self,
+        client: str,
+        writer: asyncio.StreamWriter,
+        guideline_mbps: float,
+        joined_slot: int,
+    ) -> Session:
+        """Bind a client to the lowest free seat."""
+        if not self._free_seats:
+            raise ConfigurationError(
+                f"no free seats: {self.occupancy()}/{self.capacity} occupied"
+            )
+        seat = heapq.heappop(self._free_seats)
+        session = Session(
+            seat=seat,
+            client=client,
+            writer=writer,
+            guideline_mbps=guideline_mbps,
+            joined_slot=joined_slot,
+        )
+        self._sessions[seat] = session
+        self.total_joins += 1
+        return session
+
+    def release(self, seat: int, timed_out: bool = False) -> None:
+        """Free a seat after a leave, error, or timeout."""
+        session = self._sessions.pop(seat, None)
+        if session is None:
+            return
+        session.alive = False
+        heapq.heappush(self._free_seats, seat)
+        self.total_leaves += 1
+        if timed_out:
+            self.total_timeouts += 1
+        # A departed session can no longer satisfy the barrier.
+        self.report_event.set()
+
+    # ------------------------------------------------------------------
+    # Lockstep barrier support
+    # ------------------------------------------------------------------
+    def notify_report(self) -> None:
+        """Wake the slot loop: a report (or departure) landed."""
+        self.report_event.set()
+
+    def reports_complete(self, slot: int) -> bool:
+        """True when every live planned session has reported ``slot``."""
+        return all(
+            slot in session.reports
+            for session in self.active()
+            if session.ready and session.joined_slot <= slot
+        )
+
+    async def wait_reports(self, slot: int, timeout_s: float) -> bool:
+        """Block until ``reports_complete(slot)`` or the timeout.
+
+        Returns True when the barrier completed, False on timeout
+        (remaining sessions are then treated as lagging).
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while not self.reports_complete(slot):
+            remaining_s = deadline - loop.time()
+            if remaining_s <= 0:
+                return False
+            self.report_event.clear()
+            try:
+                await asyncio.wait_for(self.report_event.wait(), remaining_s)
+            except asyncio.TimeoutError:
+                return self.reports_complete(slot)
+        return True
+
+    # ------------------------------------------------------------------
+    # Seat summaries
+    # ------------------------------------------------------------------
+    def seat_counters(self) -> List[Tuple[int, Dict[str, int]]]:
+        """Per-seat wire counters for the metrics summary."""
+        return [
+            (
+                seat,
+                {
+                    "planned_slots": session.planned_slots,
+                    "missed_reports": session.missed_reports,
+                    "late_reports": session.late_reports,
+                    "dropped_frames": session.dropped_frames,
+                },
+            )
+            for seat, session in sorted(self._sessions.items())
+        ]

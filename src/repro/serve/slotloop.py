@@ -1,0 +1,435 @@
+"""The server's fixed-cadence slot loop and its emulated data plane.
+
+Every ``slot_s`` the loop snapshots the connected sessions, folds the
+previous slot's client reports into the scheduler, runs Algorithm 1
+once, emulates the RTP tile delivery, and fans one plan frame out per
+connection — the predict / allocate / encode / send pipeline of
+Fig. 4, with every stage timed against the slot deadline.
+
+The data plane (:class:`DataPlane`) carries the same TC throttles,
+router fair-sharing, fading, interference, and RTP loss as
+:meth:`~repro.system.experiment.SystemExperiment.run_repeat`, drawn
+from the same seeded RNG streams in the same per-slot order, so a
+lockstep loopback run with a full house of clients reproduces the
+in-process experiment exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.content.tiles import VideoId
+from repro.errors import ConfigurationError
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import ServingMetrics
+from repro.serve.protocol import (
+    EndOfRun,
+    TilePlan,
+    pose_to_wire,
+    write_message,
+)
+from repro.serve.sessions import Session, SessionRegistry
+from repro.simulation.metrics import summarize_ledger
+from repro.system.experiment import ExperimentConfig
+from repro.system.netem import (
+    FadingProcess,
+    InterferenceField,
+    Router,
+    ThrottledLink,
+)
+from repro.system.server import EdgeServer, SlotPlan
+from repro.system.telemetry import SlotUserRecord
+from repro.prediction.pose import Pose
+from repro.system.transport import RtpChannel, TransmissionResult
+
+_EPS = 1e-9
+
+#: Delay (in slots) charged to a session that misses its report —
+#: the same bounded worst case the experiment charges a starved link.
+MISSED_DELAY_SLOTS = 60.0
+
+#: The minimum positive quality level a degraded session is held to
+#: (the constraint (7) floor: keep serving, at the cheapest rate).
+MIN_LEVEL = 1
+
+
+class DataPlane:
+    """The emulated network between the edge server and its seats.
+
+    Construction and per-slot stepping mirror
+    :meth:`~repro.system.experiment.SystemExperiment.run_repeat`
+    bit-for-bit: guidelines come from ``default_rng((seed, repeat,
+    11))``, all fading / interference / RTP loss from ``default_rng((
+    seed, repeat, 13))``, consumed in the experiment's exact order —
+    routers step, links step, then one RTP transmission per seat in
+    seat order (seats with no payload consume no randomness, exactly
+    like level-0 users in the experiment).
+    """
+
+    def __init__(self, config: ExperimentConfig, repeat: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng((config.seed, repeat, 11))
+        self.guidelines_mbps: List[float] = [
+            float(rng.choice(list(config.throttle_guidelines)))
+            for _ in range(config.num_users)
+        ]
+        self.links = [
+            ThrottledLink(g, FadingProcess(sigma=config.link_fading_sigma))
+            for g in self.guidelines_mbps
+        ]
+        self.interference = InterferenceField(
+            onset_probability=config.interference_onset,
+            severity_range=tuple(config.interference_severity),
+        )
+        self.routers = [
+            Router(
+                config.router_capacity_mbps,
+                interference=self.interference,
+                fading=FadingProcess(sigma=config.router_fading_sigma),
+                contention_loss_per_flow=config.contention_loss_per_flow,
+            )
+            for _ in range(config.num_routers)
+        ]
+        self.rtp = RtpChannel(
+            base_loss=config.rtp_base_loss,
+            congestion_loss=config.rtp_congestion_loss,
+        )
+        self.net_rng = np.random.default_rng((config.seed, repeat, 13))
+
+    def router_of(self, seat: int) -> int:
+        """Round-robin seat-to-router assignment (as the experiment)."""
+        return seat % self.config.num_routers
+
+    def step(self) -> None:
+        """Advance fading and interference one slot (experiment order)."""
+        for router in self.routers:
+            router.step(self.net_rng)
+        for link in self.links:
+            link.step(self.net_rng)
+
+    def achieved(self, demands_mbps: Sequence[float]) -> List[float]:
+        """Fair-share achieved rate per seat for this slot's demands."""
+        num_users = self.config.num_users
+        if len(demands_mbps) != num_users:
+            raise ConfigurationError(
+                f"expected {num_users} demands, got {len(demands_mbps)}"
+            )
+        caps = [link.effective_mbps for link in self.links]
+        achieved = [0.0] * num_users
+        for r, router in enumerate(self.routers):
+            members = [u for u in range(num_users) if self.router_of(u) == r]
+            wants = [
+                caps[u] if demands_mbps[u] > _EPS else 0.0 for u in members
+            ]
+            rates = router.transmit(wants, [caps[u] for u in members])
+            for u, rate in zip(members, rates):
+                achieved[u] = rate
+        return achieved
+
+    def transmit(
+        self,
+        tile_bits: Sequence[float],
+        demand_mbps: float,
+        achieved_mbps: float,
+    ) -> TransmissionResult:
+        """Emulate one seat's RTP tile delivery for this slot."""
+        return self.rtp.transmit(
+            list(tile_bits), demand_mbps, achieved_mbps, self.net_rng
+        )
+
+
+class SlotLoop:
+    """Drives the serving pipeline for one run.
+
+    In **lockstep** mode each slot ends at a report barrier: the loop
+    waits (bounded by ``report_timeout_s``) until every live session
+    has reported the slot, which removes wall-clock influence from
+    the planning pipeline entirely.  In **paced** mode the loop
+    free-runs at the ``slot_s`` cadence; a session whose report for
+    the previous slot has not arrived is charged a failed slot
+    (indicator 0, worst-case delay) and, once it falls more than
+    ``lag_degrade_slots`` behind, is degraded to the minimum level
+    until it catches up.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        server: EdgeServer,
+        registry: SessionRegistry,
+        metrics: ServingMetrics,
+        data_plane: DataPlane,
+    ) -> None:
+        self.config = config
+        self.server = server
+        self.registry = registry
+        self.metrics = metrics
+        self.data_plane = data_plane
+        self.slots_run = 0
+        self._stop = asyncio.Event()
+        #: (slot, plan, achieved) awaiting the next fold.
+        self._pending: Optional[Tuple[int, SlotPlan, List[float]]] = None
+
+    def request_stop(self) -> None:
+        """Ask the loop to finish after the current slot."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Per-slot pipeline stages
+    # ------------------------------------------------------------------
+    def _fold_pending(self) -> None:
+        """Fold the previous slot's reports into the scheduler state.
+
+        Sessions that reported contribute their measured indicator,
+        delay, ACKs, and pose upload (exactly the experiment's uplink
+        fold); planned sessions that did not report are charged a
+        failed slot; empty seats are recorded as idle (level 0).
+        """
+        if self._pending is None:
+            return
+        slot, plan, achieved = self._pending
+        self._pending = None
+        num_users = self.config.max_users
+        indicators: List[int] = []
+        delays_slots: List[float] = []
+        delivered_ids: List[List[int]] = []
+        released_ids: List[List[int]] = []
+        poses: List[Optional[Pose]] = []
+        for seat in range(num_users):
+            session = self.registry.get(seat)
+            report = (
+                session.take_report(slot)
+                if session is not None and session.alive
+                else None
+            )
+            if report is not None:
+                indicators.append(1 if report.indicator else 0)
+                delay = (
+                    min(report.delay_slots, MISSED_DELAY_SLOTS)
+                    if math.isfinite(report.delay_slots)
+                    else MISSED_DELAY_SLOTS
+                )
+                delays_slots.append(max(delay, 0.0))
+                delivered_ids.append(list(report.delivered_ids))
+                released_ids.append(list(report.released_ids))
+                poses.append(Pose.from_vector(report.pose))
+            elif plan.users[seat].level > 0:
+                # A planned session went silent: charge a failed slot.
+                indicators.append(0)
+                delays_slots.append(MISSED_DELAY_SLOTS)
+                delivered_ids.append([])
+                released_ids.append([])
+                poses.append(None)
+                self.metrics.missed_reports += 1
+                if session is not None:
+                    session.missed_reports += 1
+            else:
+                # Empty or idle seat: a level-0 slot, as the
+                # experiment records allocator-skipped users.
+                indicators.append(0)
+                delays_slots.append(0.0)
+                delivered_ids.append([])
+                released_ids.append([])
+                poses.append(None)
+            self.metrics.telemetry.add(
+                SlotUserRecord(
+                    slot=slot,
+                    user=seat,
+                    level=plan.users[seat].level,
+                    demand_mbps=plan.users[seat].demand_mbps,
+                    achieved_mbps=achieved[seat],
+                    believed_cap_mbps=self.server.estimated_cap(seat),
+                    displayed=bool(indicators[-1]),
+                    covered=bool(indicators[-1]),
+                    delay_slots=delays_slots[-1],
+                )
+            )
+        # Pose uploads land after the ACK fold, as in the experiment's
+        # uplink stream (acks are encoded before the pose update).
+        for seat, pose in enumerate(poses):
+            if pose is not None:
+                self.server.observe_pose(seat, pose)
+        self.server.complete_slot(
+            plan, indicators, delays_slots, achieved, delivered_ids, released_ids
+        )
+        self.slots_run = slot + 1
+        self.metrics.late_reports = sum(
+            s.late_reports for s in self.registry.active()
+        )
+
+    def _degradation_caps(self, slot: int) -> Optional[List[int]]:
+        """Per-seat level caps for overload / lagging sessions.
+
+        Returns ``None`` when nothing is degraded (the common case);
+        otherwise a list with ``MIN_LEVEL`` for degraded seats and
+        ``-1`` (no cap) elsewhere.
+        """
+        caps = [-1] * self.config.max_users
+        any_degraded = False
+        for session in self.registry.active():
+            if not session.ready:
+                continue
+            lagging = (
+                not self.config.lockstep
+                and session.lag_slots(slot) > self.config.lag_degrade_slots
+            )
+            backpressured = (
+                session.write_buffer_bytes() > self.config.write_degrade_bytes
+            )
+            session.degraded = lagging or backpressured
+            if session.degraded:
+                caps[session.seat] = MIN_LEVEL
+                any_degraded = True
+                self.metrics.degraded_user_slots += 1
+        return caps if any_degraded else None
+
+    def _encode_frames(
+        self,
+        slot: int,
+        plan: SlotPlan,
+        achieved: Sequence[float],
+    ) -> List[Tuple[Session, TilePlan]]:
+        """Emulate RTP delivery and build one plan frame per session.
+
+        The RTP channel is sampled for *every* seat in seat order —
+        seats without payload draw no randomness — to keep the RNG
+        stream aligned with the experiment.
+        """
+        frames: List[Tuple[Session, TilePlan]] = []
+        demands = plan.demands_mbps
+        for seat in range(self.config.max_users):
+            user_plan = plan.users[seat]
+            result = self.data_plane.transmit(
+                user_plan.missing_bits, demands[seat], achieved[seat]
+            )
+            session = self.registry.get(seat)
+            if session is None or not session.alive or not session.ready:
+                continue
+            video_ids = tuple(
+                VideoId.encode(key) for key in user_plan.missing_keys
+            )
+            frames.append(
+                (
+                    session,
+                    TilePlan(
+                        slot=slot,
+                        level=user_plan.level,
+                        predicted_pose=(
+                            pose_to_wire(user_plan.predicted_pose.as_vector())
+                            if user_plan.predicted_pose is not None
+                            else None
+                        ),
+                        video_ids=video_ids,
+                        tile_bits=tuple(user_plan.missing_bits),
+                        lost_positions=result.lost_tile_indices,
+                        duration_s=result.duration_s,
+                        startup_delay_s=user_plan.startup_delay_s,
+                        demand_mbps=user_plan.demand_mbps,
+                        achieved_mbps=float(achieved[seat]),
+                        degraded=session.degraded,
+                    ),
+                )
+            )
+        return frames
+
+    def _send_frames(self, frames: Sequence[Tuple[Session, TilePlan]]) -> None:
+        """Queue plan frames without blocking the loop.
+
+        A connection whose write buffer is past the drop watermark has
+        its frame dropped (counted) rather than queued — the slot
+        deadline is never spent on a dead socket.
+        """
+        for session, frame in frames:
+            if session.write_buffer_bytes() > self.config.write_drop_bytes:
+                session.dropped_frames += 1
+                self.metrics.dropped_frames += 1
+                continue
+            try:
+                write_message(session.writer, frame)
+            except (ConnectionError, OSError):
+                session.alive = False
+                continue
+            session.planned_slots += 1
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Run every transmission slot, then fold the last reports."""
+        loop = asyncio.get_running_loop()
+        next_tick_s = loop.time()
+        last_slot = -1
+        for slot in range(self.config.num_tx_slots):
+            if self._stop.is_set() or self.registry.ready_count() == 0:
+                break
+            last_slot = slot
+            started_s = loop.time()
+
+            stage_s = loop.time()
+            self._fold_pending()
+            self.metrics.record_stage("predict", loop.time() - stage_s)
+
+            stage_s = loop.time()
+            caps = self._degradation_caps(slot)
+            plan = self.server.plan_slot(caps)
+            self.metrics.record_stage("allocate", loop.time() - stage_s)
+
+            stage_s = loop.time()
+            self.data_plane.step()
+            achieved = self.data_plane.achieved(plan.demands_mbps)
+            frames = self._encode_frames(slot, plan, achieved)
+            self.metrics.record_stage("encode", loop.time() - stage_s)
+
+            stage_s = loop.time()
+            self._send_frames(frames)
+            self.metrics.record_stage("send", loop.time() - stage_s)
+
+            self.metrics.record_slot(loop.time() - started_s)
+            self._pending = (slot, plan, achieved)
+
+            if self.config.lockstep:
+                await self.registry.wait_reports(
+                    slot, self.config.report_timeout_s
+                )
+            else:
+                next_tick_s += self.config.slot_s
+                sleep_s = next_tick_s - loop.time()
+                if sleep_s > 0:
+                    await asyncio.sleep(sleep_s)
+
+        # Give stragglers one last chance to report the final slot,
+        # then fold it so the ledgers cover every planned slot.
+        if self._pending is not None and not self.config.lockstep:
+            await self.registry.wait_reports(
+                last_slot, min(self.config.slot_s * 4, self.config.report_timeout_s)
+            )
+        self._fold_pending()
+
+    def end_frames(self, reason: str) -> List[Tuple[Session, EndOfRun]]:
+        """Build the end-of-run frame for every live session."""
+        frames: List[Tuple[Session, EndOfRun]] = []
+        for session in self.registry.active():
+            summary = summarize_ledger(
+                self.server.scheduler.ledgers[session.seat],
+                self.config.experiment.weights,
+            )
+            payload: Dict[str, float] = {
+                "qoe": summary.qoe,
+                "quality": summary.quality,
+                "delay": summary.delay,
+                "variance": summary.variance,
+                "mean_level": summary.mean_level,
+            }
+            frames.append(
+                (
+                    session,
+                    EndOfRun(
+                        slots=self.slots_run, reason=reason, summary=payload
+                    ),
+                )
+            )
+        return frames

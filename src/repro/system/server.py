@@ -146,6 +146,9 @@ class EdgeServer:
         self.scheduler = CollaborativeVrScheduler(
             num_users, allocator, weights, allow_skip=True
         )
+        self._predictor_window = predictor_window
+        self._prediction_horizon = prediction_horizon
+        self._initial_cap_mbps = float(initial_cap_mbps)
         self._predictors = [
             LinearMotionPredictor(window=predictor_window, horizon=prediction_horizon)
             for _ in range(num_users)
@@ -174,6 +177,7 @@ class EdgeServer:
         # Section V: the server holds an in-memory window of tiles
         # around each user's position; a miss means fetching from the
         # (171 GB) on-disk database before transmission can start.
+        self._cache_radius_cells = cache_radius_cells
         self._tile_caches = [
             ServerTileCache(database, radius_cells=cache_radius_cells)
             for _ in range(num_users)
@@ -201,6 +205,27 @@ class EdgeServer:
         """Fraction of this user's slots served from the memory window."""
         return self._tile_caches[user].hit_ratio()
 
+    def reset_user(self, user: int) -> None:
+        """Clear one seat's per-session state (serving-layer churn).
+
+        The serving layer maps live connections onto fixed scheduler
+        seats; when a session leaves and its seat is reassigned, the
+        new occupant must start from a clean motion history, delay
+        model, capacity estimate, dedup ledger, and tile window.
+        """
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        self._predictors[user].reset()
+        self._delay_predictors[user].reset()
+        self._delivered[user].clear()
+        self._cap_estimates[user] = self._initial_cap_mbps
+        self._tile_caches[user] = ServerTileCache(
+            self.database, radius_cells=self._cache_radius_cells
+        )
+        self.scheduler.reset_user(user)
+
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
@@ -208,8 +233,16 @@ class EdgeServer:
         """Safety-discounted capacity estimate used as ``B_n(t)``."""
         return self._cap_estimates[user] * self._safety
 
-    def plan_slot(self) -> SlotPlan:
-        """Allocate quality and select missing tiles for every user."""
+    def plan_slot(self, max_levels: Optional[Sequence[int]] = None) -> SlotPlan:
+        """Allocate quality and select missing tiles for every user.
+
+        ``max_levels`` optionally clamps each user's allocated level
+        from above *after* allocation (a negative entry means no
+        clamp).  The serving layer uses it for graceful degradation:
+        a lagging or backpressured connection is forced down to the
+        minimum level (the paper's constraint (7) floor) instead of
+        being allowed to blow the slot deadline for everyone.
+        """
         if self.content_refresh_slots > 0:
             epoch = self._slot // self.content_refresh_slots
             if epoch != self._epoch:
@@ -240,8 +273,16 @@ class EdgeServer:
             curve = self.database.rate_model.curve(cells[n])
             sizes.append(curve.as_tuple())
             delay_fns.append(self._delay_predictors[n].predict)
-            caps.append(self.estimated_cap(n))
-            raw_caps.append(self._cap_estimates[n])
+            if pose is None:
+                # An empty seat (no pose ever observed) must not draw
+                # budget away from live users: a zero capacity makes
+                # even the minimum level unaffordable, so the
+                # allocator skips it (allow_skip is always on here).
+                caps.append(0.0)
+                raw_caps.append(0.0)
+            else:
+                caps.append(self.estimated_cap(n))
+                raw_caps.append(self._cap_estimates[n])
 
         problem = self.scheduler.build_slot_problem(
             sizes,
@@ -253,6 +294,16 @@ class EdgeServer:
             router_budgets_mbps=self.router_budgets_mbps,
         )
         levels = self.scheduler.allocate(problem)
+        if max_levels is not None:
+            if len(max_levels) != self.num_users:
+                raise ConfigurationError(
+                    f"max_levels must have {self.num_users} entries, "
+                    f"got {len(max_levels)}"
+                )
+            levels = [
+                min(level, int(cap)) if cap >= 0 else level
+                for level, cap in zip(levels, max_levels)
+            ]
 
         users: List[UserPlan] = []
         for n in range(self.num_users):

@@ -51,6 +51,13 @@ class RtpChannel:
         Floor per-packet loss probability on a clean link.
     congestion_loss:
         Additional loss at 100% overshoot (demand = 2x achieved).
+    starved_duration_s:
+        Bounded worst-case duration reported when the link is starved
+        (zero achieved rate).  A finite value keeps every downstream
+        consumer — the delay clamp in the emulation, the serving
+        layer's wire protocol, percentile math — well-defined; at 60 s
+        it is equivalent to the old ``inf`` sentinel everywhere a
+        delay is clamped to 60 slots.
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class RtpChannel:
         packet_bits: float = 12_000.0,
         base_loss: float = 0.001,
         congestion_loss: float = 0.25,
+        starved_duration_s: float = 60.0,
     ) -> None:
         if packet_bits <= 0:
             raise ConfigurationError(f"packet size must be positive, got {packet_bits}")
@@ -67,9 +75,15 @@ class RtpChannel:
             raise ConfigurationError(
                 f"congestion_loss must be in [0, 1], got {congestion_loss}"
             )
+        if not (starved_duration_s > 0 and math.isfinite(starved_duration_s)):
+            raise ConfigurationError(
+                f"starved duration must be finite and positive, "
+                f"got {starved_duration_s}"
+            )
         self.packet_bits = packet_bits
         self.base_loss = base_loss
         self.congestion_loss = congestion_loss
+        self.starved_duration_s = starved_duration_s
 
     def packets_for(self, bits: float) -> int:
         """Number of packets needed for a payload."""
@@ -102,9 +116,12 @@ class RtpChannel:
             return TransmissionResult(0.0, 0, 0, tuple())
         if achieved_mbps <= _EPS:
             # Link starved out entirely this slot: everything is lost.
+            # The duration stays finite (bounded worst case) so delay
+            # math and wire encodings never have to special-case inf.
             packets = sum(self.packets_for(b) for b in tile_bits)
             return TransmissionResult(
-                float("inf"), packets, packets, tuple(range(len(tile_bits)))
+                self.starved_duration_s, packets, packets,
+                tuple(range(len(tile_bits))),
             )
         duration_s = total_bits / (achieved_mbps * 1e6)
         p_loss = self.loss_probability(demand_mbps, achieved_mbps)

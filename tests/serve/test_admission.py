@@ -1,0 +1,53 @@
+"""Tests for the cap-and-version admission policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import (
+    REJECT_CAPACITY,
+    REJECT_DRAINING,
+    REJECT_VERSION,
+    AdmissionPolicy,
+)
+from repro.serve.config import PROTOCOL_VERSION
+
+
+class TestAdmissionPolicy:
+    def test_admits_below_capacity(self):
+        policy = AdmissionPolicy(capacity=4, protocol_version=PROTOCOL_VERSION)
+        decision = policy.decide(PROTOCOL_VERSION, occupancy=3)
+        assert decision.admitted
+        assert decision.code == ""
+
+    def test_rejects_at_capacity(self):
+        policy = AdmissionPolicy(capacity=4, protocol_version=PROTOCOL_VERSION)
+        decision = policy.decide(PROTOCOL_VERSION, occupancy=4)
+        assert not decision.admitted
+        assert decision.code == REJECT_CAPACITY
+        assert "4/4" in decision.reason
+
+    def test_rejects_version_mismatch(self):
+        policy = AdmissionPolicy(capacity=4, protocol_version=PROTOCOL_VERSION)
+        decision = policy.decide(PROTOCOL_VERSION + 1, occupancy=0)
+        assert not decision.admitted
+        assert decision.code == REJECT_VERSION
+        assert str(PROTOCOL_VERSION) in decision.reason
+
+    def test_version_checked_before_capacity(self):
+        policy = AdmissionPolicy(capacity=1, protocol_version=PROTOCOL_VERSION)
+        decision = policy.decide(PROTOCOL_VERSION + 1, occupancy=1)
+        assert decision.code == REJECT_VERSION
+
+    def test_rejects_while_draining(self):
+        policy = AdmissionPolicy(capacity=4, protocol_version=PROTOCOL_VERSION)
+        policy.start_draining()
+        decision = policy.decide(PROTOCOL_VERSION, occupancy=0)
+        assert not decision.admitted
+        assert decision.code == REJECT_DRAINING
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(capacity=0, protocol_version=PROTOCOL_VERSION)
+        policy = AdmissionPolicy(capacity=1, protocol_version=PROTOCOL_VERSION)
+        with pytest.raises(ConfigurationError):
+            policy.decide(PROTOCOL_VERSION, occupancy=-1)

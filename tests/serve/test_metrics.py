@@ -1,0 +1,122 @@
+"""Tests for serving metrics: histograms, deadlines, realized QoE."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import STAGES, LatencyHistogram, ServingMetrics
+from repro.system.telemetry import SlotUserRecord
+
+
+def record(slot, user, level, displayed):
+    return SlotUserRecord(
+        slot=slot, user=user, level=level, demand_mbps=0.0,
+        achieved_mbps=0.0, believed_cap_mbps=0.0, displayed=displayed,
+        covered=displayed, delay_slots=0.0,
+    )
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean() == 0.0
+        assert hist.max() == 0.0
+        assert hist.fraction_below(1.0) == 1.0
+
+    def test_quantiles_nearest_rank(self):
+        hist = LatencyHistogram()
+        for value in (0.004, 0.001, 0.003, 0.002):
+            hist.record(value)
+        assert hist.quantile(0.0) == pytest.approx(0.001)
+        assert hist.quantile(0.5) == pytest.approx(0.003)
+        assert hist.quantile(1.0) == pytest.approx(0.004)
+        assert hist.max() == pytest.approx(0.004)
+        assert hist.mean() == pytest.approx(0.0025)
+
+    def test_fraction_below_is_strict(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003, 0.004):
+            hist.record(value)
+        assert hist.fraction_below(0.003) == pytest.approx(0.5)
+        assert hist.fraction_below(0.0005) == 0.0
+        assert hist.fraction_below(1.0) == 1.0
+
+    def test_sort_cache_survives_interleaved_reads(self):
+        hist = LatencyHistogram()
+        hist.record(0.002)
+        assert hist.quantile(1.0) == pytest.approx(0.002)
+        hist.record(0.001)
+        assert hist.quantile(0.0) == pytest.approx(0.001)
+
+    def test_summary_ms(self):
+        hist = LatencyHistogram()
+        hist.record(0.010)
+        summary = hist.summary_ms()
+        assert summary["count"] == 1.0
+        assert summary["p50_ms"] == pytest.approx(10.0)
+        assert summary["p99_ms"] == pytest.approx(10.0)
+        assert summary["max_ms"] == pytest.approx(10.0)
+
+    def test_validation(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigurationError):
+            hist.record(-0.001)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+
+class TestServingMetrics:
+    def test_deadline_hit_accounting(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        metrics.record_slot(0.005)
+        metrics.record_slot(0.015)
+        metrics.record_slot(0.009)
+        # The deadline is exclusive: exactly-on-deadline is a miss.
+        metrics.record_slot(0.010)
+        assert metrics.slots == 4
+        assert metrics.deadline_hits == 2
+        assert metrics.deadline_hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_before_any_slot(self):
+        assert ServingMetrics(slot_s=0.010).deadline_hit_rate == 0.0
+
+    def test_record_stage_validates_name(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        for stage in STAGES:
+            metrics.record_stage(stage, 0.001)
+        with pytest.raises(ConfigurationError):
+            metrics.record_stage("teleport", 0.001)
+
+    def test_record_reject_counts_by_code(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        metrics.record_reject("capacity")
+        metrics.record_reject("capacity")
+        metrics.record_reject("version")
+        assert metrics.rejects == {"capacity": 2, "version": 1}
+
+    def test_per_user_quality_follows_viewed_convention(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        metrics.telemetry.add(record(0, 0, 4, displayed=True))
+        metrics.telemetry.add(record(1, 0, 2, displayed=False))
+        metrics.telemetry.add(record(0, 1, 3, displayed=True))
+        quality = metrics.per_user_quality()
+        assert quality == {0: pytest.approx(2.0), 1: pytest.approx(3.0)}
+
+    def test_summary_shape(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        metrics.record_stage("allocate", 0.002)
+        metrics.record_slot(0.006)
+        metrics.record_reject("capacity")
+        metrics.telemetry.add(record(0, 0, 4, displayed=True))
+        summary = metrics.summary()
+        assert summary["slots"] == 1
+        assert summary["deadline_hit_rate"] == 1.0
+        assert summary["slot_deadline_ms"] == pytest.approx(10.0)
+        assert set(summary["stage_latency_ms"]) == {"allocate", "slot"}
+        assert summary["rejects"] == {"capacity": 1}
+        assert summary["per_user_mean_viewed_quality"] == {"0": 4.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingMetrics(slot_s=0.0)

@@ -1,0 +1,194 @@
+"""Tests for the length-prefixed JSON wire protocol."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import TransportError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    Bye,
+    EndOfRun,
+    JoinRequest,
+    Ready,
+    Reject,
+    SlotReport,
+    TilePlan,
+    Welcome,
+    decode_payload,
+    encode_message,
+    parse_message,
+    pose_to_wire,
+    read_message,
+    send_message,
+    write_message,
+)
+
+POSE = (1.0, 2.0, 0.5, 30.0, -10.0, 0.0)
+
+MESSAGES = [
+    JoinRequest(client="phone-1", version=1),
+    Welcome(
+        seat=3, version=1, slot_s=1.0 / 60.0, num_tx_slots=299,
+        guideline_mbps=45.0, level_count=6, world_size_m=8.0,
+        world_cell_m=0.05, margin_deg=15.0, cell_tolerance=1,
+        client_cache_tiles=600, num_decoders=5, decode_rate_mbps=400.0,
+        lockstep=True,
+    ),
+    Reject(code="capacity", reason="at capacity: 8/8", capacity=8),
+    Ready(pose=POSE),
+    TilePlan(
+        slot=7, level=4, predicted_pose=POSE, video_ids=(11, 12, 13),
+        tile_bits=(1e5, 2e5, 5e4), lost_positions=(1,), duration_s=0.004,
+        startup_delay_s=0.0, demand_mbps=21.0, achieved_mbps=48.0,
+        degraded=False,
+    ),
+    TilePlan(
+        slot=0, level=0, predicted_pose=None, video_ids=(), tile_bits=(),
+        lost_positions=(), duration_s=0.0, startup_delay_s=0.0,
+        demand_mbps=0.0, achieved_mbps=0.0, degraded=True,
+    ),
+    SlotReport(
+        slot=7, delivered_ids=(11, 13), released_ids=(4,), indicator=1,
+        delay_slots=0.31, viewed_quality=4.0, pose=POSE,
+    ),
+    EndOfRun(slots=299, reason="complete", summary={"qoe": 3.4, "quality": 4.1}),
+    Bye(reason="done"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: m.KIND)
+    def test_encode_decode_identity(self, message):
+        frame = encode_message(message)
+        (length,) = struct.Struct("!I").unpack(frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+    def test_payload_is_compact_json(self):
+        frame = encode_message(Bye(reason="x"))
+        body = json.loads(frame[4:].decode("utf-8"))
+        assert body == {"kind": "bye", "reason": "x"}
+
+    def test_non_finite_floats_rejected(self):
+        message = SlotReport(
+            slot=0, delivered_ids=(), released_ids=(), indicator=0,
+            delay_slots=float("inf"), viewed_quality=0.0, pose=POSE,
+        )
+        with pytest.raises(TransportError):
+            encode_message(message)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(TransportError):
+            parse_message({"kind": "teleport"})
+
+    def test_missing_kind(self):
+        with pytest.raises(TransportError):
+            parse_message({"client": "x"})
+
+    def test_wrong_field_type(self):
+        with pytest.raises(TransportError):
+            parse_message({"kind": "join", "client": "x", "version": "1"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TransportError):
+            parse_message({"kind": "join", "client": "x", "version": True})
+
+    def test_pose_must_have_six_floats(self):
+        with pytest.raises(TransportError):
+            parse_message({"kind": "ready", "pose": [1.0, 2.0]})
+
+    def test_non_object_frame(self):
+        with pytest.raises(TransportError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_malformed_json(self):
+        with pytest.raises(TransportError):
+            decode_payload(b"{nope")
+
+    def test_pose_to_wire_validates_length(self):
+        with pytest.raises(TransportError):
+            pose_to_wire((1.0, 2.0, 3.0))
+
+
+class TestFraming:
+    def _stream_pair(self):
+        reader = asyncio.StreamReader()
+        return reader
+
+    def test_read_message_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message(Bye(reason="ok")))
+            reader.feed_eof()
+            first = await read_message(reader)
+            second = await read_message(reader)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == Bye(reason="ok")
+        assert second is None
+
+    def test_read_message_mid_frame_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message(Bye(reason="ok"))[:-2])
+            reader.feed_eof()
+            return await read_message(reader)
+
+        with pytest.raises(TransportError):
+            asyncio.run(scenario())
+
+    def test_read_message_oversized_frame(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.Struct("!I").pack(MAX_FRAME_BYTES + 1))
+            reader.feed_eof()
+            return await read_message(reader)
+
+        with pytest.raises(TransportError):
+            asyncio.run(scenario())
+
+    def test_multiple_frames_in_sequence(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            for message in MESSAGES:
+                reader.feed_data(encode_message(message))
+            reader.feed_eof()
+            received = []
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    return received
+                received.append(message)
+
+        assert asyncio.run(scenario()) == MESSAGES
+
+    def test_send_and_write_over_loopback(self):
+        async def scenario():
+            received = []
+
+            async def handler(reader, writer):
+                received.append(await read_message(reader))
+                received.append(await read_message(reader))
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await send_message(writer, JoinRequest(client="a", version=1))
+            size = write_message(writer, Bye(reason="done"))
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            return received, size
+
+        received, size = asyncio.run(scenario())
+        assert received == [JoinRequest(client="a", version=1), Bye(reason="done")]
+        assert size == len(encode_message(Bye(reason="done")))

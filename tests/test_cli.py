@@ -150,6 +150,89 @@ class TestLintCommand:
         assert excinfo.value.code == 2
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.users == 8
+        assert args.expect == 1
+        assert args.slots == 300
+        assert args.lockstep is False
+        assert args.slot_ms is None
+        assert args.require_hit_rate == 0.0
+
+    def test_loadgen_requires_port(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["loadgen"])
+        assert excinfo.value.code == 2
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--port", "9000"])
+        assert args.clients == 1
+        assert args.latency_ms == 0.0
+        assert args.slow_clients == 0
+        assert args.churn_clients == 0
+
+    def test_bench_serve_flags(self):
+        args = build_parser().parse_args(["bench", "--serve-users", "2,4"])
+        assert args.serve_users == "2,4"
+        assert args.serve_slots == 120
+        assert args.serve_target == 0.99
+
+
+class TestServeCommands:
+    """Exit-code contract for `serve` and `loadgen` over loopback."""
+
+    def test_serve_bad_config_exits_one(self, capsys):
+        # expect more clients than seats is a configuration error.
+        assert main(["serve", "--users", "1", "--expect", "2"]) == 1
+        assert "serve failed" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_server_exits_one(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["loadgen", "--port", str(port), "--clients", "1"]) == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_serve_and_loadgen_over_loopback(self, capsys):
+        """Two-process smoke: `repro serve` + in-process loadgen."""
+        import subprocess
+        import sys
+
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--users", "2", "--expect", "2",
+                "--slots", "21", "--lockstep",
+                "--require-hit-rate", "0.05",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert banner.startswith("serving on 127.0.0.1:"), banner
+            port = int(banner.rsplit(":", 1)[1])
+            assert main(["loadgen", "--port", str(port), "--clients", "2"]) == 0
+            out, err = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, err
+        assert "run complete: 20 slots" in out
+        assert "deadline hit rate" in out
+        client_out = capsys.readouterr().out
+        assert "fleet of 2 client(s)" in client_out
+        assert "complete" in client_out
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m(self):
         import subprocess
