@@ -7,7 +7,8 @@ writing code:
 * ``python -m repro sim``    — the Fig. 2/3 trace-driven comparison;
 * ``python -m repro system`` — the Fig. 7/8 testbed emulation;
 * ``python -m repro theorem1`` — the approximation-ratio study;
-* ``python -m repro lint``   — the domain-aware static analysis gate.
+* ``python -m repro lint``   — the domain-aware static analysis gate;
+* ``python -m repro obs``    — trace-file and ``/metrics`` tooling.
 
 Each command prints the figure's rows as a text table (and an ASCII
 CDF/bar sketch where that helps).  Scale flags (--slots, --episodes,
@@ -33,6 +34,7 @@ from repro.core import (
 )
 from repro.knapsack import combined_greedy, solve_exact
 from repro.lint.cli import add_lint_arguments, run_lint_command
+from repro.obs.cli import add_obs_arguments, run_obs_command
 from repro.simulation import SimulationConfig, TraceSimulator
 from repro.simulation.delaymodel import mean_rtt_curve
 from repro.system import SystemExperiment, setup1_config, setup2_config
@@ -263,9 +265,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{serve_run['users_sustained']}"
     )
     persist_run(serve_run, out / BENCH_SERVE_FILE)
+
+    from repro.obs.bench import BENCH_OBS_FILE, bench_obs
+
+    obs_users = max(serve_users)
+    obs_slots = serve_slots
+    obs_repeats = 1 if args.quick else repeats
     print(
-        f"\nwrote {out / BENCH_ALLOCATOR_FILE}, {out / BENCH_SIMULATOR_FILE} "
-        f"and {out / BENCH_SERVE_FILE}"
+        f"\nobservability overhead benchmark ({obs_users} users, "
+        f"{obs_slots} slots, repeats={obs_repeats}):\n"
+    )
+    obs_run = bench_obs(
+        users=obs_users,
+        slots=obs_slots,
+        seed=args.seed,
+        repeats=obs_repeats,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["obs off mean slot (ms)", obs_run["off_mean_slot_ms"]],
+                ["obs on mean slot (ms)", obs_run["on_mean_slot_ms"]],
+                ["overhead (%)", obs_run["overhead_pct"]],
+                ["within budget", float(obs_run["within_budget"])],
+            ],
+        )
+    )
+    persist_run(obs_run, out / BENCH_OBS_FILE)
+    print(
+        f"\nwrote {out / BENCH_ALLOCATOR_FILE}, {out / BENCH_SIMULATOR_FILE}, "
+        f"{out / BENCH_SERVE_FILE} and {out / BENCH_OBS_FILE}"
     )
     return 0
 
@@ -305,11 +335,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.errors import ReproError
+    from repro.obs import ObsConfig
     from repro.serve import VrServeServer, serve_setup1
     from repro.units import SLOT_DURATION_S
 
     slot_s = SLOT_DURATION_S if args.slot_ms is None else args.slot_ms / 1e3
     try:
+        obs_config = ObsConfig(
+            enabled=not args.no_obs,
+            trace_path=args.trace,
+            sample_every=args.trace_sample,
+            flight_dir=args.flight_dir,
+            http_port=args.metrics_port,
+        )
         config = serve_setup1(
             max_users=args.users,
             duration_slots=args.slots,
@@ -320,12 +358,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             expect_clients=args.expect,
             lockstep=args.lockstep,
         )
-        config = replace(config, start_timeout_s=args.start_timeout)
+        config = replace(
+            config, start_timeout_s=args.start_timeout, obs=obs_config
+        )
 
         async def _run() -> object:
             server = VrServeServer(config)
             await server.start()
             print(f"serving on {config.host}:{server.port}", flush=True)
+            if args.metrics_port is not None:
+                print(
+                    f"metrics on http://{obs_config.http_host}:"
+                    f"{server.metrics_port}/metrics",
+                    flush=True,
+                )
             return await server.run()
 
         result = asyncio.run(_run())
@@ -478,6 +524,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for --expect clients")
     serve.add_argument("--require-hit-rate", type=float, default=0.0,
                        help="exit 1 if the slot-deadline hit rate ends lower")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="expose /metrics, /healthz, /snapshot on this "
+                            "port (0 = ephemeral, printed at start)")
+    serve.add_argument("--trace", default=None,
+                       help="write sampled slot spans to this JSONL file")
+    serve.add_argument("--trace-sample", type=int, default=16,
+                       help="write every Nth slot span to --trace")
+    serve.add_argument("--flight-dir", default=None,
+                       help="directory for flight-recorder anomaly dumps")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable tracing and the flight recorder")
 
     loadgen = sub.add_parser(
         "loadgen", help="client fleet replaying motion traces at a server"
@@ -498,9 +555,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--churn-leave", type=int, default=0)
 
     lint = sub.add_parser(
-        "lint", help="domain-aware static analysis (rules RL001-RL006)"
+        "lint", help="domain-aware static analysis (rules RL001-RL007)"
     )
     add_lint_arguments(lint)
+
+    obs = sub.add_parser(
+        "obs", help="inspect span traces and scrape observability endpoints"
+    )
+    add_obs_arguments(obs)
 
     return parser
 
@@ -515,6 +577,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "lint": run_lint_command,
+    "obs": run_obs_command,
 }
 
 

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.allocation import QualityAllocator, SlotProblem, UserSlotState
 from repro.core.qoe import QoEWeights, UserQoELedger, system_qoe
 from repro.errors import ConfigurationError
+from repro.obs.registry import Counter, MetricsRegistry
 from repro.prediction.accuracy import PredictionAccuracyTracker, RunningMean
 
 
@@ -76,6 +77,28 @@ class CollaborativeVrScheduler:
         ]
         self.ledgers: List[UserQoELedger] = [UserQoELedger() for _ in range(num_users)]
         self._t = 0
+        self._slots_counter: Optional[Counter] = None
+        self._allocated_counter: Optional[Counter] = None
+        self._skipped_counter: Optional[Counter] = None
+
+    def attach_registry(self, registry: MetricsRegistry) -> None:
+        """Mirror scheduling outcomes onto a metrics registry.
+
+        Pure bookkeeping — attaching a registry changes no scheduling
+        decision.  Registers slot and per-user allocation counters
+        that :meth:`record_outcomes` keeps current.
+        """
+        self._slots_counter = registry.counter(
+            "repro_sched_slots_total", "Slots folded into the scheduler state"
+        )
+        self._allocated_counter = registry.counter(
+            "repro_sched_user_slots_allocated_total",
+            "User-slots allocated a positive quality level",
+        )
+        self._skipped_counter = registry.counter(
+            "repro_sched_user_slots_skipped_total",
+            "User-slots skipped (level 0)",
+        )
 
     @property
     def current_slot(self) -> int:
@@ -166,6 +189,12 @@ class CollaborativeVrScheduler:
                 # Skipped slots carry no information about prediction
                 # accuracy: nothing was delivered to cover the FoV.
                 self._accuracy[n].record(indicator)
+            if level > 0 and self._allocated_counter is not None:
+                self._allocated_counter.inc()
+            elif level == 0 and self._skipped_counter is not None:
+                self._skipped_counter.inc()
+        if self._slots_counter is not None:
+            self._slots_counter.inc()
         self._t += 1
 
     def total_qoe(self) -> float:

@@ -36,3 +36,7 @@ class SimulationError(ReproError):
 
 class TransportError(ReproError):
     """The emulated transport was used incorrectly."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused or fed malformed data."""

@@ -1,4 +1,4 @@
-"""Domain rules RL001-RL006.
+"""Domain rules RL001-RL007.
 
 Importing this package registers every rule with
 :data:`repro.lint.registry.RULE_REGISTRY`; the engine imports it for
@@ -14,6 +14,7 @@ from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.float_equality import FloatEqualityRule
 from repro.lint.rules.mutable_defaults import MutableDefaultArgsRule
 from repro.lint.rules.unit_safety import UnitSafetyRule
+from repro.lint.rules.wallclock import WallClockRule
 
 __all__ = [
     "UnitSafetyRule",
@@ -22,4 +23,5 @@ __all__ = [
     "FloatEqualityRule",
     "MutableDefaultArgsRule",
     "PublicApiAnnotationsRule",
+    "WallClockRule",
 ]

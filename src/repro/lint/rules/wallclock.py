@@ -1,0 +1,74 @@
+"""RL007 — wall-clock hygiene.
+
+The serving loop's deadline accounting and the observability layer's
+span timing are both measured against monotonic clocks
+(``asyncio``'s ``loop.time()``, :func:`time.monotonic`,
+:func:`time.perf_counter`).  ``time.time()`` is the wall clock: NTP
+slews it, administrators step it, and VMs jump it across suspends.  A
+single wall-clock reading mixed into slot timing silently corrupts
+latency histograms and span durations, so inside ``repro/serve`` and
+``repro/obs`` this rule forbids it outright.
+
+``time.monotonic``, ``time.perf_counter``, and their ``_ns`` variants
+are allowed — they are exactly what the wall clock should be replaced
+with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+
+def _time_module_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the time module (``import time as t``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "RL007"
+    name = "wall-clock"
+    description = (
+        "wall-clock time.time() used inside the serving or "
+        "observability packages"
+    )
+    rationale = (
+        "Slot deadlines and span durations must come from a monotonic "
+        "clock; time.time() jumps under NTP slew and VM suspends."
+    )
+    default_includes = ("repro/serve/", "repro/obs/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        time_names = _time_module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.finding(
+                            module, node.lineno, node.col_offset,
+                            "'from time import time' imports the wall "
+                            "clock; use time.monotonic or "
+                            "time.perf_counter instead",
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "time"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_names
+            ):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "time.time() reads the wall clock, which NTP and VM "
+                    "suspends move; use time.monotonic or "
+                    "time.perf_counter for durations",
+                )

@@ -1,0 +1,90 @@
+"""Unified observability: metrics registry, tracer, flight recorder.
+
+The layer has four public pieces, all zero-dependency:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges,
+  and bounded-bucket histograms, rendered as Prometheus text
+  exposition or one JSON snapshot;
+* :class:`~repro.obs.tracer.Tracer` — per-slot span trees (slot →
+  stage → per-user allocation) on the monotonic clock, streamed to a
+  JSONL sink under a sampling knob;
+* :class:`~repro.obs.flight.FlightRecorder` — a fixed ring of recent
+  slot spans dumped automatically on anomalies (deadline miss,
+  admission reject, write-watermark drop);
+* :class:`~repro.obs.http.ObsHttpServer` — ``/metrics``, ``/healthz``
+  and ``/snapshot`` over plain asyncio sockets.
+
+:class:`~repro.obs.config.Obs` bundles the first three per process;
+``repro obs`` (:mod:`repro.obs.cli`) tails, summarizes, diffs, and
+scrapes what they produce.
+"""
+
+from repro.obs.config import DEFAULT_SAMPLE_EVERY, Obs, ObsConfig
+from repro.obs.flight import (
+    AnyFlightRecorder,
+    FlightDump,
+    FlightRecorder,
+    NullFlightRecorder,
+    TRIGGER_ADMISSION_REJECT,
+    TRIGGER_DEADLINE_MISS,
+    TRIGGER_WRITE_DROP,
+    TRIGGERS,
+)
+from repro.obs.http import ObsHttpServer, PROMETHEUS_CONTENT_TYPE
+from repro.obs.promtext import ExpositionSummary, validate_exposition
+from repro.obs.registry import (
+    BucketHistogram,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_S,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    SPAN_STREAM_KIND,
+    Span,
+    read_span_stream,
+    write_span_stream,
+)
+from repro.obs.tracer import (
+    AnyTracer,
+    NullTracer,
+    SlotSpanBuilder,
+    Tracer,
+    stage_latency_table,
+)
+
+__all__ = [
+    "AnyFlightRecorder",
+    "AnyTracer",
+    "BucketHistogram",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SAMPLE_EVERY",
+    "ExpositionSummary",
+    "FlightDump",
+    "FlightRecorder",
+    "Gauge",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullFlightRecorder",
+    "NullTracer",
+    "Obs",
+    "ObsConfig",
+    "ObsHttpServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SPAN_SCHEMA_VERSION",
+    "SPAN_STREAM_KIND",
+    "SlotSpanBuilder",
+    "Span",
+    "TRIGGER_ADMISSION_REJECT",
+    "TRIGGER_DEADLINE_MISS",
+    "TRIGGER_WRITE_DROP",
+    "TRIGGERS",
+    "Tracer",
+    "read_span_stream",
+    "stage_latency_table",
+    "validate_exposition",
+    "write_span_stream",
+]

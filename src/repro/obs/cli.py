@@ -1,0 +1,289 @@
+"""The ``repro obs`` command family: trace-file and endpoint tooling.
+
+* ``repro obs tail FILE``       — the last N slot spans, one line each;
+* ``repro obs summarize FILE``  — per-stage latency stats + misses;
+* ``repro obs diff A B``        — stage-latency deltas between traces;
+* ``repro obs scrape URL``      — fetch and validate a ``/metrics``
+  page (``--json`` for ``/healthz`` / ``/snapshot``), the CI gate.
+
+Exit codes mirror the lint contract: ``0`` success, ``1`` the target
+was reachable but invalid (malformed exposition / malformed trace
+content), ``2`` usage error (missing file, unreachable endpoint).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.promtext import validate_exposition
+from repro.obs.spans import Span, read_span_stream
+from repro.obs.tracer import stage_latency_table
+
+EXIT_OK = 0
+EXIT_INVALID = 1
+EXIT_USAGE = 2
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``obs`` subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    tail = sub.add_parser("tail", help="print the last N slot spans")
+    tail.add_argument("trace", help="span JSONL file written by the tracer")
+    tail.add_argument("-n", "--lines", type=int, default=10,
+                      help="spans to show (default: 10)")
+
+    summarize = sub.add_parser(
+        "summarize", help="per-stage latency stats for one trace file"
+    )
+    summarize.add_argument("trace", help="span JSONL file")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON")
+
+    diff = sub.add_parser(
+        "diff", help="stage-latency deltas between two trace files"
+    )
+    diff.add_argument("before", help="baseline span JSONL file")
+    diff.add_argument("after", help="candidate span JSONL file")
+
+    scrape = sub.add_parser(
+        "scrape", help="fetch an observability endpoint and validate it"
+    )
+    scrape.add_argument("url", help="endpoint URL (e.g. http://host:port/metrics)")
+    scrape.add_argument("--json", action="store_true",
+                        help="expect a JSON body instead of Prometheus text")
+    scrape.add_argument("--timeout", type=float, default=10.0,
+                        help="request timeout in seconds (default: 10)")
+    scrape.add_argument("--quiet", action="store_true",
+                        help="suppress the page echo, print the verdict only")
+
+
+def run_obs_command(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro obs <subcommand>`` from parsed arguments."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    command = args.obs_command
+    if command == "tail":
+        return _cmd_tail(args, out, err)
+    if command == "summarize":
+        return _cmd_summarize(args, out, err)
+    if command == "diff":
+        return _cmd_diff(args, out, err)
+    return _cmd_scrape(args, out, err)
+
+
+# ---------------------------------------------------------------------------
+# Trace-file commands
+# ---------------------------------------------------------------------------
+
+
+def _load_trace(path_text: str, err: TextIO) -> Optional[Tuple[List[Span], int]]:
+    """Read a span stream; None (after printing) on usage errors.
+
+    Returns ``(spans, exit_code_if_invalid)`` — malformed content is
+    reported by raising inside; the caller maps it to EXIT_INVALID.
+    """
+    path = Path(path_text)
+    if not path.is_file():
+        print(f"repro obs: error: no such trace file: {path}", file=err)
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        _, spans = read_span_stream(handle)
+    return spans, EXIT_INVALID
+
+
+def _span_line(span: Span) -> str:
+    slot = span.attrs.get("slot", "?")
+    hit = span.attrs.get("deadline_hit")
+    stages = " ".join(
+        f"{child.name}={child.duration_s * 1e3:.3f}ms"
+        for child in span.children
+        if child.name != "user"
+    )
+    users = sum(len(child.find("user")) for child in span.children)
+    users += len(span.find("user"))
+    marker = "" if hit in (None, True) else "  MISS"
+    return (
+        f"slot {slot:>6}  {span.duration_s * 1e3:8.3f}ms  "
+        f"users={users}  {stages}{marker}"
+    )
+
+
+def _cmd_tail(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    if args.lines < 1:
+        print("repro obs: error: -n must be >= 1", file=err)
+        return EXIT_USAGE
+    try:
+        loaded = _load_trace(args.trace, err)
+        if loaded is None:
+            return EXIT_USAGE
+        spans, _ = loaded
+    except ObservabilityError as exc:
+        print(f"repro obs: invalid trace: {exc}", file=err)
+        return EXIT_INVALID
+    for span in spans[-args.lines:]:
+        print(_span_line(span), file=out)
+    return EXIT_OK
+
+
+def _quantile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
+
+
+def _summarize_spans(spans: List[Span]) -> Dict[str, object]:
+    stages = stage_latency_table(spans)
+    misses = sum(
+        1 for span in spans if span.attrs.get("deadline_hit") is False
+    )
+    dump_stage: Dict[str, Dict[str, float]] = {}
+    for name, samples in stages.items():
+        dump_stage[name] = {
+            "count": float(len(samples)),
+            "p50_ms": _quantile(samples, 0.50) * 1e3,
+            "p90_ms": _quantile(samples, 0.90) * 1e3,
+            "p99_ms": _quantile(samples, 0.99) * 1e3,
+            "max_ms": max(samples) * 1e3 if samples else 0.0,
+        }
+    return {
+        "spans": len(spans),
+        "deadline_misses": misses,
+        "stages": dump_stage,
+    }
+
+
+def _cmd_summarize(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    try:
+        loaded = _load_trace(args.trace, err)
+        if loaded is None:
+            return EXIT_USAGE
+        spans, _ = loaded
+    except ObservabilityError as exc:
+        print(f"repro obs: invalid trace: {exc}", file=err)
+        return EXIT_INVALID
+    summary = _summarize_spans(spans)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True), file=out)
+        return EXIT_OK
+    print(
+        f"{summary['spans']} slot span(s), "
+        f"{summary['deadline_misses']} deadline miss(es)\n",
+        file=out,
+    )
+    stages = summary["stages"]
+    assert isinstance(stages, dict)
+    header = f"{'stage':>10}  {'count':>6}  {'p50 ms':>9}  {'p99 ms':>9}  {'max ms':>9}"
+    print(header, file=out)
+    for name in sorted(stages):
+        row = stages[name]
+        print(
+            f"{name:>10}  {int(row['count']):>6}  {row['p50_ms']:>9.3f}  "
+            f"{row['p99_ms']:>9.3f}  {row['max_ms']:>9.3f}",
+            file=out,
+        )
+    return EXIT_OK
+
+
+def _cmd_diff(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    sides: List[Dict[str, object]] = []
+    for path_text in (args.before, args.after):
+        try:
+            loaded = _load_trace(path_text, err)
+            if loaded is None:
+                return EXIT_USAGE
+            spans, _ = loaded
+        except ObservabilityError as exc:
+            print(f"repro obs: invalid trace {path_text}: {exc}", file=err)
+            return EXIT_INVALID
+        sides.append(_summarize_spans(spans))
+    before, after = sides
+    before_stages = before["stages"]
+    after_stages = after["stages"]
+    assert isinstance(before_stages, dict) and isinstance(after_stages, dict)
+    print(
+        f"spans: {before['spans']} -> {after['spans']}; deadline misses: "
+        f"{before['deadline_misses']} -> {after['deadline_misses']}\n",
+        file=out,
+    )
+    print(
+        f"{'stage':>10}  {'p50 ms (a)':>11}  {'p50 ms (b)':>11}  "
+        f"{'delta %':>8}  {'p99 ms (a)':>11}  {'p99 ms (b)':>11}",
+        file=out,
+    )
+    for name in sorted(set(before_stages) | set(after_stages)):
+        b = before_stages.get(name, {"p50_ms": 0.0, "p99_ms": 0.0})
+        a = after_stages.get(name, {"p50_ms": 0.0, "p99_ms": 0.0})
+        delta = (
+            (a["p50_ms"] - b["p50_ms"]) / b["p50_ms"] * 100.0
+            if b["p50_ms"] > 0
+            else 0.0
+        )
+        print(
+            f"{name:>10}  {b['p50_ms']:>11.3f}  {a['p50_ms']:>11.3f}  "
+            f"{delta:>+7.1f}%  {b['p99_ms']:>11.3f}  {a['p99_ms']:>11.3f}",
+            file=out,
+        )
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Endpoint scraping
+# ---------------------------------------------------------------------------
+
+
+def _cmd_scrape(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    if not args.url.startswith(("http://", "https://")):
+        print(f"repro obs: error: not an http(s) URL: {args.url}", file=err)
+        return EXIT_USAGE
+    try:
+        with urllib.request.urlopen(args.url, timeout=args.timeout) as response:
+            status = int(response.status)
+            body = response.read().decode("utf-8", errors="replace")
+    except urllib.error.HTTPError as exc:
+        # The endpoint answered, just not with a page we can use.
+        print(f"repro obs: endpoint returned HTTP {exc.code}", file=err)
+        return EXIT_INVALID
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"repro obs: error: cannot scrape {args.url}: {exc}", file=err)
+        return EXIT_USAGE
+    if status != 200:
+        print(f"repro obs: endpoint returned HTTP {status}", file=err)
+        return EXIT_INVALID
+    if args.json:
+        try:
+            json.loads(body)
+        except json.JSONDecodeError as exc:
+            print(f"repro obs: invalid JSON body: {exc}", file=err)
+            return EXIT_INVALID
+        if not args.quiet:
+            print(body.strip(), file=out)
+        print(f"valid JSON ({len(body)} bytes)", file=out)
+        return EXIT_OK
+    try:
+        summary = validate_exposition(body)
+    except ObservabilityError as exc:
+        print(f"repro obs: malformed exposition: {exc}", file=err)
+        return EXIT_INVALID
+    if not args.quiet:
+        print(body.rstrip(), file=out)
+    print(
+        f"valid exposition: {len(summary.families)} famil"
+        f"{'y' if len(summary.families) == 1 else 'ies'}, "
+        f"{summary.samples} sample(s)",
+        file=out,
+    )
+    return EXIT_OK

@@ -1,0 +1,130 @@
+"""Observability configuration and the per-process ``Obs`` bundle.
+
+An :class:`ObsConfig` is carried inside
+:class:`~repro.serve.config.ServeConfig` (and can be handed to the
+in-process experiment directly); :meth:`Obs.from_config` materializes
+it into the three runtime pieces — one
+:class:`~repro.obs.registry.MetricsRegistry`, one tracer, one flight
+recorder — swapping in null implementations when disabled so the
+instrumented hot paths stay branch-cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.flight import AnyFlightRecorder, FlightRecorder, NullFlightRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import AnyTracer, NullTracer, Tracer
+
+#: Default trace sampling: one slot span written out of every N built.
+DEFAULT_SAMPLE_EVERY = 16
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of the observability layer.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for span building, tracing, and flight
+        recording.  Metrics counters always run (they replaced the
+        serving layer's original ad-hoc counters and cost one float
+        add each); everything span-shaped is gated here.
+    trace_path:
+        JSONL sink for slot spans (``None`` = no trace file).
+    sample_every:
+        Write one slot span out of every N to ``trace_path`` (1 = all
+        slots).  Span *construction* is not sampled — the flight
+        recorder always sees every slot.
+    flight_capacity:
+        Slot spans kept in the flight-recorder ring.
+    flight_dir:
+        Directory for anomaly dump files (``None`` = in-memory only).
+    flight_max_dumps:
+        Dump cap per run; further triggers are counted, not dumped.
+    http_host / http_port:
+        Endpoint for ``/metrics``, ``/healthz`` and ``/snapshot``;
+        ``http_port=None`` disables the listener, ``0`` binds an
+        ephemeral port.
+    """
+
+    enabled: bool = True
+    trace_path: Optional[str] = None
+    sample_every: int = DEFAULT_SAMPLE_EVERY
+    flight_capacity: int = 120
+    flight_dir: Optional[str] = None
+    flight_max_dumps: int = 8
+    http_host: str = "127.0.0.1"
+    http_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
+        if self.flight_capacity < 1:
+            raise ConfigurationError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
+            )
+        if self.flight_max_dumps < 1:
+            raise ConfigurationError(
+                f"flight_max_dumps must be >= 1, got {self.flight_max_dumps}"
+            )
+        if self.http_port is not None and not 0 <= self.http_port <= 0xFFFF:
+            raise ConfigurationError(
+                f"http_port must be in [0, 65535], got {self.http_port}"
+            )
+
+
+class Obs:
+    """One process's observability runtime: registry, tracer, flight."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: AnyTracer,
+        flight: AnyFlightRecorder,
+        active: bool,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.flight = flight
+        #: When False the hot paths skip span construction entirely.
+        self.active = active
+
+    @classmethod
+    def from_config(
+        cls, config: ObsConfig, registry: Optional[MetricsRegistry] = None
+    ) -> "Obs":
+        registry = registry if registry is not None else MetricsRegistry()
+        if not config.enabled:
+            return cls(registry, NullTracer(), NullFlightRecorder(), False)
+        tracer = Tracer(
+            path=config.trace_path,
+            sample_every=config.sample_every,
+            registry=registry,
+        )
+        flight = FlightRecorder(
+            capacity=config.flight_capacity,
+            out_dir=config.flight_dir,
+            max_dumps=config.flight_max_dumps,
+            registry=registry,
+        )
+        return cls(registry, tracer, flight, True)
+
+    @classmethod
+    def disabled(cls, registry: Optional[MetricsRegistry] = None) -> "Obs":
+        """A null bundle: counters work, spans cost nothing."""
+        return cls(
+            registry if registry is not None else MetricsRegistry(),
+            NullTracer(),
+            NullFlightRecorder(),
+            False,
+        )
+
+    def close(self) -> None:
+        self.tracer.close()

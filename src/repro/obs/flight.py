@@ -1,0 +1,179 @@
+"""Flight recorder: a ring of recent slot spans, dumped on anomalies.
+
+Always-on tracing at 60 Hz is unaffordable in production and unneeded
+in the steady state; what matters is the window *around* a failure.
+The recorder therefore keeps the last ``capacity`` slot spans in a
+fixed ring and, when an anomaly fires — a missed slot deadline, an
+admission reject, a write-watermark frame drop — snapshots the ring
+into an in-memory :class:`FlightDump` (and a JSONL file when a dump
+directory is configured).  Dumps are capped per run so a pathological
+run cannot fill a disk, and every trigger is counted in the registry
+whether or not it produced a dump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricFamily, MetricsRegistry
+from repro.obs.spans import Span, stream_header
+
+#: Anomaly triggers the serving path fires.
+TRIGGER_DEADLINE_MISS = "deadline_miss"
+TRIGGER_ADMISSION_REJECT = "admission_reject"
+TRIGGER_WRITE_DROP = "write_drop"
+
+TRIGGERS = (
+    TRIGGER_DEADLINE_MISS, TRIGGER_ADMISSION_REJECT, TRIGGER_WRITE_DROP,
+)
+
+
+@dataclass(frozen=True)
+class FlightDump:
+    """One anomaly snapshot of the recent-slot ring."""
+
+    trigger: str
+    detail: str
+    slot: int
+    spans: Tuple[Span, ...]
+    path: Optional[Path] = None
+
+    def slot_numbers(self) -> List[int]:
+        return [
+            int(span.attrs.get("slot", -1))
+            for span in self.spans
+            if isinstance(span.attrs.get("slot"), int)
+        ]
+
+
+class FlightRecorder:
+    """Fixed-size ring buffer of slot spans with triggered dumps."""
+
+    def __init__(
+        self,
+        capacity: int = 120,
+        out_dir: Optional[Union[str, Path]] = None,
+        max_dumps: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        if max_dumps < 1:
+            raise ObservabilityError(f"max_dumps must be >= 1, got {max_dumps}")
+        self.capacity = capacity
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.max_dumps = max_dumps
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self.dumps: List[FlightDump] = []
+        self.suppressed = 0
+        self._triggers: Optional[MetricFamily] = None
+        if registry is not None:
+            self._triggers = registry.counter_family(
+                "repro_obs_flight_triggers_total",
+                "Anomaly triggers seen by the flight recorder",
+                ("trigger",),
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, span: Span) -> None:
+        """Append one finished slot span to the ring."""
+        self._ring.append(span)
+
+    def trigger(
+        self, trigger: str, detail: str = "", slot: int = -1
+    ) -> Optional[FlightDump]:
+        """Fire an anomaly: snapshot the ring unless the cap is hit."""
+        if self._triggers is not None:
+            self._triggers.counter_child(trigger=trigger).inc()
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed += 1
+            return None
+        dump = FlightDump(
+            trigger=trigger,
+            detail=detail,
+            slot=slot,
+            spans=tuple(self._ring),
+            path=self._write(trigger, detail, slot),
+        )
+        self.dumps.append(dump)
+        return dump
+
+    def _write(self, trigger: str, detail: str, slot: int) -> Optional[Path]:
+        if self.out_dir is None:
+            return None
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = self.out_dir / f"flight_{len(self.dumps):03d}_{trigger}.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            header = stream_header("repro.obs.flight")
+            header.update({"trigger": trigger, "detail": detail, "slot": slot})
+            handle.write(json.dumps(header) + "\n")
+            for span in self._ring:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+        return path
+
+    def last_dump_for(self, trigger: str) -> Optional[FlightDump]:
+        """The most recent dump fired by a given trigger, if any."""
+        for dump in reversed(self.dumps):
+            if dump.trigger == trigger:
+                return dump
+        return None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "ring_slots": len(self._ring),
+            "capacity": self.capacity,
+            "dumps": [
+                {
+                    "trigger": dump.trigger,
+                    "detail": dump.detail,
+                    "slot": dump.slot,
+                    "spans": len(dump.spans),
+                    "path": str(dump.path) if dump.path is not None else None,
+                }
+                for dump in self.dumps
+            ],
+            "suppressed": self.suppressed,
+        }
+
+
+class NullFlightRecorder:
+    """Flight recording disabled: every call is a cheap no-op."""
+
+    def __init__(self) -> None:
+        self.dumps: List[FlightDump] = []
+        self.suppressed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def record(self, span: Span) -> None:
+        return None
+
+    def trigger(
+        self, trigger: str, detail: str = "", slot: int = -1
+    ) -> Optional[FlightDump]:
+        return None
+
+    def last_dump_for(self, trigger: str) -> Optional[FlightDump]:
+        return None
+
+    def summary(self) -> Dict[str, object]:
+        return {"ring_slots": 0, "capacity": 0, "dumps": [], "suppressed": 0}
+
+
+AnyFlightRecorder = Union[FlightRecorder, NullFlightRecorder]

@@ -1,0 +1,162 @@
+"""Zero-dependency asyncio HTTP endpoint for live observability.
+
+A tiny HTTP/1.1 server — GET only, ``Connection: close`` — good
+enough for Prometheus scrapers, ``curl``, and the CI smoke job
+without pulling a web framework into the tree:
+
+* ``/metrics``  — the registry as Prometheus text exposition;
+* ``/healthz``  — liveness JSON from a caller-supplied callable;
+* ``/snapshot`` — the registry as one JSON document.
+
+The endpoint runs on its own listener so a scrape can never occupy
+the serving socket, and every handler only *reads* shared state —
+a scrape cannot perturb the slot loop beyond the GIL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransportError
+from repro.obs.registry import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request-line size guard (a GET for our paths is far smaller).
+_MAX_REQUEST_BYTES = 8192
+
+HealthFn = Callable[[], Dict[str, object]]
+
+
+class ObsHttpServer:
+    """Serves ``/metrics``, ``/healthz``, ``/snapshot`` for one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        health_fn: Optional[HealthFn] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.health_fn = health_fn
+        self.host = host
+        self.configured_port = port
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._bound_port = 0
+        self._requests = registry.counter_family(
+            "repro_obs_http_requests_total",
+            "Requests served by the observability endpoint",
+            ("path", "status"),
+        )
+
+    @property
+    def port(self) -> int:
+        if self._bound_port == 0:
+            raise TransportError("observability endpoint is not listening yet")
+        return self._bound_port
+
+    async def start(self) -> None:
+        if self._listener is not None:
+            return
+        self._listener = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.configured_port
+        )
+        if self._listener.sockets:
+            self._bound_port = int(self._listener.sockets[0].getsockname()[1])
+
+    async def stop(self) -> None:
+        if self._listener is None:
+            return
+        self._listener.close()
+        await self._listener.wait_closed()
+        self._listener = None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                raise TransportError("request line too long")
+            # Drain headers until the blank line; we need none of them.
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            method, path = self._parse_request_line(request_line)
+            status, content_type, body = self._respond(method, path)
+            self._requests.counter_child(
+                path=path.split("?", 1)[0], status=str(status)
+            ).inc()
+            writer.write(_render_response(status, content_type, body))
+            await writer.drain()
+        except (asyncio.TimeoutError, TransportError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _parse_request_line(raw: bytes) -> "tuple[str, str]":
+        try:
+            text = raw.decode("latin-1").strip()
+        except UnicodeDecodeError as exc:
+            raise TransportError(f"undecodable request line: {exc}") from exc
+        parts = text.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise TransportError(f"malformed request line {text!r}")
+        return parts[0].upper(), parts[1]
+
+    def _respond(self, method: str, path: str) -> "tuple[int, str, bytes]":
+        if method != "GET":
+            return 405, "text/plain; charset=utf-8", b"method not allowed\n"
+        route = path.split("?", 1)[0]
+        if route == "/metrics":
+            return (
+                200,
+                PROMETHEUS_CONTENT_TYPE,
+                self.registry.render_prometheus().encode("utf-8"),
+            )
+        if route == "/healthz":
+            payload: Dict[str, object] = {"status": "ok"}
+            if self.health_fn is not None:
+                payload.update(self.health_fn())
+            return (
+                200,
+                "application/json; charset=utf-8",
+                (json.dumps(payload) + "\n").encode("utf-8"),
+            )
+        if route == "/snapshot":
+            return (
+                200,
+                "application/json; charset=utf-8",
+                (self.registry.render_json() + "\n").encode("utf-8"),
+            )
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+
+_STATUS_TEXT = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+
+
+def _render_response(status: int, content_type: str, body: bytes) -> bytes:
+    reason = _STATUS_TEXT.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,153 @@
+"""Structured spans: the unit the tracer, flight recorder, and CLI share.
+
+A *slot span* is the full accounting of one transmission slot: the
+slot pipeline as the root, one child span per pipeline stage, and —
+under the allocation stage — one grandchild per user with the
+planner's decision for that seat.  Spans carry monotonic-clock
+offsets, never wall-clock timestamps, so two spans from one run are
+comparable and RL007 stays satisfied.
+
+The JSONL wire format is one header line (``kind`` and
+``schema_version``) followed by one JSON object per slot span, which
+is what ``repro obs tail | summarize | diff`` and the flight-recorder
+dumps all read and write.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterator, List, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+#: Version of the span JSONL schema (bump on incompatible change).
+SPAN_SCHEMA_VERSION = 1
+
+#: ``kind`` value of the header line of a span JSONL file.
+SPAN_STREAM_KIND = "repro.obs.spans"
+
+AttrValue = Union[str, int, float, bool]
+
+
+@dataclass
+class Span:
+    """One timed node in a slot's span tree."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def child(
+        self, name: str, start_s: float, duration_s: float, **attrs: AttrValue
+    ) -> "Span":
+        """Append and return a child span."""
+        span = Span(name=name, start_s=start_s, duration_s=duration_s,
+                    attrs=dict(attrs))
+        self.children.append(span)
+        return span
+
+    def find(self, name: str) -> List["Span"]:
+        """All direct children with a given name."""
+        return [span for span in self.children if span.name == name]
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "Span":
+        if not isinstance(raw, dict):
+            raise ObservabilityError(f"span must be an object, got {type(raw).__name__}")
+        try:
+            name = raw["name"]
+            start_s = raw["start_s"]
+            duration_s = raw["duration_s"]
+        except KeyError as exc:
+            raise ObservabilityError(f"span missing field {exc}") from exc
+        if not isinstance(name, str):
+            raise ObservabilityError("span name must be a string")
+        if not isinstance(start_s, (int, float)) or not isinstance(
+            duration_s, (int, float)
+        ):
+            raise ObservabilityError(f"span {name!r} timing must be numeric")
+        attrs_raw = raw.get("attrs", {})
+        if not isinstance(attrs_raw, dict):
+            raise ObservabilityError(f"span {name!r} attrs must be an object")
+        children_raw = raw.get("children", [])
+        if not isinstance(children_raw, list):
+            raise ObservabilityError(f"span {name!r} children must be a list")
+        return cls(
+            name=name,
+            start_s=float(start_s),
+            duration_s=float(duration_s),
+            attrs={str(key): value for key, value in attrs_raw.items()},
+            children=[cls.from_dict(child) for child in children_raw],
+        )
+
+
+def stream_header(kind: str = SPAN_STREAM_KIND) -> Dict[str, object]:
+    """The JSONL header object for a span stream."""
+    return {"kind": kind, "schema_version": SPAN_SCHEMA_VERSION}
+
+
+def write_span_stream(handle: IO[str], spans: List[Span], kind: str =
+                      SPAN_STREAM_KIND) -> None:
+    """Write a complete span stream (header + one span per line)."""
+    handle.write(json.dumps(stream_header(kind)) + "\n")
+    for span in spans:
+        handle.write(json.dumps(span.to_dict()) + "\n")
+
+
+def read_span_stream(handle: IO[str]) -> Tuple[Dict[str, object], List[Span]]:
+    """Parse a span JSONL stream, validating the header.
+
+    Returns ``(header, spans)``; raises
+    :class:`~repro.errors.ObservabilityError` on a missing or
+    incompatible header and on any malformed line.
+    """
+    header_line = handle.readline()
+    if not header_line.strip():
+        raise ObservabilityError("span stream is empty (no header line)")
+    header = _parse_line(header_line, 1)
+    kind = header.get("kind")
+    if not isinstance(kind, str) or not kind.startswith("repro.obs."):
+        raise ObservabilityError(f"not a span stream (kind={kind!r})")
+    version = header.get("schema_version")
+    if version != SPAN_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"unsupported span schema_version {version!r} "
+            f"(expected {SPAN_SCHEMA_VERSION})"
+        )
+    spans: List[Span] = []
+    for number, line in enumerate(handle, start=2):
+        if not line.strip():
+            continue
+        spans.append(Span.from_dict(_parse_line(line, number)))
+    return header, spans
+
+
+def _parse_line(line: str, number: int) -> Dict[str, object]:
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"line {number}: invalid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ObservabilityError(f"line {number}: expected an object")
+    return raw

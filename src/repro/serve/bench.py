@@ -13,6 +13,7 @@ question.  Results append to ``BENCH_serve.json`` via
 from __future__ import annotations
 
 import asyncio
+from dataclasses import replace
 from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
@@ -48,11 +49,16 @@ def bench_serve(
     for num_users in sorted(set(int(n) for n in user_counts)):
         if num_users < 1:
             raise ConfigurationError(f"fleet sizes must be >= 1, got {num_users}")
-        serve_config = serve_setup1(
-            max_users=num_users,
-            duration_slots=slots + 1,
-            seed=seed,
-            expect_clients=num_users,
+        # A bench run is short, so exact nearest-rank quantiles are
+        # affordable and keep the reported p50/p99 bucket-free.
+        serve_config = replace(
+            serve_setup1(
+                max_users=num_users,
+                duration_slots=slots + 1,
+                seed=seed,
+                expect_clients=num_users,
+            ),
+            exact_stage_latency=True,
         )
         fleet_config = LoadGenConfig(num_clients=num_users, seed=seed)
         result, fleet = asyncio.run(

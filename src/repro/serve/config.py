@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
+from repro.obs.config import ObsConfig
 from repro.system.experiment import ExperimentConfig, setup1_config
 from repro.units import SLOT_DURATION_S
 
@@ -61,6 +62,12 @@ class ServeConfig:
         Wall-clock guards: waiting for ``expect_clients``, for a JOIN
         frame on a fresh connection, for the lockstep report barrier,
         and for any frame on an established connection.
+    obs:
+        Observability knobs (:class:`~repro.obs.config.ObsConfig`):
+        tracing, flight recording, and the ``/metrics`` endpoint.
+    exact_stage_latency:
+        Retain every stage-latency sample for nearest-rank quantiles
+        (short benchmark runs); the default keeps bounded buckets only.
     """
 
     experiment: ExperimentConfig = field(default_factory=setup1_config)
@@ -75,6 +82,8 @@ class ServeConfig:
     join_timeout_s: float = 10.0
     report_timeout_s: float = 10.0
     idle_timeout_s: float = 60.0
+    obs: ObsConfig = field(default_factory=ObsConfig)
+    exact_stage_latency: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.expect_clients <= self.experiment.num_users:

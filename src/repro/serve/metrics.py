@@ -8,14 +8,24 @@ hit rate as its headline number, and folds each user's realized
 outcomes into the same :class:`~repro.system.telemetry.Telemetry`
 record stream the in-process experiment produces — one schema for
 both worlds.
+
+Every counter and histogram here lives in a
+:class:`~repro.obs.registry.MetricsRegistry`, so the numbers the
+``summary()`` dict reports and the numbers the live ``/metrics``
+endpoint exposes are the same instruments, not parallel bookkeeping.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    BucketHistogram,
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
 from repro.system.telemetry import Telemetry
 
 #: Pipeline stages timed by the slot loop, in execution order.
@@ -23,28 +33,47 @@ STAGES = ("predict", "allocate", "encode", "send", "slot")
 
 
 class LatencyHistogram:
-    """Exact-quantile latency recorder for one pipeline stage.
+    """Latency recorder for one pipeline stage.
 
-    Stores every sample (a serving run is bounded by
-    ``duration_slots``, so memory is bounded too) and answers
-    quantile queries by sorting on demand; the sort is amortised by
-    caching until the next insert.
+    Backed by a bounded :class:`~repro.obs.registry.BucketHistogram`
+    — ``O(buckets)`` memory however long the run, interpolated
+    quantiles — which replaced an unbounded store-every-sample,
+    sort-on-query recorder.  Short benchmark runs that need
+    nearest-rank quantiles can opt back into sample retention with
+    ``exact=True``; the bucket vector is still fed either way so the
+    exposition page stays complete.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        exact: bool = False,
+        buckets: Optional[BucketHistogram] = None,
+    ) -> None:
+        self._buckets = (
+            buckets
+            if buckets is not None
+            else BucketHistogram(DEFAULT_LATENCY_BUCKETS_S)
+        )
+        self._exact = exact
         self._samples: List[float] = []
         self._sorted: List[float] = []
         self._dirty = False
 
+    @property
+    def exact(self) -> bool:
+        return self._exact
+
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._buckets.count
 
     def record(self, seconds: float) -> None:
         """Add one latency sample (negative values are invalid)."""
         if seconds < 0:
             raise ConfigurationError(f"latency must be >= 0, got {seconds}")
-        self._samples.append(seconds)
-        self._dirty = True
+        self._buckets.observe(seconds)
+        if self._exact:
+            self._samples.append(seconds)
+            self._dirty = True
 
     def _ordered(self) -> List[float]:
         if self._dirty:
@@ -53,33 +82,40 @@ class LatencyHistogram:
         return self._sorted
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile in seconds (0 when empty)."""
+        """Quantile in seconds (0 when empty).
+
+        Nearest-rank over the retained samples in exact mode,
+        bucket-interpolated otherwise.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        ordered = self._ordered()
-        if not ordered:
-            return 0.0
-        rank = min(int(q * len(ordered)), len(ordered) - 1)
-        return ordered[rank]
+        if self._exact:
+            ordered = self._ordered()
+            if not ordered:
+                return 0.0
+            rank = min(int(q * len(ordered)), len(ordered) - 1)
+            return ordered[rank]
+        return self._buckets.quantile(q)
 
     def mean(self) -> float:
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+        return self._buckets.mean()
 
     def max(self) -> float:
-        ordered = self._ordered()
-        return ordered[-1] if ordered else 0.0
+        return self._buckets.max()
 
     def fraction_below(self, threshold_s: float) -> float:
         """Fraction of samples strictly below a threshold (1.0 when empty)."""
-        ordered = self._ordered()
-        if not ordered:
-            return 1.0
-        return bisect.bisect_left(ordered, threshold_s) / len(ordered)
+        if self._exact:
+            ordered = self._ordered()
+            if not ordered:
+                return 1.0
+            return bisect.bisect_left(ordered, threshold_s) / len(ordered)
+        return self._buckets.fraction_below(threshold_s)
 
     def summary_ms(self) -> Dict[str, float]:
         """p50/p90/p99/mean/max in milliseconds."""
         return {
-            "count": float(len(self._samples)),
+            "count": float(len(self)),
             "p50_ms": self.quantile(0.50) * 1e3,
             "p90_ms": self.quantile(0.90) * 1e3,
             "p99_ms": self.quantile(0.99) * 1e3,
@@ -97,26 +133,76 @@ class ServingMetrics:
     from the slot loop — the same schema
     :meth:`~repro.system.experiment.SystemExperiment.run_repeat`
     emits, so existing analysis tooling applies unchanged.
+
+    All figures live in ``registry`` (a fresh one when not supplied):
+    reads go through properties, writes through ``record_*`` methods,
+    so the serving layer cannot drift from its ``/metrics`` page.
     """
 
-    def __init__(self, slot_s: float) -> None:
+    def __init__(
+        self,
+        slot_s: float,
+        registry: Optional[MetricsRegistry] = None,
+        exact_latency: bool = False,
+    ) -> None:
         if slot_s <= 0:
             raise ConfigurationError(f"slot_s must be positive, got {slot_s}")
         self.slot_s = slot_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        stage_family = self.registry.histogram_family(
+            "repro_serve_stage_latency_seconds",
+            "Slot-pipeline stage latency",
+            ("stage",),
+        )
         self.stage_latency: Dict[str, LatencyHistogram] = {
-            stage: LatencyHistogram() for stage in STAGES
+            stage: LatencyHistogram(
+                exact=exact_latency,
+                buckets=stage_family.histogram_child(stage=stage),
+            )
+            for stage in STAGES
         }
-        self.slots = 0
-        self.deadline_hits = 0
-        self.joins = 0
-        self.leaves = 0
-        self.timeouts = 0
-        self.rejects: Dict[str, int] = {}
-        self.degraded_user_slots = 0
-        self.missed_reports = 0
-        self.late_reports = 0
-        self.dropped_frames = 0
+        self._slots = self.registry.counter(
+            "repro_serve_slots_total", "Transmission slots executed"
+        )
+        self._deadline_hits = self.registry.counter(
+            "repro_serve_deadline_hits_total",
+            "Slots whose pipeline finished inside the slot deadline",
+        )
+        self._joins = self.registry.counter(
+            "repro_serve_joins_total", "Clients admitted onto a seat"
+        )
+        self._leaves = self.registry.counter(
+            "repro_serve_leaves_total", "Sessions released (any reason)"
+        )
+        self._timeouts = self.registry.counter(
+            "repro_serve_timeouts_total", "Sessions released by a timeout"
+        )
+        self._rejects = self.registry.counter_family(
+            "repro_serve_rejects_total",
+            "Join requests rejected by the admission policy",
+            ("code",),
+        )
+        self._degraded_user_slots = self.registry.counter(
+            "repro_serve_degraded_user_slots_total",
+            "User-slots served at the degraded minimum level",
+        )
+        self._missed_reports = self.registry.counter(
+            "repro_serve_missed_reports_total",
+            "Planned user-slots whose client report never arrived",
+        )
+        self._late_reports = self.registry.gauge(
+            "repro_serve_late_reports",
+            "Late reports accumulated across the live sessions",
+        )
+        self._dropped_frames = self.registry.counter(
+            "repro_serve_dropped_frames_total",
+            "Plan frames dropped at the write watermark",
+        )
+        self._active_sessions = self.registry.gauge(
+            "repro_serve_active_sessions", "Sessions currently admitted"
+        )
         self.telemetry = Telemetry()
+        self.telemetry.attach_registry(self.registry)
 
     # ------------------------------------------------------------------
     # Recording
@@ -132,12 +218,86 @@ class ServingMetrics:
     def record_slot(self, seconds: float) -> None:
         """Close out one slot: total pipeline time vs the deadline."""
         self.stage_latency["slot"].record(seconds)
-        self.slots += 1
+        self._slots.inc()
         if seconds < self.slot_s:
-            self.deadline_hits += 1
+            self._deadline_hits.inc()
 
     def record_reject(self, code: str) -> None:
-        self.rejects[code] = self.rejects.get(code, 0) + 1
+        self._rejects.counter_child(code=code).inc()
+
+    def record_join(self) -> None:
+        self._joins.inc()
+        self._active_sessions.inc()
+
+    def record_leave(self, timed_out: bool = False) -> None:
+        self._leaves.inc()
+        self._active_sessions.dec()
+        if timed_out:
+            self._timeouts.inc()
+
+    def record_degraded_user_slot(self) -> None:
+        self._degraded_user_slots.inc()
+
+    def record_missed_report(self) -> None:
+        self._missed_reports.inc()
+
+    def record_dropped_frame(self) -> None:
+        self._dropped_frames.inc()
+
+    def set_late_reports(self, count: int) -> None:
+        self._late_reports.set(count)
+
+    # ------------------------------------------------------------------
+    # Reads (all backed by the registry instruments)
+    # ------------------------------------------------------------------
+    @property
+    def slots(self) -> int:
+        return self._slots.count
+
+    @property
+    def deadline_hits(self) -> int:
+        return self._deadline_hits.count
+
+    @property
+    def joins(self) -> int:
+        return self._joins.count
+
+    @property
+    def leaves(self) -> int:
+        return self._leaves.count
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.count
+
+    @property
+    def rejects(self) -> Dict[str, int]:
+        """Reject counts by admission code (empty when none)."""
+        return {
+            values[0]: int(child.value)
+            for values, child in self._rejects.children()
+            if child.value
+        }
+
+    @property
+    def degraded_user_slots(self) -> int:
+        return self._degraded_user_slots.count
+
+    @property
+    def missed_reports(self) -> int:
+        return self._missed_reports.count
+
+    @property
+    def late_reports(self) -> int:
+        return int(self._late_reports.value)
+
+    @property
+    def dropped_frames(self) -> int:
+        return self._dropped_frames.count
+
+    @property
+    def active_sessions(self) -> int:
+        return int(self._active_sessions.value)
 
     # ------------------------------------------------------------------
     # Derived figures

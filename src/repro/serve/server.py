@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.content.gop import GopModel
 from repro.core.allocation import DensityValueGreedyAllocator, QualityAllocator
 from repro.errors import TransportError
+from repro.obs.config import Obs
+from repro.obs.flight import TRIGGER_ADMISSION_REJECT
+from repro.obs.http import ObsHttpServer
 from repro.prediction.pose import Pose
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.config import PROTOCOL_VERSION, ServeConfig
@@ -105,14 +108,29 @@ class VrServeServer:
         )
         self.registry = SessionRegistry(config.max_users)
         self.admission = AdmissionPolicy(config.max_users, PROTOCOL_VERSION)
-        self.metrics = ServingMetrics(config.slot_s)
-        self.slot_loop = SlotLoop(
-            config, self.edge, self.registry, self.metrics, self.data_plane
+        self.obs = Obs.from_config(config.obs)
+        self.metrics = ServingMetrics(
+            config.slot_s,
+            registry=self.obs.registry,
+            exact_latency=config.exact_stage_latency,
         )
+        self.slot_loop = SlotLoop(
+            config, self.edge, self.registry, self.metrics, self.data_plane,
+            obs=self.obs,
+        )
+        self.edge.scheduler.attach_registry(self.obs.registry)
         self._listener: Optional[asyncio.AbstractServer] = None
         self._bound_port = 0
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._ready_event = asyncio.Event()
+        self._http: Optional[ObsHttpServer] = None
+        if config.obs.http_port is not None:
+            self._http = ObsHttpServer(
+                self.obs.registry,
+                health_fn=self._health,
+                host=config.obs.http_host,
+                port=config.obs.http_port,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -123,6 +141,23 @@ class VrServeServer:
         if self._bound_port == 0:
             raise TransportError("server is not listening yet")
         return self._bound_port
+
+    @property
+    def metrics_port(self) -> int:
+        """The observability endpoint's bound port (when enabled)."""
+        if self._http is None:
+            raise TransportError("observability endpoint is not configured")
+        return self._http.port
+
+    def _health(self) -> Dict[str, object]:
+        """Liveness payload for the ``/healthz`` endpoint."""
+        return {
+            "slots_run": self.slot_loop.slots_run,
+            "num_tx_slots": self.config.num_tx_slots,
+            "sessions": self.registry.occupancy(),
+            "ready": self.registry.ready_count(),
+            "deadline_hit_rate": self.metrics.deadline_hit_rate,
+        }
 
     async def start(self) -> None:
         """Bind the listener (without running the slot loop yet)."""
@@ -135,6 +170,8 @@ class VrServeServer:
             self._bound_port = int(
                 self._listener.sockets[0].getsockname()[1]
             )
+        if self._http is not None:
+            await self._http.start()
 
     async def run(self) -> ServeResult:
         """Serve one full run and shut down cleanly."""
@@ -170,6 +207,9 @@ class VrServeServer:
 
     async def _shutdown(self) -> None:
         """Send end-of-run frames, close every socket, reap all tasks."""
+        if self._http is not None:
+            await self._http.stop()
+        self.obs.close()
         self.admission.start_draining()
         for session, frame in self.slot_loop.end_frames("complete"):
             try:
@@ -219,9 +259,7 @@ class VrServeServer:
         finally:
             if session is not None:
                 self.registry.release(session.seat, timed_out=timed_out)
-                self.metrics.leaves += 1
-                if timed_out:
-                    self.metrics.timeouts += 1
+                self.metrics.record_leave(timed_out=timed_out)
                 self.edge.reset_user(session.seat)
                 self._ready_event.set()
             writer.close()
@@ -246,6 +284,11 @@ class VrServeServer:
         )
         if not decision.admitted:
             self.metrics.record_reject(decision.code)
+            self.obs.flight.trigger(
+                TRIGGER_ADMISSION_REJECT,
+                detail=f"{decision.code}: {decision.reason}",
+                slot=self.slot_loop.slots_run,
+            )
             await send_message(
                 writer,
                 Reject(
@@ -262,7 +305,7 @@ class VrServeServer:
             joined_slot=self.slot_loop.slots_run,
         )
         session.guideline_mbps = self.data_plane.guidelines_mbps[session.seat]
-        self.metrics.joins += 1
+        self.metrics.record_join()
         cfg = self.config.experiment
         await send_message(
             writer,

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.content.tiles import VideoId
 from repro.errors import ConfigurationError
+from repro.obs.config import Obs
+from repro.obs.flight import TRIGGER_DEADLINE_MISS, TRIGGER_WRITE_DROP
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServingMetrics
 from repro.serve.protocol import (
@@ -163,12 +165,14 @@ class SlotLoop:
         registry: SessionRegistry,
         metrics: ServingMetrics,
         data_plane: DataPlane,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.config = config
         self.server = server
         self.registry = registry
         self.metrics = metrics
         self.data_plane = data_plane
+        self.obs = obs if obs is not None else Obs.disabled(metrics.registry)
         self.slots_run = 0
         self._stop = asyncio.Event()
         #: (slot, plan, achieved) awaiting the next fold.
@@ -224,7 +228,7 @@ class SlotLoop:
                 delivered_ids.append([])
                 released_ids.append([])
                 poses.append(None)
-                self.metrics.missed_reports += 1
+                self.metrics.record_missed_report()
                 if session is not None:
                     session.missed_reports += 1
             else:
@@ -257,8 +261,8 @@ class SlotLoop:
             plan, indicators, delays_slots, achieved, delivered_ids, released_ids
         )
         self.slots_run = slot + 1
-        self.metrics.late_reports = sum(
-            s.late_reports for s in self.registry.active()
+        self.metrics.set_late_reports(
+            sum(s.late_reports for s in self.registry.active())
         )
 
     def _degradation_caps(self, slot: int) -> Optional[List[int]]:
@@ -284,7 +288,7 @@ class SlotLoop:
             if session.degraded:
                 caps[session.seat] = MIN_LEVEL
                 any_degraded = True
-                self.metrics.degraded_user_slots += 1
+                self.metrics.record_degraded_user_slot()
         return caps if any_degraded else None
 
     def _encode_frames(
@@ -336,17 +340,20 @@ class SlotLoop:
             )
         return frames
 
-    def _send_frames(self, frames: Sequence[Tuple[Session, TilePlan]]) -> None:
+    def _send_frames(self, frames: Sequence[Tuple[Session, TilePlan]]) -> int:
         """Queue plan frames without blocking the loop.
 
         A connection whose write buffer is past the drop watermark has
         its frame dropped (counted) rather than queued — the slot
-        deadline is never spent on a dead socket.
+        deadline is never spent on a dead socket.  Returns the number
+        of frames dropped this slot.
         """
+        dropped = 0
         for session, frame in frames:
             if session.write_buffer_bytes() > self.config.write_drop_bytes:
                 session.dropped_frames += 1
-                self.metrics.dropped_frames += 1
+                self.metrics.record_dropped_frame()
+                dropped += 1
                 continue
             try:
                 write_message(session.writer, frame)
@@ -354,6 +361,7 @@ class SlotLoop:
                 session.alive = False
                 continue
             session.planned_slots += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # The loop
@@ -368,27 +376,79 @@ class SlotLoop:
                 break
             last_slot = slot
             started_s = loop.time()
+            # Span building never reads a clock itself — it reuses the
+            # stage-boundary readings the deadline bookkeeping already
+            # takes, which is what keeps instrumentation inert.
+            builder = (
+                self.obs.tracer.slot(slot, started_s)
+                if self.obs.active
+                else None
+            )
 
-            stage_s = loop.time()
+            stage_s = started_s
             self._fold_pending()
-            self.metrics.record_stage("predict", loop.time() - stage_s)
+            stage_end_s = loop.time()
+            self.metrics.record_stage("predict", stage_end_s - stage_s)
+            if builder is not None:
+                builder.stage("predict", stage_s, stage_end_s)
 
-            stage_s = loop.time()
+            stage_s = stage_end_s
             caps = self._degradation_caps(slot)
             plan = self.server.plan_slot(caps)
-            self.metrics.record_stage("allocate", loop.time() - stage_s)
+            stage_end_s = loop.time()
+            self.metrics.record_stage("allocate", stage_end_s - stage_s)
+            if builder is not None:
+                builder.stage(
+                    "allocate", stage_s, stage_end_s,
+                    degraded_seats=caps is not None,
+                )
+                for seat in range(self.config.max_users):
+                    user_plan = plan.users[seat]
+                    if user_plan.level > 0:
+                        builder.user(
+                            seat,
+                            level=user_plan.level,
+                            demand_mbps=user_plan.demand_mbps,
+                        )
 
-            stage_s = loop.time()
+            stage_s = stage_end_s
             self.data_plane.step()
             achieved = self.data_plane.achieved(plan.demands_mbps)
             frames = self._encode_frames(slot, plan, achieved)
-            self.metrics.record_stage("encode", loop.time() - stage_s)
+            stage_end_s = loop.time()
+            self.metrics.record_stage("encode", stage_end_s - stage_s)
+            if builder is not None:
+                builder.stage("encode", stage_s, stage_end_s,
+                              frames=len(frames))
 
-            stage_s = loop.time()
-            self._send_frames(frames)
-            self.metrics.record_stage("send", loop.time() - stage_s)
+            stage_s = stage_end_s
+            dropped = self._send_frames(frames)
+            stage_end_s = loop.time()
+            self.metrics.record_stage("send", stage_end_s - stage_s)
+            if builder is not None:
+                builder.stage("send", stage_s, stage_end_s, dropped=dropped)
 
-            self.metrics.record_slot(loop.time() - started_s)
+            elapsed_s = stage_end_s - started_s
+            self.metrics.record_slot(elapsed_s)
+            if builder is not None:
+                span = builder.finish(
+                    stage_end_s, deadline_hit=elapsed_s < self.config.slot_s
+                )
+                self.obs.flight.record(span)
+                self.obs.tracer.emit(span)
+                if elapsed_s >= self.config.slot_s:
+                    self.obs.flight.trigger(
+                        TRIGGER_DEADLINE_MISS,
+                        detail=f"slot pipeline took {elapsed_s * 1e3:.3f} ms",
+                        slot=slot,
+                    )
+                if dropped:
+                    self.obs.flight.trigger(
+                        TRIGGER_WRITE_DROP,
+                        detail=f"{dropped} plan frame(s) dropped at the "
+                               "write watermark",
+                        slot=slot,
+                    )
             self._pending = (slot, plan, achieved)
 
             if self.config.lockstep:

@@ -48,6 +48,7 @@ from repro.core.allocation import QualityAllocator
 from repro.core.qoe import QoEWeights
 from repro.core.scheduler import CollaborativeVrScheduler
 from repro.errors import ConfigurationError
+from repro.obs.config import Obs
 from repro.prediction.fov import CoverageEvaluator
 from repro.prediction.motion import LinearMotionPredictor, batch_linear_predictions
 from repro.prediction.pose import Pose
@@ -261,13 +262,16 @@ class TraceSimulator:
         allocator: QualityAllocator,
         episode: int = 0,
         telemetry: Optional[Telemetry] = None,
+        obs: Optional[Obs] = None,
     ) -> EpisodeResult:
         """Simulate one episode with the given allocator.
 
         Pass a :class:`~repro.system.telemetry.Telemetry` collector to
         capture per-slot records (level, planned rate, believed and
         true bandwidth, coverage, delay) — the same forensics view the
-        system emulation offers.
+        system emulation offers.  An :class:`~repro.obs.config.Obs`
+        bundle mirrors episode/slot progress into its registry; both
+        are pure observers of the seeded run.
         """
         cfg = self.config
         schedule = self._episode_schedule(episode)
@@ -275,6 +279,11 @@ class TraceSimulator:
         scheduler = CollaborativeVrScheduler(
             cfg.num_users, allocator, cfg.weights, allow_skip=False
         )
+        if obs is not None:
+            scheduler.attach_registry(obs.registry)
+            obs.registry.counter(
+                "repro_sim_episodes_total", "Simulation episodes started"
+            ).inc()
         estimators = (
             [
                 EmaThroughputEstimator(alpha=cfg.ema_alpha)

@@ -28,6 +28,7 @@ from repro.content.tiles import GridWorld, TileGrid, VideoId
 from repro.core.allocation import QualityAllocator
 from repro.core.qoe import QoEWeights
 from repro.errors import ConfigurationError
+from repro.obs.config import Obs
 from repro.prediction.fov import CoverageEvaluator
 from repro.simulation.metrics import (
     EpisodeResult,
@@ -190,15 +191,34 @@ class SystemExperiment:
         allocator: QualityAllocator,
         repeat: int = 0,
         telemetry: Optional["Telemetry"] = None,
+        obs: Optional[Obs] = None,
     ) -> EpisodeResult:
         """One full run (one of the paper's five repetitions).
 
         Pass a :class:`~repro.system.telemetry.Telemetry` collector to
-        capture the per-slot planner view and outcomes.
+        capture the per-slot planner view and outcomes, and/or an
+        :class:`~repro.obs.config.Obs` bundle to mirror progress into
+        its registry and stream per-slot spans (on the run's *virtual*
+        slot clock) through its tracer and flight recorder.  Both are
+        pure observers: seeded results are bit-identical with or
+        without them.
         """
         cfg = self.config
         rng = np.random.default_rng((cfg.seed, repeat, 11))
         net_rng = np.random.default_rng((cfg.seed, repeat, 13))
+        slots_counter = (
+            obs.registry.counter(
+                "repro_experiment_slots_total",
+                "Transmission slots emulated by SystemExperiment",
+            )
+            if obs is not None
+            else None
+        )
+        if obs is not None:
+            obs.registry.counter(
+                "repro_experiment_repeats_total",
+                "Experiment repeats started",
+            ).inc()
 
         # World state: traces, throttles, routers, channels.
         poses = [
@@ -260,6 +280,8 @@ class SystemExperiment:
             gop=GopModel(cfg.gop_length, cfg.gop_i_to_p_ratio),
             slot_s=cfg.slot_s,
         )
+        if obs is not None:
+            server.scheduler.attach_registry(obs.registry)
 
         # Connection setup: each client uploads its initial pose.
         for u in range(cfg.num_users):
@@ -379,6 +401,26 @@ class SystemExperiment:
             server.complete_slot(
                 plan, indicators, delays, achieved, delivered_ids, released_ids
             )
+            if slots_counter is not None:
+                slots_counter.inc()
+            if obs is not None and obs.active:
+                # The experiment has no wall clock: spans carry the
+                # run's virtual slot boundaries instead.
+                builder = obs.tracer.slot(t, t * cfg.slot_s)
+                builder.stage("allocate", t * cfg.slot_s, t * cfg.slot_s)
+                for u in range(cfg.num_users):
+                    if plan.users[u].level > 0:
+                        builder.user(
+                            u,
+                            level=plan.users[u].level,
+                            demand_mbps=demands[u],
+                            displayed=bool(indicators[u]),
+                        )
+                span = builder.finish(
+                    (t + 1) * cfg.slot_s, deadline_hit=True
+                )
+                obs.flight.record(span)
+                obs.tracer.emit(span)
             if t + 1 < num_tx_slots:
                 engine.schedule_in(cfg.slot_s, lambda: run_slot(t + 1))
 

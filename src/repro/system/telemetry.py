@@ -6,19 +6,32 @@ estimates believed, how demand tracked capacity.  A
 :class:`Telemetry` collector can be passed to
 :meth:`repro.system.experiment.SystemExperiment.run_repeat` to capture
 one record per (slot, user) with the planner's view and the realized
-outcome, exportable as rows or CSV.
+outcome, exportable as CSV or as a versioned JSONL stream.
+
+A collector can optionally be attached to a
+:class:`~repro.obs.registry.MetricsRegistry`
+(:meth:`Telemetry.attach_registry`), which mirrors the record count
+onto the process's ``/metrics`` page without changing what is stored.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import IO, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ObservabilityError
+from repro.obs.registry import Counter, MetricsRegistry
 
 PathLike = Union[str, pathlib.Path]
+
+#: Version of the telemetry JSONL schema (bump on incompatible change).
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: ``kind`` value of the header line of a telemetry JSONL file.
+TELEMETRY_STREAM_KIND = "repro.telemetry.slot_user"
 
 #: Column order of the exported rows.
 FIELDS = (
@@ -51,12 +64,57 @@ class SlotUserRecord:
     def as_row(self) -> List[object]:
         return [getattr(self, field) for field in FIELDS]
 
+    def as_dict(self) -> Dict[str, object]:
+        return {field: getattr(self, field) for field in FIELDS}
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "SlotUserRecord":
+        if not isinstance(raw, dict):
+            raise ObservabilityError(
+                f"telemetry record must be an object, got {type(raw).__name__}"
+            )
+        missing = [field for field in FIELDS if field not in raw]
+        if missing:
+            raise ObservabilityError(
+                f"telemetry record missing fields {missing}"
+            )
+        try:
+            return cls(
+                slot=int(raw["slot"]),
+                user=int(raw["user"]),
+                level=int(raw["level"]),
+                demand_mbps=float(raw["demand_mbps"]),
+                achieved_mbps=float(raw["achieved_mbps"]),
+                believed_cap_mbps=float(raw["believed_cap_mbps"]),
+                displayed=bool(raw["displayed"]),
+                covered=bool(raw["covered"]),
+                delay_slots=float(raw["delay_slots"]),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"telemetry record has non-numeric fields: {exc}"
+            ) from exc
+
 
 class Telemetry:
     """Append-only per-slot record store with summary helpers."""
 
     def __init__(self) -> None:
         self._records: List[SlotUserRecord] = []
+        self._counter: Optional["Counter"] = None
+
+    def attach_registry(self, registry: "MetricsRegistry") -> None:
+        """Mirror the record count onto a metrics registry.
+
+        Registers ``repro_telemetry_records_total`` and keeps it in
+        step with records already collected and every later ``add``.
+        """
+        self._counter = registry.counter(
+            "repro_telemetry_records_total",
+            "Slot-user telemetry records collected",
+        )
+        if self._records:
+            self._counter.inc(len(self._records))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -67,6 +125,8 @@ class Telemetry:
 
     def add(self, record: SlotUserRecord) -> None:
         self._records.append(record)
+        if self._counter is not None:
+            self._counter.inc()
 
     def for_user(self, user: int) -> List[SlotUserRecord]:
         return [r for r in self._records if r.user == user]
@@ -128,5 +188,72 @@ class Telemetry:
             for record in self._records:
                 writer.writerow(record.as_row())
 
+    def to_jsonl(self, handle: IO[str]) -> None:
+        """Write all records as a versioned JSONL stream.
+
+        The first line is a header carrying ``kind``,
+        ``schema_version`` and the field list; each later line is one
+        record object.  :meth:`load_jsonl` round-trips the stream.
+        """
+        header = {
+            "kind": TELEMETRY_STREAM_KIND,
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "fields": list(FIELDS),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in self._records:
+            handle.write(json.dumps(record.as_dict()) + "\n")
+
+    def save_jsonl(self, path: PathLike) -> None:
+        """:meth:`to_jsonl` to a file path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            self.to_jsonl(handle)
+
+    @classmethod
+    def load_jsonl(cls, path: PathLike) -> "Telemetry":
+        """Read a stream written by :meth:`save_jsonl`.
+
+        Raises :class:`~repro.errors.ObservabilityError` on a missing
+        or incompatible header and on any malformed record line.
+        """
+        telemetry = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            if not header_line.strip():
+                raise ObservabilityError(
+                    "telemetry stream is empty (no header line)"
+                )
+            header = _parse_json_line(header_line, 1)
+            kind = header.get("kind")
+            if kind != TELEMETRY_STREAM_KIND:
+                raise ObservabilityError(
+                    f"not a telemetry stream (kind={kind!r})"
+                )
+            version = header.get("schema_version")
+            if version != TELEMETRY_SCHEMA_VERSION:
+                raise ObservabilityError(
+                    f"unsupported telemetry schema_version {version!r} "
+                    f"(expected {TELEMETRY_SCHEMA_VERSION})"
+                )
+            for number, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                telemetry.add(
+                    SlotUserRecord.from_dict(_parse_json_line(line, number))
+                )
+        return telemetry
+
     def clear(self) -> None:
         self._records.clear()
+
+
+def _parse_json_line(line: str, number: int) -> Dict[str, object]:
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"line {number}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(raw, dict):
+        raise ObservabilityError(f"line {number}: expected an object")
+    return raw

@@ -1,4 +1,4 @@
-"""Every rule RL001-RL006 fires on its fail fixture, stays quiet on pass.
+"""Every rule RL001-RL007 fires on its fail fixture, stays quiet on pass.
 
 The fixture pairing is the liveness guarantee the CI gate rests on: a
 rule that stops firing on its fail fixture turns the whole gate into
@@ -14,7 +14,9 @@ from repro.lint import Finding, LintConfig, lint_source
 
 from tests.lint.conftest import FIXTURES, everywhere_config
 
-RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+RULE_CODES = (
+    "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+)
 
 #: rule -> minimum number of findings its fail fixture must produce.
 MIN_FAIL_FINDINGS = {
@@ -24,6 +26,7 @@ MIN_FAIL_FINDINGS = {
     "RL004": 3,  # float literal, division, float() cast
     "RL005": 3,  # [], dict(), set()
     "RL006": 3,  # exported(), half_annotated(), PublicThing.method()
+    "RL007": 4,  # from-import, stamp(), two duration() readings
 }
 
 
@@ -76,6 +79,20 @@ class TestRuleScoping:
         )
         assert any(f.rule == "RL002" for f in in_scope)
         assert not any(f.rule == "RL002" for f in out_of_scope)
+
+    def test_rl007_default_scope_is_serving_and_obs(self):
+        from repro.lint import default_config
+
+        source = (FIXTURES / "rl007_fail.py").read_text(encoding="utf-8")
+        config = default_config()
+        in_scope, _ = lint_source(
+            source, "src/repro/obs/somefile.py", config
+        )
+        out_of_scope, _ = lint_source(
+            source, "src/repro/analysis/somefile.py", config
+        )
+        assert any(f.rule == "RL007" for f in in_scope)
+        assert not any(f.rule == "RL007" for f in out_of_scope)
 
     def test_rl006_not_applied_outside_src(self):
         from repro.lint import default_config

@@ -1,0 +1,188 @@
+"""The ``repro obs`` command family: exit codes and output shapes."""
+
+import argparse
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.obs.cli import (
+    EXIT_INVALID,
+    EXIT_OK,
+    EXIT_USAGE,
+    add_obs_arguments,
+    run_obs_command,
+)
+from repro.obs.http import ObsHttpServer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, write_span_stream
+from repro.obs.tracer import NullTracer
+
+
+def _parse(argv):
+    parser = argparse.ArgumentParser()
+    add_obs_arguments(parser)
+    return parser.parse_args(argv)
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_obs_command(_parse(argv), stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _write_trace(path, slots=6, miss_slots=()):
+    tracer = NullTracer()
+    spans = []
+    for slot in range(slots):
+        builder = tracer.slot(slot, slot * 0.016)
+        builder.stage("allocate", slot * 0.016, slot * 0.016 + 0.003)
+        builder.user(0, level=2)
+        spans.append(
+            builder.finish(
+                slot * 0.016 + 0.015, deadline_hit=slot not in miss_slots
+            )
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        write_span_stream(handle, spans)
+    return path
+
+
+class TestTail:
+    def test_shows_last_n_spans(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", slots=8)
+        code, out, _ = run_cli(["tail", str(trace), "-n", "3"])
+        assert code == EXIT_OK
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        assert "slot" in lines[0]
+
+    def test_marks_deadline_misses(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", slots=4, miss_slots=(3,))
+        code, out, _ = run_cli(["tail", str(trace)])
+        assert code == EXIT_OK
+        assert "MISS" in out
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        code, _, err = run_cli(["tail", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_USAGE
+        assert "no such trace file" in err
+
+    def test_malformed_trace_is_invalid(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        code, _, err = run_cli(["tail", str(bad)])
+        assert code == EXIT_INVALID
+        assert "invalid trace" in err
+
+    def test_nonpositive_n_is_usage_error(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl")
+        code, _, _ = run_cli(["tail", str(trace), "-n", "0"])
+        assert code == EXIT_USAGE
+
+
+class TestSummarize:
+    def test_text_summary_lists_stages(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", slots=5, miss_slots=(1,))
+        code, out, _ = run_cli(["summarize", str(trace)])
+        assert code == EXIT_OK
+        assert "5 slot span(s), 1 deadline miss(es)" in out
+        assert "allocate" in out
+        assert "slot" in out
+
+    def test_json_summary_is_machine_readable(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", slots=5)
+        code, out, _ = run_cli(["summarize", str(trace), "--json"])
+        assert code == EXIT_OK
+        summary = json.loads(out)
+        assert summary["spans"] == 5
+        assert summary["deadline_misses"] == 0
+        assert summary["stages"]["slot"]["count"] == 5.0
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        code, _, _ = run_cli(["summarize", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_USAGE
+
+
+class TestDiff:
+    def test_reports_stage_deltas(self, tmp_path):
+        before = _write_trace(tmp_path / "a.jsonl", slots=4)
+        after = _write_trace(tmp_path / "b.jsonl", slots=6, miss_slots=(0,))
+        code, out, _ = run_cli(["diff", str(before), str(after)])
+        assert code == EXIT_OK
+        assert "spans: 4 -> 6" in out
+        assert "deadline misses: 0 -> 1" in out
+        assert "allocate" in out
+
+    def test_missing_side_is_usage_error(self, tmp_path):
+        before = _write_trace(tmp_path / "a.jsonl")
+        code, _, _ = run_cli(["diff", str(before), str(tmp_path / "no.jsonl")])
+        assert code == EXIT_USAGE
+
+
+class TestScrape:
+    def _serve_and_scrape(self, argv_for_port):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "demo").inc()
+
+        async def scenario():
+            server = ObsHttpServer(registry)
+            await server.start()
+            try:
+                return await asyncio.to_thread(
+                    run_cli, argv_for_port(server.port)
+                )
+            finally:
+                await server.stop()
+
+        return asyncio.run(scenario())
+
+    def test_valid_metrics_page_passes(self):
+        code, out, _ = self._serve_and_scrape(
+            lambda port: [
+                "scrape", f"http://127.0.0.1:{port}/metrics", "--quiet",
+            ]
+        )
+        assert code == EXIT_OK
+        assert "valid exposition" in out
+
+    def test_json_endpoint_with_json_flag(self):
+        code, out, _ = self._serve_and_scrape(
+            lambda port: [
+                "scrape", f"http://127.0.0.1:{port}/healthz",
+                "--json", "--quiet",
+            ]
+        )
+        assert code == EXIT_OK
+        assert "valid JSON" in out
+
+    def test_http_error_status_is_invalid(self):
+        code, _, err = self._serve_and_scrape(
+            lambda port: [
+                "scrape", f"http://127.0.0.1:{port}/nope", "--quiet",
+            ]
+        )
+        assert code == EXIT_INVALID
+        assert "HTTP 404" in err
+
+    def test_unreachable_endpoint_is_usage_error(self):
+        code, _, err = run_cli(
+            ["scrape", "http://127.0.0.1:1/metrics", "--timeout", "0.2"]
+        )
+        assert code == EXIT_USAGE
+        assert "cannot scrape" in err
+
+    def test_non_http_url_is_usage_error(self):
+        code, _, _ = run_cli(["scrape", "ftp://example.com/metrics"])
+        assert code == EXIT_USAGE
+
+
+class TestMainCli:
+    def test_obs_subcommand_wired_into_repro_main(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = _write_trace(tmp_path / "t.jsonl", slots=3)
+        assert main(["obs", "summarize", str(trace)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "3 slot span(s)" in out

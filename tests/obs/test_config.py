@@ -1,0 +1,71 @@
+"""ObsConfig validation and the Obs runtime bundle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Obs, ObsConfig
+from repro.obs.flight import FlightRecorder, NullFlightRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+
+
+class TestObsConfig:
+    def test_defaults_are_valid(self):
+        config = ObsConfig()
+        assert config.enabled is True
+        assert config.http_port is None
+        assert config.trace_path is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_every": 0},
+            {"flight_capacity": 0},
+            {"flight_max_dumps": 0},
+            {"http_port": -1},
+            {"http_port": 70_000},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ObsConfig(**kwargs)
+
+
+class TestObsBundle:
+    def test_from_config_enabled_builds_real_pieces(self, tmp_path):
+        obs = Obs.from_config(
+            ObsConfig(
+                enabled=True,
+                trace_path=str(tmp_path / "t.jsonl"),
+                sample_every=2,
+                flight_capacity=10,
+                flight_max_dumps=3,
+            )
+        )
+        assert obs.active is True
+        assert isinstance(obs.tracer, Tracer)
+        assert obs.tracer.sample_every == 2
+        assert isinstance(obs.flight, FlightRecorder)
+        assert obs.flight.capacity == 10
+        assert obs.flight.max_dumps == 3
+        obs.close()
+
+    def test_from_config_disabled_uses_null_pieces(self):
+        obs = Obs.from_config(ObsConfig(enabled=False))
+        assert obs.active is False
+        assert isinstance(obs.tracer, NullTracer)
+        assert isinstance(obs.flight, NullFlightRecorder)
+        # The registry still works — metrics are never gated.
+        obs.registry.counter("still_works_total", "h").inc()
+        obs.close()
+
+    def test_shared_registry_is_reused(self):
+        registry = MetricsRegistry()
+        obs = Obs.from_config(ObsConfig(), registry=registry)
+        assert obs.registry is registry
+        assert Obs.disabled(registry).registry is registry
+
+    def test_disabled_classmethod(self):
+        obs = Obs.disabled()
+        assert obs.active is False
+        obs.close()

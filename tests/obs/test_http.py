@@ -1,0 +1,131 @@
+"""The asyncio observability endpoint: routes, content, lifecycle."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import TransportError
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, ObsHttpServer
+from repro.obs.promtext import validate_exposition
+from repro.obs.registry import MetricsRegistry
+
+
+async def _get(port, path, method="GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    headers = {}
+    for line in head_lines[1:]:
+        key, _, value = line.partition(": ")
+        headers[key.lower()] = value
+    return status, headers, body.decode("utf-8")
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "A demo counter").inc(2)
+    registry.histogram("demo_seconds", "Latency").observe(0.003)
+    return registry
+
+
+async def _with_server(registry, fn, health_fn=None):
+    server = ObsHttpServer(registry, health_fn=health_fn)
+    await server.start()
+    try:
+        return await fn(server.port)
+    finally:
+        await server.stop()
+
+
+class TestRoutes:
+    def test_metrics_serves_valid_exposition(self):
+        async def scenario(port):
+            return await _get(port, "/metrics")
+
+        status, headers, body = asyncio.run(
+            _with_server(_registry(), scenario)
+        )
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        summary = validate_exposition(body)
+        assert "demo_total" in summary.families
+        assert "demo_seconds" in summary.families
+
+    def test_healthz_merges_caller_payload(self):
+        async def scenario(port):
+            return await _get(port, "/healthz")
+
+        status, _, body = asyncio.run(
+            _with_server(
+                _registry(), scenario, health_fn=lambda: {"slots_run": 12}
+            )
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["slots_run"] == 12
+
+    def test_snapshot_serves_registry_json(self):
+        async def scenario(port):
+            return await _get(port, "/snapshot")
+
+        status, _, body = asyncio.run(_with_server(_registry(), scenario))
+        assert status == 200
+        snapshot = json.loads(body)
+        assert {f["name"] for f in snapshot["families"]} >= {
+            "demo_total", "demo_seconds",
+        }
+
+    def test_unknown_path_is_404(self):
+        async def scenario(port):
+            return await _get(port, "/nope")
+
+        status, _, _ = asyncio.run(_with_server(_registry(), scenario))
+        assert status == 404
+
+    def test_non_get_is_405(self):
+        async def scenario(port):
+            return await _get(port, "/metrics", method="POST")
+
+        status, _, _ = asyncio.run(_with_server(_registry(), scenario))
+        assert status == 405
+
+
+class TestLifecycle:
+    def test_port_raises_before_start(self):
+        server = ObsHttpServer(MetricsRegistry())
+        with pytest.raises(TransportError):
+            server.port
+
+    def test_requests_are_counted_per_path_and_status(self):
+        registry = _registry()
+
+        async def scenario(port):
+            await _get(port, "/metrics")
+            await _get(port, "/nope")
+
+        asyncio.run(_with_server(registry, scenario))
+        family = registry.counter_family(
+            "repro_obs_http_requests_total", "", ("path", "status")
+        )
+        assert family.counter_child(path="/metrics", status="200").count == 1
+        assert family.counter_child(path="/nope", status="404").count == 1
+
+    def test_start_and_stop_are_idempotent(self):
+        async def scenario():
+            server = ObsHttpServer(MetricsRegistry())
+            await server.start()
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,101 @@
+"""Span trees and the JSONL stream round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    SPAN_STREAM_KIND,
+    Span,
+    read_span_stream,
+    stream_header,
+    write_span_stream,
+)
+
+
+def _sample_span(slot: int = 7) -> Span:
+    root = Span(name="slot", start_s=1.0, duration_s=0.016,
+                attrs={"slot": slot, "deadline_hit": True})
+    allocate = root.child("allocate", 1.001, 0.004, level_count=6)
+    allocate.child("user", 1.001, 0.0, seat=0, level=3)
+    allocate.child("user", 1.001, 0.0, seat=1, level=2)
+    root.child("send", 1.005, 0.002, dropped=0)
+    return root
+
+
+class TestSpanTree:
+    def test_child_and_find_and_walk(self):
+        span = _sample_span()
+        assert [c.name for c in span.children] == ["allocate", "send"]
+        assert len(span.find("allocate")) == 1
+        assert len(span.find("user")) == 0
+        names = [s.name for s in span.walk()]
+        assert names == ["slot", "allocate", "user", "user", "send"]
+
+    def test_dict_round_trip_preserves_everything(self):
+        span = _sample_span()
+        restored = Span.from_dict(span.to_dict())
+        assert restored == span
+
+    def test_from_dict_rejects_malformed_input(self):
+        with pytest.raises(ObservabilityError):
+            Span.from_dict([])
+        with pytest.raises(ObservabilityError):
+            Span.from_dict({"name": "x", "start_s": 0.0})
+        with pytest.raises(ObservabilityError):
+            Span.from_dict({"name": 3, "start_s": 0.0, "duration_s": 0.0})
+        with pytest.raises(ObservabilityError):
+            Span.from_dict(
+                {"name": "x", "start_s": "soon", "duration_s": 0.0}
+            )
+        with pytest.raises(ObservabilityError):
+            Span.from_dict(
+                {"name": "x", "start_s": 0.0, "duration_s": 0.0,
+                 "children": {}}
+            )
+
+
+class TestStream:
+    def test_write_read_round_trip(self):
+        spans = [_sample_span(slot) for slot in range(3)]
+        buffer = io.StringIO()
+        write_span_stream(buffer, spans)
+        buffer.seek(0)
+        header, restored = read_span_stream(buffer)
+        assert header["kind"] == SPAN_STREAM_KIND
+        assert header["schema_version"] == SPAN_SCHEMA_VERSION
+        assert restored == spans
+
+    def test_header_carries_custom_kind(self):
+        buffer = io.StringIO()
+        write_span_stream(buffer, [], kind="repro.obs.flight")
+        buffer.seek(0)
+        header, spans = read_span_stream(buffer)
+        assert header["kind"] == "repro.obs.flight"
+        assert spans == []
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ObservabilityError):
+            read_span_stream(io.StringIO(""))
+
+    def test_foreign_kind_rejected(self):
+        buffer = io.StringIO(json.dumps({"kind": "nope", "schema_version": 1}))
+        with pytest.raises(ObservabilityError):
+            read_span_stream(buffer)
+
+    def test_wrong_schema_version_rejected(self):
+        header = stream_header()
+        header["schema_version"] = SPAN_SCHEMA_VERSION + 1
+        buffer = io.StringIO(json.dumps(header) + "\n")
+        with pytest.raises(ObservabilityError):
+            read_span_stream(buffer)
+
+    def test_malformed_line_rejected_with_line_number(self):
+        buffer = io.StringIO(
+            json.dumps(stream_header()) + "\nnot json\n"
+        )
+        with pytest.raises(ObservabilityError, match="line 2"):
+            read_span_stream(buffer)

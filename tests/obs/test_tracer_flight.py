@@ -1,0 +1,202 @@
+"""Tracer sampling, span builders, and the flight recorder."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.flight import (
+    TRIGGER_ADMISSION_REJECT,
+    TRIGGER_DEADLINE_MISS,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import read_span_stream
+from repro.obs.tracer import NullTracer, Tracer, stage_latency_table
+
+
+def _finished_span(tracer, slot):
+    builder = tracer.slot(slot, slot * 0.016)
+    builder.stage("allocate", slot * 0.016, slot * 0.016 + 0.004)
+    builder.user(0, level=3)
+    return builder.finish(slot * 0.016 + 0.015, deadline_hit=True)
+
+
+class TestSlotSpanBuilder:
+    def test_builds_slot_stage_user_tree(self):
+        tracer = NullTracer()
+        span = _finished_span(tracer, 5)
+        assert span.name == "slot"
+        assert span.attrs["slot"] == 5
+        assert span.attrs["deadline_hit"] is True
+        allocate = span.find("allocate")[0]
+        users = allocate.find("user")
+        assert [u.attrs["seat"] for u in users] == [0]
+        assert span.duration_s == pytest.approx(0.015)
+
+    def test_negative_durations_clamped(self):
+        builder = NullTracer().slot(0, 10.0)
+        stage = builder.stage("predict", 10.0, 9.0)
+        assert stage.duration_s == 0.0
+        span = builder.finish(9.0)
+        assert span.duration_s == 0.0
+
+    def test_user_without_allocate_stage_attaches_to_root(self):
+        builder = NullTracer().slot(0, 0.0)
+        builder.user(2, level=1)
+        span = builder.finish(0.016)
+        assert span.find("user")[0].attrs["seat"] == 2
+
+
+class TestTracerSampling:
+    def test_sample_every_writes_one_in_n(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=path, sample_every=4, registry=registry)
+        written = sum(
+            tracer.emit(_finished_span(tracer, slot)) for slot in range(10)
+        )
+        tracer.close()
+        assert written == 3  # slots 0, 4, 8
+        with open(path, "r", encoding="utf-8") as handle:
+            _, spans = read_span_stream(handle)
+        assert [s.attrs["slot"] for s in spans] == [0, 4, 8]
+        assert registry.counter(
+            "repro_obs_spans_written_total", ""
+        ).count == 3
+        assert registry.counter(
+            "repro_obs_spans_sampled_out_total", ""
+        ).count == 7
+
+    def test_no_path_means_no_file_and_no_writes(self, tmp_path):
+        tracer = Tracer(path=None, sample_every=1)
+        assert tracer.emit(_finished_span(tracer, 0)) is False
+        tracer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_file_only_created_on_first_write(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=path, sample_every=1)
+        assert not path.exists()
+        tracer.emit(_finished_span(tracer, 0))
+        tracer.close()
+        assert path.exists()
+
+    def test_invalid_sample_every_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(sample_every=0)
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(path=tmp_path / "t.jsonl", sample_every=1)
+        tracer.emit(_finished_span(tracer, 0))
+        tracer.close()
+        tracer.close()
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.emit(_finished_span(tracer, 0)) is False
+        tracer.close()
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_only_the_last_capacity_spans(self):
+        recorder = FlightRecorder(capacity=3)
+        tracer = NullTracer()
+        for slot in range(10):
+            recorder.record(_finished_span(tracer, slot))
+        assert len(recorder) == 3
+        dump = recorder.trigger(TRIGGER_DEADLINE_MISS, slot=9)
+        assert dump is not None
+        assert dump.slot_numbers() == [7, 8, 9]
+
+    def test_trigger_snapshots_ring_and_counts(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(capacity=8, registry=registry)
+        recorder.record(_finished_span(NullTracer(), 0))
+        dump = recorder.trigger(
+            TRIGGER_ADMISSION_REJECT, detail="capacity: full", slot=4
+        )
+        assert dump.trigger == TRIGGER_ADMISSION_REJECT
+        assert dump.detail == "capacity: full"
+        assert dump.slot == 4
+        assert len(dump.spans) == 1
+        family = registry.counter_family(
+            "repro_obs_flight_triggers_total", "", ("trigger",)
+        )
+        child = family.counter_child(trigger=TRIGGER_ADMISSION_REJECT)
+        assert child.count == 1
+
+    def test_dump_cap_suppresses_but_keeps_counting(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(capacity=2, max_dumps=2, registry=registry)
+        recorder.record(_finished_span(NullTracer(), 0))
+        assert recorder.trigger(TRIGGER_DEADLINE_MISS) is not None
+        assert recorder.trigger(TRIGGER_DEADLINE_MISS) is not None
+        assert recorder.trigger(TRIGGER_DEADLINE_MISS) is None
+        assert recorder.suppressed == 1
+        assert len(recorder.dumps) == 2
+        family = registry.counter_family(
+            "repro_obs_flight_triggers_total", "", ("trigger",)
+        )
+        assert family.counter_child(
+            trigger=TRIGGER_DEADLINE_MISS
+        ).count == 3
+
+    def test_dump_written_to_disk_and_readable(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, out_dir=tmp_path)
+        tracer = NullTracer()
+        for slot in range(4):
+            recorder.record(_finished_span(tracer, slot))
+        dump = recorder.trigger(TRIGGER_DEADLINE_MISS, detail="late", slot=3)
+        assert dump.path is not None and dump.path.exists()
+        with open(dump.path, "r", encoding="utf-8") as handle:
+            header, spans = read_span_stream(handle)
+        assert header["kind"] == "repro.obs.flight"
+        assert header["trigger"] == TRIGGER_DEADLINE_MISS
+        assert header["detail"] == "late"
+        assert header["slot"] == 3
+        assert [s.attrs["slot"] for s in spans] == [0, 1, 2, 3]
+
+    def test_last_dump_for_filters_by_trigger(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record(_finished_span(NullTracer(), 0))
+        recorder.trigger(TRIGGER_DEADLINE_MISS, slot=1)
+        recorder.trigger(TRIGGER_ADMISSION_REJECT, slot=2)
+        assert recorder.last_dump_for(TRIGGER_DEADLINE_MISS).slot == 1
+        assert recorder.last_dump_for(TRIGGER_ADMISSION_REJECT).slot == 2
+        assert recorder.last_dump_for("nonexistent") is None
+
+    def test_summary_shape(self, tmp_path):
+        recorder = FlightRecorder(capacity=2, out_dir=tmp_path)
+        recorder.record(_finished_span(NullTracer(), 0))
+        recorder.trigger(TRIGGER_DEADLINE_MISS, slot=0)
+        summary = recorder.summary()
+        assert summary["ring_slots"] == 1
+        assert summary["capacity"] == 2
+        assert summary["suppressed"] == 0
+        assert len(summary["dumps"]) == 1
+        assert summary["dumps"][0]["trigger"] == TRIGGER_DEADLINE_MISS
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ObservabilityError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ObservabilityError):
+            FlightRecorder(max_dumps=0)
+
+    def test_null_recorder_is_inert(self):
+        recorder = NullFlightRecorder()
+        recorder.record(_finished_span(NullTracer(), 0))
+        assert len(recorder) == 0
+        assert recorder.trigger(TRIGGER_DEADLINE_MISS) is None
+        assert recorder.last_dump_for(TRIGGER_DEADLINE_MISS) is None
+        assert recorder.summary()["dumps"] == []
+
+
+class TestStageLatencyTable:
+    def test_collects_per_stage_samples_excluding_users(self):
+        tracer = NullTracer()
+        spans = [_finished_span(tracer, slot) for slot in range(3)]
+        table = stage_latency_table(spans)
+        assert len(table["slot"]) == 3
+        assert len(table["allocate"]) == 3
+        assert "user" not in table

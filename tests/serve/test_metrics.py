@@ -24,8 +24,8 @@ class TestLatencyHistogram:
         assert hist.max() == 0.0
         assert hist.fraction_below(1.0) == 1.0
 
-    def test_quantiles_nearest_rank(self):
-        hist = LatencyHistogram()
+    def test_quantiles_nearest_rank_in_exact_mode(self):
+        hist = LatencyHistogram(exact=True)
         for value in (0.004, 0.001, 0.003, 0.002):
             hist.record(value)
         assert hist.quantile(0.0) == pytest.approx(0.001)
@@ -34,8 +34,27 @@ class TestLatencyHistogram:
         assert hist.max() == pytest.approx(0.004)
         assert hist.mean() == pytest.approx(0.0025)
 
-    def test_fraction_below_is_strict(self):
+    def test_bounded_mode_keeps_no_samples(self):
         hist = LatencyHistogram()
+        for i in range(10_000):
+            hist.record((i % 50) / 10_000.0)
+        # Default mode never retains samples — memory is the fixed
+        # bucket vector (the fix for the unbounded recorder).
+        assert hist._samples == []
+        assert len(hist) == 10_000
+        assert hist.mean() == pytest.approx(
+            sum((i % 50) / 10_000.0 for i in range(10_000)) / 10_000
+        )
+
+    def test_bounded_quantiles_stay_within_observed_range(self):
+        hist = LatencyHistogram()
+        for value in (0.004, 0.001, 0.003, 0.002):
+            hist.record(value)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 0.001 <= hist.quantile(q) <= 0.004
+
+    def test_fraction_below_is_strict_in_exact_mode(self):
+        hist = LatencyHistogram(exact=True)
         for value in (0.001, 0.002, 0.003, 0.004):
             hist.record(value)
         assert hist.fraction_below(0.003) == pytest.approx(0.5)
@@ -43,7 +62,7 @@ class TestLatencyHistogram:
         assert hist.fraction_below(1.0) == 1.0
 
     def test_sort_cache_survives_interleaved_reads(self):
-        hist = LatencyHistogram()
+        hist = LatencyHistogram(exact=True)
         hist.record(0.002)
         assert hist.quantile(1.0) == pytest.approx(0.002)
         hist.record(0.001)
@@ -120,3 +139,24 @@ class TestServingMetrics:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             ServingMetrics(slot_s=0.0)
+
+    def test_figures_are_registry_backed_not_parallel_bookkeeping(self):
+        metrics = ServingMetrics(slot_s=0.010)
+        metrics.record_slot(0.005)
+        metrics.record_join()
+        metrics.record_reject("capacity")
+        page = metrics.registry.render_prometheus()
+        assert "repro_serve_slots_total 1" in page
+        assert "repro_serve_deadline_hits_total 1" in page
+        assert "repro_serve_active_sessions 1" in page
+        assert 'repro_serve_rejects_total{code="capacity"} 1' in page
+        assert "repro_serve_stage_latency_seconds_bucket" in page
+
+    def test_shared_registry_is_reused(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        metrics = ServingMetrics(slot_s=0.010, registry=registry)
+        assert metrics.registry is registry
+        metrics.record_slot(0.001)
+        assert "repro_serve_slots_total" in registry.render_prometheus()

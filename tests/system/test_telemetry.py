@@ -75,6 +75,97 @@ class TestTelemetry:
         assert len(telemetry) == 0
 
 
+class TestJsonlExport:
+    def test_round_trip_preserves_every_record(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.add(record(slot=0, user=0, displayed=True))
+        telemetry.add(record(slot=1, user=1, level=0, displayed=False))
+        path = tmp_path / "telemetry.jsonl"
+        telemetry.save_jsonl(path)
+        restored = Telemetry.load_jsonl(path)
+        assert restored.records == telemetry.records
+
+    def test_header_carries_kind_and_schema_version(self, tmp_path):
+        import json
+
+        from repro.system.telemetry import (
+            TELEMETRY_SCHEMA_VERSION,
+            TELEMETRY_STREAM_KIND,
+        )
+
+        telemetry = Telemetry()
+        telemetry.add(record())
+        path = tmp_path / "telemetry.jsonl"
+        telemetry.save_jsonl(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == TELEMETRY_STREAM_KIND
+        assert header["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert header["fields"] == list(FIELDS)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.errors import ObservabilityError
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "other", "schema_version": 1}\n')
+        with pytest.raises(ObservabilityError):
+            Telemetry.load_jsonl(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        import json
+
+        from repro.errors import ObservabilityError
+        from repro.system.telemetry import (
+            TELEMETRY_SCHEMA_VERSION,
+            TELEMETRY_STREAM_KIND,
+        )
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": TELEMETRY_STREAM_KIND,
+                    "schema_version": TELEMETRY_SCHEMA_VERSION + 1,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(ObservabilityError):
+            Telemetry.load_jsonl(path)
+
+    def test_malformed_record_rejected_with_line_number(self, tmp_path):
+        from repro.errors import ObservabilityError
+
+        telemetry = Telemetry()
+        telemetry.add(record())
+        path = tmp_path / "bad.jsonl"
+        telemetry.save_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"slot": 1}\n')
+        with pytest.raises(ObservabilityError, match="missing fields"):
+            Telemetry.load_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.errors import ObservabilityError
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError):
+            Telemetry.load_jsonl(path)
+
+
+class TestRegistryMirror:
+    def test_attach_registry_counts_past_and_future_records(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        telemetry = Telemetry()
+        telemetry.add(record(slot=0))
+        telemetry.attach_registry(registry)
+        telemetry.add(record(slot=1))
+        counter = registry.counter("repro_telemetry_records_total", "")
+        assert counter.count == 2
+
+
 class TestExperimentIntegration:
     def test_telemetry_captured(self):
         config = scaled_config(setup1_config(seed=9), duration_slots=120)

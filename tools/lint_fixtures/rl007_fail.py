@@ -1,0 +1,23 @@
+"""RL007 failing fixture: wall-clock readings in timing code."""
+
+from __future__ import annotations
+
+import time
+from time import time as wall
+
+
+def stamp() -> float:
+    """A wall-clock timestamp — jumps under NTP slew."""
+    return time.time()
+
+
+def duration() -> float:
+    """Wall-clock deltas are not monotonic."""
+    start = time.time()
+    end = time.time()
+    return end - start
+
+
+def aliased() -> float:
+    """The from-import hides the wall clock behind a local name."""
+    return wall()

@@ -1,0 +1,22 @@
+"""RL007 passing fixture: monotonic clocks only."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    """Monotonic readings survive NTP slew and VM suspends."""
+    return time.monotonic()
+
+
+def duration() -> float:
+    """perf_counter is the right clock for short intervals."""
+    start = time.perf_counter()
+    end = time.perf_counter()
+    return end - start
+
+
+def coarse() -> int:
+    """The _ns variants are monotonic too."""
+    return time.monotonic_ns()
