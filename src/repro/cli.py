@@ -8,7 +8,8 @@ writing code:
 * ``python -m repro system`` — the Fig. 7/8 testbed emulation;
 * ``python -m repro theorem1`` — the approximation-ratio study;
 * ``python -m repro lint``   — the domain-aware static analysis gate;
-* ``python -m repro obs``    — trace-file and ``/metrics`` tooling.
+* ``python -m repro obs``    — trace-file and ``/metrics`` tooling;
+* ``python -m repro faults`` — fault-script generation and inspection.
 
 Each command prints the figure's rows as a text table (and an ASCII
 CDF/bar sketch where that helps).  Scale flags (--slots, --episodes,
@@ -32,6 +33,7 @@ from repro.core import (
     OfflineOptimalAllocator,
     PavqAllocator,
 )
+from repro.faults.cli import add_faults_arguments, run_faults_command
 from repro.knapsack import combined_greedy, solve_exact
 from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.obs.cli import add_obs_arguments, run_obs_command
@@ -335,6 +337,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.errors import ReproError
+    from repro.faults import FaultSchedule
     from repro.obs import ObsConfig
     from repro.serve import VrServeServer, serve_setup1
     from repro.units import SLOT_DURATION_S
@@ -358,8 +361,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             expect_clients=args.expect,
             lockstep=args.lockstep,
         )
+        faults = (
+            FaultSchedule.load(args.faults) if args.faults is not None else None
+        )
         config = replace(
-            config, start_timeout_s=args.start_timeout, obs=obs_config
+            config,
+            start_timeout_s=args.start_timeout,
+            obs=obs_config,
+            faults=faults,
+            resume_grace_s=args.resume_grace,
+            resume_grace_slots=args.resume_grace_slots,
         )
 
         async def _run() -> object:
@@ -397,9 +408,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.errors import ReproError
-    from repro.serve import LoadGenConfig, run_fleet
+    from repro.faults import FaultSchedule
+    from repro.serve import LoadGenConfig, ReconnectPolicy, run_fleet
 
     try:
+        faults = (
+            FaultSchedule.load(args.faults) if args.faults is not None else None
+        )
         config = LoadGenConfig(
             host=args.host,
             port=args.port,
@@ -411,6 +426,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             slow_latency_s=args.slow_latency_ms / 1e3,
             churn_clients=args.churn_clients,
             churn_leave_after_slots=args.churn_leave,
+            faults=faults,
+            reconnect=ReconnectPolicy(max_attempts=args.reconnect_attempts),
         )
         fleet = asyncio.run(run_fleet(config))
     except ReproError as exc:
@@ -535,6 +552,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for flight-recorder anomaly dumps")
     serve.add_argument("--no-obs", action="store_true",
                        help="disable tracing and the flight recorder")
+    serve.add_argument("--faults", default=None,
+                       help="JSON fault script to inject server-side faults")
+    serve.add_argument("--resume-grace", type=float, default=0.0,
+                       help="lockstep session-resume grace window in seconds "
+                            "(0 = resume disabled)")
+    serve.add_argument("--resume-grace-slots", type=int, default=0,
+                       help="paced-mode resume grace window in slots "
+                            "(0 = resume disabled)")
 
     loadgen = sub.add_parser(
         "loadgen", help="client fleet replaying motion traces at a server"
@@ -553,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--churn-clients", type=int, default=0,
                          help="first N clients leave after --churn-leave slots")
     loadgen.add_argument("--churn-leave", type=int, default=0)
+    loadgen.add_argument("--faults", default=None,
+                         help="JSON fault script to inject client-side faults")
+    loadgen.add_argument("--reconnect-attempts", type=int, default=0,
+                         help="reconnect budget per outage (0 = clients do "
+                              "not heal)")
 
     lint = sub.add_parser(
         "lint", help="domain-aware static analysis (rules RL001-RL007)"
@@ -563,6 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="inspect span traces and scrape observability endpoints"
     )
     add_obs_arguments(obs)
+
+    faults = sub.add_parser(
+        "faults", help="generate and inspect deterministic fault scripts"
+    )
+    add_faults_arguments(faults)
 
     return parser
 
@@ -578,6 +613,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "lint": run_lint_command,
     "obs": run_obs_command,
+    "faults": run_faults_command,
 }
 
 

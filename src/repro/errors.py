@@ -38,5 +38,16 @@ class TransportError(ReproError):
     """The emulated transport was used incorrectly."""
 
 
+class FrameCorruptError(TransportError):
+    """A complete frame arrived but its body cannot be decoded.
+
+    Framing stayed intact (the length prefix was honoured), so the
+    stream is still synchronized: the receiver may quarantine the
+    frame — drop it, count it — and keep reading.  Contrast with a
+    plain :class:`TransportError`, which on the wire path means the
+    framing itself is lost and the connection must go down.
+    """
+
+
 class ObservabilityError(ReproError):
     """The observability layer was misused or fed malformed data."""

@@ -1,0 +1,54 @@
+"""repro.faults — deterministic fault injection for the serving path.
+
+The paper's evaluation runs phones over throttled Wi-Fi where
+disconnects, stalls, and corrupt frames are the norm; this package
+makes that hostility *scriptable and reproducible*.  A seeded (or
+hand-written JSON) :class:`~repro.faults.schedule.FaultSchedule`
+names exactly which fault hits which seat at which slot; a
+:class:`~repro.faults.injection.FaultInjector` hands each event out
+once and records the realized timeline; the serving stack
+(:mod:`repro.serve`) and the emulated testbed
+(:mod:`repro.system.experiment`) consume the same schedule format.
+The chaos test tier (``tests/chaos``) asserts that one seed always
+yields one fault timeline and one recovery outcome.
+"""
+
+from repro.faults.injection import (
+    FaultInjector,
+    corrupt_frame_bytes,
+    truncate_frame_bytes,
+)
+from repro.faults.schedule import (
+    CLIENT_KINDS,
+    FAULT_CORRUPT_REPORT,
+    FAULT_CRASH_CLIENT,
+    FAULT_DELAY_REPORT,
+    FAULT_DISCONNECT,
+    FAULT_KINDS,
+    FAULT_STALL_READ,
+    FAULT_STALL_WRITE,
+    FAULT_TRUNCATE_FRAME,
+    SERVER_KINDS,
+    TIMED_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "CLIENT_KINDS",
+    "FAULT_CORRUPT_REPORT",
+    "FAULT_CRASH_CLIENT",
+    "FAULT_DELAY_REPORT",
+    "FAULT_DISCONNECT",
+    "FAULT_KINDS",
+    "FAULT_STALL_READ",
+    "FAULT_STALL_WRITE",
+    "FAULT_TRUNCATE_FRAME",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "SERVER_KINDS",
+    "TIMED_KINDS",
+    "corrupt_frame_bytes",
+    "truncate_frame_bytes",
+]

@@ -1,0 +1,145 @@
+"""The ``repro faults`` command family: fault-script tooling.
+
+* ``repro faults generate`` — draw a seeded schedule and write the
+  JSON script (the reproducible way to make a chaos scenario);
+* ``repro faults show FILE`` — validate a script and print its
+  timeline as a table.
+
+Exit codes follow the house contract: ``0`` success, ``1`` the script
+exists but is invalid, ``2`` usage error (unreadable file, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Optional, TextIO
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import (
+    CLIENT_KINDS,
+    FAULT_KINDS,
+    FaultSchedule,
+    SERVER_KINDS,
+)
+
+EXIT_OK = 0
+EXIT_INVALID = 1
+EXIT_USAGE = 2
+
+
+def add_faults_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``faults`` subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="faults_command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="draw a seeded fault schedule and write the script"
+    )
+    generate.add_argument("--out", required=True,
+                          help="path for the JSON fault script")
+    generate.add_argument("--slots", type=int, default=100,
+                          help="schedule horizon in slots (default: 100)")
+    generate.add_argument("--seats", type=int, default=8,
+                          help="seats faults may target (default: 8)")
+    generate.add_argument("--rate", type=float, default=0.002,
+                          help="per-(slot, seat) firing probability applied "
+                               "to every selected kind (default: 0.002)")
+    generate.add_argument("--kinds", default=",".join(FAULT_KINDS),
+                          help="comma-separated fault kinds to draw "
+                               "(default: all)")
+    generate.add_argument("--duration-ms", type=float, default=50.0,
+                          help="duration for timed kinds (default: 50 ms)")
+    generate.add_argument("--min-slot", type=int, default=1,
+                          help="first slot faults may fire at (default: 1)")
+
+    show = sub.add_parser(
+        "show", help="validate a fault script and print its timeline"
+    )
+    show.add_argument("script", help="JSON fault script to inspect")
+
+
+def run_faults_command(
+    args: argparse.Namespace,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Execute ``repro faults <subcommand>`` from parsed arguments."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    try:
+        if args.faults_command == "generate":
+            return _cmd_generate(args, out, err)
+        return _cmd_show(args, out, err)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe cannot raise again.
+        if out is sys.stdout:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
+
+
+def _cmd_generate(
+    args: argparse.Namespace, out: TextIO, err: TextIO
+) -> int:
+    kinds = [k for k in args.kinds.split(",") if k]
+    try:
+        rates: Dict[str, float] = {kind: args.rate for kind in kinds}
+        schedule = FaultSchedule.random(
+            seed=args.seed,
+            num_slots=args.slots,
+            num_seats=args.seats,
+            rates=rates,
+            duration_s=args.duration_ms / 1e3,
+            min_slot=args.min_slot,
+        )
+        path = schedule.save(args.out)
+    except ConfigurationError as exc:
+        print(f"faults generate failed: {exc}", file=err)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=err)
+        return EXIT_USAGE
+    counts = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(
+            schedule.counts_by_kind().items()
+        )
+    ) or "none"
+    print(
+        f"wrote {path}: {len(schedule)} event(s) over {args.slots} slot(s) "
+        f"x {args.seats} seat(s) [{counts}]",
+        file=out,
+    )
+    return EXIT_OK
+
+
+def _cmd_show(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    if not Path(args.script).is_file():
+        print(f"no such fault script: {args.script}", file=err)
+        return EXIT_USAGE
+    try:
+        schedule = FaultSchedule.load(args.script)
+    except ConfigurationError as exc:
+        print(f"invalid fault script: {exc}", file=err)
+        return EXIT_INVALID
+    print(
+        f"{args.script}: {len(schedule)} event(s), "
+        f"last slot {schedule.max_slot()}",
+        file=out,
+    )
+    for event in schedule.events:
+        side = "server" if event.kind in SERVER_KINDS else "client"
+        timed = (
+            f" duration={event.duration_s * 1e3:.1f}ms"
+            if event.duration_s > 0
+            else ""
+        )
+        print(
+            f"  slot {event.slot:>5}  seat {event.seat:>3}  "
+            f"{event.kind:<15} [{side}]{timed}",
+            file=out,
+        )
+    return EXIT_OK

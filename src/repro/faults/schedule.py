@@ -1,0 +1,313 @@
+"""Deterministic fault schedules for the live serving path.
+
+The paper's testbed (Sec. V) runs commodity phones over throttled
+Wi-Fi where disconnects, stalls, and garbled frames are routine; a
+serving stack that only survives clean rate caps has not reproduced
+that environment.  A :class:`FaultSchedule` is the scripted version
+of that hostility: a set of :class:`FaultEvent` entries, each firing
+*once* at an exact ``(slot, seat)`` coordinate, drawn either from an
+explicit JSON script or from a seeded RNG — so the same seed always
+produces the same fault timeline, and a chaos test can assert the
+same recovery outcome bit-for-bit across runs.
+
+Kinds are split by which side of the wire injects them:
+
+* server-side (:data:`SERVER_KINDS`): ``disconnect`` (abort the
+  seat's connection), ``stall_read`` / ``stall_write`` (pause the
+  seat's uplink read / delay its plan frame by ``duration_s``),
+  ``truncate_frame`` (send a cut-short plan frame, then abort);
+* client-side (:data:`CLIENT_KINDS`): ``crash_client`` (drop the
+  connection without a bye), ``corrupt_report`` (bit-flip the report
+  frame body), ``delay_report`` (hold the report for ``duration_s``).
+
+The same schedule format drives the emulated testbed: passed to
+:meth:`repro.system.experiment.SystemExperiment.run_repeat`, the
+connection-level kinds become link outages for the affected slots.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Server-side kinds: the serve slot loop / connection handlers inject.
+FAULT_DISCONNECT = "disconnect"
+FAULT_STALL_READ = "stall_read"
+FAULT_STALL_WRITE = "stall_write"
+FAULT_TRUNCATE_FRAME = "truncate_frame"
+
+#: Client-side kinds: the load-generator clients inject on themselves.
+FAULT_CRASH_CLIENT = "crash_client"
+FAULT_CORRUPT_REPORT = "corrupt_report"
+FAULT_DELAY_REPORT = "delay_report"
+
+SERVER_KINDS = (
+    FAULT_DISCONNECT, FAULT_STALL_READ, FAULT_STALL_WRITE,
+    FAULT_TRUNCATE_FRAME,
+)
+CLIENT_KINDS = (FAULT_CRASH_CLIENT, FAULT_CORRUPT_REPORT, FAULT_DELAY_REPORT)
+FAULT_KINDS = SERVER_KINDS + CLIENT_KINDS
+
+#: Kinds that need a positive ``duration_s`` to mean anything.
+TIMED_KINDS = (FAULT_STALL_READ, FAULT_STALL_WRITE, FAULT_DELAY_REPORT)
+
+#: Schema tag of the JSON script format.
+SCHEDULE_SCHEMA_KIND = "repro.faults.schedule"
+SCHEDULE_SCHEMA_VERSION = 1
+
+#: Sub-stream tag for the seeded schedule generator (see the RNG
+#: conventions in repro.serve.slotloop: (seed, ..., tag) tuples).
+SCHEDULE_RNG_TAG = 23
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` fired once at ``(slot, seat)``.
+
+    ``duration_s`` parameterizes the timed kinds (stalls and report
+    delays); connection-level kinds ignore it on the serving path and
+    the emulated testbed reads it as an outage length.
+    """
+
+    slot: int
+    seat: int
+    kind: str
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ConfigurationError(f"slot must be >= 0, got {self.slot}")
+        if self.seat < 0:
+            raise ConfigurationError(f"seat must be >= 0, got {self.seat}")
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.duration_s < 0:
+            raise ConfigurationError(
+                f"duration_s must be >= 0, got {self.duration_s}"
+            )
+        if self.kind in TIMED_KINDS and self.duration_s == 0:
+            raise ConfigurationError(
+                f"fault kind {self.kind!r} needs duration_s > 0"
+            )
+
+    @property
+    def key(self) -> Tuple[int, int, str]:
+        """The one-shot identity of this event."""
+        return (self.slot, self.seat, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slot": self.slot,
+            "seat": self.seat,
+            "kind": self.kind,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        for key in ("slot", "seat"):
+            value = payload.get(key)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"fault event field {key!r} must be an integer, "
+                    f"got {value!r}"
+                )
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ConfigurationError(
+                f"fault event field 'kind' must be a string, got {kind!r}"
+            )
+        duration = payload.get("duration_s", 0.0)
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+            raise ConfigurationError(
+                f"fault event field 'duration_s' must be a number, "
+                f"got {duration!r}"
+            )
+        return cls(
+            slot=int(payload["slot"]),
+            seat=int(payload["seat"]),
+            kind=kind,
+            duration_s=float(duration),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable set of one-shot fault events.
+
+    Events are canonically ordered by ``(slot, seat, kind)`` and must
+    be unique on that key, so a schedule *is* its timeline — equality
+    of schedules is equality of fault timelines.
+    """
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.key))
+        seen = set()
+        for event in ordered:
+            if event.key in seen:
+                raise ConfigurationError(
+                    f"duplicate fault event for {event.key}; one-shot "
+                    "events must be unique per (slot, seat, kind)"
+                )
+            seen.add(event.key)
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def restricted_to(self, kinds: Tuple[str, ...]) -> "FaultSchedule":
+        """The sub-schedule holding only the given kinds."""
+        return FaultSchedule(
+            events=tuple(e for e in self.events if e.kind in kinds)
+        )
+
+    @property
+    def server_events(self) -> "FaultSchedule":
+        return self.restricted_to(SERVER_KINDS)
+
+    @property
+    def client_events(self) -> "FaultSchedule":
+        return self.restricted_to(CLIENT_KINDS)
+
+    def max_slot(self) -> int:
+        """The latest slot any event fires at (-1 when empty)."""
+        return max((e.slot for e in self.events), default=-1)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # JSON script format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": SCHEDULE_SCHEMA_KIND,
+            "version": SCHEDULE_SCHEMA_VERSION,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSchedule":
+        if payload.get("kind") != SCHEDULE_SCHEMA_KIND:
+            raise ConfigurationError(
+                f"not a fault schedule: kind={payload.get('kind')!r} "
+                f"(expected {SCHEDULE_SCHEMA_KIND!r})"
+            )
+        if payload.get("version") != SCHEDULE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported fault-schedule version "
+                f"{payload.get('version')!r}"
+            )
+        events = payload.get("events")
+        if not isinstance(events, list):
+            raise ConfigurationError("fault schedule 'events' must be a list")
+        parsed: List[FaultEvent] = []
+        for entry in events:
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"fault event must be an object, got {entry!r}"
+                )
+            parsed.append(FaultEvent.from_dict(entry))
+        return cls(events=tuple(parsed))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the schedule as a JSON script; returns the path."""
+        target = Path(path)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSchedule":
+        """Read a JSON fault script written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault script {path}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault script {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault script {path} must hold a JSON object"
+            )
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # Seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_slots: int,
+        num_seats: int,
+        rates: Mapping[str, float],
+        duration_s: float = 0.05,
+        min_slot: int = 1,
+    ) -> "FaultSchedule":
+        """Draw a schedule from a seeded RNG (same seed, same timeline).
+
+        ``rates`` maps fault kinds to a per-(slot, seat) firing
+        probability.  Kinds are visited in sorted order and slots and
+        seats in increasing order, so the draw sequence — hence the
+        schedule — is a pure function of the arguments.  ``min_slot``
+        keeps the opening slots clean (joins and initial poses).
+        """
+        if num_slots < 1:
+            raise ConfigurationError(
+                f"num_slots must be >= 1, got {num_slots}"
+            )
+        if num_seats < 1:
+            raise ConfigurationError(
+                f"num_seats must be >= 1, got {num_seats}"
+            )
+        for kind, rate in rates.items():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; expected one of "
+                    f"{FAULT_KINDS}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"rate for {kind!r} must be in [0, 1], got {rate}"
+                )
+        rng = np.random.default_rng((seed, SCHEDULE_RNG_TAG))
+        events: List[FaultEvent] = []
+        for slot in range(max(min_slot, 0), num_slots):
+            for seat in range(num_seats):
+                for kind in sorted(rates):
+                    if float(rng.random()) < rates[kind]:
+                        events.append(
+                            FaultEvent(
+                                slot=slot,
+                                seat=seat,
+                                kind=kind,
+                                duration_s=(
+                                    duration_s if kind in TIMED_KINDS else 0.0
+                                ),
+                            )
+                        )
+        return cls(events=tuple(events))

@@ -27,9 +27,11 @@ from repro.obs.spans import Span, stream_header
 TRIGGER_DEADLINE_MISS = "deadline_miss"
 TRIGGER_ADMISSION_REJECT = "admission_reject"
 TRIGGER_WRITE_DROP = "write_drop"
+TRIGGER_SESSION_RESUME_FAILED = "session_resume_failed"
 
 TRIGGERS = (
     TRIGGER_DEADLINE_MISS, TRIGGER_ADMISSION_REJECT, TRIGGER_WRITE_DROP,
+    TRIGGER_SESSION_RESUME_FAILED,
 )
 
 

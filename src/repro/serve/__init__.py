@@ -15,16 +15,23 @@ traces against it over loopback.
 from repro.serve.admission import (
     REJECT_CAPACITY,
     REJECT_DRAINING,
+    REJECT_RESUME,
     REJECT_VERSION,
     AdmissionDecision,
     AdmissionPolicy,
 )
 from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
-from repro.serve.config import PROTOCOL_VERSION, ServeConfig, serve_setup1
+from repro.serve.config import (
+    PROTOCOL_VERSION,
+    ServeConfig,
+    resume_enabled,
+    serve_setup1,
+)
 from repro.serve.loadgen import (
     ClientReport,
     FleetReport,
     LoadGenConfig,
+    ReconnectPolicy,
     run_fleet,
     run_serve_and_fleet,
 )
@@ -43,8 +50,10 @@ __all__ = [
     "LatencyHistogram",
     "LoadGenConfig",
     "PROTOCOL_VERSION",
+    "ReconnectPolicy",
     "REJECT_CAPACITY",
     "REJECT_DRAINING",
+    "REJECT_RESUME",
     "REJECT_VERSION",
     "ServeConfig",
     "ServeResult",
@@ -54,6 +63,7 @@ __all__ = [
     "SlotLoop",
     "VrServeServer",
     "bench_serve",
+    "resume_enabled",
     "run_fleet",
     "run_serve_and_fleet",
     "serve_setup1",

@@ -18,6 +18,8 @@ from repro.errors import ConfigurationError
 REJECT_CAPACITY = "capacity"
 REJECT_VERSION = "version"
 REJECT_DRAINING = "draining"
+#: A resume token matched no detached seat (expired grace or bogus token).
+REJECT_RESUME = "resume"
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,11 @@ class AdmissionPolicy:
     def start_draining(self) -> None:
         """Refuse new sessions while the run shuts down."""
         self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """True once the server has begun shutting down."""
+        return self._draining
 
     def decide(self, version: int, occupancy: int) -> AdmissionDecision:
         """Admit or reject a join request given current occupancy."""

@@ -14,13 +14,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from typing import Optional
+
 from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule
 from repro.obs.config import ObsConfig
 from repro.system.experiment import ExperimentConfig, setup1_config
 from repro.units import SLOT_DURATION_S
 
 #: Wire-protocol version spoken by server and load generator.
-PROTOCOL_VERSION = 1
+#: Version 2 added session resume (join tokens / welcome resume fields).
+PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,23 @@ class ServeConfig:
     obs:
         Observability knobs (:class:`~repro.obs.config.ObsConfig`):
         tracing, flight recording, and the ``/metrics`` endpoint.
+    faults:
+        Optional scripted fault schedule
+        (:class:`~repro.faults.schedule.FaultSchedule`).  ``None``
+        leaves every fault path cold: the run is bit-identical to a
+        build without the fault layer.
+    resume_grace_s / resume_grace_slots:
+        Session-resume grace window.  A session that loses its
+        connection without a BYE is parked ("detached") rather than
+        released; a reconnecting client presenting the seat's token
+        within the window re-attaches with all scheduler state
+        intact.  Lockstep runs measure the window in wall seconds at
+        a resume barrier (the slot loop pauses while seats are
+        detached, so slot accounting stays deterministic); paced runs
+        measure it in slots.  Both default to 0 — resume disabled, a
+        lost connection frees the seat immediately — so a config
+        that does not opt in behaves exactly as before the fault
+        layer existed.
     exact_stage_latency:
         Retain every stage-latency sample for nearest-rank quantiles
         (short benchmark runs); the default keeps bounded buckets only.
@@ -84,6 +105,9 @@ class ServeConfig:
     idle_timeout_s: float = 60.0
     obs: ObsConfig = field(default_factory=ObsConfig)
     exact_stage_latency: bool = False
+    faults: Optional[FaultSchedule] = None
+    resume_grace_s: float = 0.0
+    resume_grace_slots: int = 0
 
     def __post_init__(self) -> None:
         if not 1 <= self.expect_clients <= self.experiment.num_users:
@@ -110,6 +134,14 @@ class ServeConfig:
                 raise ConfigurationError(
                     f"{name} must be positive, got {getattr(self, name)}"
                 )
+        if self.resume_grace_s < 0:
+            raise ConfigurationError(
+                f"resume_grace_s must be >= 0, got {self.resume_grace_s}"
+            )
+        if self.resume_grace_slots < 0:
+            raise ConfigurationError(
+                f"resume_grace_slots must be >= 0, got {self.resume_grace_slots}"
+            )
 
     @property
     def max_users(self) -> int:
@@ -155,3 +187,10 @@ def serve_setup1(
         expect_clients=expect_clients,
         lockstep=lockstep,
     )
+
+
+def resume_enabled(config: ServeConfig) -> bool:
+    """Whether lost connections are parked for resume (mode-aware)."""
+    if config.lockstep:
+        return config.resume_grace_s > 0
+    return config.resume_grace_slots > 0

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -27,8 +27,17 @@ import numpy as np
 from repro.content.projection import FieldOfView
 from repro.content.tiles import GridWorld, TileGrid
 from repro.errors import ConfigurationError, TransportError
+from repro.faults.injection import FaultInjector, corrupt_frame_bytes
+from repro.faults.schedule import (
+    CLIENT_KINDS,
+    FAULT_CORRUPT_REPORT,
+    FAULT_CRASH_CLIENT,
+    FAULT_DELAY_REPORT,
+    FaultSchedule,
+)
 from repro.prediction.fov import CoverageEvaluator
 from repro.prediction.pose import Pose
+from repro.serve.admission import REJECT_RESUME
 from repro.serve.config import PROTOCOL_VERSION, ServeConfig
 from repro.serve.protocol import (
     Bye,
@@ -39,6 +48,7 @@ from repro.serve.protocol import (
     SlotReport,
     TilePlan,
     Welcome,
+    encode_message,
     pose_to_wire,
     read_message,
     send_message,
@@ -53,6 +63,60 @@ MAX_DELAY_SLOTS = 60.0
 
 
 @dataclass(frozen=True)
+class ReconnectPolicy:
+    """Self-healing behaviour for one fleet's clients.
+
+    ``max_attempts`` of 0 (the default) disables reconnection — a
+    lost connection ends the client, exactly the pre-resume
+    behaviour.  When enabled, a client whose connection dies retries
+    with capped exponential backoff (``base_s`` doubling by
+    ``multiplier`` up to ``max_s``) plus seeded jitter, presenting
+    its resume token so the server re-attaches it to its seat.
+    """
+
+    max_attempts: int = 0
+    base_s: float = 0.05
+    multiplier: float = 2.0
+    max_s: float = 1.0
+    jitter_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ConfigurationError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.base_s <= 0:
+            raise ConfigurationError(f"base_s must be > 0, got {self.base_s}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_s < self.base_s:
+            raise ConfigurationError(
+                f"max_s must be >= base_s, got {self.max_s} < {self.base_s}"
+            )
+        if self.jitter_s < 0:
+            raise ConfigurationError(
+                f"jitter_s must be >= 0, got {self.jitter_s}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 0
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay before reconnect ``attempt`` (1-based), with jitter."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay_s = min(
+            self.base_s * self.multiplier ** (attempt - 1), self.max_s
+        )
+        if self.jitter_s > 0:
+            delay_s += float(rng.uniform(0.0, self.jitter_s))
+        return delay_s
+
+
+@dataclass(frozen=True)
 class LoadGenConfig:
     """One client fleet.
 
@@ -62,6 +126,11 @@ class LoadGenConfig:
     a paced run drives them past the server's lag threshold and into
     degraded (minimum-level) service.  The first ``churn_clients``
     clients leave after ``churn_leave_after_slots`` slots.
+
+    ``faults`` scripts client-side chaos (crashes, corrupt or delayed
+    reports) from the same :class:`~repro.faults.schedule.FaultSchedule`
+    the server consumes; ``reconnect`` governs how clients heal from
+    lost connections.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +144,8 @@ class LoadGenConfig:
     churn_clients: int = 0
     churn_leave_after_slots: int = 0
     client_prefix: str = "client"
+    faults: Optional[FaultSchedule] = None
+    reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -121,6 +192,7 @@ class ClientReport:
     reject_code: str = ""
     reject_reason: str = ""
     server_summary: Optional[Dict[str, float]] = None
+    resumes: int = 0
 
     @property
     def rejected(self) -> bool:
@@ -149,113 +221,45 @@ class FleetReport:
         }
 
 
-async def _run_client(config: LoadGenConfig, index: int) -> ClientReport:
-    """Run one emulated phone against the server."""
-    name = f"{config.client_prefix}-{index}"
-    latency_s = (
-        config.slow_latency_s if index < config.slow_clients else config.latency_s
-    )
-    jitter_rng = np.random.default_rng((config.seed, 1009, index))
-    leave_after = (
-        config.churn_leave_after_slots if index < config.churn_clients else 0
-    )
-    reader, writer = await asyncio.open_connection(config.host, config.port)
-    try:
-        await send_message(
-            writer, JoinRequest(client=name, version=PROTOCOL_VERSION)
+class _ClientState:
+    """One phone's cross-connection state.
+
+    Built once from the first WELCOME and kept across reconnects, so
+    a resumed session continues its motion trace and display pipeline
+    where the outage left them — the client heals, it does not
+    restart.
+    """
+
+    def __init__(self, config: LoadGenConfig, welcome: Welcome) -> None:
+        self.seat = welcome.seat
+        world = GridWorld(
+            0.0, welcome.world_size_m, 0.0, welcome.world_size_m,
+            cell_size=welcome.world_cell_m,
         )
-        greeting = await read_message(reader)
-        if isinstance(greeting, Reject):
-            return ClientReport(
-                name=name,
-                seat=-1,
-                frames=0,
-                displayed=0,
-                mean_viewed_quality=0.0,
-                mean_delay_slots=0.0,
-                fps=0.0,
-                end_reason="rejected",
-                reject_code=greeting.code,
-                reject_reason=greeting.reason,
-            )
-        if not isinstance(greeting, Welcome):
-            raise TransportError(
-                f"expected welcome or reject, got {type(greeting).__name__}"
-            )
-        return await _run_session(
-            config, reader, writer, name, greeting, latency_s, jitter_rng,
-            leave_after,
+        self.coverage = CoverageEvaluator(
+            world,
+            TileGrid(),
+            FieldOfView(),
+            margin_deg=welcome.margin_deg,
+            cell_tolerance=welcome.cell_tolerance,
         )
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        trace_rng = np.random.default_rng((config.seed, 0, welcome.seat, 17))
+        self.trace = MotionTraceGenerator(
+            world, MotionConfig(), welcome.slot_s
+        ).generate(welcome.num_tx_slots + 1, trace_rng)
+        self.phone = Client(
+            welcome.seat,
+            welcome.client_cache_tiles,
+            DecoderPool(welcome.num_decoders, welcome.decode_rate_mbps),
+            welcome.slot_s,
+        )
+        self.end_reason = "disconnected"
+        self.server_summary: Optional[Dict[str, float]] = None
+        self.resumes = 0
 
 
-async def _run_session(
-    config: LoadGenConfig,
-    reader: asyncio.StreamReader,
-    writer: asyncio.StreamWriter,
-    name: str,
-    welcome: Welcome,
-    latency_s: float,
-    jitter_rng: np.random.Generator,
-    leave_after_slots: int,
-) -> ClientReport:
-    """The admitted client's slot loop: plans in, reports out."""
-    world = GridWorld(
-        0.0, welcome.world_size_m, 0.0, welcome.world_size_m,
-        cell_size=welcome.world_cell_m,
-    )
-    coverage = CoverageEvaluator(
-        world,
-        TileGrid(),
-        FieldOfView(),
-        margin_deg=welcome.margin_deg,
-        cell_tolerance=welcome.cell_tolerance,
-    )
-    trace_rng = np.random.default_rng((config.seed, 0, welcome.seat, 17))
-    trace = MotionTraceGenerator(world, MotionConfig(), welcome.slot_s).generate(
-        welcome.num_tx_slots + 1, trace_rng
-    )
-    phone = Client(
-        welcome.seat,
-        welcome.client_cache_tiles,
-        DecoderPool(welcome.num_decoders, welcome.decode_rate_mbps),
-        welcome.slot_s,
-    )
-    await send_message(writer, Ready(pose=pose_to_wire(trace[0].as_vector())))
-
-    end_reason = "disconnected"
-    server_summary: Optional[Dict[str, float]] = None
-    while True:
-        message = await read_message(reader)
-        if message is None:
-            break
-        if isinstance(message, EndOfRun):
-            end_reason = message.reason
-            server_summary = dict(message.summary)
-            await send_message(writer, Bye(reason="complete"))
-            break
-        if not isinstance(message, TilePlan):
-            raise TransportError(
-                f"expected plan or end frame, got {type(message).__name__}"
-            )
-        if latency_s > 0 or config.jitter_s > 0:
-            think_s = latency_s + float(
-                jitter_rng.uniform(0.0, config.jitter_s)
-            )
-            if think_s > 0:
-                await asyncio.sleep(think_s)
-        report = _evaluate_plan(message, trace, coverage, phone)
-        await send_message(writer, report)
-        if leave_after_slots and message.slot + 1 >= leave_after_slots:
-            end_reason = "churned"
-            await send_message(writer, Bye(reason="churn"))
-            break
-
+def _final_report(name: str, state: _ClientState) -> ClientReport:
+    phone = state.phone
     frames = len(phone.frames)
     displayed = sum(1 for f in phone.frames if f.displayed)
     mean_quality = (
@@ -265,15 +269,188 @@ async def _run_session(
     mean_delay = sum(delays) / len(delays) if delays else 0.0
     return ClientReport(
         name=name,
-        seat=welcome.seat,
+        seat=state.seat,
         frames=frames,
         displayed=displayed,
         mean_viewed_quality=mean_quality,
         mean_delay_slots=mean_delay,
         fps=phone.fps(TARGET_FPS),
-        end_reason=end_reason,
-        server_summary=server_summary,
+        end_reason=state.end_reason,
+        server_summary=state.server_summary,
+        resumes=state.resumes,
     )
+
+
+async def _run_client(
+    config: LoadGenConfig,
+    index: int,
+    injector: Optional[FaultInjector] = None,
+) -> ClientReport:
+    """Run one emulated phone against the server.
+
+    The outer loop is the self-healing machinery: on a lost
+    connection (never on a voluntary leave) the client backs off with
+    capped exponential delay plus seeded jitter and rejoins with its
+    resume token, continuing its session state in place.
+    """
+    name = f"{config.client_prefix}-{index}"
+    latency_s = (
+        config.slow_latency_s if index < config.slow_clients else config.latency_s
+    )
+    jitter_rng = np.random.default_rng((config.seed, 1009, index))
+    reconnect_rng = np.random.default_rng((config.seed, 1013, index))
+    leave_after = (
+        config.churn_leave_after_slots if index < config.churn_clients else 0
+    )
+    injector = injector if injector is not None else FaultInjector()
+    state: Optional[_ClientState] = None
+    token = ""
+    attempts = 0
+    while True:
+        if attempts:
+            await asyncio.sleep(
+                config.reconnect.backoff_s(attempts, reconnect_rng)
+            )
+        can_heal = (
+            config.reconnect.enabled and state is not None and bool(token)
+        )
+        try:
+            reader, writer = await asyncio.open_connection(
+                config.host, config.port
+            )
+        except (ConnectionError, OSError):
+            if not can_heal:
+                raise
+            attempts += 1
+            if attempts > config.reconnect.max_attempts:
+                return _final_report(name, state)
+            continue
+        done = False
+        rejected: Optional[ClientReport] = None
+        try:
+            await send_message(
+                writer,
+                JoinRequest(client=name, version=PROTOCOL_VERSION, token=token),
+            )
+            greeting = await read_message(reader)
+            if isinstance(greeting, Reject):
+                end_reason = (
+                    "resume_failed"
+                    if greeting.code == REJECT_RESUME
+                    else "rejected"
+                )
+                rejected = ClientReport(
+                    name=name,
+                    seat=state.seat if state is not None else -1,
+                    frames=0,
+                    displayed=0,
+                    mean_viewed_quality=0.0,
+                    mean_delay_slots=0.0,
+                    fps=0.0,
+                    end_reason=end_reason,
+                    reject_code=greeting.code,
+                    reject_reason=greeting.reason,
+                )
+            else:
+                if not isinstance(greeting, Welcome):
+                    raise TransportError(
+                        f"expected welcome or reject, got "
+                        f"{type(greeting).__name__}"
+                    )
+                token = greeting.resume_token or token
+                if state is None:
+                    state = _ClientState(config, greeting)
+                    await send_message(
+                        writer,
+                        Ready(pose=pose_to_wire(state.trace[0].as_vector())),
+                    )
+                elif greeting.resumed:
+                    state.resumes += 1
+                    attempts = 0
+                done = await _session_loop(
+                    config, reader, writer, state, latency_s, jitter_rng,
+                    leave_after, injector,
+                )
+        except (TransportError, ConnectionError, OSError):
+            if not (config.reconnect.enabled and state is not None and token):
+                raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if rejected is not None:
+            return rejected
+        if done:
+            return _final_report(name, state)
+        # Connection lost mid-session: heal or give up.
+        if not (config.reconnect.enabled and token):
+            return _final_report(name, state)
+        attempts += 1
+        if attempts > config.reconnect.max_attempts:
+            return _final_report(name, state)
+
+
+async def _session_loop(
+    config: LoadGenConfig,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    state: _ClientState,
+    latency_s: float,
+    jitter_rng: np.random.Generator,
+    leave_after_slots: int,
+    injector: FaultInjector,
+) -> bool:
+    """One connection's slot loop: plans in, reports out.
+
+    Returns True when the run is over (END or voluntary leave), False
+    when the connection should be treated as lost.  Scripted
+    client-side faults act here: ``crash_client`` aborts without a
+    report, ``corrupt_report`` mangles the report's body bytes (the
+    server quarantines it), ``delay_report`` holds the report back.
+    """
+    while True:
+        message = await read_message(reader)
+        if message is None:
+            return False
+        if isinstance(message, EndOfRun):
+            state.end_reason = message.reason
+            state.server_summary = dict(message.summary)
+            await send_message(writer, Bye(reason="complete"))
+            return True
+        if not isinstance(message, TilePlan):
+            raise TransportError(
+                f"expected plan or end frame, got {type(message).__name__}"
+            )
+        if injector.take(message.slot, state.seat, FAULT_CRASH_CLIENT):
+            # Die mid-slot without a word: the plan is lost, no
+            # report goes out, the socket just closes.
+            return False
+        if latency_s > 0 or config.jitter_s > 0:
+            think_s = latency_s + float(
+                jitter_rng.uniform(0.0, config.jitter_s)
+            )
+            if think_s > 0:
+                await asyncio.sleep(think_s)
+        report = _evaluate_plan(
+            message, state.trace, state.coverage, state.phone
+        )
+        delay = injector.take(message.slot, state.seat, FAULT_DELAY_REPORT)
+        if delay is not None:
+            await asyncio.sleep(delay.duration_s)
+        corrupt = injector.take(
+            message.slot, state.seat, FAULT_CORRUPT_REPORT
+        )
+        if corrupt is not None:
+            writer.write(corrupt_frame_bytes(encode_message(report)))
+            await writer.drain()
+        else:
+            await send_message(writer, report)
+        if leave_after_slots and message.slot + 1 >= leave_after_slots:
+            state.end_reason = "churned"
+            await send_message(writer, Bye(reason="churn"))
+            return True
 
 
 def _evaluate_plan(
@@ -332,11 +509,21 @@ def _evaluate_plan(
 
 
 async def run_fleet(config: LoadGenConfig) -> FleetReport:
-    """Run every client concurrently and gather their reports."""
+    """Run every client concurrently and gather their reports.
+
+    All clients share one :class:`~repro.faults.injection.FaultInjector`
+    holding the schedule's client-side events (seats are disjoint, so
+    sharing just means one timeline to assert on).
+    """
     if config.port == 0:
         raise ConfigurationError("fleet needs a concrete server port")
+    injector = FaultInjector(
+        config.faults.restricted_to(CLIENT_KINDS)
+        if config.faults is not None
+        else None
+    )
     tasks = [
-        asyncio.ensure_future(_run_client(config, index))
+        asyncio.ensure_future(_run_client(config, index, injector))
         for index in range(config.num_clients)
     ]
     reports = await asyncio.gather(*tasks)

@@ -201,6 +201,22 @@ class ServingMetrics:
         self._active_sessions = self.registry.gauge(
             "repro_serve_active_sessions", "Sessions currently admitted"
         )
+        self._disconnects = self.registry.counter(
+            "repro_serve_disconnects_total",
+            "Connections lost without a BYE (parked for resume or released)",
+        )
+        self._session_resumes = self.registry.counter(
+            "repro_serve_session_resumes_total",
+            "Detached sessions successfully re-attached by token",
+        )
+        self._resume_failures = self.registry.counter(
+            "repro_serve_session_resume_failures_total",
+            "Detached sessions whose grace window expired unclaimed",
+        )
+        self._corrupt_frames = self.registry.counter(
+            "repro_serve_corrupt_frames_total",
+            "Undecodable frames quarantined without dropping the session",
+        )
         self.telemetry = Telemetry()
         self.telemetry.attach_registry(self.registry)
 
@@ -246,6 +262,18 @@ class ServingMetrics:
 
     def set_late_reports(self, count: int) -> None:
         self._late_reports.set(count)
+
+    def record_disconnect(self) -> None:
+        self._disconnects.inc()
+
+    def record_session_resume(self) -> None:
+        self._session_resumes.inc()
+
+    def record_resume_failure(self) -> None:
+        self._resume_failures.inc()
+
+    def record_corrupt_frame(self) -> None:
+        self._corrupt_frames.inc()
 
     # ------------------------------------------------------------------
     # Reads (all backed by the registry instruments)
@@ -299,6 +327,22 @@ class ServingMetrics:
     def active_sessions(self) -> int:
         return int(self._active_sessions.value)
 
+    @property
+    def disconnects(self) -> int:
+        return self._disconnects.count
+
+    @property
+    def session_resumes(self) -> int:
+        return self._session_resumes.count
+
+    @property
+    def resume_failures(self) -> int:
+        return self._resume_failures.count
+
+    @property
+    def corrupt_frames(self) -> int:
+        return self._corrupt_frames.count
+
     # ------------------------------------------------------------------
     # Derived figures
     # ------------------------------------------------------------------
@@ -344,6 +388,10 @@ class ServingMetrics:
             "missed_reports": self.missed_reports,
             "late_reports": self.late_reports,
             "dropped_frames": self.dropped_frames,
+            "disconnects": self.disconnects,
+            "session_resumes": self.session_resumes,
+            "resume_failures": self.resume_failures,
+            "corrupt_frames": self.corrupt_frames,
             "per_user_mean_viewed_quality": {
                 str(user): quality
                 for user, quality in self.per_user_quality().items()

@@ -36,7 +36,7 @@ import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import TransportError
+from repro.errors import FrameCorruptError, TransportError
 
 #: Frames larger than this are rejected (a frame is one slot of one
 #: user's control data — far below this bound in practice).
@@ -52,15 +52,26 @@ _LENGTH_PREFIX = struct.Struct("!I")
 
 @dataclass(frozen=True)
 class JoinRequest:
-    """Client -> server: ask for a seat."""
+    """Client -> server: ask for a seat.
+
+    A non-empty ``token`` turns the join into a *resume*: the client
+    lost its connection and asks to re-attach to the seat that issued
+    the token, provided the grace window has not expired.
+    """
 
     client: str
     version: int
+    token: str = ""
 
     KIND = "join"
 
     def payload(self) -> Dict[str, Any]:
-        return {"kind": self.KIND, "client": self.client, "version": self.version}
+        return {
+            "kind": self.KIND,
+            "client": self.client,
+            "version": self.version,
+            "token": self.token,
+        }
 
 
 @dataclass(frozen=True)
@@ -81,6 +92,8 @@ class Welcome:
     num_decoders: int
     decode_rate_mbps: float
     lockstep: bool
+    resume_token: str = ""
+    resumed: bool = False
 
     KIND = "welcome"
 
@@ -101,6 +114,8 @@ class Welcome:
             "num_decoders": self.num_decoders,
             "decode_rate_mbps": self.decode_rate_mbps,
             "lockstep": self.lockstep,
+            "resume_token": self.resume_token,
+            "resumed": self.resumed,
         }
 
 
@@ -245,39 +260,57 @@ ServeMessage = Union[
 def _get_str(payload: Mapping[str, Any], key: str) -> str:
     value = payload.get(key)
     if not isinstance(value, str):
-        raise TransportError(f"field {key!r} must be a string, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be a string, got {value!r}")
+    return value
+
+
+def _get_str_default(
+    payload: Mapping[str, Any], key: str, default: str
+) -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str):
+        raise FrameCorruptError(f"field {key!r} must be a string, got {value!r}")
+    return value
+
+
+def _get_bool_default(
+    payload: Mapping[str, Any], key: str, default: bool
+) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise FrameCorruptError(f"field {key!r} must be a boolean, got {value!r}")
     return value
 
 
 def _get_int(payload: Mapping[str, Any], key: str) -> int:
     value = payload.get(key)
     if isinstance(value, bool) or not isinstance(value, int):
-        raise TransportError(f"field {key!r} must be an integer, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be an integer, got {value!r}")
     return value
 
 
 def _get_float(payload: Mapping[str, Any], key: str) -> float:
     value = payload.get(key)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise TransportError(f"field {key!r} must be a number, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be a number, got {value!r}")
     return float(value)
 
 
 def _get_bool(payload: Mapping[str, Any], key: str) -> bool:
     value = payload.get(key)
     if not isinstance(value, bool):
-        raise TransportError(f"field {key!r} must be a boolean, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be a boolean, got {value!r}")
     return value
 
 
 def _get_int_tuple(payload: Mapping[str, Any], key: str) -> Tuple[int, ...]:
     value = payload.get(key)
     if not isinstance(value, list):
-        raise TransportError(f"field {key!r} must be a list, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be a list, got {value!r}")
     items = []
     for item in value:
         if isinstance(item, bool) or not isinstance(item, int):
-            raise TransportError(f"field {key!r} must hold integers, got {item!r}")
+            raise FrameCorruptError(f"field {key!r} must hold integers, got {item!r}")
         items.append(item)
     return tuple(items)
 
@@ -285,11 +318,11 @@ def _get_int_tuple(payload: Mapping[str, Any], key: str) -> Tuple[int, ...]:
 def _get_float_tuple(payload: Mapping[str, Any], key: str) -> Tuple[float, ...]:
     value = payload.get(key)
     if not isinstance(value, list):
-        raise TransportError(f"field {key!r} must be a list, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be a list, got {value!r}")
     items = []
     for item in value:
         if isinstance(item, bool) or not isinstance(item, (int, float)):
-            raise TransportError(f"field {key!r} must hold numbers, got {item!r}")
+            raise FrameCorruptError(f"field {key!r} must hold numbers, got {item!r}")
         items.append(float(item))
     return tuple(items)
 
@@ -297,20 +330,20 @@ def _get_float_tuple(payload: Mapping[str, Any], key: str) -> Tuple[float, ...]:
 def _get_pose(payload: Mapping[str, Any], key: str) -> Tuple[float, ...]:
     pose = _get_float_tuple(payload, key)
     if len(pose) != 6:
-        raise TransportError(f"field {key!r} must hold 6 floats, got {len(pose)}")
+        raise FrameCorruptError(f"field {key!r} must hold 6 floats, got {len(pose)}")
     return pose
 
 
 def _get_summary(payload: Mapping[str, Any], key: str) -> Dict[str, float]:
     value = payload.get(key)
     if not isinstance(value, dict):
-        raise TransportError(f"field {key!r} must be an object, got {value!r}")
+        raise FrameCorruptError(f"field {key!r} must be an object, got {value!r}")
     summary: Dict[str, float] = {}
     for name, item in value.items():
         if not isinstance(name, str):
-            raise TransportError(f"field {key!r} must have string keys")
+            raise FrameCorruptError(f"field {key!r} must have string keys")
         if isinstance(item, bool) or not isinstance(item, (int, float)):
-            raise TransportError(f"field {key!r} must hold numbers, got {item!r}")
+            raise FrameCorruptError(f"field {key!r} must hold numbers, got {item!r}")
         summary[name] = float(item)
     return summary
 
@@ -327,6 +360,7 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
         return JoinRequest(
             client=_get_str(payload, "client"),
             version=_get_int(payload, "version"),
+            token=_get_str_default(payload, "token", ""),
         )
     if kind == Welcome.KIND:
         return Welcome(
@@ -344,6 +378,8 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
             num_decoders=_get_int(payload, "num_decoders"),
             decode_rate_mbps=_get_float(payload, "decode_rate_mbps"),
             lockstep=_get_bool(payload, "lockstep"),
+            resume_token=_get_str_default(payload, "resume_token", ""),
+            resumed=_get_bool_default(payload, "resumed", False),
         )
     if kind == Reject.KIND:
         return Reject(
@@ -389,7 +425,7 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
         )
     if kind == Bye.KIND:
         return Bye(reason=_get_str(payload, "reason"))
-    raise TransportError(f"unknown message kind {kind!r}")
+    raise FrameCorruptError(f"unknown message kind {kind!r}")
 
 
 def encode_message(message: ServeMessage) -> bytes:
@@ -412,9 +448,9 @@ def decode_payload(body: bytes) -> ServeMessage:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
-        raise TransportError(f"malformed frame: {exc}") from exc
+        raise FrameCorruptError(f"malformed frame: {exc}") from exc
     if not isinstance(payload, dict):
-        raise TransportError(f"frame must be a JSON object, got {payload!r}")
+        raise FrameCorruptError(f"frame must be a JSON object, got {payload!r}")
     return parse_message(payload)
 
 

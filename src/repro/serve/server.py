@@ -13,18 +13,20 @@ between server and clients emulated by the seeded
 from __future__ import annotations
 
 import asyncio
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.content.gop import GopModel
 from repro.core.allocation import DensityValueGreedyAllocator, QualityAllocator
-from repro.errors import TransportError
+from repro.errors import FrameCorruptError, TransportError
+from repro.faults.injection import FaultInjector
 from repro.obs.config import Obs
 from repro.obs.flight import TRIGGER_ADMISSION_REJECT
 from repro.obs.http import ObsHttpServer
 from repro.prediction.pose import Pose
-from repro.serve.admission import AdmissionPolicy
-from repro.serve.config import PROTOCOL_VERSION, ServeConfig
+from repro.serve.admission import REJECT_RESUME, AdmissionPolicy
+from repro.serve.config import PROTOCOL_VERSION, ServeConfig, resume_enabled
 from repro.serve.metrics import ServingMetrics
 from repro.serve.protocol import (
     Bye,
@@ -109,6 +111,7 @@ class VrServeServer:
         self.registry = SessionRegistry(config.max_users)
         self.admission = AdmissionPolicy(config.max_users, PROTOCOL_VERSION)
         self.obs = Obs.from_config(config.obs)
+        self.injector = FaultInjector(config.faults, registry=self.obs.registry)
         self.metrics = ServingMetrics(
             config.slot_s,
             registry=self.obs.registry,
@@ -116,7 +119,7 @@ class VrServeServer:
         )
         self.slot_loop = SlotLoop(
             config, self.edge, self.registry, self.metrics, self.data_plane,
-            obs=self.obs,
+            obs=self.obs, injector=self.injector,
         )
         self.edge.scheduler.attach_registry(self.obs.registry)
         self._listener: Optional[asyncio.AbstractServer] = None
@@ -247,26 +250,60 @@ class VrServeServer:
     ) -> None:
         session: Optional[Session] = None
         timed_out = False
+        said_bye = False
         try:
             session = await self._admit(reader, writer)
             if session is None:
                 return
-            await self._session_frames(reader, session)
+            said_bye = await self._session_frames(reader, session)
         except asyncio.TimeoutError:
             timed_out = True
         except (TransportError, ConnectionError, OSError):
             pass
         finally:
-            if session is not None:
-                self.registry.release(session.seat, timed_out=timed_out)
-                self.metrics.record_leave(timed_out=timed_out)
-                self.edge.reset_user(session.seat)
-                self._ready_event.set()
+            self._tear_down(session, writer, said_bye, timed_out)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _tear_down(
+        self,
+        session: Optional[Session],
+        writer: asyncio.StreamWriter,
+        said_bye: bool,
+        timed_out: bool,
+    ) -> None:
+        """Release or park the seat when its connection handler exits.
+
+        A connection that died without a BYE is a *disconnect*: with
+        resume enabled the seat is parked (scheduler state intact)
+        until the client re-attaches or the grace window expires.
+        Voluntary leaves, timeouts, and shutdown keep the original
+        release-immediately behaviour.
+        """
+        if session is None:
+            return
+        if session.writer is not writer:
+            # The seat was already re-bound to a newer connection
+            # (resume won the race); this handler owns nothing now.
+            return
+        if session.detached:
+            # Parked by the slot loop (injected disconnect); the
+            # grace logic owns the seat.
+            return
+        lost = not said_bye and not timed_out and not self.admission.draining
+        if lost and resume_enabled(self.config):
+            self.registry.detach(session.seat, self.slot_loop.slots_run)
+            self.metrics.record_disconnect()
+            return
+        if lost:
+            self.metrics.record_disconnect()
+        self.registry.release(session.seat, timed_out=timed_out)
+        self.metrics.record_leave(timed_out=timed_out)
+        self.edge.reset_user(session.seat)
+        self._ready_event.set()
 
     async def _admit(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -279,6 +316,8 @@ class VrServeServer:
             raise TransportError(
                 f"expected a join frame first, got {type(message).__name__}"
             )
+        if message.token:
+            return await self._resume(message, writer)
         decision = self.admission.decide(
             message.version, self.registry.occupancy()
         )
@@ -305,39 +344,93 @@ class VrServeServer:
             joined_slot=self.slot_loop.slots_run,
         )
         session.guideline_mbps = self.data_plane.guidelines_mbps[session.seat]
+        session.token = self._make_token(session.seat)
         self.metrics.record_join()
-        cfg = self.config.experiment
-        await send_message(
-            writer,
-            Welcome(
-                seat=session.seat,
-                version=PROTOCOL_VERSION,
-                slot_s=cfg.slot_s,
-                num_tx_slots=self.config.num_tx_slots,
-                guideline_mbps=session.guideline_mbps,
-                level_count=self.experiment.database.num_levels,
-                world_size_m=cfg.world_size_m,
-                world_cell_m=self.experiment.world.cell_size,
-                margin_deg=cfg.margin_deg,
-                cell_tolerance=cfg.cell_tolerance,
-                client_cache_tiles=cfg.client_cache_tiles,
-                num_decoders=cfg.num_decoders,
-                decode_rate_mbps=cfg.decode_rate_mbps,
-                lockstep=self.config.lockstep,
-            ),
+        await send_message(writer, self._welcome(session, resumed=False))
+        return session
+
+    def _make_token(self, seat: int) -> str:
+        """A deterministic per-admission resume token.
+
+        Derived from the run seed, the seat, and the admission
+        ordinal, so a same-seed run mints the same tokens — tokens
+        are capability handles for the chaos tests, not secrets.
+        """
+        material = (
+            f"{self.config.experiment.seed}:{seat}:{self.registry.total_joins}"
         )
+        return hashlib.sha256(material.encode("ascii")).hexdigest()[:32]
+
+    def _welcome(self, session: Session, resumed: bool) -> Welcome:
+        cfg = self.config.experiment
+        return Welcome(
+            seat=session.seat,
+            version=PROTOCOL_VERSION,
+            slot_s=cfg.slot_s,
+            num_tx_slots=self.config.num_tx_slots,
+            guideline_mbps=session.guideline_mbps,
+            level_count=self.experiment.database.num_levels,
+            world_size_m=cfg.world_size_m,
+            world_cell_m=self.experiment.world.cell_size,
+            margin_deg=cfg.margin_deg,
+            cell_tolerance=cfg.cell_tolerance,
+            client_cache_tiles=cfg.client_cache_tiles,
+            num_decoders=cfg.num_decoders,
+            decode_rate_mbps=cfg.decode_rate_mbps,
+            lockstep=self.config.lockstep,
+            resume_token=session.token,
+            resumed=resumed,
+        )
+
+    async def _resume(
+        self, message: JoinRequest, writer: asyncio.StreamWriter
+    ) -> Optional[Session]:
+        """Re-attach a reconnecting client to its detached seat."""
+        session = self.registry.resume(message.token, writer)
+        if session is None:
+            self.metrics.record_reject(REJECT_RESUME)
+            await send_message(
+                writer,
+                Reject(
+                    code=REJECT_RESUME,
+                    reason="resume token matches no detached seat",
+                    capacity=self.config.max_users,
+                ),
+            )
+            return None
+        self.metrics.record_session_resume()
+        await send_message(writer, self._welcome(session, resumed=True))
         return session
 
     async def _session_frames(
         self, reader: asyncio.StreamReader, session: Session
-    ) -> None:
-        """Consume a session's frames until bye, EOF, or timeout."""
+    ) -> bool:
+        """Consume a session's frames until bye, EOF, or timeout.
+
+        Returns True for a voluntary leave (BYE), False for a bare
+        EOF — the caller treats the latter as a disconnect.
+        """
         while True:
-            message: Optional[ServeMessage] = await asyncio.wait_for(
-                read_message(reader), self.config.idle_timeout_s
-            )
-            if message is None or isinstance(message, Bye):
-                return
+            if session.stall_read_s > 0:
+                # Injected uplink stall: the handler freezes before
+                # its next read, exactly as a radio dropout would.
+                stall_s, session.stall_read_s = session.stall_read_s, 0.0
+                await asyncio.sleep(stall_s)
+            try:
+                message: Optional[ServeMessage] = await asyncio.wait_for(
+                    read_message(reader), self.config.idle_timeout_s
+                )
+            except FrameCorruptError:
+                # Quarantine: the framing survived, so the stream is
+                # still synchronized — drop the frame, count it, and
+                # keep the session alive.
+                session.corrupt_frames += 1
+                self.metrics.record_corrupt_frame()
+                continue
+            if message is None:
+                return False
+            if isinstance(message, Bye):
+                return True
             if isinstance(message, Ready):
                 if not session.ready:
                     self.edge.observe_pose(

@@ -42,6 +42,20 @@ class Session:
     missed_reports: int = 0
     late_reports: int = 0
     dropped_frames: int = 0
+    #: Resume support: the token a reconnecting client must present,
+    #: and whether the seat is currently waiting for that client.
+    token: str = ""
+    detached: bool = False
+    detached_slot: int = NEVER_REPORTED
+    resumes: int = 0
+    corrupt_frames: int = 0
+    #: Re-attached mid-slot: excluded from the report barrier until a
+    #: fresh plan frame reaches the client (it cannot report a slot
+    #: whose plan it never received).
+    needs_plan: bool = False
+    #: Set by the fault injector: the handler sleeps this long before
+    #: its next read (a stalled uplink), then clears it.
+    stall_read_s: float = 0.0
 
     def store_report(self, report: SlotReport, folded_slots: int) -> bool:
         """File a report; returns False when it is too old to matter.
@@ -88,9 +102,14 @@ class SessionRegistry:
         #: Set by connection handlers whenever a report lands, so the
         #: lockstep barrier can re-check completeness without polling.
         self.report_event = asyncio.Event()
+        #: Set whenever a detached seat re-attaches, so the resume
+        #: barrier can re-check without polling.
+        self.attach_event = asyncio.Event()
         self.total_joins = 0
         self.total_leaves = 0
         self.total_timeouts = 0
+        self.total_detaches = 0
+        self.total_resumes = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -150,6 +169,76 @@ class SessionRegistry:
         self.report_event.set()
 
     # ------------------------------------------------------------------
+    # Detach / resume
+    # ------------------------------------------------------------------
+    def detach(self, seat: int, slot: int) -> Optional[Session]:
+        """Park a seat after a transport failure, awaiting a resume.
+
+        The session stays bound to its seat (so scheduler state —
+        pose history, QoE accounting — survives the outage) but is
+        excluded from planning and from the lockstep barrier until
+        the client re-attaches or the grace window expires.
+        """
+        session = self._sessions.get(seat)
+        if session is None or session.detached:
+            return None
+        session.detached = True
+        session.detached_slot = slot
+        self.total_detaches += 1
+        # A detached session can no longer satisfy the barrier.
+        self.report_event.set()
+        return session
+
+    def resume(
+        self, token: str, writer: asyncio.StreamWriter
+    ) -> Optional[Session]:
+        """Re-attach a detached seat by token; None when no seat matches."""
+        if not token:
+            return None
+        for seat in sorted(self._sessions):
+            session = self._sessions[seat]
+            if session.detached and session.token == token:
+                session.writer = writer
+                session.detached = False
+                session.detached_slot = NEVER_REPORTED
+                session.stall_read_s = 0.0
+                session.needs_plan = True
+                session.resumes += 1
+                self.total_resumes += 1
+                self.attach_event.set()
+                self.report_event.set()
+                return session
+        return None
+
+    def detached_sessions(self) -> List[Session]:
+        """Seats currently awaiting a resume, in seat order."""
+        return [
+            self._sessions[seat]
+            for seat in sorted(self._sessions)
+            if self._sessions[seat].detached
+        ]
+
+    async def wait_attached(self, timeout_s: float) -> bool:
+        """Block until no seat is detached, or the timeout elapses.
+
+        Returns True when every detached seat re-attached (or was
+        released) in time — the resume-barrier primitive that keeps
+        lockstep accounting independent of reconnect wall time.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while self.detached_sessions():
+            remaining_s = deadline - loop.time()
+            if remaining_s <= 0:
+                return False
+            self.attach_event.clear()
+            try:
+                await asyncio.wait_for(self.attach_event.wait(), remaining_s)
+            except asyncio.TimeoutError:
+                return not self.detached_sessions()
+        return True
+
+    # ------------------------------------------------------------------
     # Lockstep barrier support
     # ------------------------------------------------------------------
     def notify_report(self) -> None:
@@ -161,7 +250,10 @@ class SessionRegistry:
         return all(
             slot in session.reports
             for session in self.active()
-            if session.ready and session.joined_slot <= slot
+            if session.ready
+            and session.joined_slot <= slot
+            and not session.detached
+            and not session.needs_plan
         )
 
     async def wait_reports(self, slot: int, timeout_s: float) -> bool:
@@ -196,6 +288,8 @@ class SessionRegistry:
                     "missed_reports": session.missed_reports,
                     "late_reports": session.late_reports,
                     "dropped_frames": session.dropped_frames,
+                    "resumes": session.resumes,
+                    "corrupt_frames": session.corrupt_frames,
                 },
             )
             for seat, session in sorted(self._sessions.items())

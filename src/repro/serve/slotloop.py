@@ -18,19 +18,31 @@ from __future__ import annotations
 
 import asyncio
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.content.tiles import VideoId
 from repro.errors import ConfigurationError
+from repro.faults.injection import FaultInjector, truncate_frame_bytes
+from repro.faults.schedule import (
+    FAULT_DISCONNECT,
+    FAULT_STALL_READ,
+    FAULT_STALL_WRITE,
+    FAULT_TRUNCATE_FRAME,
+)
 from repro.obs.config import Obs
-from repro.obs.flight import TRIGGER_DEADLINE_MISS, TRIGGER_WRITE_DROP
+from repro.obs.flight import (
+    TRIGGER_DEADLINE_MISS,
+    TRIGGER_SESSION_RESUME_FAILED,
+    TRIGGER_WRITE_DROP,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServingMetrics
 from repro.serve.protocol import (
     EndOfRun,
     TilePlan,
+    encode_message,
     pose_to_wire,
     write_message,
 )
@@ -166,6 +178,7 @@ class SlotLoop:
         metrics: ServingMetrics,
         data_plane: DataPlane,
         obs: Optional[Obs] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.server = server
@@ -173,14 +186,34 @@ class SlotLoop:
         self.metrics = metrics
         self.data_plane = data_plane
         self.obs = obs if obs is not None else Obs.disabled(metrics.registry)
+        self.injector = injector if injector is not None else FaultInjector()
         self.slots_run = 0
         self._stop = asyncio.Event()
         #: (slot, plan, achieved) awaiting the next fold.
         self._pending: Optional[Tuple[int, SlotPlan, List[float]]] = None
+        #: Set whenever ``slots_run`` advances (and when the loop
+        #: exits), so tests can await progress instead of polling.
+        self._slot_event = asyncio.Event()
+        self._finished = False
+        #: In-flight delayed writes from injected ``stall_write`` faults.
+        self._stall_tasks: Set["asyncio.Task[None]"] = set()
 
     def request_stop(self) -> None:
         """Ask the loop to finish after the current slot."""
         self._stop.set()
+
+    async def wait_slots(self, count: int) -> int:
+        """Block until ``slots_run`` reaches ``count`` (or the loop ends).
+
+        The event-driven replacement for polling ``slots_run`` in a
+        sleep loop; returns the current ``slots_run``.
+        """
+        while self.slots_run < count and not self._finished:
+            self._slot_event.clear()
+            if self.slots_run >= count or self._finished:
+                break
+            await self._slot_event.wait()
+        return self.slots_run
 
     # ------------------------------------------------------------------
     # Per-slot pipeline stages
@@ -261,6 +294,7 @@ class SlotLoop:
             plan, indicators, delays_slots, achieved, delivered_ids, released_ids
         )
         self.slots_run = slot + 1
+        self._slot_event.set()
         self.metrics.set_late_reports(
             sum(s.late_reports for s in self.registry.active())
         )
@@ -275,7 +309,7 @@ class SlotLoop:
         caps = [-1] * self.config.max_users
         any_degraded = False
         for session in self.registry.active():
-            if not session.ready:
+            if not session.ready or session.detached:
                 continue
             lagging = (
                 not self.config.lockstep
@@ -311,7 +345,12 @@ class SlotLoop:
                 user_plan.missing_bits, demands[seat], achieved[seat]
             )
             session = self.registry.get(seat)
-            if session is None or not session.alive or not session.ready:
+            if (
+                session is None
+                or not session.alive
+                or not session.ready
+                or session.detached
+            ):
                 continue
             video_ids = tuple(
                 VideoId.encode(key) for key in user_plan.missing_keys
@@ -347,9 +386,31 @@ class SlotLoop:
         its frame dropped (counted) rather than queued — the slot
         deadline is never spent on a dead socket.  Returns the number
         of frames dropped this slot.
+
+        Two scripted faults act here: ``truncate_frame`` writes half a
+        frame and kills the connection (the seat detaches for resume),
+        ``stall_write`` delays the frame by the scripted duration.
         """
         dropped = 0
         for session, frame in frames:
+            slot = frame.slot
+            if self.injector.enabled:
+                truncate = self.injector.take(
+                    slot, session.seat, FAULT_TRUNCATE_FRAME
+                )
+                if truncate is not None:
+                    self._truncate_and_detach(session, frame, slot)
+                    continue
+                stall = self.injector.take(
+                    slot, session.seat, FAULT_STALL_WRITE
+                )
+                if stall is not None:
+                    self._schedule_stalled_write(
+                        session, frame, stall.duration_s
+                    )
+                    session.planned_slots += 1
+                    session.needs_plan = False
+                    continue
             if session.write_buffer_bytes() > self.config.write_drop_bytes:
                 session.dropped_frames += 1
                 self.metrics.record_dropped_frame()
@@ -361,7 +422,45 @@ class SlotLoop:
                 session.alive = False
                 continue
             session.planned_slots += 1
+            session.needs_plan = False
         return dropped
+
+    def _truncate_and_detach(
+        self, session: Session, frame: TilePlan, slot: int
+    ) -> None:
+        """Deliver half a plan frame, then drop the connection.
+
+        The client reads a length prefix promising more bytes than
+        ever arrive, sees the close as a mid-frame transport error,
+        and comes back through the resume path; the seat is parked
+        for the grace window.  Closing the transport flushes the
+        partial frame first.
+        """
+        try:
+            session.writer.write(truncate_frame_bytes(encode_message(frame)))
+        except (ConnectionError, OSError):
+            pass
+        session.planned_slots += 1
+        self.registry.detach(session.seat, slot)
+        self.metrics.record_disconnect()
+        session.writer.close()
+
+    def _schedule_stalled_write(
+        self, session: Session, frame: TilePlan, duration_s: float
+    ) -> None:
+        """Queue a frame after a scripted delay (a choked downlink)."""
+        writer = session.writer
+
+        async def _delayed() -> None:
+            await asyncio.sleep(duration_s)
+            try:
+                write_message(writer, frame)
+            except (ConnectionError, OSError):
+                pass
+
+        task = asyncio.ensure_future(_delayed())
+        self._stall_tasks.add(task)
+        task.add_done_callback(self._stall_tasks.discard)
 
     # ------------------------------------------------------------------
     # The loop
@@ -375,6 +474,11 @@ class SlotLoop:
             if self._stop.is_set() or self.registry.ready_count() == 0:
                 break
             last_slot = slot
+            if self.injector.enabled:
+                self._inject_connection_faults(slot)
+            await self._resume_barrier(slot)
+            if self._stop.is_set() or self.registry.ready_count() == 0:
+                break
             started_s = loop.time()
             # Span building never reads a clock itself — it reuses the
             # stage-boundary readings the deadline bookkeeping already
@@ -468,11 +572,91 @@ class SlotLoop:
                 last_slot, min(self.config.slot_s * 4, self.config.report_timeout_s)
             )
         self._fold_pending()
+        if self._stall_tasks:
+            await asyncio.gather(*self._stall_tasks, return_exceptions=True)
+        self._finished = True
+        self._slot_event.set()
+
+    # ------------------------------------------------------------------
+    # Fault injection and resume
+    # ------------------------------------------------------------------
+    def _inject_connection_faults(self, slot: int) -> None:
+        """Fire this slot's server-side faults, seat-ordered.
+
+        ``disconnect`` closes the transport and parks the seat;
+        ``stall_read`` arms a scripted pause on the seat's connection
+        handler.  (``truncate_frame`` / ``stall_write`` fire later,
+        in the send stage, where the frame exists.)
+        """
+        for event in self.injector.take_kind(slot, FAULT_DISCONNECT):
+            session = self.registry.get(event.seat)
+            if session is None or not session.alive or session.detached:
+                continue
+            self.registry.detach(event.seat, slot)
+            self.metrics.record_disconnect()
+            session.writer.close()
+        for event in self.injector.take_kind(slot, FAULT_STALL_READ):
+            session = self.registry.get(event.seat)
+            if session is None or not session.alive or session.detached:
+                continue
+            session.stall_read_s = event.duration_s
+
+    async def _resume_barrier(self, slot: int) -> None:
+        """Hold the slot while any seat is detached (lockstep only).
+
+        Pausing planning while a reconnect is in flight is what keeps
+        missed-slot accounting a function of the fault schedule alone:
+        however long the client takes to come back (within grace), it
+        re-attaches before the next plan, so the same seed always
+        yields the same per-seat slot ledger.  Seats whose grace
+        expires are released deterministically at this slot.  Paced
+        mode never pauses; its grace window is counted in slots.
+        """
+        if self.config.lockstep:
+            if not self.registry.detached_sessions():
+                return
+            if self.config.resume_grace_s > 0:
+                attached = await self.registry.wait_attached(
+                    self.config.resume_grace_s
+                )
+                if attached:
+                    return
+            self._expire_detached(slot, self.registry.detached_sessions())
+        else:
+            expired = [
+                session
+                for session in self.registry.detached_sessions()
+                if slot - session.detached_slot >= self.config.resume_grace_slots
+            ]
+            if expired:
+                self._expire_detached(slot, expired)
+
+    def _expire_detached(
+        self, slot: int, sessions: Sequence[Session]
+    ) -> None:
+        """Give up on detached seats whose grace window has closed."""
+        for session in sessions:
+            self.registry.release(session.seat)
+            self.metrics.record_leave()
+            self.metrics.record_resume_failure()
+            self.server.reset_user(session.seat)
+            self.obs.flight.trigger(
+                TRIGGER_SESSION_RESUME_FAILED,
+                detail=(
+                    f"seat {session.seat} ({session.client}) detached at "
+                    f"slot {session.detached_slot} never resumed"
+                ),
+                slot=slot,
+            )
 
     def end_frames(self, reason: str) -> List[Tuple[Session, EndOfRun]]:
         """Build the end-of-run frame for every live session."""
         frames: List[Tuple[Session, EndOfRun]] = []
         for session in self.registry.active():
+            if session.detached:
+                # No transport to speak over; the grace window ends
+                # with the run.
+                continue
             summary = summarize_ledger(
                 self.server.scheduler.ledgers[session.seat],
                 self.config.experiment.weights,

@@ -28,6 +28,11 @@ from repro.content.tiles import GridWorld, TileGrid, VideoId
 from repro.core.allocation import QualityAllocator
 from repro.core.qoe import QoEWeights
 from repro.errors import ConfigurationError
+from repro.faults.schedule import (
+    FAULT_CORRUPT_REPORT,
+    FAULT_DELAY_REPORT,
+    FaultSchedule,
+)
 from repro.obs.config import Obs
 from repro.prediction.fov import CoverageEvaluator
 from repro.simulation.metrics import (
@@ -192,6 +197,7 @@ class SystemExperiment:
         repeat: int = 0,
         telemetry: Optional["Telemetry"] = None,
         obs: Optional[Obs] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> EpisodeResult:
         """One full run (one of the paper's five repetitions).
 
@@ -202,8 +208,36 @@ class SystemExperiment:
         slot clock) through its tracer and flight recorder.  Both are
         pure observers: seeded results are bit-identical with or
         without them.
+
+        ``faults`` maps the serving layer's fault schedule onto the
+        emulated testbed: connection-level kinds (disconnect, stalls,
+        truncation, client crash) starve the user's downlink for the
+        slot (achieved rate 0) and lose its uplink (no acks, no pose);
+        ``corrupt_report`` loses the uplink only; ``delay_report``
+        defers just the pose upload.  ``None`` (the default) leaves
+        the run bit-identical to a build without the fault layer.
         """
         cfg = self.config
+        # Pre-index the schedule by slot so the hot loop pays one dict
+        # lookup per slot, not a scan of the event list.
+        outage_seats: Dict[int, frozenset] = {}
+        uplink_drop_seats: Dict[int, frozenset] = {}
+        pose_drop_seats: Dict[int, frozenset] = {}
+        if faults is not None:
+            o_raw: Dict[int, set] = {}
+            u_raw: Dict[int, set] = {}
+            p_raw: Dict[int, set] = {}
+            for event in faults.events:
+                if event.kind == FAULT_CORRUPT_REPORT:
+                    u_raw.setdefault(event.slot, set()).add(event.seat)
+                elif event.kind == FAULT_DELAY_REPORT:
+                    p_raw.setdefault(event.slot, set()).add(event.seat)
+                else:
+                    o_raw.setdefault(event.slot, set()).add(event.seat)
+            outage_seats = {t: frozenset(s) for t, s in o_raw.items()}
+            uplink_drop_seats = {t: frozenset(s) for t, s in u_raw.items()}
+            pose_drop_seats = {t: frozenset(s) for t, s in p_raw.items()}
+        _EMPTY: frozenset = frozenset()
         rng = np.random.default_rng((cfg.seed, repeat, 11))
         net_rng = np.random.default_rng((cfg.seed, repeat, 13))
         slots_counter = (
@@ -313,6 +347,16 @@ class SystemExperiment:
                 for u, rate in zip(members, rates):
                     achieved[u] = rate
 
+            # Injected outages starve the downlink AFTER the router
+            # draws (so the network RNG stream keeps its shape) and
+            # BEFORE the RTP step (whose starved path draws nothing).
+            down = outage_seats.get(t, _EMPTY)
+            for u in down:
+                if u < cfg.num_users:
+                    achieved[u] = 0.0
+            uplink_lost = uplink_drop_seats.get(t, _EMPTY) | down
+            pose_lost = pose_drop_seats.get(t, _EMPTY) | uplink_lost
+
             indicators: List[int] = []
             delays: List[float] = []
             delivered_ids: List[List[int]] = []
@@ -358,7 +402,8 @@ class SystemExperiment:
                     for i, k in enumerate(user_plan.missing_keys)
                     if i not in lost
                 ]
-                uplink.append(protocol.DeliveryAck(u, t, tuple(arrived)))
+                if u not in uplink_lost:
+                    uplink.append(protocol.DeliveryAck(u, t, tuple(arrived)))
                 delivered_ids.append([])  # filled from the decoded acks
                 if telemetry is not None:
                     telemetry.add(
@@ -374,7 +419,7 @@ class SystemExperiment:
                             delay_slots=delays[-1],
                         )
                     )
-                if clients[u].last_released:
+                if clients[u].last_released and u not in uplink_lost:
                     uplink.append(
                         protocol.ReleaseAck(u, tuple(clients[u].last_released))
                     )
@@ -382,7 +427,7 @@ class SystemExperiment:
                 # Pose upload at the end of the slot (TCP); extra
                 # staleness defers which pose the server learns.
                 stale_t = t - cfg.pose_upload_latency_slots
-                if stale_t >= 0:
+                if stale_t >= 0 and u not in pose_lost:
                     uplink.append(
                         protocol.PoseUpdate(u, stale_t, poses[u][stale_t])
                     )

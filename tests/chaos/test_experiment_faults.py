@@ -1,0 +1,106 @@
+"""Fault hooks on the emulated testbed: inert by default, seeded faults.
+
+``SystemExperiment.run_repeat`` maps the serving layer's fault kinds
+onto the emulated network — outages starve a user's downlink and lose
+its uplink for the slot.  The contract tested here: ``faults=None``
+(and an empty schedule) is bit-identical to not having the hook at
+all, and any scripted schedule yields the same episode bit for bit
+under the same seed.
+"""
+
+from repro.core.allocation import DensityValueGreedyAllocator
+from repro.faults import (
+    FAULT_CORRUPT_REPORT,
+    FAULT_DELAY_REPORT,
+    FAULT_DISCONNECT,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.system.experiment import ExperimentConfig, SystemExperiment
+
+CONFIG = ExperimentConfig(num_users=4, duration_slots=40, seed=3)
+
+OUTAGES = FaultSchedule(events=(
+    FaultEvent(slot=10, seat=0, kind=FAULT_DISCONNECT),
+    FaultEvent(slot=11, seat=0, kind=FAULT_DISCONNECT),
+    FaultEvent(slot=20, seat=2, kind=FAULT_DISCONNECT),
+    FaultEvent(slot=25, seat=1, kind=FAULT_CORRUPT_REPORT),
+    FaultEvent(slot=30, seat=3, kind=FAULT_DELAY_REPORT, duration_s=0.05),
+))
+
+
+def _summaries(result):
+    return tuple(
+        (u.qoe, u.quality, u.delay, u.variance, u.mean_level, u.fps)
+        for u in result.users
+    )
+
+
+class TestInertness:
+    def test_none_and_empty_schedule_are_identical(self):
+        experiment = SystemExperiment(CONFIG)
+        plain = experiment.run_repeat(DensityValueGreedyAllocator(), 0)
+        with_none = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=None
+        )
+        with_empty = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=FaultSchedule()
+        )
+        assert _summaries(plain) == _summaries(with_none)
+        assert _summaries(plain) == _summaries(with_empty)
+
+    def test_out_of_range_events_are_inert(self):
+        # Faults aimed past the horizon or at non-existent seats must
+        # not disturb the run (the serving layer owns seat validity).
+        experiment = SystemExperiment(CONFIG)
+        plain = experiment.run_repeat(DensityValueGreedyAllocator(), 0)
+        harmless = FaultSchedule(events=(
+            FaultEvent(slot=10_000, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=10, seat=99, kind=FAULT_DISCONNECT),
+        ))
+        faulted = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=harmless
+        )
+        assert _summaries(plain) == _summaries(faulted)
+
+
+class TestSeededFaults:
+    def test_same_schedule_same_episode(self):
+        experiment = SystemExperiment(CONFIG)
+        first = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=OUTAGES
+        )
+        second = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=OUTAGES
+        )
+        assert _summaries(first) == _summaries(second)
+
+    def test_outages_hurt_only_the_faulted_run(self):
+        experiment = SystemExperiment(CONFIG)
+        plain = experiment.run_repeat(DensityValueGreedyAllocator(), 0)
+        faulted = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=OUTAGES
+        )
+        assert _summaries(plain) != _summaries(faulted)
+        # An outage can only remove delivered tiles, never add them:
+        # the faulted run's viewed quality must not beat the clean one
+        # for the seat that lost two consecutive slots.
+        assert faulted.users[0].quality <= plain.users[0].quality
+
+    def test_random_schedule_reproducible_end_to_end(self):
+        rates = {FAULT_DISCONNECT: 0.01, FAULT_CORRUPT_REPORT: 0.01}
+        schedule = FaultSchedule.random(
+            seed=7, num_slots=CONFIG.duration_slots, num_seats=4, rates=rates
+        )
+        experiment = SystemExperiment(CONFIG)
+        first = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0, faults=schedule
+        )
+        second = experiment.run_repeat(
+            DensityValueGreedyAllocator(), 0,
+            faults=FaultSchedule.random(
+                seed=7, num_slots=CONFIG.duration_slots, num_seats=4,
+                rates=rates,
+            ),
+        )
+        assert _summaries(first) == _summaries(second)

@@ -1,0 +1,115 @@
+"""Corrupt-frame quarantine: bad bytes are counted, never fatal.
+
+A corrupted report must cost at most that one report — the server
+quarantines the frame (drop + count) and the session, the slot loop,
+and every other seat keep going.  The byte-level helpers are pinned
+down here too, since the whole tier depends on corruption preserving
+framing and truncation breaking it.
+"""
+
+import asyncio
+import struct
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import FrameCorruptError, TransportError
+from repro.faults import (
+    FAULT_CORRUPT_REPORT,
+    FaultEvent,
+    FaultSchedule,
+    corrupt_frame_bytes,
+    truncate_frame_bytes,
+)
+from repro.serve.config import serve_setup1
+from repro.serve.loadgen import LoadGenConfig, run_serve_and_fleet
+from repro.serve.protocol import Bye, decode_payload, encode_message, read_message
+
+
+class TestFrameHelpers:
+    def test_corruption_preserves_framing(self):
+        frame = encode_message(Bye(reason="fine"))
+        bad = corrupt_frame_bytes(frame)
+        assert len(bad) == len(frame)
+        assert bad[:4] == frame[:4]
+        assert bad != frame
+
+    def test_corrupt_body_raises_frame_corrupt(self):
+        frame = encode_message(Bye(reason="fine"))
+        bad = corrupt_frame_bytes(frame)
+        with pytest.raises(FrameCorruptError):
+            decode_payload(bad[4:])
+
+    def test_corrupt_frame_is_recoverable_on_stream(self):
+        """Framing survives corruption: the next frame still parses."""
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(corrupt_frame_bytes(encode_message(Bye(reason="a"))))
+            reader.feed_data(encode_message(Bye(reason="b")))
+            reader.feed_eof()
+            with pytest.raises(FrameCorruptError):
+                await read_message(reader)
+            return await read_message(reader)
+
+        assert asyncio.run(scenario()) == Bye(reason="b")
+
+    def test_truncation_breaks_framing(self):
+        frame = encode_message(Bye(reason="fine"))
+        short = truncate_frame_bytes(frame)
+        assert len(short) < len(frame)
+        (declared,) = struct.Struct("!I").unpack(short[:4])
+        assert declared > len(short) - 4
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(short)
+            reader.feed_eof()
+            await read_message(reader)
+
+        with pytest.raises(TransportError):
+            asyncio.run(scenario())
+
+
+class TestQuarantineEndToEnd:
+    def _run(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=7, seat=1, kind=FAULT_CORRUPT_REPORT),
+        ))
+        serve_config = replace(
+            serve_setup1(
+                max_users=4, duration_slots=21, seed=0, expect_clients=4,
+                lockstep=True,
+            ),
+            faults=schedule,
+            report_timeout_s=0.3,
+        )
+        fleet_config = LoadGenConfig(num_clients=4, seed=0, faults=schedule)
+        return asyncio.run(run_serve_and_fleet(serve_config, fleet_config))
+
+    def test_corrupt_report_is_quarantined_not_fatal(self):
+        result, fleet = self._run()
+        metrics = result.metrics
+
+        # The bad frame was counted and dropped, nothing else.
+        assert metrics.corrupt_frames == 1
+        assert metrics.disconnects == 0
+        assert metrics.session_resumes == 0
+        assert metrics.resume_failures == 0
+
+        # The session survived to the end of the run.
+        assert {c.end_reason for c in fleet.clients} == {"complete"}
+        assert metrics.joins == 4
+        assert metrics.leaves == 4
+        assert result.slots == 20
+
+    def test_quarantine_costs_exactly_one_report(self):
+        result, _ = self._run()
+        metrics = result.metrics
+        # The lost report surfaces as exactly one missed report (the
+        # barrier timed out waiting for it) — the slot loop kept going.
+        assert metrics.missed_reports == 1
+        assert metrics.slots == 20
+        summary = metrics.summary()
+        assert summary["corrupt_frames"] == 1
+        assert summary["missed_reports"] == 1

@@ -1,0 +1,222 @@
+"""Tests for fault scripts: events, schedules, JSON round-trip, CLI.
+
+The schedule layer is the contract the whole chaos tier rests on:
+schedules are canonical (sorted, duplicate-free), serialisable, and
+seed-deterministic, so a failing chaos run can always be replayed
+from its script alone.
+"""
+
+import argparse
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CLIENT_KINDS,
+    FAULT_CORRUPT_REPORT,
+    FAULT_CRASH_CLIENT,
+    FAULT_DISCONNECT,
+    FAULT_KINDS,
+    FAULT_STALL_READ,
+    FAULT_TRUNCATE_FRAME,
+    SERVER_KINDS,
+    TIMED_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.faults.cli import (
+    EXIT_INVALID,
+    EXIT_OK,
+    EXIT_USAGE,
+    add_faults_arguments,
+    run_faults_command,
+)
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(slot=3, seat=1, kind=FAULT_DISCONNECT)
+        assert event.key == (3, 1, FAULT_DISCONNECT)
+        assert event.duration_s == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(slot=0, seat=0, kind="meteor_strike")
+
+    def test_negative_slot_and_seat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(slot=-1, seat=0, kind=FAULT_DISCONNECT)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(slot=0, seat=-1, kind=FAULT_DISCONNECT)
+
+    def test_timed_kinds_need_duration(self):
+        for kind in TIMED_KINDS:
+            with pytest.raises(ConfigurationError):
+                FaultEvent(slot=0, seat=0, kind=kind)
+            assert FaultEvent(slot=0, seat=0, kind=kind, duration_s=0.01)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(slot=0, seat=0, kind=FAULT_DISCONNECT, duration_s=-0.5)
+
+    def test_dict_round_trip(self):
+        event = FaultEvent(slot=7, seat=2, kind=FAULT_STALL_READ, duration_s=0.05)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultSchedule:
+    def test_events_canonically_sorted(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=9, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=2, seat=3, kind=FAULT_CRASH_CLIENT),
+            FaultEvent(slot=2, seat=1, kind=FAULT_DISCONNECT),
+        ))
+        assert [e.slot for e in schedule.events] == [2, 2, 9]
+        assert [e.seat for e in schedule.events] == [1, 3, 0]
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(events=(
+                FaultEvent(slot=2, seat=1, kind=FAULT_DISCONNECT),
+                FaultEvent(slot=2, seat=1, kind=FAULT_DISCONNECT),
+            ))
+
+    def test_restriction_splits_sides(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=2, seat=0, kind=FAULT_CRASH_CLIENT),
+            FaultEvent(slot=3, seat=0, kind=FAULT_CORRUPT_REPORT),
+        ))
+        assert len(schedule.server_events) == 1
+        assert len(schedule.client_events) == 2
+        both = schedule.restricted_to(SERVER_KINDS + CLIENT_KINDS)
+        assert both.events == schedule.events
+
+    def test_counts_and_max_slot(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=4, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=11, seat=1, kind=FAULT_DISCONNECT),
+        ))
+        assert schedule.counts_by_kind() == {FAULT_DISCONNECT: 2}
+        assert schedule.max_slot() == 11
+        assert bool(schedule)
+        assert not FaultSchedule()
+
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_TRUNCATE_FRAME),
+            FaultEvent(slot=5, seat=2, kind=FAULT_STALL_READ, duration_s=0.02),
+        ))
+        path = schedule.save(tmp_path / "faults.json")
+        assert FaultSchedule.load(path) == schedule
+        # The file is plain JSON a human can author directly.
+        body = json.loads(path.read_text())
+        assert isinstance(body["events"], list)
+
+    def test_load_rejects_malformed_script(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"events": [{"slot": 0}]}')
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.load(path)
+        path.write_text("not json at all")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.load(path)
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            seed=42, num_slots=200, num_seats=8,
+            rates={kind: 0.01 for kind in FAULT_KINDS}, duration_s=0.05,
+        )
+        assert FaultSchedule.random(**kwargs) == FaultSchedule.random(**kwargs)
+
+    def test_different_seed_different_schedule(self):
+        rates = {FAULT_DISCONNECT: 0.05}
+        first = FaultSchedule.random(seed=1, num_slots=300, num_seats=8, rates=rates)
+        second = FaultSchedule.random(seed=2, num_slots=300, num_seats=8, rates=rates)
+        assert first != second
+
+    def test_min_slot_respected(self):
+        schedule = FaultSchedule.random(
+            seed=3, num_slots=100, num_seats=4,
+            rates={FAULT_DISCONNECT: 0.2}, min_slot=10,
+        )
+        assert schedule
+        assert all(e.slot >= 10 for e in schedule.events)
+
+    def test_rates_restrict_kinds(self):
+        schedule = FaultSchedule.random(
+            seed=4, num_slots=200, num_seats=4,
+            rates={FAULT_CRASH_CLIENT: 0.1},
+        )
+        assert schedule
+        assert set(schedule.counts_by_kind()) == {FAULT_CRASH_CLIENT}
+
+
+def _parse(argv):
+    # Mirrors the real wiring: --seed is a global repro flag, the
+    # faults subcommands attach beneath it.
+    parser = argparse.ArgumentParser(prog="repro faults")
+    parser.add_argument("--seed", type=int, default=0)
+    add_faults_arguments(parser)
+    return parser.parse_args(argv)
+
+
+class TestCli:
+    def test_generate_then_show(self, tmp_path):
+        script = tmp_path / "chaos.json"
+        out = io.StringIO()
+        code = run_faults_command(
+            _parse(["generate", "--out", str(script), "--slots", "50",
+                    "--seats", "4", "--rate", "0.05"]),
+            stdout=out, stderr=io.StringIO(),
+        )
+        assert code == EXIT_OK
+        assert "wrote" in out.getvalue()
+
+        shown = io.StringIO()
+        code = run_faults_command(
+            _parse(["show", str(script)]), stdout=shown, stderr=io.StringIO()
+        )
+        assert code == EXIT_OK
+        assert "event(s)" in shown.getvalue()
+
+    def test_generate_is_seed_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (first, second):
+            run_faults_command(
+                _parse(["--seed", "9", "generate", "--out", str(path)]),
+                stdout=io.StringIO(), stderr=io.StringIO(),
+            )
+        assert first.read_text() == second.read_text()
+
+    def test_show_missing_file_is_usage_error(self, tmp_path):
+        err = io.StringIO()
+        code = run_faults_command(
+            _parse(["show", str(tmp_path / "nope.json")]),
+            stdout=io.StringIO(), stderr=err,
+        )
+        assert code == EXIT_USAGE
+        assert "no such fault script" in err.getvalue()
+
+    def test_show_invalid_script_is_invalid_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"events": "nope"}')
+        err = io.StringIO()
+        code = run_faults_command(
+            _parse(["show", str(path)]), stdout=io.StringIO(), stderr=err
+        )
+        assert code == EXIT_INVALID
+        assert "invalid fault script" in err.getvalue()
+
+    def test_generate_rejects_bad_kind(self, tmp_path):
+        err = io.StringIO()
+        code = run_faults_command(
+            _parse(["generate", "--out", str(tmp_path / "x.json"),
+                    "--kinds", "gremlins"]),
+            stdout=io.StringIO(), stderr=err,
+        )
+        assert code == EXIT_USAGE

@@ -87,9 +87,9 @@ class TestLiveMetricsEndpoint:
                     LoadGenConfig(num_clients=2, seed=0, port=server.port)
                 )
             )
-            # Scrape while the slot loop is live.
-            while server.slot_loop.slots_run < 5:
-                await asyncio.sleep(0.01)
+            # Scrape while the slot loop is live (event-driven, no
+            # sleep polling: the loop signals each completed slot).
+            await server.slot_loop.wait_slots(5)
             metrics_body = await _http_get(metrics_port, "/metrics")
             health_body = await _http_get(metrics_port, "/healthz")
             await fleet_task

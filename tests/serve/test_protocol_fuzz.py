@@ -1,0 +1,213 @@
+"""Seeded fuzz tests for the wire protocol.
+
+Two properties the serving path depends on:
+
+* every valid message — whatever its field values — survives an
+  encode/decode round trip exactly;
+* arbitrary damage to a frame (truncation, oversize, bit flips)
+  surfaces as a clean :class:`~repro.errors.TransportError` (or a
+  still-valid message, for flips that happen to keep the JSON well
+  formed) — never a hang, never a stray exception type.
+
+Everything is drawn from one seeded generator, so a failure prints a
+round index that replays exactly.
+"""
+
+import asyncio
+import string
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    Bye,
+    EndOfRun,
+    JoinRequest,
+    Ready,
+    Reject,
+    SlotReport,
+    TilePlan,
+    Welcome,
+    decode_payload,
+    encode_message,
+    read_message,
+)
+
+_CHARS = string.ascii_letters + string.digits + " -_./:"
+
+
+def _rand_text(rng, max_len=24):
+    length = int(rng.integers(0, max_len))
+    return "".join(_CHARS[int(i)] for i in rng.integers(0, len(_CHARS), length))
+
+
+def _rand_float(rng, low=-1e6, high=1e6):
+    return float(rng.uniform(low, high))
+
+
+def _rand_pose(rng):
+    return tuple(_rand_float(rng, -100.0, 100.0) for _ in range(6))
+
+
+def _rand_ints(rng, max_len=16):
+    length = int(rng.integers(0, max_len))
+    return tuple(int(v) for v in rng.integers(0, 10_000, length))
+
+
+def _rand_floats(rng, length):
+    return tuple(_rand_float(rng, 0.0, 1e7) for _ in range(length))
+
+
+def _rand_message(rng):
+    """One random valid message of a random kind."""
+    kind = int(rng.integers(0, 8))
+    if kind == 0:
+        return JoinRequest(
+            client=_rand_text(rng), version=int(rng.integers(0, 100)),
+            token=_rand_text(rng),
+        )
+    if kind == 1:
+        return Welcome(
+            seat=int(rng.integers(0, 64)), version=int(rng.integers(0, 100)),
+            slot_s=_rand_float(rng, 1e-4, 1.0),
+            num_tx_slots=int(rng.integers(1, 100_000)),
+            guideline_mbps=_rand_float(rng, 0.0, 1e3),
+            level_count=int(rng.integers(1, 16)),
+            world_size_m=_rand_float(rng, 1.0, 100.0),
+            world_cell_m=_rand_float(rng, 0.01, 1.0),
+            margin_deg=_rand_float(rng, 0.0, 90.0),
+            cell_tolerance=int(rng.integers(0, 4)),
+            client_cache_tiles=int(rng.integers(0, 10_000)),
+            num_decoders=int(rng.integers(1, 16)),
+            decode_rate_mbps=_rand_float(rng, 1.0, 1e4),
+            lockstep=bool(rng.integers(0, 2)),
+            resume_token=_rand_text(rng),
+            resumed=bool(rng.integers(0, 2)),
+        )
+    if kind == 2:
+        return Reject(
+            code=_rand_text(rng, 12), reason=_rand_text(rng),
+            capacity=int(rng.integers(0, 64)),
+        )
+    if kind == 3:
+        return Ready(pose=_rand_pose(rng))
+    if kind == 4:
+        ids = _rand_ints(rng)
+        return TilePlan(
+            slot=int(rng.integers(0, 100_000)),
+            level=int(rng.integers(0, 16)),
+            predicted_pose=_rand_pose(rng) if rng.integers(0, 2) else None,
+            video_ids=ids,
+            tile_bits=_rand_floats(rng, len(ids)),
+            lost_positions=tuple(
+                int(i) for i in sorted(rng.integers(0, max(len(ids), 1), 2))
+            ) if len(ids) else (),
+            duration_s=_rand_float(rng, 0.0, 1.0),
+            startup_delay_s=_rand_float(rng, 0.0, 1.0),
+            demand_mbps=_rand_float(rng, 0.0, 1e3),
+            achieved_mbps=_rand_float(rng, 0.0, 1e3),
+            degraded=bool(rng.integers(0, 2)),
+        )
+    if kind == 5:
+        return SlotReport(
+            slot=int(rng.integers(0, 100_000)),
+            delivered_ids=_rand_ints(rng),
+            released_ids=_rand_ints(rng),
+            indicator=int(rng.integers(0, 2)),
+            delay_slots=_rand_float(rng, 0.0, 60.0),
+            viewed_quality=_rand_float(rng, 0.0, 6.0),
+            pose=_rand_pose(rng),
+        )
+    if kind == 6:
+        return EndOfRun(
+            slots=int(rng.integers(0, 100_000)),
+            reason=_rand_text(rng, 12),
+            summary={
+                _rand_text(rng, 8) or "k": _rand_float(rng)
+                for _ in range(int(rng.integers(0, 5)))
+            },
+        )
+    return Bye(reason=_rand_text(rng))
+
+
+def _read_one(data, timeout_s=2.0):
+    """Feed raw bytes to a reader; fail the test on any hang."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await asyncio.wait_for(read_message(reader), timeout_s)
+
+    return asyncio.run(scenario())
+
+
+class TestRoundTripFuzz:
+    def test_random_messages_round_trip_exactly(self):
+        rng = np.random.default_rng(20260806)
+        for round_index in range(300):
+            message = _rand_message(rng)
+            frame = encode_message(message)
+            decoded = decode_payload(frame[4:])
+            assert decoded == message, f"round {round_index}: {message}"
+
+    def test_random_messages_round_trip_through_reader(self):
+        rng = np.random.default_rng(99)
+        for round_index in range(50):
+            message = _rand_message(rng)
+            received = _read_one(encode_message(message))
+            assert received == message, f"round {round_index}"
+
+
+class TestDamageFuzz:
+    def test_truncation_at_every_cut_is_clean(self):
+        rng = np.random.default_rng(7)
+        frame = encode_message(_rand_message(rng))
+        for cut in range(len(frame)):
+            if cut == 0:
+                # Empty feed is a clean EOF, not an error.
+                assert _read_one(b"") is None
+                continue
+            with pytest.raises(TransportError):
+                _read_one(frame[:cut])
+
+    def test_random_truncations_are_clean(self):
+        rng = np.random.default_rng(13)
+        for round_index in range(100):
+            frame = encode_message(_rand_message(rng))
+            cut = int(rng.integers(1, len(frame)))
+            with pytest.raises(TransportError):
+                _read_one(frame[:cut])
+
+    def test_oversized_frames_rejected_without_reading_body(self):
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            declared = int(rng.integers(MAX_FRAME_BYTES + 1, 2**32))
+            with pytest.raises(TransportError):
+                _read_one(struct.Struct("!I").pack(declared))
+
+    def test_bit_flips_never_hang_or_leak_odd_errors(self):
+        """Any single-bit flip ends in a TransportError or a message."""
+        rng = np.random.default_rng(23)
+        errors = 0
+        for round_index in range(200):
+            frame = bytearray(encode_message(_rand_message(rng)))
+            position = int(rng.integers(0, len(frame)))
+            frame[position] ^= 1 << int(rng.integers(0, 8))
+            try:
+                _read_one(bytes(frame))
+            except TransportError:
+                errors += 1
+        # Most flips damage the frame; a few may leave valid JSON.
+        assert errors > 100
+
+    def test_garbage_bodies_are_clean(self):
+        rng = np.random.default_rng(29)
+        for length in (0, 1, 7, 64, 512):
+            body = bytes(rng.integers(0, 256, length, dtype=np.uint8))
+            frame = struct.Struct("!I").pack(len(body)) + body
+            with pytest.raises(TransportError):
+                _read_one(frame)

@@ -166,15 +166,17 @@ class TestBarrier:
             registry, sessions = self._ready_registry(2)
             sessions[0].store_report(report_for(0), folded_slots=0)
 
-            async def reporter():
-                await asyncio.sleep(0.01)
-                sessions[1].store_report(report_for(0), folded_slots=0)
-                registry.notify_report()
-
-            task = asyncio.ensure_future(reporter())
-            done = await registry.wait_reports(0, timeout_s=2.0)
-            await task
-            return done
+            waiter = asyncio.ensure_future(
+                registry.wait_reports(0, timeout_s=30.0)
+            )
+            # Yield until the waiter is parked on the report event —
+            # pure scheduling, no wall-clock sleeps to race against.
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert not waiter.done()
+            sessions[1].store_report(report_for(0), folded_slots=0)
+            registry.notify_report()
+            return await waiter
 
         assert asyncio.run(scenario()) is True
 
@@ -190,16 +192,26 @@ class TestBarrier:
             registry, sessions = self._ready_registry(2)
             sessions[0].store_report(report_for(0), folded_slots=0)
 
-            async def leaver():
-                await asyncio.sleep(0.01)
-                registry.release(sessions[1].seat)
-
-            task = asyncio.ensure_future(leaver())
-            done = await registry.wait_reports(0, timeout_s=2.0)
-            await task
-            return done
+            waiter = asyncio.ensure_future(
+                registry.wait_reports(0, timeout_s=30.0)
+            )
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert not waiter.done()
+            registry.release(sessions[1].seat)
+            return await waiter
 
         assert asyncio.run(scenario()) is True
+
+    def test_detached_or_unplanned_sessions_do_not_block(self):
+        registry, sessions = self._ready_registry(3)
+        sessions[0].store_report(report_for(0), folded_slots=0)
+        assert not registry.reports_complete(0)
+        registry.detach(sessions[1].seat, slot=0)
+        sessions[2].needs_plan = True
+        # The detached seat and the freshly-resumed one (no plan yet)
+        # can never report this slot; only seat 0's report matters.
+        assert registry.reports_complete(0)
 
     def test_seat_counters(self):
         registry, sessions = self._ready_registry(2)
@@ -209,3 +221,72 @@ class TestBarrier:
         assert [seat for seat, _ in counters] == [0, 1]
         assert counters[0][1]["missed_reports"] == 2
         assert counters[1][1]["planned_slots"] == 9
+
+
+class TestDetachResume:
+    def test_detach_parks_seat_and_resume_rebinds(self):
+        registry = SessionRegistry(capacity=2)
+        session = registry.admit("c0", FakeWriter(), 40.0, joined_slot=0)
+        session.token = "tok-0"
+        assert registry.detach(session.seat, slot=4) is session
+        assert session.detached
+        assert session.detached_slot == 4
+        assert registry.detached_sessions() == [session]
+        assert registry.total_detaches == 1
+        # Double detach is a no-op.
+        assert registry.detach(session.seat, slot=5) is None
+
+        new_writer = FakeWriter()
+        resumed = registry.resume("tok-0", new_writer)
+        assert resumed is session
+        assert not session.detached
+        assert session.detached_slot == NEVER_REPORTED
+        assert session.writer is new_writer
+        assert session.needs_plan
+        assert session.resumes == 1
+        assert registry.total_resumes == 1
+        assert registry.detached_sessions() == []
+
+    def test_resume_requires_matching_token(self):
+        registry = SessionRegistry(capacity=2)
+        session = registry.admit("c0", FakeWriter(), 40.0, joined_slot=0)
+        session.token = "tok-0"
+        registry.detach(session.seat, slot=1)
+        assert registry.resume("", FakeWriter()) is None
+        assert registry.resume("wrong", FakeWriter()) is None
+        # A token only matches while its seat is detached.
+        registry.resume("tok-0", FakeWriter())
+        assert registry.resume("tok-0", FakeWriter()) is None
+
+    def test_wait_attached_returns_on_resume(self):
+        async def scenario():
+            registry = SessionRegistry(capacity=1)
+            session = registry.admit("c0", FakeWriter(), 40.0, joined_slot=0)
+            session.token = "tok-0"
+            registry.detach(session.seat, slot=0)
+
+            waiter = asyncio.ensure_future(registry.wait_attached(30.0))
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert not waiter.done()
+            registry.resume("tok-0", FakeWriter())
+            return await waiter
+
+        assert asyncio.run(scenario()) is True
+
+    def test_wait_attached_times_out_when_nobody_returns(self):
+        async def scenario():
+            registry = SessionRegistry(capacity=1)
+            session = registry.admit("c0", FakeWriter(), 40.0, joined_slot=0)
+            registry.detach(session.seat, slot=0)
+            return await registry.wait_attached(0.02)
+
+        assert asyncio.run(scenario()) is False
+
+    def test_wait_attached_immediate_when_nothing_detached(self):
+        async def scenario():
+            registry = SessionRegistry(capacity=1)
+            registry.admit("c0", FakeWriter(), 40.0, joined_slot=0)
+            return await registry.wait_attached(0.0)
+
+        assert asyncio.run(scenario()) is True
