@@ -6,6 +6,7 @@ from repro.perf import (
     BENCH_ALLOCATOR_FILE,
     BENCH_SIMULATOR_FILE,
     bench_allocator,
+    bench_kernel,
     bench_simulator,
     persist_run,
 )
@@ -17,13 +18,29 @@ def test_bench_allocator_smoke():
     for row in run["sizes"]:
         assert row["solutions_identical"]
         assert row["reference_s"] > 0 and row["heap_s"] > 0
+        assert row["array_s"] > 0 and row["array_speedup"] > 0
 
 
 def test_bench_simulator_smoke():
     run = bench_simulator(num_users=2, num_slots=60, num_episodes=2, max_workers=2)
     assert run["parallel_matches_serial"]
     assert run["warm_slots_per_s"] > 0
-    assert run["parallel_speedup"] > 0
+    if run["parallel_fallback"]:
+        # A pool that cannot pay for itself (e.g. a 1-core box) is
+        # recorded honestly instead of as a sub-1.0 speedup.
+        assert run["parallel_speedup"] is None
+        assert run["parallel_reason"]
+    else:
+        assert run["parallel_speedup"] > 0
+
+
+def test_bench_kernel_smoke():
+    run = bench_kernel(num_users=50, num_levels=4, num_slots=1, repeats=1)
+    assert run["solutions_identical"]
+    assert run["array_slots_per_s"] > 0 and run["object_slots_per_s"] > 0
+    assert run["predictor"]["identical"]
+    assert run["coverage"]["identical"]
+    assert run["batch_nbytes"] > 0
 
 
 def test_persist_run_bounds_history(tmp_path):

@@ -171,134 +171,215 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+_BENCH_KINDS = ("allocator", "simulator", "serve", "obs", "kernel")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.errors import ConfigurationError
     from repro.perf import (
         BENCH_ALLOCATOR_FILE,
+        BENCH_KERNEL_FILE,
         BENCH_SIMULATOR_FILE,
         bench_allocator,
+        bench_kernel,
         bench_simulator,
         persist_run,
     )
 
+    kinds = [k.strip() for k in args.kind.split(",") if k.strip()]
+    for kind in kinds:
+        if kind not in _BENCH_KINDS:
+            raise ConfigurationError(
+                f"unknown bench kind {kind!r}; expected some of {_BENCH_KINDS}"
+            )
     sizes = [int(v) for v in args.sizes.split(",")]
     repeats = args.repeats
     sim_slots, episodes, workers = args.sim_slots, args.episodes, args.workers
+    kernel_users = args.kernel_users
+    kernel_slots = args.kernel_slots
     if args.quick:
         sizes = [s for s in sizes if s <= 100] or [5, 30]
         repeats = 1
         sim_slots = min(sim_slots, 120)
         episodes = min(episodes, 2)
         workers = min(workers, 2)
+        kernel_users = min(kernel_users, 500)
+        kernel_slots = min(kernel_slots, 2)
 
     out = Path(args.out)
-    print(f"allocator benchmark (reference vs heap, repeats={repeats}):\n")
-    allocator_run = bench_allocator(sizes=sizes, repeats=repeats, seed=args.seed)
-    print(
-        format_table(
-            ["N", "reference (s)", "heap (s)", "speedup"],
-            [
-                [r["num_items"], r["reference_s"], r["heap_s"], r["speedup"]]
-                for r in allocator_run["sizes"]
-            ],
+    written = []
+
+    def _dash(value: object) -> object:
+        return "-" if value is None else value
+
+    if "allocator" in kinds:
+        print(
+            f"allocator benchmark (reference vs heap vs array, "
+            f"repeats={repeats}):\n"
         )
-    )
-    persist_run(allocator_run, out / BENCH_ALLOCATOR_FILE)
-
-    print(
-        f"\nsimulator benchmark ({args.sim_users} users, {sim_slots} slots, "
-        f"{episodes} episodes, {workers} workers):\n"
-    )
-    simulator_run = bench_simulator(
-        num_users=args.sim_users,
-        num_slots=sim_slots,
-        num_episodes=episodes,
-        max_workers=workers,
-        seed=args.seed,
-    )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["cold slots/s", simulator_run["cold_slots_per_s"]],
-                ["warm slots/s", simulator_run["warm_slots_per_s"]],
-                ["serial (s)", simulator_run["serial_s"]],
-                [f"parallel x{workers} (s)", simulator_run["parallel_s"]],
-                ["parallel speedup", simulator_run["parallel_speedup"]],
-            ],
+        allocator_run = bench_allocator(
+            sizes=sizes, repeats=repeats, seed=args.seed
         )
-    )
-    persist_run(simulator_run, out / BENCH_SIMULATOR_FILE)
-
-    from repro.serve import BENCH_SERVE_FILE, bench_serve
-
-    serve_users = [int(v) for v in args.serve_users.split(",")]
-    serve_slots = args.serve_slots
-    if args.quick:
-        serve_users = [u for u in serve_users if u <= 2] or [2]
-        serve_slots = min(serve_slots, 40)
-    print(
-        f"\nserving benchmark (fleets {serve_users}, {serve_slots} slots, "
-        f"target hit rate {args.serve_target}):\n"
-    )
-    serve_run = bench_serve(
-        user_counts=serve_users,
-        slots=serve_slots,
-        seed=args.seed,
-        deadline_target=args.serve_target,
-    )
-    print(
-        format_table(
-            ["users", "hit rate", "p50 slot (ms)", "p99 slot (ms)"],
-            [
+        print(
+            format_table(
+                ["N", "reference (s)", "heap (s)", "array (s)",
+                 "heap speedup", "array speedup"],
                 [
-                    int(r["users"]),
-                    r["deadline_hit_rate"],
-                    r["p50_slot_ms"],
-                    r["p99_slot_ms"],
-                ]
-                for r in serve_run["fleets"]
-            ],
+                    [
+                        r["num_items"],
+                        _dash(r["reference_s"]),
+                        r["heap_s"],
+                        r["array_s"],
+                        _dash(r["speedup"]),
+                        r["array_speedup"],
+                    ]
+                    for r in allocator_run["sizes"]
+                ],
+            )
         )
-    )
-    print(
-        f"\nusers sustained at >={args.serve_target:.0%} hit rate: "
-        f"{serve_run['users_sustained']}"
-    )
-    persist_run(serve_run, out / BENCH_SERVE_FILE)
+        persist_run(allocator_run, out / BENCH_ALLOCATOR_FILE)
+        written.append(out / BENCH_ALLOCATOR_FILE)
 
-    from repro.obs.bench import BENCH_OBS_FILE, bench_obs
-
-    obs_users = max(serve_users)
-    obs_slots = serve_slots
-    obs_repeats = 1 if args.quick else repeats
-    print(
-        f"\nobservability overhead benchmark ({obs_users} users, "
-        f"{obs_slots} slots, repeats={obs_repeats}):\n"
-    )
-    obs_run = bench_obs(
-        users=obs_users,
-        slots=obs_slots,
-        seed=args.seed,
-        repeats=obs_repeats,
-    )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["obs off mean slot (ms)", obs_run["off_mean_slot_ms"]],
-                ["obs on mean slot (ms)", obs_run["on_mean_slot_ms"]],
-                ["overhead (%)", obs_run["overhead_pct"]],
-                ["within budget", float(obs_run["within_budget"])],
-            ],
+    if "simulator" in kinds:
+        print(
+            f"\nsimulator benchmark ({args.sim_users} users, {sim_slots} "
+            f"slots, {episodes} episodes, {workers} workers):\n"
         )
-    )
-    persist_run(obs_run, out / BENCH_OBS_FILE)
-    print(
-        f"\nwrote {out / BENCH_ALLOCATOR_FILE}, {out / BENCH_SIMULATOR_FILE}, "
-        f"{out / BENCH_SERVE_FILE} and {out / BENCH_OBS_FILE}"
-    )
+        simulator_run = bench_simulator(
+            num_users=args.sim_users,
+            num_slots=sim_slots,
+            num_episodes=episodes,
+            max_workers=workers,
+            seed=args.seed,
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["cold slots/s", simulator_run["cold_slots_per_s"]],
+                    ["warm slots/s", simulator_run["warm_slots_per_s"]],
+                    ["serial (s)", simulator_run["serial_s"]],
+                    [f"parallel x{workers} (s)",
+                     _dash(simulator_run["parallel_s"])],
+                    ["parallel speedup",
+                     _dash(simulator_run["parallel_speedup"])],
+                ],
+            )
+        )
+        if simulator_run["parallel_fallback"]:
+            print(f"\nserial fallback: {simulator_run['parallel_reason']}")
+        persist_run(simulator_run, out / BENCH_SIMULATOR_FILE)
+        written.append(out / BENCH_SIMULATOR_FILE)
+
+    if "kernel" in kinds:
+        print(
+            f"\nkernel benchmark ({kernel_users} users, "
+            f"{args.kernel_levels} levels, {kernel_slots} slots, "
+            f"repeats={repeats}):\n"
+        )
+        kernel_run = bench_kernel(
+            num_users=kernel_users,
+            num_levels=args.kernel_levels,
+            num_slots=kernel_slots,
+            repeats=repeats,
+            seed=args.seed,
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["object slots/s", kernel_run["object_slots_per_s"]],
+                    ["array slots/s", kernel_run["array_slots_per_s"]],
+                    ["allocate speedup", kernel_run["speedup"]],
+                    ["solutions identical",
+                     float(kernel_run["solutions_identical"])],
+                    ["batch bytes", kernel_run["batch_nbytes"]],
+                    ["predictor speedup",
+                     kernel_run["predictor"]["speedup"]],
+                    ["coverage speedup", kernel_run["coverage"]["speedup"]],
+                ],
+            )
+        )
+        persist_run(kernel_run, out / BENCH_KERNEL_FILE)
+        written.append(out / BENCH_KERNEL_FILE)
+
+    if "serve" in kinds:
+        from repro.serve import BENCH_SERVE_FILE, bench_serve
+
+        serve_users = [int(v) for v in args.serve_users.split(",")]
+        serve_slots = args.serve_slots
+        if args.quick:
+            serve_users = [u for u in serve_users if u <= 2] or [2]
+            serve_slots = min(serve_slots, 40)
+        print(
+            f"\nserving benchmark (fleets {serve_users}, {serve_slots} slots, "
+            f"target hit rate {args.serve_target}):\n"
+        )
+        serve_run = bench_serve(
+            user_counts=serve_users,
+            slots=serve_slots,
+            seed=args.seed,
+            deadline_target=args.serve_target,
+        )
+        print(
+            format_table(
+                ["users", "hit rate", "p50 slot (ms)", "p99 slot (ms)"],
+                [
+                    [
+                        int(r["users"]),
+                        r["deadline_hit_rate"],
+                        r["p50_slot_ms"],
+                        r["p99_slot_ms"],
+                    ]
+                    for r in serve_run["fleets"]
+                ],
+            )
+        )
+        print(
+            f"\nusers sustained at >={args.serve_target:.0%} hit rate: "
+            f"{serve_run['users_sustained']}"
+        )
+        persist_run(serve_run, out / BENCH_SERVE_FILE)
+        written.append(out / BENCH_SERVE_FILE)
+
+    if "obs" in kinds:
+        from repro.obs.bench import BENCH_OBS_FILE, bench_obs
+
+        serve_users = [int(v) for v in args.serve_users.split(",")]
+        obs_users = max(serve_users)
+        obs_slots = args.serve_slots
+        if args.quick:
+            obs_users = min(obs_users, 2)
+            obs_slots = min(obs_slots, 40)
+        obs_repeats = 1 if args.quick else repeats
+        print(
+            f"\nobservability overhead benchmark ({obs_users} users, "
+            f"{obs_slots} slots, repeats={obs_repeats}):\n"
+        )
+        obs_run = bench_obs(
+            users=obs_users,
+            slots=obs_slots,
+            seed=args.seed,
+            repeats=obs_repeats,
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["obs off mean slot (ms)", obs_run["off_mean_slot_ms"]],
+                    ["obs on mean slot (ms)", obs_run["on_mean_slot_ms"]],
+                    ["overhead (%)", obs_run["overhead_pct"]],
+                    ["within budget", float(obs_run["within_budget"])],
+                ],
+            )
+        )
+        persist_run(obs_run, out / BENCH_OBS_FILE)
+        written.append(out / BENCH_OBS_FILE)
+
+    if written:
+        print("\nwrote " + ", ".join(str(p) for p in written))
     return 0
 
 
@@ -371,6 +452,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults=faults,
             resume_grace_s=args.resume_grace,
             resume_grace_slots=args.resume_grace_slots,
+            kernel=args.kernel,
         )
 
         async def _run() -> object:
@@ -506,13 +588,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--out", default=".",
                        help="directory for the BENCH_*.json history files")
-    bench.add_argument("--sizes", default="5,30,100,1000",
+    bench.add_argument("--kind", default=",".join(_BENCH_KINDS),
+                       help="comma-separated subset of benchmarks to run: "
+                            + ",".join(_BENCH_KINDS))
+    bench.add_argument("--sizes", default="5,30,100,1000,10000",
                        help="comma-separated allocator instance sizes")
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--sim-users", type=int, default=5)
     bench.add_argument("--sim-slots", type=int, default=600)
     bench.add_argument("--episodes", type=int, default=4)
     bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--kernel-users", type=int, default=10000,
+                       help="population size for the slot-kernel bench")
+    bench.add_argument("--kernel-levels", type=int, default=6)
+    bench.add_argument("--kernel-slots", type=int, default=3,
+                       help="distinct seeded slots timed per arm")
     bench.add_argument("--serve-users", default="2,4,8",
                        help="comma-separated fleet sizes for the serve bench")
     bench.add_argument("--serve-slots", type=int, default=120)
@@ -560,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume-grace-slots", type=int, default=0,
                        help="paced-mode resume grace window in slots "
                             "(0 = resume disabled)")
+    serve.add_argument("--kernel", action="store_true",
+                       help="allocate with the vectorized array kernel "
+                            "(bit-identical; faster at large seat counts)")
 
     loadgen = sub.add_parser(
         "loadgen", help="client fleet replaying motion traces at a server"

@@ -43,7 +43,11 @@ def variance_penalty_term(t: int, viewed_quality: float, qbar_prev: float) -> fl
     """
     if t < 1:
         raise ConfigurationError(f"slot index t must be >= 1, got {t}")
-    return (t - 1) / t * (viewed_quality - qbar_prev) ** 2
+    deviation = viewed_quality - qbar_prev
+    # Squaring via multiplication (not ``**``): CPython's pow and
+    # numpy's multiply differ in the last ulp for some inputs, and the
+    # vectorized slot kernel must reproduce these values bit-for-bit.
+    return (t - 1) / t * (deviation * deviation)
 
 
 def welford_decomposition(viewed: Sequence[float]) -> Tuple[List[float], float]:
@@ -102,12 +106,16 @@ def slot_objective(
     if t < 1:
         raise ConfigurationError(f"slot index t must be >= 1, got {t}")
     ratio = (t - 1) / t
+    # Squares are written as explicit multiplications so the scalar
+    # path stays bit-identical to the array kernel (``x ** 2`` routes
+    # through libm pow, which can differ from multiply by one ulp).
     if level == 0:
         # Skip: deterministic view of 0 -> deviation -qbar, no delay.
-        return -beta * ratio * qbar_prev ** 2
-    variance_penalty = delta * ratio * (level - qbar_prev) ** 2 + (
+        return -beta * ratio * (qbar_prev * qbar_prev)
+    deviation = level - qbar_prev
+    variance_penalty = delta * ratio * (deviation * deviation) + (
         1.0 - delta
-    ) * ratio * qbar_prev ** 2
+    ) * ratio * (qbar_prev * qbar_prev)
     return delta * level - alpha * expected_delay - beta * variance_penalty
 
 

@@ -15,9 +15,14 @@ so the algorithms are executed by identical code in both worlds.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import QualityAllocator, SlotProblem, UserSlotState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    import numpy as np
+
+    from repro.kernel.batch import SlotBatch
 from repro.core.qoe import QoEWeights, UserQoELedger, system_qoe
 from repro.errors import ConfigurationError
 from repro.obs.registry import Counter, MetricsRegistry
@@ -154,6 +159,57 @@ class CollaborativeVrScheduler:
             router_of=tuple(router_of) if router_of is not None else None,
             router_budgets_mbps=(
                 tuple(float(b) for b in router_budgets_mbps)
+                if router_budgets_mbps is not None
+                else None
+            ),
+        )
+
+    def build_slot_batch(
+        self,
+        sizes: "np.ndarray",
+        delays: "np.ndarray",
+        caps_mbps: "np.ndarray",
+        budget_mbps: float,
+        router_of: Optional["np.ndarray"] = None,
+        router_budgets_mbps: Optional["np.ndarray"] = None,
+    ) -> "SlotBatch":
+        """Assemble the next slot as a flat-array :class:`SlotBatch`.
+
+        The array twin of :meth:`build_slot_problem` for callers that
+        already hold ``(N, L)`` matrices: ``delays`` carries the
+        pre-evaluated delay of sending ``sizes[n, k]`` to user ``n``
+        (e.g. :func:`repro.kernel.batch.mm1_delay_matrix`), so no
+        per-user closures are built.  ``delta``/``qbar`` come from the
+        same running statistics the object path reads.
+        """
+        import numpy as np
+
+        from repro.kernel.batch import SlotBatch
+
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.ndim != 2 or sizes.shape[0] != self.num_users:
+            raise ConfigurationError(
+                f"sizes must be ({self.num_users}, L), got {sizes.shape}"
+            )
+        delta = np.array([self.delta(n) for n in range(self.num_users)])
+        qbar = np.array([self.qbar(n) for n in range(self.num_users)])
+        return SlotBatch(
+            t=self.current_slot,
+            sizes=sizes,
+            delays=np.asarray(delays, dtype=float),
+            delta=delta,
+            qbar=qbar,
+            caps_mbps=np.asarray(caps_mbps, dtype=float),
+            budget_mbps=float(budget_mbps),
+            weights=self.weights,
+            allow_skip=self.allow_skip,
+            router_of=(
+                np.asarray(router_of, dtype=np.int64)
+                if router_of is not None
+                else None
+            ),
+            router_budgets_mbps=(
+                np.asarray(router_budgets_mbps, dtype=float)
                 if router_budgets_mbps is not None
                 else None
             ),

@@ -1,0 +1,275 @@
+"""Benchmark the array kernel against the per-user-object pipeline.
+
+:func:`bench_kernel` builds a seeded population of ``N`` users with
+``L``-level rate curves and times one slot of the allocation pipeline
+both ways:
+
+* **object arm** — per-user :class:`UserSlotState` dataclasses with
+  M/M/1 delay closures, a :class:`SlotProblem`, and the heap-based
+  :class:`DensityValueGreedyAllocator` (the pre-kernel hot path);
+* **array arm** — :func:`~repro.kernel.batch.mm1_delay_matrix`, a
+  :class:`~repro.kernel.batch.SlotBatch`, and
+  :meth:`~repro.kernel.allocator.ArrayAllocator.allocate_batch`, with
+  matrix construction inside the timed region.
+
+Both arms must produce identical level vectors on every slot — a
+mismatch fails loudly (``solutions_identical`` is what CI gates on).
+Batched motion prediction and FoV coverage are timed the same way
+against their scalar twins.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.content.projection import FieldOfView
+from repro.content.tiles import GridWorld, TileGrid
+from repro.core.allocation import (
+    DensityValueGreedyAllocator,
+    SlotProblem,
+    UserSlotState,
+)
+from repro.core.qoe import QoEWeights
+from repro.errors import ConfigurationError
+from repro.kernel.allocator import ArrayAllocator
+from repro.kernel.batch import SlotBatch, mm1_delay_matrix
+from repro.kernel.coverage import BatchCoverage
+from repro.kernel.predict import BatchMotionPredictor
+from repro.prediction.fov import CoverageEvaluator
+from repro.prediction.motion import LinearMotionPredictor
+from repro.prediction.pose import Pose
+from repro.simulation.delaymodel import MM1DelayModel
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> float:
+    """Minimum wall-clock over ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _slot_inputs(
+    rng: np.random.Generator, num_users: int, num_levels: int
+) -> Dict[str, np.ndarray]:
+    """One slot's seeded raw inputs, shared by both arms."""
+    base = rng.uniform(0.5, 3.0, size=num_users)
+    sizes = base[:, None] * 1.5 ** np.arange(num_levels)[None, :]
+    base_total = float(np.sum(sizes[:, 0]))
+    top_total = float(np.sum(sizes[:, -1]))
+    return {
+        "sizes": sizes,
+        "caps": rng.uniform(20.0, 100.0, size=num_users),
+        "delta": rng.uniform(0.6, 1.0, size=num_users),
+        "qbar": rng.uniform(0.0, float(num_levels), size=num_users),
+        "budget": np.array(base_total + 0.4 * (top_total - base_total)),
+    }
+
+
+def _object_slot(
+    inputs: Dict[str, np.ndarray],
+    t: int,
+    weights: QoEWeights,
+    model: MM1DelayModel,
+    allocator: DensityValueGreedyAllocator,
+) -> List[int]:
+    """The per-user-object pipeline, end to end, for one slot."""
+    sizes = inputs["sizes"]
+    caps = inputs["caps"]
+    users = tuple(
+        UserSlotState(
+            sizes=tuple(sizes[n]),
+            delay_of_rate=model.delay_fn(float(caps[n])),
+            delta=float(inputs["delta"][n]),
+            qbar=float(inputs["qbar"][n]),
+            cap_mbps=float(caps[n]),
+        )
+        for n in range(sizes.shape[0])
+    )
+    problem = SlotProblem(
+        t=t, users=users, budget_mbps=float(inputs["budget"]), weights=weights
+    )
+    return allocator.allocate(problem)
+
+
+def _array_slot(
+    inputs: Dict[str, np.ndarray],
+    t: int,
+    weights: QoEWeights,
+    allocator: ArrayAllocator,
+) -> np.ndarray:
+    """The array-kernel pipeline (matrix construction included)."""
+    sizes = inputs["sizes"]
+    batch = SlotBatch(
+        t=t,
+        sizes=sizes,
+        delays=mm1_delay_matrix(sizes, inputs["caps"]),
+        delta=inputs["delta"],
+        qbar=inputs["qbar"],
+        caps_mbps=inputs["caps"],
+        budget_mbps=float(inputs["budget"]),
+        weights=weights,
+    )
+    levels = allocator.allocate_batch(batch)
+    if levels is None:
+        raise ConfigurationError("array kernel refused a benchmark slot")
+    return levels
+
+
+def _bench_predictor(
+    rng: np.random.Generator, num_users: int, window: int, repeats: int
+) -> Dict[str, object]:
+    """Batched vs per-user linear-regression fits on one population."""
+    steps = window + 2
+    walks = np.cumsum(rng.normal(0.0, 2.0, size=(steps, num_users, 6)), axis=0)
+    walks[:, :, 4] = np.clip(walks[:, :, 4], -90.0, 90.0)
+    batch = BatchMotionPredictor(num_users, window=window)
+    scalars = [LinearMotionPredictor(window=window) for _ in range(num_users)]
+    for step in range(steps):
+        # Both arms must see what the pipeline feeds them: pose
+        # vectors whose angles have been wrapped by the Pose type
+        # (the wrap is not a bit-exact identity on raw walk floats).
+        poses = [Pose(*walks[step, n]) for n in range(num_users)]
+        batch.observe(np.array([p.as_vector() for p in poses]))
+        for n in range(num_users):
+            scalars[n].observe(poses[n])
+
+    def scalar_pass() -> List[Pose]:
+        return [p.predict() for p in scalars]
+
+    batch_s = _best_of(repeats, batch.predict)
+    scalar_s = _best_of(repeats, scalar_pass)
+    got = batch.predict()
+    want = np.array([p.as_vector() for p in scalar_pass()])
+    return {
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "identical": bool(np.array_equal(got, want)),
+    }
+
+
+def _bench_coverage(
+    rng: np.random.Generator, num_users: int, repeats: int
+) -> Dict[str, object]:
+    """Batched vs per-user coverage indicators on one population."""
+    world = GridWorld()
+    evaluator = CoverageEvaluator(world, TileGrid(), FieldOfView())
+    batch = BatchCoverage(evaluator)
+    pyaw = rng.uniform(-180.0, 180.0, size=num_users)
+    ppitch = rng.uniform(-90.0, 90.0, size=num_users)
+    ayaw = pyaw + rng.normal(0.0, 10.0, size=num_users)
+    ayaw = (ayaw + 180.0) % 360.0 - 180.0
+    apitch = np.clip(ppitch + rng.normal(0.0, 5.0, size=num_users), -90.0, 90.0)
+    pcell = rng.integers(0, world.rows * world.cols, size=num_users)
+    offset = rng.integers(-1, 2, size=num_users)
+    acell = np.clip(pcell + offset, 0, world.rows * world.cols - 1)
+
+    def scalar_pass() -> List[int]:
+        return [
+            evaluator.evaluate(
+                Pose(0.0, 0.0, 0.0, float(pyaw[n]), float(ppitch[n]), 0.0),
+                Pose(0.0, 0.0, 0.0, float(ayaw[n]), float(apitch[n]), 0.0),
+                predicted_cell=int(pcell[n]),
+                actual_cell=int(acell[n]),
+            ).indicator
+            for n in range(num_users)
+        ]
+
+    def batch_pass() -> np.ndarray:
+        return batch.indicators(pyaw, ppitch, ayaw, apitch, pcell, acell)
+
+    batch_s = _best_of(repeats, batch_pass)
+    scalar_s = _best_of(repeats, scalar_pass)
+    identical = bool(np.array_equal(batch_pass(), np.array(scalar_pass())))
+    return {
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "identical": identical,
+    }
+
+
+def bench_kernel(
+    num_users: int = 10_000,
+    num_levels: int = 6,
+    num_slots: int = 3,
+    repeats: int = 2,
+    predictor_window: int = 10,
+    seed: int = 0,
+) -> Dict:
+    """Object vs array pipeline over seeded slots; JSON-ready dict.
+
+    ``num_slots`` distinct seeded populations are each timed
+    ``repeats`` times per arm (best-of); levels must agree on every
+    slot or the benchmark raises instead of reporting a speedup for a
+    wrong answer.
+    """
+    if num_users < 1 or num_levels < 1:
+        raise ConfigurationError("num_users and num_levels must be >= 1")
+    if num_slots < 1 or repeats < 1:
+        raise ConfigurationError("num_slots and repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    weights = QoEWeights.simulation_defaults()
+    model = MM1DelayModel()
+    object_alloc = DensityValueGreedyAllocator()
+    array_alloc = ArrayAllocator()
+
+    object_s = 0.0
+    array_s = 0.0
+    identical = True
+    batch_nbytes = 0
+    slots: List[Tuple[int, Dict[str, np.ndarray]]] = [
+        (t + 1, _slot_inputs(rng, num_users, num_levels))
+        for t in range(num_slots)
+    ]
+    for t, inputs in slots:
+        want = _object_slot(inputs, t, weights, model, object_alloc)
+        got = _array_slot(inputs, t, weights, array_alloc)
+        if list(got) != list(want):
+            identical = False
+        object_s += _best_of(
+            repeats,
+            lambda: _object_slot(inputs, t, weights, model, object_alloc),
+        )
+        array_s += _best_of(
+            repeats, lambda: _array_slot(inputs, t, weights, array_alloc)
+        )
+        sizes = inputs["sizes"]
+        batch_nbytes = SlotBatch(
+            t=t,
+            sizes=sizes,
+            delays=mm1_delay_matrix(sizes, inputs["caps"]),
+            delta=inputs["delta"],
+            qbar=inputs["qbar"],
+            caps_mbps=inputs["caps"],
+            budget_mbps=float(inputs["budget"]),
+            weights=weights,
+        ).nbytes()
+    if not identical:
+        raise ConfigurationError(
+            "array kernel diverged from the object pipeline"
+        )
+
+    return {
+        "kind": "kernel",
+        "num_users": int(num_users),
+        "num_levels": int(num_levels),
+        "num_slots": int(num_slots),
+        "repeats": int(repeats),
+        "object_s_per_slot": object_s / num_slots,
+        "array_s_per_slot": array_s / num_slots,
+        "object_slots_per_s": num_slots / object_s,
+        "array_slots_per_s": num_slots / array_s,
+        "speedup": object_s / array_s,
+        "solutions_identical": True,
+        "array_fallbacks": int(array_alloc.fallbacks),
+        "batch_nbytes": int(batch_nbytes),
+        "predictor": _bench_predictor(rng, num_users, predictor_window, repeats),
+        "coverage": _bench_coverage(rng, num_users, repeats),
+    }

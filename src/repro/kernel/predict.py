@@ -1,0 +1,145 @@
+"""Batched linear-regression motion prediction across users.
+
+:class:`~repro.prediction.motion.LinearMotionPredictor` fits one user
+at a time; a 10k-user slot pays 10k python fits.
+:class:`BatchMotionPredictor` keeps every user's sliding window in one
+``(N, window, 6)`` ring buffer and fits all users of equal history
+length in a single vectorized sweep, using exactly the arithmetic of
+the per-user predictor (same closed-form slope, same unwrap/clamp/wrap
+post-processing) so predictions agree bit-for-bit — property-tested
+in ``tests/kernel/test_batch_predictor.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.prediction.motion import _ANGULAR_AXES, _PITCH_AXIS, _unwrap_deg
+
+
+class BatchMotionPredictor:
+    """Across-user batched twin of ``LinearMotionPredictor``.
+
+    Users are addressed by index ``0..num_users-1``; each keeps an
+    independent sliding window, observed and predicted for the whole
+    population at once.  Users with no observations predict NaN rows
+    (the per-user predictor returns ``None``); a single observation
+    predicts the last pose unchanged, like the scalar fallback.
+    """
+
+    def __init__(self, num_users: int, window: int = 10, horizon: int = 1) -> None:
+        if num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {num_users}")
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.num_users = num_users
+        self.window = window
+        self.horizon = horizon
+        self._buffer = np.zeros((num_users, window, 6))
+        self._counts = np.zeros(num_users, dtype=np.int64)
+        self._starts = np.zeros(num_users, dtype=np.int64)
+
+    @property
+    def num_observations(self) -> np.ndarray:
+        """Window fill per user (capped at ``window``)."""
+        return self._counts.copy()
+
+    def observe(
+        self, vectors: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> None:
+        """Record this slot's measured pose vectors.
+
+        ``vectors`` is ``(num_users, 6)``; ``mask`` selects the users
+        that actually reported (all of them by default) — unmasked
+        users keep their window untouched, like a scalar predictor
+        that simply was not called.
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.shape != (self.num_users, 6):
+            raise ConfigurationError(
+                f"vectors must be ({self.num_users}, 6), got {vectors.shape}"
+            )
+        if mask is None:
+            users = np.arange(self.num_users)
+        else:
+            users = np.nonzero(np.asarray(mask, dtype=bool))[0]
+        if users.size == 0:
+            return
+        full = self._counts[users] >= self.window
+        slots = np.where(full, self._starts[users], self._counts[users])
+        self._buffer[users, slots] = vectors[users]
+        self._counts[users] = np.minimum(self._counts[users] + 1, self.window)
+        self._starts[users] = np.where(
+            full, (self._starts[users] + 1) % self.window, self._starts[users]
+        )
+
+    def reset_user(self, user: int) -> None:
+        """Forget one user's history (teleport / seat reuse)."""
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        self._counts[user] = 0
+        self._starts[user] = 0
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._counts[:] = 0
+        self._starts[:] = 0
+
+    def _ordered_history(self, users: np.ndarray, length: int) -> np.ndarray:
+        """``(G, length, 6)`` windows in observation order."""
+        offsets = (self._starts[users, None] + np.arange(length)) % self.window
+        return self._buffer[users[:, None], offsets]
+
+    def predict(self, horizon: Optional[int] = None) -> np.ndarray:
+        """``(num_users, 6)`` predicted pose vectors for the next slot.
+
+        Rows of users with no observations are NaN.  Bit-identical to
+        calling ``LinearMotionPredictor.predict`` per user.
+        """
+        h = self.horizon if horizon is None else horizon
+        if h < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {h}")
+        out = np.full((self.num_users, 6), np.nan)
+        singles = np.nonzero(self._counts == 1)[0]
+        if singles.size:
+            out[singles] = self._buffer[singles, 0]
+        for length in np.unique(self._counts[self._counts >= 2]).tolist():
+            users = np.nonzero(self._counts == length)[0]
+            data = self._ordered_history(users, length)
+            out[users] = self._fit(data, length, h)
+        return out
+
+    @staticmethod
+    def _fit(data: np.ndarray, length: int, horizon: int) -> np.ndarray:
+        """Vectorized least-squares fit, one group of equal windows.
+
+        The arithmetic mirrors ``LinearMotionPredictor.predict`` line
+        by line (same intermediate expressions, same reduction
+        lengths), which is what makes the results bit-identical.
+        """
+        times = np.arange(length, dtype=float)
+        target_t = float(length - 1 + horizon)
+        t_mean = times.mean()
+        centered_t = times - t_mean
+        denom = float((centered_t ** 2).sum())
+        predicted = np.empty((data.shape[0], 6))
+        for axis in range(6):
+            series = data[:, :, axis]
+            if axis in _ANGULAR_AXES:
+                series = _unwrap_deg(series)
+            s_mean = series.mean(axis=-1)
+            slope = (centered_t * (series - s_mean[:, None])).sum(axis=-1) / denom
+            predicted[:, axis] = s_mean + slope * (target_t - t_mean)
+        predicted[:, _PITCH_AXIS] = np.minimum(
+            np.maximum(predicted[:, _PITCH_AXIS], -90.0), 90.0
+        )
+        for axis in _ANGULAR_AXES:
+            predicted[:, axis] = (predicted[:, axis] + 180.0) % 360.0 - 180.0
+        return predicted

@@ -8,8 +8,10 @@ show up as history, not anecdotes.  Run it with
 ``python -m repro bench`` (see ``benchmarks/perf/README.md``).
 """
 
+from repro.kernel.bench import bench_kernel
 from repro.perf.bench import (
     BENCH_ALLOCATOR_FILE,
+    BENCH_KERNEL_FILE,
     BENCH_SIMULATOR_FILE,
     bench_allocator,
     bench_simulator,
@@ -19,9 +21,11 @@ from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
 
 __all__ = [
     "BENCH_ALLOCATOR_FILE",
+    "BENCH_KERNEL_FILE",
     "BENCH_SERVE_FILE",
     "BENCH_SIMULATOR_FILE",
     "bench_allocator",
+    "bench_kernel",
     "bench_serve",
     "bench_simulator",
     "persist_run",

@@ -27,14 +27,21 @@ import numpy as np
 
 from repro.core.allocation import DensityValueGreedyAllocator
 from repro.errors import ConfigurationError
+from repro.kernel.solver import solve_arrays
 from repro.knapsack.greedy import combined_greedy
+from repro.knapsack.problem import SeparableKnapsack
 from repro.knapsack.random_instances import random_instance
+from repro.simulation import workers
 from repro.simulation.simulator import SimulationConfig, TraceSimulator
 
 BENCH_ALLOCATOR_FILE = "BENCH_allocator.json"
 BENCH_SIMULATOR_FILE = "BENCH_simulator.json"
+BENCH_KERNEL_FILE = "BENCH_kernel.json"
 #: Runs kept per history file.
 HISTORY_LIMIT = 20
+#: Largest instance the O(N^2)-ish reference loop is timed on; above
+#: it the heap and array solvers are compared against each other.
+REFERENCE_SIZE_LIMIT = 2000
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -47,19 +54,30 @@ def _best_of(repeats: int, fn) -> float:
     return best
 
 
+def _instance_arrays(problem: SeparableKnapsack):
+    """Flat ``(values, weights, caps)`` view of a rectangular instance."""
+    values = np.array([item.values for item in problem.items], dtype=float)
+    weights = np.array([item.weights for item in problem.items], dtype=float)
+    caps = np.array([item.cap for item in problem.items], dtype=float)
+    return values, weights, caps
+
+
 def bench_allocator(
-    sizes: Sequence[int] = (5, 30, 100, 1000),
+    sizes: Sequence[int] = (5, 30, 100, 1000, 10000),
     repeats: int = 3,
     num_options: int = 6,
     seed: int = 0,
 ) -> Dict:
-    """Time reference vs heap greedy on random instances per size.
+    """Time reference vs heap vs array greedy per instance size.
 
     Each size gets one fixed random instance (same ``seed`` → same
     instance across runs), solved ``repeats`` times per strategy; the
-    minimum time is reported.  The two strategies must return
-    bit-identical solutions — a mismatch fails the benchmark loudly
-    rather than reporting a meaningless speedup.
+    minimum time is reported.  All strategies must return bit-identical
+    solutions — a mismatch fails the benchmark loudly rather than
+    reporting a meaningless speedup.  The quadratic-ish reference loop
+    is only timed up to :data:`REFERENCE_SIZE_LIMIT` items
+    (``reference_s`` is ``null`` beyond it); heap vs array covers the
+    large sizes.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
@@ -69,18 +87,32 @@ def bench_allocator(
         problem = random_instance(
             rng, num_items=num_items, num_options=num_options, tightness=0.4
         )
-        reference = combined_greedy(problem, strategy="reference")
         heap = combined_greedy(problem, strategy="heap")
-        if reference.options != heap.options:
-            raise ConfigurationError(
-                f"heap and reference disagree at N={num_items}: "
-                f"{heap.options} != {reference.options}"
+        if num_items <= REFERENCE_SIZE_LIMIT:
+            reference = combined_greedy(problem, strategy="reference")
+            if reference.options != heap.options:
+                raise ConfigurationError(
+                    f"heap and reference disagree at N={num_items}: "
+                    f"{heap.options} != {reference.options}"
+                )
+            t_ref = _best_of(
+                repeats, lambda: combined_greedy(problem, strategy="reference")
             )
-        t_ref = _best_of(
-            repeats, lambda: combined_greedy(problem, strategy="reference")
-        )
+        else:
+            t_ref = None
+        values, weights, caps = _instance_arrays(problem)
+        array = solve_arrays(values, weights, problem.budget, caps=caps)
+        if array is None or array.options != heap.options:
+            raise ConfigurationError(
+                f"array solver disagrees with heap at N={num_items}: "
+                f"{None if array is None else array.options} != {heap.options}"
+            )
         t_heap = _best_of(
             repeats, lambda: combined_greedy(problem, strategy="heap")
+        )
+        t_array = _best_of(
+            repeats,
+            lambda: solve_arrays(values, weights, problem.budget, caps=caps),
         )
         results.append(
             {
@@ -88,9 +120,14 @@ def bench_allocator(
                 "num_options": int(num_options),
                 "reference_s": t_ref,
                 "heap_s": t_heap,
-                "reference_solves_per_s": 1.0 / t_ref,
+                "array_s": t_array,
+                "reference_solves_per_s": (
+                    1.0 / t_ref if t_ref is not None else None
+                ),
                 "heap_solves_per_s": 1.0 / t_heap,
-                "speedup": t_ref / t_heap,
+                "array_solves_per_s": 1.0 / t_array,
+                "speedup": t_ref / t_heap if t_ref is not None else None,
+                "array_speedup": t_heap / t_array,
                 "solutions_identical": True,
             }
         )
@@ -109,9 +146,12 @@ def bench_simulator(
     Reports slots/s for a cold simulator (first episode pays schedule
     generation and prediction precompute) and a warm one, then the
     serial vs ``max_workers`` wall-clock over ``num_episodes``
-    episodes.  The speedup is bounded by ``cpu_count`` — on a 1-core
-    box the parallel path only adds pool overhead, which is exactly
-    what the recorded number will show.
+    episodes.  When a pool cannot pay for itself — single episode,
+    single-core box (see
+    :func:`~repro.simulation.workers.parallel_decision`) — the run
+    records ``parallel_fallback: true`` with the reason instead of a
+    meaningless sub-1.0 speedup; the ``max_workers`` arm is still
+    replayed (it takes the serial path internally) and must match.
     """
     config = SimulationConfig(
         num_users=num_users, duration_slots=num_slots, seed=seed
@@ -131,6 +171,7 @@ def bench_simulator(
     serial = serial_sim.run(allocator, num_episodes=num_episodes)
     serial_s = time.perf_counter() - start
 
+    decision = workers.parallel_decision(num_episodes, max_workers)
     parallel_sim = TraceSimulator(config)
     start = time.perf_counter()
     parallel = parallel_sim.run(
@@ -157,8 +198,12 @@ def bench_simulator(
         "cold_slots_per_s": num_slots / cold_s,
         "warm_slots_per_s": num_slots / warm_s,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "parallel_speedup": serial_s / parallel_s,
+        "parallel_s": parallel_s if decision.use_parallel else None,
+        "parallel_speedup": (
+            serial_s / parallel_s if decision.use_parallel else None
+        ),
+        "parallel_fallback": not decision.use_parallel,
+        "parallel_reason": decision.reason,
         "parallel_matches_serial": True,
     }
 

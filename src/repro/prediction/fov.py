@@ -20,6 +20,12 @@ from repro.content.tiles import GridWorld, TileGrid
 from repro.errors import ConfigurationError
 from repro.prediction.pose import Pose
 
+#: Bound on each tile-overlap memo.  The exact-bucket key space is
+#: tiny for any sane geometry (buckets x pitch rows squared), so the
+#: limit never binds there; it guards against a pathological bucket
+#: width growing the memo without limit over a long-lived server.
+_TILE_CACHE_LIMIT = 65536
+
 
 @dataclass(frozen=True)
 class CoverageOutcome:
@@ -137,6 +143,8 @@ class CoverageEvaluator:
         key = (yaw_key, self.grid.row_of(pitch_lo), self.grid.row_of(pitch_hi))
         tiles = cache.get(key)
         if tiles is None:
+            if len(cache) >= _TILE_CACHE_LIMIT:
+                cache.clear()
             tiles = cache[key] = self.grid.tiles_overlapping(yaw_deg, pitch_deg, fov)
         return tiles
 

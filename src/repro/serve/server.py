@@ -81,9 +81,17 @@ class VrServeServer:
         self.config = config
         cfg = config.experiment
         self.experiment = SystemExperiment(cfg)
-        self.allocator = (
-            allocator if allocator is not None else DensityValueGreedyAllocator()
-        )
+        if allocator is not None:
+            self.allocator: QualityAllocator = allocator
+        elif config.kernel:
+            # Same allocations as the heap solver, vectorized; see
+            # repro.kernel (the array path falls back to the object
+            # solver whenever its preconditions fail).
+            from repro.kernel.allocator import ArrayAllocator
+
+            self.allocator = ArrayAllocator()
+        else:
+            self.allocator = DensityValueGreedyAllocator()
         self.allocator.reset()
         self.data_plane = DataPlane(cfg)
         router_of = None

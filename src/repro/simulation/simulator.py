@@ -33,10 +33,7 @@ path and returned in episode order.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from pickle import PicklingError, dumps as _pickle_dumps
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +51,7 @@ from repro.prediction.motion import LinearMotionPredictor, batch_linear_predicti
 from repro.prediction.pose import Pose
 from repro.prediction.predictors import make_predictor
 from repro.prediction.throughput import EmaThroughputEstimator
+from repro.simulation import workers
 from repro.simulation.delaymodel import MM1DelayModel
 from repro.simulation.metrics import (
     EpisodeResult,
@@ -73,6 +71,11 @@ from repro.units import (
 _EPISODE_CACHE_LIMIT = 8
 #: Distinct bandwidth values whose delay closures are memoized.
 _DELAY_CACHE_LIMIT = 65536
+#: Distinct viewpoint cells whose rate curves are memoized.  The
+#: default 8 m world at 5 cm cells has 160 x 160 = 25 600 cells, so
+#: the bound never binds there — it exists to keep a custom huge world
+#: from growing the cache without limit.
+_CURVE_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -243,6 +246,8 @@ class TraceSimulator:
         """Rate curve of a viewpoint cell, memoized across episodes."""
         curve = self._curve_cache.get(cell)
         if curve is None:
+            if len(self._curve_cache) >= _CURVE_CACHE_LIMIT:
+                self._curve_cache.clear()
             curve = self._curve_cache[cell] = self.rate_model.curve(cell).as_tuple()
         return curve
 
@@ -387,14 +392,17 @@ class TraceSimulator:
     ) -> MultiEpisodeResults:
         """Simulate several episodes and pool the per-user samples.
 
-        ``max_workers`` fans the episodes out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.  Episodes
-        are independent by construction (seeded by ``(config.seed,
+        ``max_workers`` fans the episodes out over the persistent
+        worker pool of :mod:`repro.simulation.workers`.  Episodes are
+        independent by construction (seeded by ``(config.seed,
         episode)``), so the parallel path returns exactly the same
         :class:`MultiEpisodeResults` as the serial one, in episode
-        order.  ``None``, 0, or 1 runs serially; if the pool cannot be
-        used (unpicklable allocator, no fork support) the serial path
-        is the silent fallback.
+        order.  Serial replay is used whenever the pool would not pay
+        for itself — ``None``/0/1 workers, a single episode, a
+        single-core machine (see
+        :func:`~repro.simulation.workers.parallel_decision`) — or
+        cannot be used at all (unpicklable allocator, no fork
+        support).
         """
         if num_episodes < 1:
             raise ConfigurationError(
@@ -406,9 +414,11 @@ class TraceSimulator:
             )
         results = MultiEpisodeResults(algorithm=allocator.name)
         episodes = range(first_episode, first_episode + num_episodes)
-        if max_workers is not None and max_workers > 1 and num_episodes > 1:
-            episode_results = self._run_episodes_parallel(
-                allocator, episodes, max_workers
+        decision = workers.parallel_decision(num_episodes, max_workers)
+        if decision.use_parallel:
+            assert max_workers is not None
+            episode_results = workers.run_episodes(
+                self.config, allocator, episodes, max_workers
             )
             if episode_results is not None:
                 for episode_result in episode_results:
@@ -417,37 +427,6 @@ class TraceSimulator:
         for episode in episodes:
             results.add(self.run_episode(allocator, episode))
         return results
-
-    def _run_episodes_parallel(
-        self,
-        allocator: QualityAllocator,
-        episodes: Sequence[int],
-        max_workers: int,
-    ) -> Optional[List[EpisodeResult]]:
-        """Episodes over a process pool; ``None`` means fall back."""
-        payloads = [(self.config, allocator, episode) for episode in episodes]
-        try:
-            # Pre-flight: the payload must cross the process boundary.
-            # Unpicklable objects raise PicklingError, AttributeError
-            # (local objects), or TypeError depending on the cause;
-            # confining the catch to this explicit dumps() keeps the
-            # pool.map clause below from masking episode errors.
-            _pickle_dumps(payloads[0])
-        except (PicklingError, AttributeError, TypeError):
-            return None
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(max_workers, len(payloads))
-            ) as pool:
-                return list(pool.map(_episode_task, payloads))
-        except (ImportError, NotImplementedError, OSError, PicklingError,
-                BrokenProcessPool):
-            # Only "the pool itself is unusable" signals take the
-            # serial fallback: no multiprocessing support, fork/spawn
-            # failure, an unpicklable config or allocator, or a worker
-            # that died.  Genuine episode errors (ReproError and
-            # programming errors alike) propagate to the caller.
-            return None
 
     def compare(
         self,
@@ -462,16 +441,3 @@ class TraceSimulator:
             name: self.run(allocator, num_episodes, max_workers=max_workers)
             for name, allocator in allocators.items()
         }
-
-
-#: Per-process simulator reused across the episodes a worker handles.
-_WORKER_SIMULATOR: Optional[TraceSimulator] = None
-
-
-def _episode_task(payload) -> EpisodeResult:
-    """Worker-process entry point for :meth:`TraceSimulator.run`."""
-    global _WORKER_SIMULATOR
-    config, allocator, episode = payload
-    if _WORKER_SIMULATOR is None or _WORKER_SIMULATOR.config != config:
-        _WORKER_SIMULATOR = TraceSimulator(config)
-    return _WORKER_SIMULATOR.run_episode(allocator, episode)

@@ -1,0 +1,163 @@
+"""ArrayAllocator vs the object heap allocator on real slot problems.
+
+The solver differential covers the knapsack layer; these tests cover
+the layer above it — eq. (9) gain construction, M/M/1 delays, skip
+options, router groups — by allocating the *same* random
+:class:`~repro.core.allocation.SlotProblem` through both allocators
+and demanding identical level lists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    DensityValueGreedyAllocator,
+    SlotProblem,
+    UserSlotState,
+)
+from repro.core.qoe import QoEWeights
+from repro.core.scheduler import CollaborativeVrScheduler
+from repro.errors import ConfigurationError
+from repro.kernel import ArrayAllocator, SlotBatch, mm1_delay_matrix
+from repro.simulation.delaymodel import MM1DelayModel
+
+NUM_ROUNDS = 200
+SEED = 20220806
+
+WEIGHTS = QoEWeights(alpha=0.02, beta=0.5)
+
+
+def _random_problem(rng, model):
+    n = int(rng.integers(1, 12))
+    num_levels = int(rng.integers(2, 7))
+    t = int(rng.integers(1, 50))
+    users = []
+    for _ in range(n):
+        base = float(rng.uniform(0.5, 3.0))
+        sizes = tuple(base * 1.5**k for k in range(num_levels))
+        cap = float(rng.uniform(5.0, 100.0))
+        users.append(
+            UserSlotState(
+                sizes=sizes,
+                delay_of_rate=model.delay_fn(cap),
+                delta=float(rng.uniform(0.0, 1.0)),
+                qbar=float(rng.uniform(0.0, num_levels)),
+                cap_mbps=cap,
+            )
+        )
+    base_total = sum(u.sizes[0] for u in users)
+    top_total = sum(u.sizes[-1] for u in users)
+    budget = base_total + float(rng.uniform(0.0, 1.0)) * (top_total - base_total)
+    router_of = None
+    router_budgets = None
+    if rng.integers(0, 2):
+        num_routers = int(rng.integers(1, 3))
+        router_of = tuple(int(x) for x in rng.integers(0, num_routers, size=n))
+        router_budgets = tuple(
+            float(budget * rng.uniform(0.4, 1.0)) for _ in range(num_routers)
+        )
+    return SlotProblem(
+        t=t,
+        users=tuple(users),
+        budget_mbps=budget,
+        weights=WEIGHTS,
+        allow_skip=bool(rng.integers(0, 2)),
+        router_of=router_of,
+        router_budgets_mbps=router_budgets,
+    )
+
+
+def test_allocators_identical_over_random_slots():
+    rng = np.random.default_rng(SEED)
+    model = MM1DelayModel()
+    heap_alloc = DensityValueGreedyAllocator()
+    array_alloc = ArrayAllocator()
+    for round_index in range(NUM_ROUNDS):
+        problem = _random_problem(rng, model)
+        try:
+            want = heap_alloc.allocate(problem)
+        except Exception as exc:
+            # Infeasible draws must fail identically on both paths.
+            with pytest.raises(type(exc)):
+                array_alloc.allocate(problem)
+            continue
+        got = array_alloc.allocate(problem)
+        assert got == want, f"round {round_index}: {got} != {want}"
+    assert array_alloc.fallbacks == 0
+
+
+def test_ragged_menu_falls_back_to_heap():
+    model = MM1DelayModel()
+    users = (
+        UserSlotState(
+            sizes=(1.0, 2.0, 4.0),
+            delay_of_rate=model.delay_fn(50.0),
+            delta=0.9,
+            qbar=1.0,
+            cap_mbps=50.0,
+        ),
+        UserSlotState(
+            sizes=(1.0, 3.0),
+            delay_of_rate=model.delay_fn(50.0),
+            delta=0.8,
+            qbar=0.5,
+            cap_mbps=50.0,
+        ),
+    )
+    problem = SlotProblem(
+        t=3, users=users, budget_mbps=5.0, weights=WEIGHTS
+    )
+    with pytest.raises(ConfigurationError):
+        SlotBatch.from_problem(problem)
+    array_alloc = ArrayAllocator()
+    heap_alloc = DensityValueGreedyAllocator()
+    assert array_alloc.allocate(problem) == heap_alloc.allocate(problem)
+    assert array_alloc.fallbacks == 1
+    array_alloc.reset()
+    assert array_alloc.fallbacks == 0
+
+
+def test_scheduler_batch_path_matches_problem_path():
+    rng = np.random.default_rng(SEED + 1)
+    model = MM1DelayModel()
+    num_users, num_levels, num_slots = 8, 5, 20
+    object_sched = CollaborativeVrScheduler(
+        num_users, DensityValueGreedyAllocator(), WEIGHTS, allow_skip=True
+    )
+    array_sched = CollaborativeVrScheduler(
+        num_users, ArrayAllocator(), WEIGHTS, allow_skip=True
+    )
+    for _ in range(num_slots):
+        base = rng.uniform(0.5, 3.0, size=num_users)
+        sizes = base[:, None] * 1.5 ** np.arange(num_levels)[None, :]
+        caps = rng.uniform(5.0, 100.0, size=num_users)
+        budget = float(sizes[:, 0].sum() + rng.uniform(0.0, 1.0) * (
+            sizes[:, -1].sum() - sizes[:, 0].sum()
+        ))
+
+        problem = object_sched.build_slot_problem(
+            sizes=[tuple(row) for row in sizes],
+            delay_fns=[model.delay_fn(float(c)) for c in caps],
+            caps_mbps=list(caps),
+            budget_mbps=budget,
+        )
+        want = object_sched.allocate(problem)
+
+        batch = array_sched.build_slot_batch(
+            sizes=sizes,
+            delays=mm1_delay_matrix(sizes, caps),
+            caps_mbps=caps,
+            budget_mbps=budget,
+        )
+        got = array_sched.allocator.allocate_batch(batch)
+        assert got is not None, "array kernel refused a scheduler batch"
+        assert [int(level) for level in got] == want
+
+        # Fold identical outcomes so the running qbar/delta state (and
+        # therefore the next slot's gain matrices) stays in lockstep.
+        indicators = (rng.uniform(size=num_users) < 0.85).astype(int)
+        delays = rng.uniform(0.0, 2.0, size=num_users)
+        object_sched.record_outcomes(want, list(indicators), list(delays))
+        array_sched.record_outcomes(want, list(indicators), list(delays))
+
+    assert object_sched.total_qoe() == array_sched.total_qoe()

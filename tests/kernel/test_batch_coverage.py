@@ -1,0 +1,116 @@
+"""BatchCoverage vs the scalar CoverageEvaluator.
+
+Random poses and cells through both paths, with the evaluator cache
+enabled (bucketed fast path) and disabled (per-user fallback); the
+indicators must be identical, and correlated draws must produce
+positive indicators so the test cannot pass vacuously.
+"""
+
+import numpy as np
+import pytest
+
+from repro.content.projection import FieldOfView
+from repro.content.tiles import GridWorld, TileGrid
+from repro.errors import ConfigurationError
+from repro.kernel import BatchCoverage
+from repro.prediction.fov import CoverageEvaluator
+from repro.prediction.pose import Pose
+
+SEED = 20220806
+
+
+def _evaluator(cache, margin_deg=15.0):
+    # margin 15 deg admits an exact yaw bucket (vectorized bitmask
+    # path); margin 10 deg does not, forcing the per-user fallback.
+    return CoverageEvaluator(
+        world=GridWorld(),
+        grid=TileGrid(rows=2, cols=2),
+        fov=FieldOfView(horizontal_deg=90.0, vertical_deg=90.0),
+        margin_deg=margin_deg,
+        cache=cache,
+    )
+
+
+def _scalar_indicators(evaluator, pyaw, ppitch, ayaw, apitch, pcell, acell):
+    out = np.empty(pyaw.shape[0], dtype=np.int64)
+    for i in range(out.size):
+        outcome = evaluator.evaluate(
+            Pose(0, 0, 0, float(pyaw[i]), float(ppitch[i]), 0),
+            Pose(0, 0, 0, float(ayaw[i]), float(apitch[i]), 0),
+            predicted_cell=int(pcell[i]),
+            actual_cell=int(acell[i]),
+        )
+        out[i] = outcome.indicator
+    return out
+
+
+@pytest.mark.parametrize(
+    "cache,margin", [(True, 15.0), (True, 10.0), (False, 15.0)]
+)
+def test_matches_scalar_evaluator_on_random_poses(cache, margin):
+    rng = np.random.default_rng(SEED)
+    world = GridWorld()
+    batch = BatchCoverage(_evaluator(cache, margin))
+    num = 500
+    pyaw = rng.uniform(-180, 180, size=num)
+    ppitch = rng.uniform(-90, 90, size=num)
+    ayaw = rng.uniform(-180, 180, size=num)
+    apitch = rng.uniform(-90, 90, size=num)
+    pcell = rng.integers(0, world.rows * world.cols, size=num)
+    acell = rng.integers(0, world.rows * world.cols, size=num)
+    got = batch.indicators(pyaw, ppitch, ayaw, apitch, pcell, acell)
+    want = _scalar_indicators(
+        _evaluator(cache, margin), pyaw, ppitch, ayaw, apitch, pcell, acell
+    )
+    assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("cache", [True, False])
+def test_correlated_draws_cover(cache):
+    # Good predictions: actual pose and cell near the predicted ones.
+    rng = np.random.default_rng(SEED + 1)
+    world = GridWorld()
+    batch = BatchCoverage(_evaluator(cache))
+    num = 200
+    pyaw = rng.uniform(-180, 180, size=num)
+    ppitch = rng.uniform(-60, 60, size=num)
+    ayaw = pyaw + rng.normal(0.0, 3.0, size=num)
+    apitch = np.clip(ppitch + rng.normal(0.0, 3.0, size=num), -90, 90)
+    pcell = rng.integers(0, world.rows * world.cols, size=num)
+    acell = pcell.copy()
+    got = batch.indicators(pyaw, ppitch, ayaw, apitch, pcell, acell)
+    want = _scalar_indicators(
+        _evaluator(cache), pyaw, ppitch, ayaw, apitch, pcell, acell
+    )
+    assert np.array_equal(got, want)
+    assert got.sum() > num // 2  # mostly covered, not vacuously zero
+
+
+def test_repeated_calls_reuse_the_mask_memo():
+    rng = np.random.default_rng(SEED + 2)
+    world = GridWorld()
+    batch = BatchCoverage(_evaluator(True))
+    num = 64
+    args = (
+        rng.uniform(-180, 180, size=num),
+        rng.uniform(-90, 90, size=num),
+        rng.uniform(-180, 180, size=num),
+        rng.uniform(-90, 90, size=num),
+        rng.integers(0, world.rows * world.cols, size=num),
+        rng.integers(0, world.rows * world.cols, size=num),
+    )
+    first = batch.indicators(*args)
+    memo_sizes = (len(batch._deliver_masks), len(batch._needed_masks))
+    second = batch.indicators(*args)
+    assert np.array_equal(first, second)
+    assert (len(batch._deliver_masks), len(batch._needed_masks)) == memo_sizes
+    assert memo_sizes[0] > 0
+
+
+def test_shape_mismatch_rejected():
+    batch = BatchCoverage(_evaluator(True))
+    with pytest.raises(ConfigurationError):
+        batch.indicators(
+            np.zeros(3), np.zeros(3), np.zeros(2), np.zeros(3),
+            np.zeros(3, dtype=int), np.zeros(3, dtype=int),
+        )

@@ -68,3 +68,12 @@ class TestRepoIsClean:
         assert report.files_scanned > 100
         findings = [f.location() + " " + f.rule for f in report.findings]
         assert findings == []
+
+    def test_kernel_package_needs_no_suppressions(self):
+        # The array kernel is in the zero-suppression set: not a single
+        # inline `repro-lint: disable` directive, ever — its numeric
+        # code must satisfy every rule on merit.
+        report = run_lint([REPO_ROOT / "src" / "repro" / "kernel"])
+        assert report.files_scanned >= 6
+        assert [f.location() for f in report.findings] == []
+        assert report.suppressed == 0
