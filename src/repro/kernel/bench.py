@@ -59,7 +59,7 @@ def _slot_inputs(
 ) -> Dict[str, np.ndarray]:
     """One slot's seeded raw inputs, shared by both arms."""
     base = rng.uniform(0.5, 3.0, size=num_users)
-    sizes = base[:, None] * 1.5 ** np.arange(num_levels)[None, :]
+    sizes = base[:, None] * 1.5 ** np.arange(num_levels, dtype=np.int64)[None, :]
     base_total = float(np.sum(sizes[:, 0]))
     top_total = float(np.sum(sizes[:, -1]))
     return {
@@ -67,7 +67,7 @@ def _slot_inputs(
         "caps": rng.uniform(20.0, 100.0, size=num_users),
         "delta": rng.uniform(0.6, 1.0, size=num_users),
         "qbar": rng.uniform(0.0, float(num_levels), size=num_users),
-        "budget": np.array(base_total + 0.4 * (top_total - base_total)),
+        "budget": np.array(base_total + 0.4 * (top_total - base_total), dtype=float),
     }
 
 
@@ -135,7 +135,7 @@ def _bench_predictor(
         # vectors whose angles have been wrapped by the Pose type
         # (the wrap is not a bit-exact identity on raw walk floats).
         poses = [Pose(*walks[step, n]) for n in range(num_users)]
-        batch.observe(np.array([p.as_vector() for p in poses]))
+        batch.observe(np.array([p.as_vector() for p in poses], dtype=float))
         for n in range(num_users):
             scalars[n].observe(poses[n])
 
@@ -145,7 +145,7 @@ def _bench_predictor(
     batch_s = _best_of(repeats, batch.predict)
     scalar_s = _best_of(repeats, scalar_pass)
     got = batch.predict()
-    want = np.array([p.as_vector() for p in scalar_pass()])
+    want = np.array([p.as_vector() for p in scalar_pass()], dtype=float)
     return {
         "scalar_s": scalar_s,
         "batch_s": batch_s,
@@ -186,7 +186,7 @@ def _bench_coverage(
 
     batch_s = _best_of(repeats, batch_pass)
     scalar_s = _best_of(repeats, scalar_pass)
-    identical = bool(np.array_equal(batch_pass(), np.array(scalar_pass())))
+    identical = bool(np.array_equal(batch_pass(), np.array(scalar_pass(), dtype=np.int64)))
     return {
         "scalar_s": scalar_s,
         "batch_s": batch_s,

@@ -40,7 +40,7 @@ class BatchMotionPredictor:
         self.num_users = num_users
         self.window = window
         self.horizon = horizon
-        self._buffer = np.zeros((num_users, window, 6))
+        self._buffer = np.zeros((num_users, window, 6), dtype=float)
         self._counts = np.zeros(num_users, dtype=np.int64)
         self._starts = np.zeros(num_users, dtype=np.int64)
 
@@ -65,7 +65,7 @@ class BatchMotionPredictor:
                 f"vectors must be ({self.num_users}, 6), got {vectors.shape}"
             )
         if mask is None:
-            users = np.arange(self.num_users)
+            users = np.arange(self.num_users, dtype=np.int64)
         else:
             users = np.nonzero(np.asarray(mask, dtype=bool))[0]
         if users.size == 0:
@@ -94,7 +94,7 @@ class BatchMotionPredictor:
 
     def _ordered_history(self, users: np.ndarray, length: int) -> np.ndarray:
         """``(G, length, 6)`` windows in observation order."""
-        offsets = (self._starts[users, None] + np.arange(length)) % self.window
+        offsets = (self._starts[users, None] + np.arange(length, dtype=np.int64)) % self.window
         return self._buffer[users[:, None], offsets]
 
     def predict(self, horizon: Optional[int] = None) -> np.ndarray:
@@ -106,7 +106,7 @@ class BatchMotionPredictor:
         h = self.horizon if horizon is None else horizon
         if h < 1:
             raise ConfigurationError(f"horizon must be >= 1, got {h}")
-        out = np.full((self.num_users, 6), np.nan)
+        out = np.full((self.num_users, 6), np.nan, dtype=float)
         singles = np.nonzero(self._counts == 1)[0]
         if singles.size:
             out[singles] = self._buffer[singles, 0]
@@ -129,7 +129,7 @@ class BatchMotionPredictor:
         t_mean = times.mean()
         centered_t = times - t_mean
         denom = float((centered_t ** 2).sum())
-        predicted = np.empty((data.shape[0], 6))
+        predicted = np.empty((data.shape[0], 6), dtype=float)
         for axis in range(6):
             series = data[:, :, axis]
             if axis in _ANGULAR_AXES:

@@ -73,7 +73,7 @@ def _seq_sum(parts: np.ndarray, start: float = 0.0) -> float:
 def _option_weights(options: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Per-item chosen weight; skipped items weigh exactly 0.0."""
     idx = np.maximum(options, 0)
-    chosen = weights[np.arange(options.size), idx]
+    chosen = weights[np.arange(options.size, dtype=np.int64), idx]
     return np.where(options >= 0, chosen, 0.0)
 
 
@@ -192,7 +192,7 @@ def _greedy_pass(
     dw = weights[:, 1:] - weights[:, :-1]
     prio = dv / dw if density_order else dv
 
-    ks = np.arange(num_levels - 1)[None, :]
+    ks = np.arange(num_levels - 1, dtype=np.int64)[None, :]
     valid = (base[:, None] >= 0) & (weights[:, 1:] <= caps[:, None] + _EPS)
     # Truncate each row at its first negative priority: the object
     # greedy never grants past it (see module docstring).
@@ -272,7 +272,7 @@ def _evaluate(
 ) -> ArraySolution:
     """Replicates :meth:`SeparableKnapsack.evaluate` (sequential sums)."""
     idx = np.maximum(options, 0)
-    rows = np.arange(options.size)
+    rows = np.arange(options.size, dtype=np.int64)
     vals = np.where(options >= 0, values[rows, idx], skip_values)
     ws = np.where(options >= 0, weights[rows, idx], 0.0)
     return ArraySolution(
@@ -315,11 +315,11 @@ def solve_arrays(
         )
     num_items = values.shape[0]
     if caps is None:
-        caps = np.full(num_items, np.inf)
+        caps = np.full(num_items, np.inf, dtype=float)
     else:
         caps = np.asarray(caps, dtype=float)
     if skip_values is None:
-        skip_values = np.zeros(num_items)
+        skip_values = np.zeros(num_items, dtype=float)
     else:
         skip_values = np.asarray(skip_values, dtype=float)
     if group_of is not None:

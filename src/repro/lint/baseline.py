@@ -1,0 +1,119 @@
+"""Baseline snapshots: ratchet the tree clean without a big-bang fix.
+
+A baseline is a committed JSON file of finding *fingerprints*.  Running
+with ``--baseline`` subtracts baselined findings from the report, so CI
+fails only on findings introduced **after** the snapshot — the ratchet
+direction: existing debt is frozen, new debt is rejected, and deleting
+entries is the only way the file ever changes meaningfully.
+
+Fingerprints deliberately exclude the line number — inserting a
+docstring above old debt must not convert it into "new" findings — and
+are counted: two identical ``np.zeros`` findings in one file need two
+baseline entries, so fixing one of them shrinks the budget rather than
+hiding behind its twin.
+
+This repo's committed baseline (``lint-baseline.json``) is **empty** by
+policy: the tree lints clean and the gate exists to keep it that way.
+The mechanism still matters for forks and for bulk rule rollouts, where
+a non-empty snapshot buys time without suppression comments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, LintReport, sort_findings
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-insensitive identity of a finding.
+
+    ``rule|path|message`` hashed and truncated: stable across
+    unrelated edits to the same file, distinct across rules and across
+    different messages from one rule.
+    """
+    key = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(report: LintReport, path: Path) -> int:
+    """Snapshot every finding in ``report`` to ``path``; returns count."""
+    counts: Dict[str, int] = {}
+    for finding in report.findings:
+        fp = fingerprint(finding)
+        counts[fp] = counts.get(fp, 0) + 1
+    document = {
+        "version": BASELINE_VERSION,
+        "fingerprints": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(report.findings)
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Parse a baseline file into ``{fingerprint: budget}``.
+
+    Raises :class:`ConfigurationError` on a missing or malformed file —
+    a silently-ignored baseline would report "clean" against no gate.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    fingerprints = raw.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise ConfigurationError(
+            f"baseline {path}: 'fingerprints' must be an object"
+        )
+    budgets: Dict[str, int] = {}
+    for key, value in fingerprints.items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 1:
+            raise ConfigurationError(
+                f"baseline {path}: entries must map fingerprint strings "
+                "to positive counts"
+            )
+        budgets[key] = value
+    return budgets
+
+
+def apply_baseline(report: LintReport, budgets: Dict[str, int]) -> LintReport:
+    """Subtract baselined findings; what remains is *new* debt.
+
+    Matching is counted per fingerprint: with a budget of 2 for some
+    fingerprint and 3 occurrences in the report, exactly one survives
+    (the last in report order) and fails the gate.
+    """
+    remaining = dict(budgets)
+    kept: List[Finding] = []
+    matched = 0
+    for finding in report.findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    counts = {code: 0 for code in report.rule_counts}
+    for finding in kept:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return replace(
+        report,
+        findings=sort_findings(kept),
+        rule_counts=counts,
+        baselined=report.baselined + matched,
+    )

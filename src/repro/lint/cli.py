@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import List, Optional, TextIO
 
 from repro.errors import ConfigurationError
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import run_lint
 from repro.lint.reporters import render_json, render_text
@@ -53,6 +54,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-config", action="store_true",
         help="ignore pyproject overrides and lint with built-in defaults",
     )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="subtract findings recorded in this baseline file; only "
+        "NEW findings fail the gate",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="snapshot the current findings to PATH and exit 0; commit "
+        "the file to freeze existing debt",
+    )
 
 
 def run_lint_command(
@@ -69,6 +80,17 @@ def run_lint_command(
             else load_config(Path(args.config))
         )
         report = run_lint([Path(p) for p in args.paths], config)
+        if getattr(args, "write_baseline", None):
+            count = write_baseline(report, Path(args.write_baseline))
+            print(
+                f"baseline written: {count} finding(s) snapshotted to "
+                f"{args.write_baseline}",
+                file=out,
+            )
+            return EXIT_CLEAN
+        if getattr(args, "baseline", None):
+            budgets = load_baseline(Path(args.baseline))
+            report = apply_baseline(report, budgets)
     except ConfigurationError as exc:
         print(f"repro lint: error: {exc}", file=err)
         return EXIT_USAGE

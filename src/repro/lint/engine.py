@@ -1,24 +1,30 @@
 """The lint engine: file discovery, rule dispatch, suppression.
 
 The engine is deliberately a plain function pipeline — discover files,
-parse each once, run every enabled in-scope rule over the shared AST,
-drop suppressed findings, and return an immutable
+parse each once, build the whole-project model when any enabled rule
+asks for it, run every enabled in-scope rule over the shared AST, drop
+suppressed findings, and return an immutable
 :class:`~repro.lint.findings.LintReport` — so it can be driven equally
-from the CLI, from tests (over fixture snippets), and from future CI
-tooling.
+from the CLI, from tests (over fixture snippets), and from CI tooling.
 
-Files that fail to parse produce a synthetic ``RL000`` finding rather
-than aborting the run: a syntax error in one file must not hide the
-findings of the other two hundred.
+Files that fail to parse *or to read* produce a synthetic ``RL000``
+finding rather than aborting the run: a syntax error (or a permissions
+mishap) in one file must not hide the findings of the other two
+hundred.
+
+Every run records wall-clock cost per rule (plus ``parse`` and
+``project-model`` pseudo-entries) in ``LintReport.timings`` so the
+price of the flow-aware pass stays visible in ``--stats``.
 """
 
 from __future__ import annotations
 
 import ast
+import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-import repro.lint.rules  # noqa: F401  (registers RL001-RL006)
+import repro.lint.rules  # noqa: F401  (registers RL001-RL011)
 from repro.errors import ConfigurationError
 from repro.lint.config import LintConfig, default_config
 from repro.lint.findings import (
@@ -28,11 +34,21 @@ from repro.lint.findings import (
     ModuleContext,
     sort_findings,
 )
+from repro.lint.project import (
+    ProjectModel,
+    build_project_model,
+    cache_key,
+    cached_project_model,
+)
 from repro.lint.registry import RULE_REGISTRY, path_matches
 from repro.lint.suppressions import scan_suppressions
 
-#: Synthetic rule code for unparseable files.
+#: Synthetic rule code for unparseable or unreadable files.
 PARSE_ERROR_RULE = "RL000"
+
+#: Timing pseudo-entries alongside the per-rule costs.
+TIMING_PARSE = "parse"
+TIMING_PROJECT = "project-model"
 
 
 def normalize_path(path: Path) -> str:
@@ -70,31 +86,34 @@ def discover_files(
     return [seen[key] for key in sorted(seen)]
 
 
-def lint_source(
-    source: str, path: str, config: LintConfig
-) -> Tuple[List[Finding], int]:
-    """Lint one in-memory source blob.
+def _rl000(path: str, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=col,
+        rule=PARSE_ERROR_RULE,
+        severity=SEVERITY_ERROR,
+        message=message,
+    )
 
-    Returns ``(findings, suppressed_count)``.  Exposed separately so
-    fixture tests can lint snippets without touching the filesystem.
-    """
-    lines = tuple(source.splitlines())
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return (
-            [
-                Finding(
-                    path=path,
-                    line=int(exc.lineno or 1),
-                    col=int(exc.offset or 0),
-                    rule=PARSE_ERROR_RULE,
-                    severity=SEVERITY_ERROR,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ],
-            0,
-        )
+
+def project_needed(config: LintConfig) -> bool:
+    """True when any enabled rule wants the whole-project model."""
+    for code, rule_cls in RULE_REGISTRY.items():
+        if rule_cls.requires_project and config.rule(code).enabled:
+            return True
+    return False
+
+
+def _check_rules(
+    tree: ast.Module,
+    lines: Tuple[str, ...],
+    path: str,
+    config: LintConfig,
+    project: Optional[ProjectModel],
+    timings: Dict[str, float],
+) -> Tuple[List[Finding], int]:
+    """Run every enabled in-scope rule over one parsed module."""
     suppressions = scan_suppressions(lines)
     findings: List[Finding] = []
     suppressed = 0
@@ -106,8 +125,13 @@ def lint_source(
             continue
         rule = rule_cls()
         context = ModuleContext(
-            path=path, tree=tree, lines=lines, options=rule_config.options
+            path=path,
+            tree=tree,
+            lines=lines,
+            options=rule_config.options,
+            project=project,
         )
+        rule_started = time.perf_counter()
         for finding in rule.check(context):
             if suppressions.is_suppressed(code, finding.line):
                 suppressed += 1
@@ -120,9 +144,48 @@ def lint_source(
                     rule=finding.rule,
                     severity=rule_config.severity,
                     message=finding.message,
+                    evidence=finding.evidence,
                 )
             findings.append(finding)
+        timings[code] = (
+            timings.get(code, 0.0) + time.perf_counter() - rule_started
+        )
     return findings, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig,
+    project: Optional[ProjectModel] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one in-memory source blob.
+
+    Returns ``(findings, suppressed_count)``.  Exposed separately so
+    fixture tests can lint snippets without touching the filesystem.
+    When no ``project`` is supplied, flow-aware rules fall back to a
+    single-module model built from the snippet itself.
+    """
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                _rl000(
+                    path,
+                    int(exc.lineno or 1),
+                    int(exc.offset or 0),
+                    f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    if project is None and project_needed(config):
+        from repro.lint.project import single_module_model
+
+        project = single_module_model(tree, path)
+    return _check_rules(tree, lines, path, config, project, timings={})
 
 
 def run_lint(
@@ -133,19 +196,69 @@ def run_lint(
     files = discover_files(paths, effective.exclude)
     findings: List[Finding] = []
     suppressed = 0
+    timings: Dict[str, float] = {}
+
+    # Parse every file once.  Unreadable or unparseable files become
+    # structured RL000 findings and drop out of the analysis set.
+    parse_started = time.perf_counter()
+    parsed: List[Tuple[str, Path, ast.Module, Tuple[str, ...]]] = []
     for file_path in files:
         normalized = normalize_path(file_path)
         try:
             source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise ConfigurationError(
-                f"cannot read {normalized}: {exc}"
-            ) from exc
-        file_findings, file_suppressed = lint_source(
-            source, normalized, effective
+        except OSError as exc:
+            findings.append(
+                _rl000(normalized, 1, 0, f"file cannot be read: {exc}")
+            )
+            continue
+        except UnicodeDecodeError as exc:
+            findings.append(
+                _rl000(normalized, 1, 0, f"file is not valid UTF-8: {exc}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=normalized)
+        except SyntaxError as exc:
+            findings.append(
+                _rl000(
+                    normalized,
+                    int(exc.lineno or 1),
+                    int(exc.offset or 0),
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append(
+            (normalized, file_path, tree, tuple(source.splitlines()))
+        )
+    timings[TIMING_PARSE] = time.perf_counter() - parse_started
+
+    # One whole-project model per run, reused across every file and
+    # every flow-aware rule; cached across runs keyed by file mtimes.
+    project: Optional[ProjectModel] = None
+    if project_needed(effective):
+        project_started = time.perf_counter()
+        readable = [file_path for _, file_path, _, _ in parsed]
+        try:
+            key = cache_key(readable)
+            project = cached_project_model(
+                key, [(n, p, t) for n, p, t, _ in parsed]
+            )
+        except OSError:
+            # A file vanished between discovery and stat: build
+            # uncached from what we already parsed.
+            project = build_project_model(
+                [(n, p, t) for n, p, t, _ in parsed]
+            )
+        timings[TIMING_PROJECT] = time.perf_counter() - project_started
+
+    for normalized, _, tree, lines in parsed:
+        file_findings, file_suppressed = _check_rules(
+            tree, lines, normalized, effective, project, timings
         )
         findings.extend(file_findings)
         suppressed += file_suppressed
+
     rule_counts: Dict[str, int] = {code: 0 for code in sorted(RULE_REGISTRY)}
     for finding in findings:
         rule_counts[finding.rule] = rule_counts.get(finding.rule, 0) + 1
@@ -154,4 +267,5 @@ def run_lint(
         files_scanned=len(files),
         rule_counts=rule_counts,
         suppressed=suppressed,
+        timings={name: timings[name] for name in sorted(timings)},
     )

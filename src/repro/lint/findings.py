@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.lint.project import ProjectModel
 
 #: Severity levels, ordered from most to least drastic.  ``error``
 #: findings make the CLI exit nonzero; ``warning`` findings are
@@ -31,6 +34,10 @@ class Finding:
     rule: str
     severity: str
     message: str
+    #: Cross-file evidence chain for flow-aware findings: ``path:line``
+    #: hops explaining *why* the anchored line is a violation (e.g. the
+    #: helper-call path from an ``async def`` down to ``time.sleep``).
+    evidence: Tuple[str, ...] = ()
 
     def location(self) -> str:
         """``path:line:col`` — the clickable prefix of text reports."""
@@ -45,6 +52,7 @@ class Finding:
             "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
+            "evidence": list(self.evidence),
         }
 
 
@@ -56,6 +64,9 @@ class ModuleContext:
     tree: ast.Module
     lines: Tuple[str, ...]
     options: Mapping[str, object] = field(default_factory=dict)
+    #: Whole-project analysis context; ``None`` when no enabled rule
+    #: requested it (rules then degrade to single-module resolution).
+    project: Optional["ProjectModel"] = None
 
     def option(self, name: str, default: object = None) -> object:
         """Rule-specific config option with a fallback."""
@@ -70,6 +81,11 @@ class LintReport:
     files_scanned: int
     rule_counts: Mapping[str, int]
     suppressed: int = 0
+    #: Findings matched (and silenced) by a committed baseline file.
+    baselined: int = 0
+    #: Wall-clock cost per rule code (plus the ``project-model`` and
+    #: ``parse`` pseudo-entries), in seconds.
+    timings: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def error_count(self) -> int:

@@ -31,13 +31,17 @@ class Rule:
     rationale: str = ""
     default_severity: str = SEVERITY_ERROR
     default_includes: Tuple[str, ...] = ("*",)
+    #: True for flow-aware rules that need the cross-file
+    #: :class:`~repro.lint.project.ProjectModel`; the engine builds it
+    #: once per run when any enabled in-scope rule asks for it.
+    requires_project: bool = False
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(
         self, module: ModuleContext, line: int, col: int, message: str,
-        severity: str = "",
+        severity: str = "", evidence: Tuple[str, ...] = (),
     ) -> Finding:
         """Build a finding for this rule at a location in ``module``."""
         return Finding(
@@ -47,6 +51,7 @@ class Rule:
             rule=self.code,
             severity=severity or self.default_severity,
             message=message,
+            evidence=evidence,
         )
 
 

@@ -1,22 +1,30 @@
 """Text and JSON renderings of a :class:`~repro.lint.findings.LintReport`.
 
-The JSON document is versioned (``"version": 1``) and its schema is
+The JSON document is versioned (``"version": 2``) and its schema is
 covered by tests so CI consumers can rely on it:
 
 .. code-block:: json
 
     {
-      "version": 1,
-      "files_scanned": 213,
+      "version": 2,
+      "files_scanned": 237,
       "errors": 0,
       "warnings": 0,
       "suppressed": 1,
+      "baselined": 0,
       "stats": {"RL001": 0, "...": 0},
+      "timings_ms": {"parse": 180.2, "project-model": 95.1, "RL008": 40.7},
       "findings": [
-        {"path": "...", "line": 1, "col": 0, "rule": "RL001",
-         "severity": "error", "message": "..."}
+        {"path": "...", "line": 1, "col": 0, "rule": "RL008",
+         "severity": "error", "message": "...",
+         "evidence": ["src/a.py:10 run calls _helper",
+                      "src/b.py:4 _helper calls time.sleep"]}
       ]
     }
+
+Version history: v1 had neither ``evidence`` on findings nor the
+``timings_ms``/``baselined`` keys; v2 added all three when the
+flow-aware rules landed.
 """
 
 from __future__ import annotations
@@ -28,16 +36,24 @@ from repro.lint.findings import LintReport
 from repro.lint.registry import RULE_REGISTRY
 
 #: Schema version of the JSON report.
-JSON_REPORT_VERSION = 1
+JSON_REPORT_VERSION = 2
 
 
 def render_text(report: LintReport, stats: bool = False) -> str:
-    """Human-oriented report: one finding per line plus a summary."""
-    lines: List[str] = [
-        f"{finding.location()}: {finding.rule} [{finding.severity}] "
-        f"{finding.message}"
-        for finding in report.findings
-    ]
+    """Human-oriented report: one finding per line plus a summary.
+
+    Flow-aware findings carry an evidence chain; each hop renders
+    indented under the finding so the path from coroutine to blocking
+    call reads top-to-bottom.
+    """
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+        for hop in finding.evidence:
+            lines.append(f"    via {hop}")
     if lines:
         lines.append("")
     if report.findings:
@@ -52,6 +68,8 @@ def render_text(report: LintReport, stats: bool = False) -> str:
         )
     if report.suppressed:
         lines.append(f"{report.suppressed} finding(s) inline-suppressed")
+    if report.baselined:
+        lines.append(f"{report.baselined} finding(s) matched the baseline")
     if stats:
         lines.append("")
         lines.append(render_stats(report))
@@ -59,7 +77,7 @@ def render_text(report: LintReport, stats: bool = False) -> str:
 
 
 def render_stats(report: LintReport) -> str:
-    """Per-rule hit counts — the ``--stats`` summary block."""
+    """Per-rule hit counts and wall-clock — the ``--stats`` block."""
     width = max(
         (len(rule_code) for rule_code in report.rule_counts), default=5
     )
@@ -67,13 +85,31 @@ def render_stats(report: LintReport) -> str:
     for rule_code in sorted(report.rule_counts):
         rule_cls = RULE_REGISTRY.get(rule_code)
         label = rule_cls.name if rule_cls is not None else "parse-error"
+        timing = report.timings.get(rule_code)
+        suffix = f"  {timing * 1000.0:8.1f} ms" if timing is not None else ""
         lines.append(
             f"  {rule_code:<{width}}  {report.rule_counts[rule_code]:>4}  "
-            f"({label})"
+            f"({label}){suffix}"
         )
+    for pseudo in ("parse", "project-model"):
+        if pseudo in report.timings:
+            lines.append(
+                f"  {pseudo:<{width}}     -  (engine)"
+                f"  {report.timings[pseudo] * 1000.0:8.1f} ms"
+            )
     lines.append(f"  files scanned: {report.files_scanned}")
     lines.append(f"  suppressed:    {report.suppressed}")
+    if report.baselined:
+        lines.append(f"  baselined:     {report.baselined}")
     return "\n".join(lines)
+
+
+def timings_ms(report: LintReport) -> Dict[str, float]:
+    """Per-rule wall-clock in milliseconds, rounded for stable JSON."""
+    return {
+        name: round(seconds * 1000.0, 3)
+        for name, seconds in sorted(report.timings.items())
+    }
 
 
 def render_json(report: LintReport) -> str:
@@ -84,7 +120,9 @@ def render_json(report: LintReport) -> str:
         "errors": report.error_count,
         "warnings": report.warning_count,
         "suppressed": report.suppressed,
+        "baselined": report.baselined,
         "stats": dict(sorted(report.rule_counts.items())),
+        "timings_ms": timings_ms(report),
         "findings": [finding.to_dict() for finding in report.findings],
     }
     return json.dumps(document, indent=2, sort_keys=False)

@@ -1,20 +1,28 @@
-"""Domain rules RL001-RL007.
+"""Domain rules RL001-RL011.
 
 Importing this package registers every rule with
 :data:`repro.lint.registry.RULE_REGISTRY`; the engine imports it for
 its side effect.  Each module holds one rule so the catalogue in
 ``docs/static-analysis.md`` maps one-to-one onto the code.
+
+RL001-RL007 are single-file AST rules; RL008-RL011 are the flow-aware
+tier that consumes the whole-project model from
+:mod:`repro.lint.project`.
 """
 
 from __future__ import annotations
 
 from repro.lint.rules.annotations import PublicApiAnnotationsRule
+from repro.lint.rules.async_safety import AsyncSafetyRule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.determinism_taint import DeterminismTaintRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.float_equality import FloatEqualityRule
+from repro.lint.rules.kernel_contracts import KernelContractsRule
 from repro.lint.rules.mutable_defaults import MutableDefaultArgsRule
 from repro.lint.rules.unit_safety import UnitSafetyRule
 from repro.lint.rules.wallclock import WallClockRule
+from repro.lint.rules.worker_hygiene import WorkerHygieneRule
 
 __all__ = [
     "UnitSafetyRule",
@@ -24,4 +32,8 @@ __all__ = [
     "MutableDefaultArgsRule",
     "PublicApiAnnotationsRule",
     "WallClockRule",
+    "AsyncSafetyRule",
+    "DeterminismTaintRule",
+    "KernelContractsRule",
+    "WorkerHygieneRule",
 ]

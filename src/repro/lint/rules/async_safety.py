@@ -1,0 +1,261 @@
+"""RL008 — async-safety.
+
+The serving event loop runs every slot decision against a 1/60 s
+deadline.  One blocking call on the loop thread — ``time.sleep``, a
+sync ``open``, a ``subprocess`` spawn, sync socket I/O — freezes every
+connected session for its duration, and the miss shows up as a QoE
+regression long after the offending line merged.  This rule walks the
+project call graph (see :mod:`repro.lint.project`) and reports:
+
+* **blocking calls** made directly inside an ``async def``, or inside
+  any sync helper reachable from one through resolvable calls up to a
+  bounded depth (``max_depth`` option, default 3) — the finding is
+  anchored at the call site in the coroutine, with the helper chain
+  attached as evidence;
+* **unawaited coroutines**: a project ``async def`` called without
+  ``await`` outside a coroutine-consuming wrapper
+  (``asyncio.gather``, ``create_task``, ...) — the coroutine object
+  is built and silently dropped;
+* **dropped task handles**: ``asyncio.create_task`` /
+  ``ensure_future`` used as a bare statement — the task can be
+  garbage-collected mid-flight and its exceptions vanish; keep a
+  reference and attach a done-callback.
+
+Escape hatch: wrap the blocking work in ``asyncio.to_thread`` or
+``loop.run_in_executor`` — references passed there are not calls and
+never match.
+
+Known limits (documented in ``docs/static-analysis.md``): calls
+through object attributes (``self.obs.flight.trigger()``) and dynamic
+dispatch do not resolve, so the rule under-approximates reachability;
+it never false-positives on that account, but hot-path audits stay a
+human job where composition crosses object fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.project import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.lint.registry import Rule, register_rule
+
+#: Dotted call chains that block the calling thread.  Matched against
+#: the *resolved import* of the chain head where possible, otherwise
+#: against the literal chain.
+DEFAULT_BLOCKING_CALLS: Tuple[str, ...] = (
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+)
+
+#: Method names that mean sync file I/O no matter the receiver
+#: (``pathlib.Path`` and friends); matched on the chain tail alone.
+DEFAULT_BLOCKING_METHODS: Tuple[str, ...] = (
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+)
+
+#: Task-spawning calls whose return value must not be dropped.
+TASK_SPAWNERS = ("create_task", "ensure_future")
+
+DEFAULT_MAX_DEPTH = 3
+
+
+def _resolved_chain(
+    module: ModuleInfo, chain: Tuple[str, ...]
+) -> Tuple[str, ...]:
+    """Rewrite the chain head through the module's import bindings."""
+    if not chain:
+        return chain
+    target = module.imports.get(chain[0])
+    if target is None:
+        return chain
+    return tuple(target.split(".")) + chain[1:]
+
+
+def _blocking_reason(
+    module: ModuleInfo,
+    site: CallSite,
+    blocking_calls: Sequence[str],
+    blocking_methods: Sequence[str],
+) -> Optional[str]:
+    """The blocking API a call site hits, or ``None``."""
+    resolved = ".".join(_resolved_chain(module, site.chain))
+    for banned in blocking_calls:
+        if resolved == banned:
+            return banned
+    # The builtin ``open`` (not shadowed by an import or local def).
+    if (
+        site.chain == ("open",)
+        and "open" not in module.imports
+        and "open" not in module.functions
+    ):
+        return "open"
+    if len(site.chain) >= 2 and site.tail in blocking_methods:
+        return f"<file>.{site.tail}"
+    return None
+
+
+@register_rule
+class AsyncSafetyRule(Rule):
+    code = "RL008"
+    name = "async-safety"
+    description = (
+        "blocking call reachable from an async def, unawaited "
+        "coroutine, or dropped task handle in the serving packages"
+    )
+    rationale = (
+        "One blocking call on the event loop freezes every session "
+        "past the 16.7 ms slot deadline; an unawaited coroutine is "
+        "work that silently never happens."
+    )
+    default_includes = ("repro/serve/", "repro/obs/")
+    requires_project = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        project = module.project
+        if project is None:
+            return
+        info = project.by_path.get(module.path)
+        if info is None:
+            return
+        blocking_calls = _str_tuple(
+            module.option("blocking_calls", DEFAULT_BLOCKING_CALLS)
+        )
+        blocking_methods = _str_tuple(
+            module.option("blocking_methods", DEFAULT_BLOCKING_METHODS)
+        )
+        max_depth = int(
+            _as_int(module.option("max_depth", DEFAULT_MAX_DEPTH))
+        )
+        for qualname in sorted(info.functions):
+            function = info.functions[qualname]
+            if function.is_async:
+                yield from self._check_async_function(
+                    module, project, info, function,
+                    blocking_calls, blocking_methods, max_depth,
+                )
+
+    # ------------------------------------------------------------------
+    def _check_async_function(
+        self,
+        module: ModuleContext,
+        project: ProjectModel,
+        info: ModuleInfo,
+        function: FunctionInfo,
+        blocking_calls: Sequence[str],
+        blocking_methods: Sequence[str],
+        max_depth: int,
+    ) -> Iterator[Finding]:
+        # 1. Direct blocking calls in the coroutine body.
+        for site in function.calls:
+            reason = _blocking_reason(
+                info, site, blocking_calls, blocking_methods
+            )
+            if reason is not None:
+                yield self.finding(
+                    module, site.line, site.col,
+                    f"blocking call {reason}() inside async def "
+                    f"{function.qualname}; use asyncio.to_thread or the "
+                    "loop executor",
+                )
+            yield from self._check_coroutine_discipline(
+                module, project, info, function, site
+            )
+        # 2. Blocking calls in sync helpers reachable from here.
+        for callee, first_site, evidence in project.reachable_sync_callees(
+            info, function, max_depth
+        ):
+            callee_module = project.modules.get(callee.module)
+            if callee_module is None:
+                continue
+            for site in callee.calls:
+                reason = _blocking_reason(
+                    callee_module, site, blocking_calls, blocking_methods
+                )
+                if reason is None:
+                    continue
+                yield self.finding(
+                    module, first_site.line, first_site.col,
+                    f"async def {function.qualname} reaches blocking "
+                    f"{reason}() via {callee.qualname} "
+                    f"({callee.path}:{site.line}); move it behind "
+                    "asyncio.to_thread or the loop executor",
+                    evidence=evidence
+                    + (f"{callee.path}:{site.line} {callee.qualname} "
+                       f"calls {reason}",),
+                )
+
+    def _check_coroutine_discipline(
+        self,
+        module: ModuleContext,
+        project: ProjectModel,
+        info: ModuleInfo,
+        function: FunctionInfo,
+        site: CallSite,
+    ) -> Iterator[Finding]:
+        # Dropped task handles: ``asyncio.create_task(...)`` as a bare
+        # statement loses the only strong reference to the task.
+        if site.tail in TASK_SPAWNERS and site.is_statement:
+            yield self.finding(
+                module, site.line, site.col,
+                f"{site.dotted()}(...) result dropped; keep the task "
+                "handle and attach a done-callback so failures surface",
+            )
+            return
+        if site.awaited or site.in_wrapper:
+            return
+        target = project.resolve_call(info, function, site.chain)
+        if target is not None and target.is_async and not site.is_statement:
+            # Assigned coroutine objects are usually handed to a
+            # wrapper on a later line; chasing that dataflow is out of
+            # scope, so only bare statements are flagged below.
+            return
+        if target is not None and target.is_async:
+            yield self.finding(
+                module, site.line, site.col,
+                f"coroutine {target.qualname}() is never awaited — the "
+                "call builds a coroutine object and drops it",
+            )
+        elif (
+            _resolved_chain(info, site.chain) == ("asyncio", "sleep")
+            and site.is_statement
+        ):
+            yield self.finding(
+                module, site.line, site.col,
+                "asyncio.sleep() without await does nothing — the "
+                "coroutine object is dropped",
+            )
+
+
+def _str_tuple(value: object) -> Tuple[str, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    return ()
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return DEFAULT_MAX_DEPTH
+    return value

@@ -1,0 +1,352 @@
+"""RL009 — determinism taint.
+
+Every run must be a pure function of its seeds: Theorem 1's
+heap/reference equivalence, the kernel's bit-identity contract, and
+the chaos tier's replayable fault schedules all assume it.  RL002
+already bans *global* RNG state; this rule closes the other door —
+**locally constructed but unseeded generators**.  A
+``np.random.default_rng()`` with no argument draws entropy from the
+OS, so two runs with identical configs diverge silently.
+
+Inside the deterministic packages (``core``, ``kernel``,
+``simulation``, ``faults``, ``knapsack`` by default) every RNG
+construction — ``np.random.default_rng``, ``np.random.Generator``,
+``random.Random``, ``np.random.SeedSequence`` — must visibly derive
+its seed from one of:
+
+* an integer literal (an explicit, reproducible seed);
+* a name matching the seed pattern (``seed``, ``*_seed``, ``rng``,
+  ``entropy``, ``ss``), including function parameters;
+* an attribute whose terminal name matches (``config.seed``);
+* a local variable assigned from one of the above (one-hop
+  module-local dataflow), or any tuple/expression containing one.
+
+Constructions that fail the test are reported where they happen, and
+a second **taint pass** follows the unseeded value through simple
+assignments: storing it on allocator/predictor/scheduler state
+(``self._rng = ...`` inside a class whose name matches
+``taint_sinks``) or passing it to another call earns an extra finding
+with the assignment chain as evidence — that is the exact path by
+which nondeterminism reaches slot decisions.
+
+Limits: dataflow is module-local and follows plain ``x = expr``
+assignments only; containers, closures, and cross-module flow are out
+of scope (see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+#: Names whose presence in a seed expression marks it as derived from
+#: an explicit seed.
+DEFAULT_SEED_PATTERN = r"(?:^|_)(seed|seeds|rng|entropy|ss|generator)$"
+
+#: Class-name fragments whose instance state must never hold an
+#: unseeded generator (the allocator/predictor state of the paper's
+#: slot pipeline).
+DEFAULT_TAINT_SINKS: Tuple[str, ...] = (
+    "Allocator",
+    "Predictor",
+    "Scheduler",
+    "Simulator",
+    "Injector",
+)
+
+#: (module alias chain tail, attribute) pairs that construct fresh RNG
+#: streams.  ``default_rng`` and friends under ``np.random``;
+#: ``Random`` under the stdlib ``random`` module.
+_NP_CONSTRUCTORS = ("default_rng", "Generator", "SeedSequence")
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _random_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+def _from_import_bindings(tree: ast.Module) -> Dict[str, str]:
+    """``from numpy.random import default_rng`` style bindings."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                bindings[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return bindings
+
+
+class _SeedJudge:
+    """Decides whether an expression visibly derives from a seed."""
+
+    def __init__(self, pattern: str, seeded_names: Set[str]) -> None:
+        self._regex = re.compile(pattern)
+        self._seeded_names = seeded_names
+
+    def name_is_seedlike(self, name: str) -> bool:
+        return bool(self._regex.search(name.lower()))
+
+    def is_seeded(self, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, int):
+                return True
+            if isinstance(sub, ast.Name) and (
+                self.name_is_seedlike(sub.id)
+                or sub.id in self._seeded_names
+            ):
+                return True
+            if isinstance(sub, ast.Attribute) and self.name_is_seedlike(
+                sub.attr
+            ):
+                return True
+        return False
+
+
+@register_rule
+class DeterminismTaintRule(Rule):
+    code = "RL009"
+    name = "determinism-taint"
+    description = (
+        "RNG constructed without visible seed provenance in the "
+        "deterministic packages, or such a value stored in "
+        "allocator/predictor state"
+    )
+    rationale = (
+        "An unseeded generator draws OS entropy; every replay, "
+        "differential test, and bit-identity proof breaks silently."
+    )
+    default_includes = (
+        "repro/core/", "repro/knapsack/", "repro/simulation/",
+        "repro/kernel/", "repro/faults/",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        pattern = str(module.option("seed_pattern", DEFAULT_SEED_PATTERN))
+        sinks = module.option("taint_sinks", DEFAULT_TAINT_SINKS)
+        sink_fragments: Tuple[str, ...] = (
+            tuple(str(s) for s in sinks)
+            if isinstance(sinks, (list, tuple))
+            else DEFAULT_TAINT_SINKS
+        )
+        np_aliases = _numpy_aliases(module.tree)
+        random_aliases = _random_aliases(module.tree)
+        from_imports = _from_import_bindings(module.tree)
+        yield from self._check_scope(
+            module, module.tree, None, pattern,
+            np_aliases, random_aliases, from_imports, sink_fragments,
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield from self._check_scope(
+                            module, child, node.name, pattern,
+                            np_aliases, random_aliases, from_imports,
+                            sink_fragments,
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                parent_class = None  # handled above when class-nested
+                if not self._is_method(module.tree, node):
+                    yield from self._check_scope(
+                        module, node, parent_class, pattern,
+                        np_aliases, random_aliases, from_imports,
+                        sink_fragments,
+                    )
+
+    @staticmethod
+    def _is_method(tree: ast.Module, target: ast.AST) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and target in node.body:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _rng_construction(
+        self,
+        node: ast.Call,
+        np_aliases: Set[str],
+        random_aliases: Set[str],
+        from_imports: Dict[str, str],
+    ) -> Optional[str]:
+        """The constructor's display name when this call builds an RNG."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            # np.random.default_rng / np.random.Generator / SeedSequence
+            if (
+                func.attr in _NP_CONSTRUCTORS
+                and isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in np_aliases
+            ):
+                return f"np.random.{func.attr}"
+            # random.Random(...)
+            if (
+                func.attr == "Random"
+                and isinstance(value, ast.Name)
+                and value.id in random_aliases
+            ):
+                return "random.Random"
+        elif isinstance(func, ast.Name):
+            dotted = from_imports.get(func.id, "")
+            if dotted in (
+                "numpy.random.default_rng",
+                "numpy.random.Generator",
+                "numpy.random.SeedSequence",
+                "random.Random",
+            ):
+                return dotted
+        return None
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        scope: ast.AST,
+        class_name: Optional[str],
+        pattern: str,
+        np_aliases: Set[str],
+        random_aliases: Set[str],
+        from_imports: Dict[str, str],
+        sink_fragments: Tuple[str, ...],
+    ) -> Iterator[Finding]:
+        """One function body (or the module top level)."""
+        seeded_names: Set[str] = set()
+        judge = _SeedJudge(pattern, seeded_names)
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in (
+                list(scope.args.posonlyargs)
+                + list(scope.args.args)
+                + list(scope.args.kwonlyargs)
+            ):
+                if judge.name_is_seedlike(arg.arg):
+                    seeded_names.add(arg.arg)
+        tainted: Dict[str, Tuple[int, str]] = {}
+        body = (
+            scope.body
+            if isinstance(
+                scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            else []
+        )
+        for stmt in body:
+            yield from self._check_statement(
+                module, stmt, class_name, judge, tainted,
+                np_aliases, random_aliases, from_imports, sink_fragments,
+            )
+
+    def _check_statement(
+        self,
+        module: ModuleContext,
+        stmt: ast.stmt,
+        class_name: Optional[str],
+        judge: _SeedJudge,
+        tainted: Dict[str, Tuple[int, str]],
+        np_aliases: Set[str],
+        random_aliases: Set[str],
+        from_imports: Dict[str, str],
+        sink_fragments: Tuple[str, ...],
+    ) -> Iterator[Finding]:
+        # Never descend into nested defs here (they get their own
+        # scope pass); do descend into control flow.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for node in self._statement_expressions(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            constructor = self._rng_construction(
+                node, np_aliases, random_aliases, from_imports
+            )
+            if constructor is None:
+                continue
+            seeded = any(judge.is_seeded(arg) for arg in node.args) or any(
+                judge.is_seeded(kw.value) for kw in node.keywords
+            )
+            if not seeded:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"{constructor}({'' if not node.args and not node.keywords else '...'}) "
+                    "has no visible seed provenance; pass an explicit "
+                    "seed, a seed-named variable, or a config field",
+                )
+                target = self._assignment_target(stmt, node)
+                if target is not None:
+                    tainted[target] = (node.lineno, constructor)
+            else:
+                target = self._assignment_target(stmt, node)
+                if target is not None:
+                    judge._seeded_names.add(target)
+        # Taint flow: an unseeded generator stored on sink state.
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Name):
+            source = stmt.value.id
+            if source in tainted:
+                origin_line, constructor = tainted[source]
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and class_name is not None
+                        and any(f in class_name for f in sink_fragments)
+                    ):
+                        yield self.finding(
+                            module, stmt.lineno, stmt.col_offset,
+                            f"unseeded {constructor} (line {origin_line}) "
+                            f"flows into {class_name}.{target.attr} — "
+                            "allocator/predictor state must be seed-"
+                            "reproducible",
+                            evidence=(
+                                f"{module.path}:{origin_line} unseeded "
+                                f"{constructor} constructed",
+                                f"{module.path}:{stmt.lineno} stored on "
+                                f"{class_name}.{target.attr}",
+                            ),
+                        )
+
+    @staticmethod
+    def _statement_expressions(stmt: ast.stmt) -> List[ast.AST]:
+        """Every expression node in a statement, skipping nested defs."""
+        out: List[ast.AST] = []
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node is not stmt:
+                continue
+            out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    @staticmethod
+    def _assignment_target(stmt: ast.stmt, value: ast.Call) -> Optional[str]:
+        if (
+            isinstance(stmt, ast.Assign)
+            and stmt.value is value
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            return stmt.targets[0].id
+        return None

@@ -1,0 +1,195 @@
+"""RL011 — worker-pool hygiene.
+
+The simulation fan-out ships work to a ``ProcessPoolExecutor`` by
+pickling it.  Two classes of object break that boundary, and both fail
+at *dispatch time on the worker*, far from the line that introduced
+them:
+
+* **lambdas and nested functions** passed to a pool boundary call
+  (``submit`` / ``map`` / ``imap`` / ``starmap`` / ``apply_async`` on
+  a pool/executor receiver): pickle serializes functions by qualified
+  name, so only module-level functions survive the trip;
+* **unpicklable resource fields** on dataclasses that cross the
+  boundary: a ``threading.Lock``, an open file handle, a socket, or a
+  live ``Thread`` in a payload dataclass turns every dispatch into a
+  ``TypeError: cannot pickle`` — the annotation is visible statically,
+  so lint catches it before the pool does.
+
+Receiver detection is heuristic by name: a call like
+``pool.map(fn, ...)`` or ``self._executor.submit(fn)`` counts when
+the receiver chain contains a fragment from ``pool_names``
+(default: ``pool``, ``executor``).  The stdlib builtin ``map`` (no
+receiver) never matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Tuple
+
+from repro.lint.findings import Finding, ModuleContext
+from repro.lint.registry import Rule, register_rule
+
+#: Methods that move their function argument across a pickle boundary.
+DEFAULT_BOUNDARY_METHODS: Tuple[str, ...] = (
+    "submit",
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "apply",
+    "apply_async",
+    "map_async",
+)
+
+#: Receiver-name fragments that mark a pool/executor object.
+DEFAULT_POOL_NAMES: Tuple[str, ...] = ("pool", "executor")
+
+#: Type annotation spellings that cannot cross a pickle boundary.
+DEFAULT_UNPICKLABLE_TYPES: Tuple[str, ...] = (
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "Event",
+    "Thread",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "socket",
+)
+
+
+def _receiver_fragments(func: ast.Attribute) -> str:
+    """The receiver chain as lowercase text (``self._pool`` etc.)."""
+    return ast.unparse(func.value).lower()
+
+
+def _local_function_names(tree: ast.Module) -> set:
+    """Names of functions nested inside other functions (not module level)."""
+    nested = set()
+    for outer in ast.walk(tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+    return nested
+
+
+@register_rule
+class WorkerHygieneRule(Rule):
+    code = "RL011"
+    name = "worker-pool-hygiene"
+    description = (
+        "lambda/nested function shipped across a process-pool "
+        "boundary, or unpicklable resource field on a payload "
+        "dataclass"
+    )
+    rationale = (
+        "Pickle serializes functions by qualified name and cannot "
+        "serialize locks, threads, or open handles; both failure "
+        "modes surface at dispatch time on the worker, far from the "
+        "line that introduced them."
+    )
+    default_includes = ("repro/simulation/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        boundary = _str_tuple(
+            module.option("boundary_methods", DEFAULT_BOUNDARY_METHODS)
+        )
+        pool_names = _str_tuple(
+            module.option("pool_names", DEFAULT_POOL_NAMES)
+        )
+        unpicklable = _str_tuple(
+            module.option("unpicklable_types", DEFAULT_UNPICKLABLE_TYPES)
+        )
+        nested_names = _local_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_boundary_call(
+                    module, node, boundary, pool_names, nested_names
+                )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_dataclass_fields(
+                    module, node, unpicklable
+                )
+
+    # ------------------------------------------------------------------
+    def _check_boundary_call(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        boundary: Sequence[str],
+        pool_names: Sequence[str],
+        nested_names: set,
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in boundary:
+            return
+        receiver = _receiver_fragments(func)
+        if not any(fragment in receiver for fragment in pool_names):
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"lambda passed to {func.attr}() crosses the "
+                    "process-pool pickle boundary; hoist it to a "
+                    "module-level function",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in nested_names:
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"nested function {arg.id!r} passed to "
+                    f"{func.attr}() cannot be pickled; hoist it to "
+                    "module level",
+                )
+
+    def _check_dataclass_fields(
+        self,
+        module: ModuleContext,
+        node: ast.ClassDef,
+        unpicklable: Sequence[str],
+    ) -> Iterator[Finding]:
+        if not self._is_dataclass(node):
+            return
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            annotation = ast.unparse(stmt.annotation)
+            terminals = [
+                part.strip("[] ")
+                for part in annotation.replace("]", "[").split("[")
+            ]
+            flat = {
+                piece.split(".")[-1]
+                for part in terminals
+                for piece in part.split(",")
+                if piece.strip()
+            }
+            hit = sorted(flat & set(unpicklable))
+            if hit and isinstance(stmt.target, ast.Name):
+                yield self.finding(
+                    module, stmt.lineno, stmt.col_offset,
+                    f"dataclass {node.name}.{stmt.target.id} is typed "
+                    f"{annotation} — {', '.join(hit)} cannot cross the "
+                    "worker pickle boundary; pass a descriptor and "
+                    "reopen in the worker",
+                )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            text = ast.unparse(target)
+            if text.endswith("dataclass"):
+                return True
+        return False
+
+
+def _str_tuple(value: object) -> Tuple[str, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    return ()

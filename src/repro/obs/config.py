@@ -11,6 +11,7 @@ instrumented hot paths stay branch-cheap.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
 from typing import Optional
 
@@ -126,5 +127,21 @@ class Obs:
             False,
         )
 
+    def flush(self) -> None:
+        """Drain deferred trace/dump writes (blocking; sync contexts)."""
+        self.tracer.flush()
+        self.flight.flush()
+
+    async def aflush(self) -> None:
+        """Drain deferred trace/dump writes off the event loop."""
+        await self.tracer.aflush()
+        await self.flight.aflush()
+
     def close(self) -> None:
+        self.flight.flush()
         self.tracer.close()
+
+    async def aclose(self) -> None:
+        """Flush and close without blocking the event loop."""
+        await self.aflush()
+        await asyncio.to_thread(self.tracer.close)

@@ -9,10 +9,19 @@ into an in-memory :class:`FlightDump` (and a JSONL file when a dump
 directory is configured).  Dumps are capped per run so a pathological
 run cannot fill a disk, and every trigger is counted in the registry
 whether or not it produced a dump.
+
+Dump files never get written on a live event loop: triggers fired
+from the serving path (a loop is running) snapshot the ring in memory,
+reserve the file path, and queue the serialized payload;
+:meth:`FlightRecorder.aflush` — scheduled by the slot loop after the
+deadline check — performs the actual write in a worker thread.  Sync
+contexts (simulator, tests, CLI) write inline, so ``dump.path`` is
+immediately readable there.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 from collections import deque
 from dataclasses import dataclass
@@ -33,6 +42,15 @@ TRIGGERS = (
     TRIGGER_DEADLINE_MISS, TRIGGER_ADMISSION_REJECT, TRIGGER_WRITE_DROP,
     TRIGGER_SESSION_RESUME_FAILED,
 )
+
+
+def _in_event_loop() -> bool:
+    """True when called from a running asyncio event-loop thread."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -73,6 +91,9 @@ class FlightRecorder:
         self._ring: Deque[Span] = deque(maxlen=capacity)
         self.dumps: List[FlightDump] = []
         self.suppressed = 0
+        #: Dump files queued while an event loop was running:
+        #: ``(path, serialized JSONL lines)``, drained by flush/aflush.
+        self._pending: List[Tuple[Path, List[str]]] = []
         self._triggers: Optional[MetricFamily] = None
         if registry is not None:
             self._triggers = registry.counter_family(
@@ -114,15 +135,38 @@ class FlightRecorder:
     def _write(self, trigger: str, detail: str, slot: int) -> Optional[Path]:
         if self.out_dir is None:
             return None
-        self.out_dir.mkdir(parents=True, exist_ok=True)
         path = self.out_dir / f"flight_{len(self.dumps):03d}_{trigger}.jsonl"
-        with open(path, "w", encoding="utf-8") as handle:
-            header = stream_header("repro.obs.flight")
-            header.update({"trigger": trigger, "detail": detail, "slot": slot})
-            handle.write(json.dumps(header) + "\n")
-            for span in self._ring:
-                handle.write(json.dumps(span.to_dict()) + "\n")
+        header = stream_header("repro.obs.flight")
+        header.update({"trigger": trigger, "detail": detail, "slot": slot})
+        lines = [json.dumps(header) + "\n"]
+        lines.extend(json.dumps(span.to_dict()) + "\n" for span in self._ring)
+        if _in_event_loop():
+            self._pending.append((path, lines))
+        else:
+            self._write_file(path, lines)
         return path
+
+    def _write_file(self, path: Path, lines: List[str]) -> None:
+        """Blocking dump-file write (worker thread or sync context)."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)  # type: ignore[union-attr]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+
+    def _drain(self, pending: List[Tuple[Path, List[str]]]) -> None:
+        for path, lines in pending:
+            self._write_file(path, lines)
+
+    def flush(self) -> None:
+        """Write queued dump files (blocking; sync contexts)."""
+        pending, self._pending = self._pending, []
+        self._drain(pending)
+
+    async def aflush(self) -> None:
+        """Write queued dump files without blocking the event loop."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        await asyncio.to_thread(self._drain, pending)
 
     def last_dump_for(self, trigger: str) -> Optional[FlightDump]:
         """The most recent dump fired by a given trigger, if any."""
@@ -172,6 +216,12 @@ class NullFlightRecorder:
         return None
 
     def last_dump_for(self, trigger: str) -> Optional[FlightDump]:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    async def aflush(self) -> None:
         return None
 
     def summary(self) -> Dict[str, object]:

@@ -16,6 +16,7 @@ to the JSONL file, which is where the real cost lives.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Union
@@ -23,6 +24,15 @@ from typing import IO, Dict, List, Optional, Union
 from repro.errors import ObservabilityError
 from repro.obs.registry import Counter, MetricsRegistry
 from repro.obs.spans import AttrValue, Span, stream_header
+
+
+def _in_event_loop() -> bool:
+    """True when called from a running asyncio event-loop thread."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return False
+    return True
 
 
 class SlotSpanBuilder:
@@ -70,6 +80,14 @@ class Tracer:
     2n, ...; the path is opened lazily on the first write so a tracer
     with no traffic leaves no file.  :meth:`close` flushes and is
     idempotent.
+
+    File I/O never runs on a live event loop: when :meth:`emit` is
+    called with a loop running (the serving path), the serialized
+    lines are queued and written later by :meth:`aflush` — which hands
+    the actual ``write`` to ``asyncio.to_thread`` — or by
+    :meth:`close`.  With no loop (the simulator, tests, offline
+    analysis) writes happen inline and the file is immediately
+    readable.
     """
 
     def __init__(
@@ -85,6 +103,7 @@ class Tracer:
         self.path = Path(path) if path is not None else None
         self.sample_every = sample_every
         self._handle: Optional[IO[str]] = None
+        self._pending: List[str] = []
         self._built = 0
         self._spans_written: Optional[Counter] = None
         self._spans_sampled_out: Optional[Counter] = None
@@ -107,22 +126,50 @@ class Tracer:
         return SlotSpanBuilder(slot, start_s)
 
     def emit(self, span: Span) -> bool:
-        """Offer a finished slot span to the sink; True when written."""
+        """Offer a finished slot span to the sink; True when accepted.
+
+        On an event-loop thread the serialized line is queued (see
+        the class docstring); otherwise it is written inline.
+        """
         index = self._built
         self._built += 1
         if self.path is None or index % self.sample_every != 0:
             if self._spans_sampled_out is not None:
                 self._spans_sampled_out.inc()
             return False
-        if self._handle is None:
-            self._handle = open(self.path, "w", encoding="utf-8")
-            self._handle.write(json.dumps(stream_header()) + "\n")
-        self._handle.write(json.dumps(span.to_dict()) + "\n")
+        line = json.dumps(span.to_dict()) + "\n"
+        if _in_event_loop():
+            self._pending.append(line)
+        else:
+            self._write_lines([line])
         if self._spans_written is not None:
             self._spans_written.inc()
         return True
 
+    def _write_lines(self, lines: List[str]) -> None:
+        """Blocking append to the sink; lazily opens it with a header."""
+        if self.path is None or not lines:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle.write(json.dumps(stream_header()) + "\n")
+        for line in lines:
+            self._handle.write(line)
+
+    def flush(self) -> None:
+        """Drain queued spans to the sink (blocking; sync contexts)."""
+        pending, self._pending = self._pending, []
+        self._write_lines(pending)
+
+    async def aflush(self) -> None:
+        """Drain queued spans without blocking the event loop."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        await asyncio.to_thread(self._write_lines, pending)
+
     def close(self) -> None:
+        self.flush()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -141,6 +188,12 @@ class NullTracer:
 
     def emit(self, span: Span) -> bool:
         return False
+
+    def flush(self) -> None:
+        return None
+
+    async def aflush(self) -> None:
+        return None
 
     def close(self) -> None:
         return None

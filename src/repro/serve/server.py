@@ -220,7 +220,7 @@ class VrServeServer:
         """Send end-of-run frames, close every socket, reap all tasks."""
         if self._http is not None:
             await self._http.stop()
-        self.obs.close()
+        await self.obs.aclose()
         self.admission.start_draining()
         for session, frame in self.slot_loop.end_frames("complete"):
             try:

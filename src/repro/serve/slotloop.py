@@ -555,6 +555,11 @@ class SlotLoop:
                     )
             self._pending = (slot, plan, achieved)
 
+            # Drain deferred trace/dump writes off the measured stage
+            # path: the write happens in a worker thread, after the
+            # deadline accounting above, never on the loop itself.
+            await self.obs.aflush()
+
             if self.config.lockstep:
                 await self.registry.wait_reports(
                     slot, self.config.report_timeout_s

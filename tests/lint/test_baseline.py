@@ -1,0 +1,180 @@
+"""Baseline snapshots: fingerprints, the ratchet, and the CLI gate."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.lint.findings import Finding, LintReport, sort_findings
+from tests.lint.conftest import FIXTURES
+
+
+def _finding(line: int = 10, message: str = "m", path: str = "a.py"):
+    return Finding(
+        path=path, line=line, col=0, rule="RL010",
+        severity="error", message=message,
+    )
+
+
+def _report(*findings: Finding) -> LintReport:
+    counts = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return LintReport(
+        findings=sort_findings(list(findings)),
+        files_scanned=1,
+        rule_counts=counts,
+    )
+
+
+class TestFingerprint:
+    def test_line_insensitive(self):
+        assert fingerprint(_finding(line=10)) == fingerprint(_finding(line=99))
+
+    def test_distinct_across_path_and_message(self):
+        base = fingerprint(_finding())
+        assert fingerprint(_finding(path="b.py")) != base
+        assert fingerprint(_finding(message="other")) != base
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        report = _report(_finding(), _finding(message="second"))
+        path = tmp_path / "baseline.json"
+        assert write_baseline(report, path) == 2
+        budgets = load_baseline(path)
+        assert sum(budgets.values()) == 2
+
+    def test_duplicate_findings_are_counted(self, tmp_path):
+        # Same fingerprint twice -> one entry with budget 2.
+        report = _report(_finding(line=1), _finding(line=2))
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        budgets = load_baseline(path)
+        assert list(budgets.values()) == [2]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all",
+            json.dumps({"version": 99, "fingerprints": {}}),
+            json.dumps({"version": 1, "fingerprints": []}),
+            json.dumps({"version": 1, "fingerprints": {"ab": 0}}),
+        ],
+    )
+    def test_malformed_baseline_raises(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload, encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(tmp_path / "nope.json")
+
+
+class TestApply:
+    def test_matched_findings_are_subtracted(self, tmp_path):
+        report = _report(_finding(), _finding(message="new one"))
+        budgets = {fingerprint(_finding()): 1}
+        applied = apply_baseline(report, budgets)
+        assert applied.baselined == 1
+        assert [f.message for f in applied.findings] == ["new one"]
+        assert applied.rule_counts["RL010"] == 1
+
+    def test_budget_counts_cap_the_match(self):
+        # Three occurrences, budget 2: exactly one survives.
+        report = _report(
+            _finding(line=1), _finding(line=2), _finding(line=3)
+        )
+        budgets = {fingerprint(_finding()): 2}
+        applied = apply_baseline(report, budgets)
+        assert applied.baselined == 2
+        assert len(applied.findings) == 1
+
+    def test_empty_baseline_is_identity(self):
+        report = _report(_finding())
+        applied = apply_baseline(report, {})
+        assert applied.findings == report.findings
+        assert applied.baselined == 0
+
+
+class TestCliGate:
+    """End-to-end: the gate fails on NEW findings only."""
+
+    def _seed_tree(self, tmp_path: Path) -> Path:
+        code = tmp_path / "code"
+        code.mkdir()
+        shutil.copy(FIXTURES / "rl010_fail.py", code / "old_debt.py")
+        config = tmp_path / "pyproject.toml"
+        config.write_text(
+            "[tool.repro.lint.rules.RL010]\ninclude = [\"*\"]\n",
+            encoding="utf-8",
+        )
+        return code
+
+    def test_baseline_freezes_old_debt_and_fails_new(self, tmp_path, capsys):
+        code = self._seed_tree(tmp_path)
+        config = str(tmp_path / "pyproject.toml")
+        baseline = str(tmp_path / "baseline.json")
+
+        # Without a baseline the debt fails the gate.
+        assert main([str(code), "--config", config]) == EXIT_FINDINGS
+
+        # Snapshot it: exit 0 and the file exists.
+        assert (
+            main([
+                str(code), "--config", config, "--write-baseline", baseline,
+            ])
+            == EXIT_CLEAN
+        )
+
+        # Same tree + baseline: old debt is frozen, gate passes.
+        assert (
+            main([str(code), "--config", config, "--baseline", baseline])
+            == EXIT_CLEAN
+        )
+        out = capsys.readouterr().out
+        assert "matched the baseline" in out
+
+        # Introduce one NEW finding: the gate fails again.
+        (code / "fresh.py").write_text(
+            "import numpy as np\n\n\n"
+            "def fresh(n: int) -> np.ndarray:\n"
+            "    return np.zeros(n)\n",
+            encoding="utf-8",
+        )
+        assert (
+            main([str(code), "--config", config, "--baseline", baseline])
+            == EXIT_FINDINGS
+        )
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        code = self._seed_tree(tmp_path)
+        config = str(tmp_path / "pyproject.toml")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert (
+            main([str(code), "--config", config, "--baseline", str(bad)])
+            == EXIT_USAGE
+        )
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_exists_and_is_empty(self):
+        """Policy: the tree lints clean; the committed baseline stays
+        empty and exists only to arm the CI ratchet."""
+        path = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+        budgets = load_baseline(path)
+        assert budgets == {}

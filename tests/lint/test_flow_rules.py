@@ -1,0 +1,308 @@
+"""Flow-aware rules RL008-RL011: behaviors beyond the fixture pairs."""
+
+import textwrap
+import time as _time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source, merge_config, run_lint
+from repro.lint.engine import PARSE_ERROR_RULE
+from tests.lint.conftest import REPO_ROOT, everywhere_config
+
+
+def _lint(source: str, config=None, path: str = "snippet.py"):
+    findings, _ = lint_source(
+        textwrap.dedent(source), path, config or everywhere_config()
+    )
+    return findings
+
+
+def _with_options(code: str, **options):
+    return merge_config(
+        everywhere_config(), {"rules": {code: dict(options)}}
+    )
+
+
+class TestAsyncSafetyFlow:
+    HELPER_CHAIN = """
+        import time
+
+
+        def deep() -> None:
+            time.sleep(0.5)
+
+        def shallow() -> None:
+            deep()
+
+        async def run() -> None:
+            shallow()
+    """
+
+    def test_reachable_blocking_call_carries_evidence(self):
+        findings = [
+            f for f in self._rl008(self.HELPER_CHAIN)
+            if "time.sleep" in f.message
+        ]
+        assert len(findings) == 1
+        finding = findings[0]
+        # Anchored at the call site inside the coroutine...
+        assert "async def run" in finding.message
+        # ...with the full hop trail attached.
+        assert len(finding.evidence) >= 2
+        assert any("run calls shallow" in hop for hop in finding.evidence)
+        assert any("time.sleep" in hop for hop in finding.evidence)
+
+    def test_max_depth_option_bounds_the_walk(self):
+        config = _with_options("RL008", include=["*"], max_depth=1)
+        findings = [
+            f for f in _lint(self.HELPER_CHAIN, config)
+            if f.rule == "RL008" and "time.sleep" in f.message
+        ]
+        assert findings == []
+
+    def test_to_thread_reference_is_not_a_call(self):
+        findings = self._rl008(
+            """
+            import asyncio
+            import time
+
+
+            async def run() -> None:
+                await asyncio.to_thread(time.sleep, 0.5)
+            """
+        )
+        assert findings == []
+
+    def test_builtin_open_flagged_unless_shadowed(self):
+        flagged = self._rl008(
+            """
+            async def run(name: str) -> str:
+                with open(name, encoding="utf-8") as handle:
+                    return handle.read()
+            """
+        )
+        assert any("open" in f.message for f in flagged)
+        shadowed = self._rl008(
+            """
+            from io import open
+
+
+            async def run(name: str) -> str:
+                with open(name, encoding="utf-8") as handle:
+                    return handle.read()
+            """
+        )
+        assert shadowed == []
+
+    def test_custom_blocking_calls_option(self):
+        config = _with_options(
+            "RL008", include=["*"], blocking_calls=["dbapi.execute"]
+        )
+        findings = [
+            f for f in _lint(
+                """
+                import dbapi
+
+
+                async def run() -> None:
+                    dbapi.execute("select 1")
+                """,
+                config,
+            )
+            if f.rule == "RL008"
+        ]
+        assert any("dbapi.execute" in f.message for f in findings)
+
+    def _rl008(self, source: str):
+        return [f for f in _lint(source) if f.rule == "RL008"]
+
+
+class TestDeterminismTaintFlow:
+    def test_random_random_without_seed(self):
+        findings = [
+            f for f in _lint(
+                """
+                import random
+
+
+                def build() -> random.Random:
+                    return random.Random()
+                """
+            )
+            if f.rule == "RL009"
+        ]
+        assert len(findings) == 1
+
+    def test_taint_finding_carries_assignment_evidence(self):
+        findings = [
+            f for f in _lint(
+                """
+                import numpy as np
+
+
+                class LevelAllocator:
+                    def __init__(self) -> None:
+                        source = np.random.default_rng()
+                        self._rng = source
+                """
+            )
+            if f.rule == "RL009" and "flows into" in f.message
+        ]
+        assert len(findings) == 1
+        assert len(findings[0].evidence) == 2
+        assert "constructed" in findings[0].evidence[0]
+        assert "LevelAllocator._rng" in findings[0].evidence[1]
+
+    def test_seed_pattern_option(self):
+        config = _with_options(
+            "RL009", include=["*"], seed_pattern=r"^nonce$"
+        )
+        findings = [
+            f for f in _lint(
+                """
+                import numpy as np
+
+
+                def build(nonce: int) -> np.random.Generator:
+                    return np.random.default_rng(nonce)
+                """,
+                config,
+            )
+            if f.rule == "RL009"
+        ]
+        assert findings == []
+
+    def test_seeded_local_variable_is_provenance(self):
+        findings = [
+            f for f in _lint(
+                """
+                import numpy as np
+
+
+                def build(seed: int) -> np.random.Generator:
+                    root = np.random.default_rng(seed)
+                    spawned = np.random.default_rng(root.integers(2**32))
+                    return spawned
+                """
+            )
+            if f.rule == "RL009"
+        ]
+        assert findings == []
+
+
+class TestKernelContractsFlow:
+    def test_dtype_contracts_option_checks_call_fields(self):
+        config = _with_options(
+            "RL010", include=["*"], dtype_contracts={"demand": "float64"}
+        )
+        findings = [
+            f for f in _lint(
+                """
+                import numpy as np
+
+
+                def build(n: int) -> object:
+                    return SlotBatch(
+                        demand=np.zeros(n, dtype=np.float32),
+                    )
+                """,
+                config,
+            )
+            if f.rule == "RL010" and "demand" in f.message
+        ]
+        assert len(findings) == 1
+
+    def test_allowlist_option_extends_dtypes(self):
+        config = _with_options(
+            "RL010", include=["*"],
+            allowed_dtypes=["np.float32"],
+        )
+        findings = [
+            f for f in _lint(
+                """
+                import numpy as np
+
+
+                def build(n: int) -> np.ndarray:
+                    return np.zeros(n, dtype=np.float32)
+                """,
+                config,
+            )
+            if f.rule == "RL010"
+        ]
+        assert findings == []
+
+
+class TestWorkerHygieneFlow:
+    def test_builtin_map_is_not_a_boundary(self):
+        findings = [
+            f for f in _lint(
+                """
+                from typing import List
+
+
+                def double(chunks: List[int]) -> List[int]:
+                    return list(map(lambda chunk: chunk * 2, chunks))
+                """
+            )
+            if f.rule == "RL011"
+        ]
+        assert findings == []
+
+    def test_pool_names_option(self):
+        config = _with_options(
+            "RL011", include=["*"], pool_names=["dispatcher"]
+        )
+        findings = [
+            f for f in _lint(
+                """
+                from typing import List
+
+
+                def fan_out(dispatcher: object, chunks: List[int]) -> None:
+                    dispatcher.map(lambda chunk: chunk * 2, chunks)
+                """,
+                config,
+            )
+            if f.rule == "RL011"
+        ]
+        assert len(findings) == 1
+
+
+class TestParseErrorFindings:
+    def test_invalid_utf8_becomes_rl000(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_bytes(b"\xff\xfe\x00junk")
+        good = tmp_path / "good.py"
+        good.write_text("X = 1\n", encoding="utf-8")
+        report = run_lint([tmp_path])
+        rl000 = [f for f in report.findings if f.rule == PARSE_ERROR_RULE]
+        assert len(rl000) == 1
+        assert "UTF-8" in rl000[0].message
+        assert rl000[0].path.endswith("bad.py")
+        # The readable file was still scanned.
+        assert report.files_scanned == 2
+
+    def test_syntax_error_becomes_rl000_and_run_continues(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n", encoding="utf-8")
+        good = tmp_path / "good.py"
+        good.write_text("X = 1\n", encoding="utf-8")
+        report = run_lint([tmp_path])
+        rl000 = [f for f in report.findings if f.rule == PARSE_ERROR_RULE]
+        assert len(rl000) == 1
+        assert rl000[0].line >= 1
+
+
+class TestFullTreeTiming:
+    def test_full_tree_run_stays_under_budget(self):
+        started = _time.perf_counter()
+        report = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        elapsed = _time.perf_counter() - started
+        assert elapsed < 10.0, f"full-tree lint took {elapsed:.1f}s"
+        # The timing breakdown covers every rule plus the pseudo-stages.
+        assert "project-model" in report.timings
+        assert "parse" in report.timings
+        for code in ("RL008", "RL009", "RL010", "RL011"):
+            assert code in report.timings

@@ -50,13 +50,21 @@ class TestJsonReporter:
         assert document["suppressed"] == 0
         assert set(document["stats"]) == set(RULE_REGISTRY)
         assert document["stats"]["RL005"] == 1
+        assert document["baselined"] == 0
+        # Timings cover the engine pseudo-stages plus every rule that
+        # actually ran on an in-scope file.
+        assert {"parse", "project-model", "RL005"} <= set(
+            document["timings_ms"]
+        )
+        assert all(t >= 0.0 for t in document["timings_ms"].values())
         (finding,) = document["findings"]
         assert set(finding) == {
-            "path", "line", "col", "rule", "severity", "message",
+            "path", "line", "col", "rule", "severity", "message", "evidence",
         }
         assert finding["rule"] == "RL005"
         assert finding["severity"] == "error"
         assert finding["line"] == 1
+        assert finding["evidence"] == []
 
     def test_clean_tree_document(self, tmp_path):
         document = json.loads(render_json(_report(tmp_path, source="X = 1\n")))

@@ -16,6 +16,7 @@ from tests.lint.conftest import FIXTURES, everywhere_config
 
 RULE_CODES = (
     "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+    "RL008", "RL009", "RL010", "RL011",
 )
 
 #: rule -> minimum number of findings its fail fixture must produce.
@@ -27,6 +28,10 @@ MIN_FAIL_FINDINGS = {
     "RL005": 3,  # [], dict(), set()
     "RL006": 3,  # exported(), half_annotated(), PublicThing.method()
     "RL007": 4,  # from-import, stamp(), two duration() readings
+    "RL008": 5,  # sleep, subprocess, reachable helper, 2x dropped coroutine
+    "RL009": 3,  # two unseeded constructions, taint into allocator state
+    "RL010": 4,  # implicit dtype, float32, astype, .T / swapaxes
+    "RL011": 3,  # lambda, nested function, unpicklable dataclass fields
 }
 
 

@@ -1,0 +1,135 @@
+"""Deferred observability I/O: no file writes on a live event loop.
+
+The slot loop runs tracer emits and flight triggers inline at 60 Hz,
+so their file I/O must queue while a loop is running and land on disk
+only via ``aflush``/``aclose`` (which push the writes onto a worker
+thread).  Sync contexts — the simulator, offline analysis, the rest of
+this test directory — keep the old write-through behavior.
+"""
+
+import asyncio
+import json
+
+from repro.obs.config import Obs, ObsConfig
+from repro.obs.flight import TRIGGER_DEADLINE_MISS, FlightRecorder
+from repro.obs.spans import Span
+from repro.obs.tracer import Tracer
+
+
+def _span(slot: int) -> Span:
+    return Span(name="slot", start_s=0.0, duration_s=0.01, attrs={"slot": slot})
+
+
+class TestTracerDeferred:
+    def test_emit_in_loop_defers_until_aflush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+
+        async def scenario() -> None:
+            tracer = Tracer(path=path, sample_every=1)
+            assert tracer.emit(_span(0)) is True
+            # Queued, not written: the loop thread never touched disk.
+            assert not path.exists()
+            await tracer.aflush()
+            assert path.exists()
+            tracer.close()
+
+        asyncio.run(scenario())
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2  # header + one span
+
+    def test_close_flushes_queued_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+
+        async def scenario() -> Tracer:
+            tracer = Tracer(path=path, sample_every=1)
+            tracer.emit(_span(0))
+            return tracer
+
+        tracer = asyncio.run(scenario())
+        # Loop is gone; close() drains the queue synchronously.
+        tracer.close()
+        assert path.exists()
+
+    def test_sync_emit_still_writes_through(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=path, sample_every=1)
+        tracer.emit(_span(0))
+        assert path.exists()
+        tracer.close()
+
+
+class TestFlightDeferred:
+    def test_trigger_in_loop_defers_dump_file(self, tmp_path):
+        out_dir = tmp_path / "dumps"
+
+        async def scenario() -> None:
+            flight = FlightRecorder(capacity=4, out_dir=out_dir)
+            flight.record(_span(1))
+            dump = flight.trigger(TRIGGER_DEADLINE_MISS, detail="t", slot=1)
+            assert dump is not None
+            # The path is reserved immediately but written later.
+            assert dump.path is not None
+            assert not dump.path.exists()
+            await flight.aflush()
+            assert dump.path.exists()
+
+        asyncio.run(scenario())
+
+    def test_deferred_dump_content_matches_sync_dump(self, tmp_path):
+        async def async_arm() -> str:
+            flight = FlightRecorder(capacity=4, out_dir=tmp_path / "a")
+            flight.record(_span(7))
+            dump = flight.trigger(TRIGGER_DEADLINE_MISS, detail="x", slot=7)
+            await flight.aflush()
+            assert dump is not None and dump.path is not None
+            return dump.path.read_text(encoding="utf-8")
+
+        deferred = asyncio.run(async_arm())
+        flight = FlightRecorder(capacity=4, out_dir=tmp_path / "b")
+        flight.record(_span(7))
+        sync_dump = flight.trigger(TRIGGER_DEADLINE_MISS, detail="x", slot=7)
+        assert sync_dump is not None and sync_dump.path is not None
+        inline = sync_dump.path.read_text(encoding="utf-8")
+        assert deferred == inline
+        header = json.loads(inline.splitlines()[0])
+        assert header["trigger"] == TRIGGER_DEADLINE_MISS
+
+    def test_sync_trigger_still_writes_through(self, tmp_path):
+        flight = FlightRecorder(capacity=4, out_dir=tmp_path)
+        flight.record(_span(3))
+        dump = flight.trigger(TRIGGER_DEADLINE_MISS, detail="t", slot=3)
+        assert dump is not None and dump.path is not None
+        assert dump.path.exists()
+
+
+class TestObsBundle:
+    def test_aclose_flushes_everything(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        dumps = tmp_path / "dumps"
+        config = ObsConfig(
+            enabled=True,
+            trace_path=str(trace),
+            sample_every=1,
+            flight_dir=str(dumps),
+        )
+
+        async def scenario() -> None:
+            obs = Obs.from_config(config)
+            span = _span(0)
+            obs.flight.record(span)
+            obs.tracer.emit(span)
+            obs.flight.trigger(TRIGGER_DEADLINE_MISS, detail="d", slot=0)
+            assert not trace.exists()
+            await obs.aclose()
+            assert trace.exists()
+            assert list(dumps.glob("flight_*.jsonl"))
+
+        asyncio.run(scenario())
+
+    def test_disabled_bundle_aflush_is_inert(self):
+        async def scenario() -> None:
+            obs = Obs.disabled()
+            await obs.aflush()
+            await obs.aclose()
+
+        asyncio.run(scenario())

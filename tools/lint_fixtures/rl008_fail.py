@@ -1,0 +1,28 @@
+"""RL008 failing fixture: blocking calls and coroutine misuse."""
+
+from __future__ import annotations
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+def load_manifest(path: Path) -> str:
+    """A sync helper that blocks — fine alone, fatal under a loop."""
+    return path.read_text(encoding="utf-8")
+
+
+async def tick() -> None:
+    """A coroutine that exists to be mis-called below."""
+    await asyncio.sleep(0)
+
+
+async def run_slot(path: Path) -> None:
+    """Every statement here is a distinct async-safety violation."""
+    time.sleep(0.016)  # direct blocking call on the loop
+    subprocess.run(["sync"], check=False)  # blocking subprocess spawn
+    load_manifest(path)  # blocking I/O reached through a sync helper
+    tick()  # coroutine built and dropped, never awaited
+    asyncio.create_task(tick())  # task handle dropped
+    asyncio.sleep(0.016)  # missing await: sleeps never happen

@@ -1,0 +1,33 @@
+"""RL008 passing fixture: the same work, loop-safe."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import List, Set
+
+
+def _parse_manifest(text: str) -> List[str]:
+    """Pure sync helper: no I/O, safe to reach from a coroutine."""
+    return [line for line in text.splitlines() if line]
+
+
+async def load_manifest(path: Path) -> List[str]:
+    """Blocking file read pushed onto a worker thread."""
+    text = await asyncio.to_thread(path.read_text, encoding="utf-8")
+    return _parse_manifest(text)
+
+
+async def tick() -> None:
+    await asyncio.sleep(0)
+
+
+async def run_slot(path: Path, tasks: Set["asyncio.Task[None]"]) -> None:
+    """Awaited coroutines, retained task handles, threaded I/O."""
+    await load_manifest(path)
+    await tick()
+    task = asyncio.create_task(tick())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+    await asyncio.sleep(0.016)
+    await asyncio.gather(tick(), tick())

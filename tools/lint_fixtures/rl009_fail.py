@@ -1,0 +1,24 @@
+"""RL009 failing fixture: unseeded RNG construction and taint flow."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_stream() -> np.random.Generator:
+    """No argument at all: draws OS entropy, unreproducible."""
+    return np.random.default_rng()
+
+
+def opaque_stream(trial: str) -> np.random.Generator:
+    """A non-seed argument does not establish provenance."""
+    return default_rng(trial)
+
+
+class SlotAllocator:
+    """Unseeded generator stored on allocator state — taint sink."""
+
+    def __init__(self) -> None:
+        source = np.random.default_rng()
+        self._noise = source

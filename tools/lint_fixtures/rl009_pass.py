@@ -1,0 +1,31 @@
+"""RL009 passing fixture: every generator shows its seed provenance."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import default_rng
+
+#: A module-level constant still counts: the literal is the provenance.
+_DEFAULT_STREAM = np.random.default_rng(0)
+
+
+def seeded_stream(seed: int) -> np.random.Generator:
+    """Seed parameter passed straight through."""
+    return np.random.default_rng(seed)
+
+
+def derived_stream(base_seed: int, lane: int) -> np.random.Generator:
+    """Tuple-derived streams keep the provenance visible."""
+    return np.random.default_rng((base_seed, lane))
+
+
+def imported_stream(seed: int) -> np.random.Generator:
+    return default_rng(seed)
+
+
+class SlotAllocator:
+    """Config-field seeds are provenance too."""
+
+    def __init__(self, config_seed: int) -> None:
+        rng = np.random.default_rng(config_seed)
+        self._rng = rng

@@ -1,0 +1,29 @@
+"""RL010 failing fixture: dtype and axis-order contract violations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def implicit_dtype(num_users: int) -> np.ndarray:
+    """Relies on numpy's default dtype instead of the contract."""
+    return np.zeros((num_users, 6))
+
+
+def off_allowlist(num_users: int) -> np.ndarray:
+    """float32 is exactly the drift the contract exists to stop."""
+    return np.ones(num_users, dtype=np.float32)
+
+
+def narrowing_cast(state: np.ndarray) -> np.ndarray:
+    """Casting off the allowlist loses the bit-identity guarantee."""
+    return state.astype(np.float32)
+
+
+def reordered(state: np.ndarray) -> np.ndarray:
+    """Axis reorder mid-pipeline breaks the (users, fields) layout."""
+    return state.T
+
+
+def swapped(state: np.ndarray) -> np.ndarray:
+    return state.swapaxes(0, 1)

@@ -1,0 +1,27 @@
+"""RL010 passing fixture: every array carries its contract dtype."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def explicit_float(num_users: int) -> np.ndarray:
+    return np.zeros((num_users, 6), dtype=float)
+
+
+def explicit_int(num_users: int) -> np.ndarray:
+    return np.arange(num_users, dtype=np.int64)
+
+
+def explicit_mask(num_users: int) -> np.ndarray:
+    return np.ones(num_users, dtype=bool)
+
+
+def widening_cast(state: np.ndarray) -> np.ndarray:
+    """Casting *onto* the allowlist is how drift gets repaired."""
+    return state.astype(float)
+
+
+def like_constructors(state: np.ndarray) -> np.ndarray:
+    """``*_like`` inherits the prototype's dtype: exempt by design."""
+    return np.zeros_like(state)

@@ -1,0 +1,28 @@
+"""RL011 failing fixture: unpicklable work shipped to the pool."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import IO, List
+
+
+@dataclass(frozen=True)
+class ChunkPayload:
+    """A lock and an open handle can never cross the pickle boundary."""
+
+    chunk_id: int
+    guard: threading.Lock
+    sink: IO[str]
+
+
+def fan_out(pool: ProcessPoolExecutor, chunks: List[int]) -> List[int]:
+    """Lambdas and nested functions pickle by name — and have none."""
+    doubled = list(pool.map(lambda chunk: chunk * 2, chunks))
+
+    def local_task(chunk: int) -> int:
+        return chunk + 1
+
+    future = pool.submit(local_task, doubled[0])
+    return [future.result()]

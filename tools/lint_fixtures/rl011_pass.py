@@ -1,0 +1,26 @@
+"""RL011 passing fixture: pickle-stable payloads, module-level tasks."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ChunkPayload:
+    """Descriptors travel; resources are reopened in the worker."""
+
+    chunk_id: int
+    sink_path: str
+
+
+def _chunk_task(chunk: int) -> int:
+    """Module-level functions pickle by qualified name."""
+    return chunk * 2
+
+
+def fan_out(pool: ProcessPoolExecutor, chunks: List[int]) -> List[int]:
+    doubled = list(pool.map(_chunk_task, chunks))
+    future = pool.submit(_chunk_task, doubled[0])
+    return [future.result()]
