@@ -171,7 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_KINDS = ("allocator", "simulator", "serve", "obs", "kernel")
+_BENCH_KINDS = ("allocator", "simulator", "serve", "obs", "kernel", "scale")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -377,6 +377,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(obs_run, out / BENCH_OBS_FILE)
         written.append(out / BENCH_OBS_FILE)
+
+    if "scale" in kinds:
+        from repro.shard import BENCH_SCALE_FILE, bench_scale
+
+        scale_shards = [int(v) for v in args.scale_shards.split(",")]
+        scale_users = args.scale_users
+        scale_slots = args.scale_slots
+        if args.quick:
+            scale_shards = [n for n in scale_shards if n <= 2] or [1, 2]
+            scale_users = min(scale_users, 2)
+            scale_slots = min(scale_slots, 30)
+        print(
+            f"\nshard scale benchmark (shard counts {scale_shards}, "
+            f"{scale_users} users/shard, {scale_slots} slots, "
+            f"target hit rate {args.serve_target}):\n"
+        )
+        scale_run = bench_scale(
+            shard_counts=scale_shards,
+            users_per_shard=scale_users,
+            slots=scale_slots,
+            seed=args.seed,
+            deadline_target=args.serve_target,
+        )
+        print(
+            format_table(
+                ["shards", "users", "hit rate", "missed", "migrations"],
+                [
+                    [
+                        int(r["shards"]),
+                        int(r["users"]),
+                        r["deadline_hit_rate"],
+                        int(r["missed_reports"]),
+                        int(r["migrations"]),
+                    ]
+                    for r in scale_run["clusters"]
+                ],
+            )
+        )
+        print(
+            f"\nusers sustained at >={args.serve_target:.0%} hit rate: "
+            f"{scale_run['users_sustained']}"
+        )
+        persist_run(scale_run, out / BENCH_SCALE_FILE)
+        written.append(out / BENCH_SCALE_FILE)
 
     if written:
         print("\nwrote " + ", ".join(str(p) for p in written))
@@ -608,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--serve-slots", type=int, default=120)
     bench.add_argument("--serve-target", type=float, default=0.99,
                        help="deadline hit rate a fleet must sustain")
+    bench.add_argument("--scale-shards", default="1,2",
+                       help="comma-separated shard counts for the scale bench")
+    bench.add_argument("--scale-users", type=int, default=2,
+                       help="clients per shard for the scale bench")
+    bench.add_argument("--scale-slots", type=int, default=80,
+                       help="per-shard slots for the scale bench")
     bench.add_argument("--quick", action="store_true",
                        help="smoke-test scale for CI")
 

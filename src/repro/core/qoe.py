@@ -14,7 +14,7 @@ users (eq. (1)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -146,6 +146,35 @@ class UserQoELedger:
 
     def reset(self) -> None:
         self.__init__()
+
+    def export_state(self) -> Tuple[Tuple[int, int, float], ...]:
+        """The per-slot history as ``(level, indicator, delay)`` rows.
+
+        The indicator is recovered from the stored viewed quality
+        (``viewed = level * indicator``, so it is 1 exactly when the
+        slot's viewed quality is positive) — together the rows are a
+        lossless transcript of every :meth:`record` call.
+        """
+        return tuple(
+            (level, 1 if viewed > 0 else 0, delay)
+            for level, viewed, delay in zip(
+                self._levels, self._viewed, self._delays
+            )
+        )
+
+    def restore_state(
+        self, rows: Sequence[Tuple[int, int, float]]
+    ) -> None:
+        """Rebuild the ledger from :meth:`export_state` output.
+
+        Replays the rows through :meth:`record`, so the running sums
+        — hence mean, variance, and QoE at any horizon — match the
+        original ledger bit-for-bit (the migration handoff's variance
+        accumulators survive the transfer).
+        """
+        self.reset()
+        for level, indicator, delay in rows:
+            self.record(int(level), int(indicator), float(delay))
 
 
 def system_qoe(ledgers: Sequence[UserQoELedger], weights: QoEWeights) -> float:

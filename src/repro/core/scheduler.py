@@ -15,7 +15,7 @@ so the algorithms are executed by identical code in both worlds.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.allocation import QualityAllocator, SlotProblem, UserSlotState
 
@@ -27,6 +27,24 @@ from repro.core.qoe import QoEWeights, UserQoELedger, system_qoe
 from repro.errors import ConfigurationError
 from repro.obs.registry import Counter, MetricsRegistry
 from repro.prediction.accuracy import PredictionAccuracyTracker, RunningMean
+
+
+def _state_int(state: Mapping[str, object], key: str) -> int:
+    value = state.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"scheduler user state {key!r} must be an int, got {value!r}"
+        )
+    return value
+
+
+def _state_float(state: Mapping[str, object], key: str) -> float:
+    value = state.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"scheduler user state {key!r} must be a number, got {value!r}"
+        )
+    return float(value)
 
 
 class CollaborativeVrScheduler:
@@ -271,6 +289,52 @@ class CollaborativeVrScheduler:
         self._qbar[user].reset()
         self._accuracy[user].reset()
         self.ledgers[user].reset()
+
+    def export_user(self, user: int) -> Dict[str, object]:
+        """One user's running statistics as a JSON-friendly dict.
+
+        Captures the viewed-quality mean, the accuracy posterior, and
+        the full QoE ledger transcript — the cross-slot state a
+        session-migration handoff must carry so the target shard's
+        scheduler continues exactly where the source left off.
+        """
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        qbar_count, qbar_mean = self._qbar[user].export_state()
+        trials, successes = self._accuracy[user].export_state()
+        return {
+            "qbar_count": qbar_count,
+            "qbar_mean": qbar_mean,
+            "accuracy_trials": trials,
+            "accuracy_successes": successes,
+            "ledger": [list(row) for row in self.ledgers[user].export_state()],
+        }
+
+    def import_user(self, user: int, state: Mapping[str, object]) -> None:
+        """Reinstate one user's state from :meth:`export_user` output."""
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        qbar_count = _state_int(state, "qbar_count")
+        qbar_mean = _state_float(state, "qbar_mean")
+        trials = _state_int(state, "accuracy_trials")
+        successes = _state_int(state, "accuracy_successes")
+        ledger_rows = state.get("ledger")
+        if not isinstance(ledger_rows, (list, tuple)):
+            raise ConfigurationError("scheduler user state 'ledger' must be a list")
+        rows: List[Tuple[int, int, float]] = []
+        for row in ledger_rows:
+            if not isinstance(row, (list, tuple)) or len(row) != 3:
+                raise ConfigurationError(
+                    f"ledger rows must be (level, indicator, delay), got {row!r}"
+                )
+            rows.append((int(row[0]), int(row[1]), float(row[2])))
+        self._qbar[user].restore_state(qbar_count, qbar_mean)
+        self._accuracy[user].restore_state(trials, successes)
+        self.ledgers[user].restore_state(rows)
 
     def reset(self) -> None:
         """Clear all per-episode state, including the allocator's."""

@@ -25,10 +25,13 @@ from repro.faults.schedule import (
     FAULT_DELAY_REPORT,
     FAULT_DISCONNECT,
     FAULT_KINDS,
+    FAULT_MIGRATION_STALL,
+    FAULT_SHARD_KILL,
     FAULT_STALL_READ,
     FAULT_STALL_WRITE,
     FAULT_TRUNCATE_FRAME,
     SERVER_KINDS,
+    SHARD_KINDS,
     TIMED_KINDS,
     FaultEvent,
     FaultSchedule,
@@ -41,6 +44,8 @@ __all__ = [
     "FAULT_DELAY_REPORT",
     "FAULT_DISCONNECT",
     "FAULT_KINDS",
+    "FAULT_MIGRATION_STALL",
+    "FAULT_SHARD_KILL",
     "FAULT_STALL_READ",
     "FAULT_STALL_WRITE",
     "FAULT_TRUNCATE_FRAME",
@@ -48,6 +53,7 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "SERVER_KINDS",
+    "SHARD_KINDS",
     "TIMED_KINDS",
     "corrupt_frame_bytes",
     "truncate_frame_bytes",

@@ -20,9 +20,9 @@ from typing import Dict, Optional, TextIO
 from repro.errors import ConfigurationError
 from repro.faults.schedule import (
     CLIENT_KINDS,
-    FAULT_KINDS,
     FaultSchedule,
     SERVER_KINDS,
+    SHARD_KINDS,
 )
 
 EXIT_OK = 0
@@ -46,13 +46,19 @@ def add_faults_arguments(parser: argparse.ArgumentParser) -> None:
     generate.add_argument("--rate", type=float, default=0.002,
                           help="per-(slot, seat) firing probability applied "
                                "to every selected kind (default: 0.002)")
-    generate.add_argument("--kinds", default=",".join(FAULT_KINDS),
+    generate.add_argument("--kinds",
+                          default=",".join(SERVER_KINDS + CLIENT_KINDS),
                           help="comma-separated fault kinds to draw "
-                               "(default: all)")
+                               "(default: all seat-level kinds; shard-level "
+                               "kinds need --shards)")
     generate.add_argument("--duration-ms", type=float, default=50.0,
                           help="duration for timed kinds (default: 50 ms)")
     generate.add_argument("--min-slot", type=int, default=1,
                           help="first slot faults may fire at (default: 1)")
+    generate.add_argument("--shards", type=int, default=0,
+                          help="shards the shard-level kinds "
+                               f"({', '.join(SHARD_KINDS)}) may target "
+                               "(default: 0 = shard kinds disabled)")
 
     show = sub.add_parser(
         "show", help="validate a fault script and print its timeline"
@@ -95,6 +101,7 @@ def _cmd_generate(
             rates=rates,
             duration_s=args.duration_ms / 1e3,
             min_slot=args.min_slot,
+            num_shards=args.shards,
         )
         path = schedule.save(args.out)
     except ConfigurationError as exc:
@@ -131,14 +138,19 @@ def _cmd_show(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
         file=out,
     )
     for event in schedule.events:
-        side = "server" if event.kind in SERVER_KINDS else "client"
+        if event.kind in SERVER_KINDS:
+            side, target = "server", "seat"
+        elif event.kind in SHARD_KINDS:
+            side, target = "shard", "shard"
+        else:
+            side, target = "client", "seat"
         timed = (
             f" duration={event.duration_s * 1e3:.1f}ms"
             if event.duration_s > 0
             else ""
         )
         print(
-            f"  slot {event.slot:>5}  seat {event.seat:>3}  "
+            f"  slot {event.slot:>5}  {target} {event.seat:>3}  "
             f"{event.kind:<15} [{side}]{timed}",
             file=out,
         )

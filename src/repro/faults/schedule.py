@@ -18,11 +18,21 @@ Kinds are split by which side of the wire injects them:
   ``truncate_frame`` (send a cut-short plan frame, then abort);
 * client-side (:data:`CLIENT_KINDS`): ``crash_client`` (drop the
   connection without a bye), ``corrupt_report`` (bit-flip the report
-  frame body), ``delay_report`` (hold the report for ``duration_s``).
+  frame body), ``delay_report`` (hold the report for ``duration_s``);
+* shard-level (:data:`SHARD_KINDS`, schema version 2): ``shard_kill``
+  (the coordinator pulls a whole shard out of service and migrates
+  its sessions) and ``migration_stall`` (the coordinator delays a
+  migrating session's redirect by ``duration_s``).  For shard kinds
+  the ``seat`` field carries the *shard index*, not a seat.
 
 The same schedule format drives the emulated testbed: passed to
 :meth:`repro.system.experiment.SystemExperiment.run_repeat`, the
 connection-level kinds become link outages for the affected slots.
+
+Schema versioning: scripts that use only the original seat-level
+kinds are written as version 1 (byte-stable with older releases);
+any shard-level event bumps the written script to version 2, and a
+version-1 script containing shard kinds is rejected as corrupt.
 """
 
 from __future__ import annotations
@@ -47,19 +57,33 @@ FAULT_CRASH_CLIENT = "crash_client"
 FAULT_CORRUPT_REPORT = "corrupt_report"
 FAULT_DELAY_REPORT = "delay_report"
 
+#: Shard-level kinds: the shard coordinator injects.  ``seat`` holds
+#: the target *shard index* for these (a shard has no seat identity).
+FAULT_SHARD_KILL = "shard_kill"
+FAULT_MIGRATION_STALL = "migration_stall"
+
 SERVER_KINDS = (
     FAULT_DISCONNECT, FAULT_STALL_READ, FAULT_STALL_WRITE,
     FAULT_TRUNCATE_FRAME,
 )
 CLIENT_KINDS = (FAULT_CRASH_CLIENT, FAULT_CORRUPT_REPORT, FAULT_DELAY_REPORT)
-FAULT_KINDS = SERVER_KINDS + CLIENT_KINDS
+SHARD_KINDS = (FAULT_SHARD_KILL, FAULT_MIGRATION_STALL)
+FAULT_KINDS = SERVER_KINDS + CLIENT_KINDS + SHARD_KINDS
 
 #: Kinds that need a positive ``duration_s`` to mean anything.
-TIMED_KINDS = (FAULT_STALL_READ, FAULT_STALL_WRITE, FAULT_DELAY_REPORT)
+TIMED_KINDS = (
+    FAULT_STALL_READ, FAULT_STALL_WRITE, FAULT_DELAY_REPORT,
+    FAULT_MIGRATION_STALL,
+)
 
 #: Schema tag of the JSON script format.
 SCHEDULE_SCHEMA_KIND = "repro.faults.schedule"
-SCHEDULE_SCHEMA_VERSION = 1
+#: Highest schema version this release reads and writes.  Version 2
+#: adds the shard-level kinds; :meth:`FaultSchedule.to_dict` still
+#: emits version 1 for schedules that do not use them, so scripts
+#: written by older releases round-trip byte-identically.
+SCHEDULE_SCHEMA_VERSION = 2
+SCHEDULE_SCHEMA_VERSION_BASE = 1
 
 #: Sub-stream tag for the seeded schedule generator (see the RNG
 #: conventions in repro.serve.slotloop: (seed, ..., tag) tuples).
@@ -70,9 +94,11 @@ SCHEDULE_RNG_TAG = 23
 class FaultEvent:
     """One scheduled fault: ``kind`` fired once at ``(slot, seat)``.
 
-    ``duration_s`` parameterizes the timed kinds (stalls and report
-    delays); connection-level kinds ignore it on the serving path and
-    the emulated testbed reads it as an outage length.
+    ``duration_s`` parameterizes the timed kinds (stalls, report
+    delays, migration stalls); connection-level kinds ignore it on
+    the serving path and the emulated testbed reads it as an outage
+    length.  For the shard-level kinds (:data:`SHARD_KINDS`) the
+    ``seat`` field carries the target *shard index*.
     """
 
     slot: int
@@ -183,6 +209,10 @@ class FaultSchedule:
     def client_events(self) -> "FaultSchedule":
         return self.restricted_to(CLIENT_KINDS)
 
+    @property
+    def shard_events(self) -> "FaultSchedule":
+        return self.restricted_to(SHARD_KINDS)
+
     def max_slot(self) -> int:
         """The latest slot any event fires at (-1 when empty)."""
         return max((e.slot for e in self.events), default=-1)
@@ -196,10 +226,16 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     # JSON script format
     # ------------------------------------------------------------------
+    def schema_version(self) -> int:
+        """The lowest schema version that can express this schedule."""
+        if any(event.kind in SHARD_KINDS for event in self.events):
+            return SCHEDULE_SCHEMA_VERSION
+        return SCHEDULE_SCHEMA_VERSION_BASE
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": SCHEDULE_SCHEMA_KIND,
-            "version": SCHEDULE_SCHEMA_VERSION,
+            "version": self.schema_version(),
             "events": [event.to_dict() for event in self.events],
         }
 
@@ -210,10 +246,12 @@ class FaultSchedule:
                 f"not a fault schedule: kind={payload.get('kind')!r} "
                 f"(expected {SCHEDULE_SCHEMA_KIND!r})"
             )
-        if payload.get("version") != SCHEDULE_SCHEMA_VERSION:
+        version = payload.get("version")
+        if version not in (
+            SCHEDULE_SCHEMA_VERSION_BASE, SCHEDULE_SCHEMA_VERSION
+        ):
             raise ConfigurationError(
-                f"unsupported fault-schedule version "
-                f"{payload.get('version')!r}"
+                f"unsupported fault-schedule version {version!r}"
             )
         events = payload.get("events")
         if not isinstance(events, list):
@@ -224,7 +262,17 @@ class FaultSchedule:
                 raise ConfigurationError(
                     f"fault event must be an object, got {entry!r}"
                 )
-            parsed.append(FaultEvent.from_dict(entry))
+            event = FaultEvent.from_dict(entry)
+            if (
+                version == SCHEDULE_SCHEMA_VERSION_BASE
+                and event.kind in SHARD_KINDS
+            ):
+                raise ConfigurationError(
+                    f"fault kind {event.kind!r} requires schema version "
+                    f"{SCHEDULE_SCHEMA_VERSION}, but the script declares "
+                    f"version {SCHEDULE_SCHEMA_VERSION_BASE}"
+                )
+            parsed.append(event)
         return cls(events=tuple(parsed))
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -267,6 +315,7 @@ class FaultSchedule:
         rates: Mapping[str, float],
         duration_s: float = 0.05,
         min_slot: int = 1,
+        num_shards: int = 0,
     ) -> "FaultSchedule":
         """Draw a schedule from a seeded RNG (same seed, same timeline).
 
@@ -275,6 +324,11 @@ class FaultSchedule:
         seats in increasing order, so the draw sequence — hence the
         schedule — is a pure function of the arguments.  ``min_slot``
         keeps the opening slots clean (joins and initial poses).
+
+        Shard-level kinds target shard indices ``0..num_shards - 1``
+        instead of seats, and are drawn *after* all seat-level kinds
+        so schedules without shard rates keep the historical draw
+        sequence bit-for-bit.
         """
         if num_slots < 1:
             raise ConfigurationError(
@@ -284,6 +338,8 @@ class FaultSchedule:
             raise ConfigurationError(
                 f"num_seats must be >= 1, got {num_seats}"
             )
+        seat_rates: Dict[str, float] = {}
+        shard_rates: Dict[str, float] = {}
         for kind, rate in rates.items():
             if kind not in FAULT_KINDS:
                 raise ConfigurationError(
@@ -294,16 +350,39 @@ class FaultSchedule:
                 raise ConfigurationError(
                     f"rate for {kind!r} must be in [0, 1], got {rate}"
                 )
+            if kind in SHARD_KINDS:
+                shard_rates[kind] = rate
+            else:
+                seat_rates[kind] = rate
+        if shard_rates and num_shards < 1:
+            raise ConfigurationError(
+                f"shard-level kinds {tuple(sorted(shard_rates))} need "
+                f"num_shards >= 1, got {num_shards}"
+            )
         rng = np.random.default_rng((seed, SCHEDULE_RNG_TAG))
         events: List[FaultEvent] = []
         for slot in range(max(min_slot, 0), num_slots):
             for seat in range(num_seats):
-                for kind in sorted(rates):
-                    if float(rng.random()) < rates[kind]:
+                for kind in sorted(seat_rates):
+                    if float(rng.random()) < seat_rates[kind]:
                         events.append(
                             FaultEvent(
                                 slot=slot,
                                 seat=seat,
+                                kind=kind,
+                                duration_s=(
+                                    duration_s if kind in TIMED_KINDS else 0.0
+                                ),
+                            )
+                        )
+        for slot in range(max(min_slot, 0), num_slots):
+            for shard in range(num_shards if shard_rates else 0):
+                for kind in sorted(shard_rates):
+                    if float(rng.random()) < shard_rates[kind]:
+                        events.append(
+                            FaultEvent(
+                                slot=slot,
+                                seat=shard,
                                 kind=kind,
                                 duration_s=(
                                     duration_s if kind in TIMED_KINDS else 0.0

@@ -9,6 +9,8 @@ not divide its world by the first unlucky slot.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.errors import ConfigurationError
 
 
@@ -37,6 +39,17 @@ class RunningMean:
     def reset(self) -> None:
         self._count = 0
         self._mean = 0.0
+
+    def export_state(self) -> Tuple[int, float]:
+        """``(count, mean)`` — everything the running mean is."""
+        return (self._count, self._mean)
+
+    def restore_state(self, count: int, mean: float) -> None:
+        """Reinstate a mean captured by :meth:`export_state`."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._count = int(count)
+        self._mean = float(mean) if count else 0.0
 
 
 class PredictionAccuracyTracker:
@@ -91,3 +104,16 @@ class PredictionAccuracyTracker:
     def reset(self) -> None:
         self._successes = 0
         self._trials = 0
+
+    def export_state(self) -> Tuple[int, int]:
+        """``(trials, successes)`` — the tracker's whole posterior."""
+        return (self._trials, self._successes)
+
+    def restore_state(self, trials: int, successes: int) -> None:
+        """Reinstate counts captured by :meth:`export_state`."""
+        if trials < 0 or successes < 0 or successes > trials:
+            raise ConfigurationError(
+                f"need 0 <= successes <= trials, got {successes}/{trials}"
+            )
+        self._trials = int(trials)
+        self._successes = int(successes)

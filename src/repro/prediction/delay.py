@@ -15,7 +15,7 @@ scheduler's ``E[d_n(f^R(q))]`` term.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque, Sequence, Tuple
 
 import numpy as np
 
@@ -111,3 +111,18 @@ class PolynomialDelayPredictor:
         self._samples.clear()
         self._coeffs = np.array([])
         self._dirty = True
+
+    def export_state(self) -> Tuple[Tuple[float, float], ...]:
+        """The (rate, delay) sample window (oldest first)."""
+        return tuple(self._samples)
+
+    def restore_state(self, samples: Sequence[Tuple[float, float]]) -> None:
+        """Rebuild the sample window from :meth:`export_state` output.
+
+        Replays the samples through :meth:`observe`, so the refit
+        coefficients — hence every later prediction — are bit-identical
+        to the original predictor's.
+        """
+        self.reset()
+        for rate_mbps, delay in samples:
+            self.observe(float(rate_mbps), float(delay))

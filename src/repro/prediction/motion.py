@@ -14,7 +14,7 @@ boundary does not produce a spurious 360-degree jump.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,21 @@ class LinearMotionPredictor:
     def reset(self) -> None:
         """Forget all history (e.g., after a teleport/scene change)."""
         self._history.clear()
+
+    def export_state(self) -> Tuple[Tuple[float, ...], ...]:
+        """The observed pose window as plain vectors (oldest first)."""
+        return tuple(tuple(p.as_vector()) for p in self._history)
+
+    def restore_state(self, vectors: Sequence[Sequence[float]]) -> None:
+        """Rebuild the pose window from :meth:`export_state` output.
+
+        Replays the vectors through :meth:`observe`, so a restored
+        predictor produces bit-identical predictions to the original
+        (the session-migration handoff relies on this).
+        """
+        self._history.clear()
+        for vector in vectors:
+            self.observe(Pose.from_vector(vector))
 
     def predict(self, horizon: Optional[int] = None) -> Optional[Pose]:
         """Extrapolate the pose ``horizon`` slots past the last one.

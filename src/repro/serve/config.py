@@ -116,6 +116,10 @@ class ServeConfig:
     faults: Optional[FaultSchedule] = None
     resume_grace_s: float = 0.0
     resume_grace_slots: int = 0
+    #: Shard index advertised in Welcome frames when this server runs
+    #: as one shard of a :mod:`repro.shard` cluster; -1 (the default)
+    #: means an unsharded standalone server and changes nothing.
+    shard_index: int = -1
 
     def __post_init__(self) -> None:
         if not 1 <= self.expect_clients <= self.experiment.num_users:
@@ -149,6 +153,10 @@ class ServeConfig:
         if self.resume_grace_slots < 0:
             raise ConfigurationError(
                 f"resume_grace_slots must be >= 0, got {self.resume_grace_slots}"
+            )
+        if self.shard_index < -1:
+            raise ConfigurationError(
+                f"shard_index must be >= -1, got {self.shard_index}"
             )
 
     @property

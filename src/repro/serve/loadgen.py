@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,7 @@ from repro.serve.protocol import (
     EndOfRun,
     JoinRequest,
     Ready,
+    Redirect,
     Reject,
     SlotReport,
     TilePlan,
@@ -60,6 +61,12 @@ from repro.units import TARGET_FPS
 
 #: Delay clamp applied client-side, matching the experiment loop.
 MAX_DELAY_SLOTS = 60.0
+
+#: Redirects one client will follow before giving up — a guard
+#: against a misconfigured cluster bouncing a client in a loop, far
+#: above anything a working coordinator issues (one greeting redirect
+#: plus one per migration).
+MAX_REDIRECTS = 8
 
 
 @dataclass(frozen=True)
@@ -193,6 +200,7 @@ class ClientReport:
     reject_reason: str = ""
     server_summary: Optional[Dict[str, float]] = None
     resumes: int = 0
+    redirects: int = 0
 
     @property
     def rejected(self) -> bool:
@@ -258,7 +266,9 @@ class _ClientState:
         self.resumes = 0
 
 
-def _final_report(name: str, state: _ClientState) -> ClientReport:
+def _final_report(
+    name: str, state: _ClientState, redirects: int = 0
+) -> ClientReport:
     phone = state.phone
     frames = len(phone.frames)
     displayed = sum(1 for f in phone.frames if f.displayed)
@@ -278,6 +288,7 @@ def _final_report(name: str, state: _ClientState) -> ClientReport:
         end_reason=state.end_reason,
         server_summary=state.server_summary,
         resumes=state.resumes,
+        redirects=redirects,
     )
 
 
@@ -306,6 +317,12 @@ async def _run_client(
     state: Optional[_ClientState] = None
     token = ""
     attempts = 0
+    redirects = 0
+    # The address being dialled.  A Redirect moves it to the assigned
+    # shard; a lost connection falls back to the configured ("home")
+    # endpoint — in a sharded cluster that is the coordinator, which
+    # re-routes the client even if its shard just died.
+    host, port = config.host, config.port
     while True:
         if attempts:
             await asyncio.sleep(
@@ -315,25 +332,27 @@ async def _run_client(
             config.reconnect.enabled and state is not None and bool(token)
         )
         try:
-            reader, writer = await asyncio.open_connection(
-                config.host, config.port
-            )
+            reader, writer = await asyncio.open_connection(host, port)
         except (ConnectionError, OSError):
             if not can_heal:
                 raise
+            host, port = config.host, config.port
             attempts += 1
             if attempts > config.reconnect.max_attempts:
-                return _final_report(name, state)
+                return _final_report(name, state, redirects)
             continue
         done = False
         rejected: Optional[ClientReport] = None
+        follow: Optional[Redirect] = None
         try:
             await send_message(
                 writer,
                 JoinRequest(client=name, version=PROTOCOL_VERSION, token=token),
             )
             greeting = await read_message(reader)
-            if isinstance(greeting, Reject):
+            if isinstance(greeting, Redirect):
+                follow = greeting
+            elif isinstance(greeting, Reject):
                 end_reason = (
                     "resume_failed"
                     if greeting.code == REJECT_RESUME
@@ -350,11 +369,12 @@ async def _run_client(
                     end_reason=end_reason,
                     reject_code=greeting.code,
                     reject_reason=greeting.reason,
+                    redirects=redirects,
                 )
             else:
                 if not isinstance(greeting, Welcome):
                     raise TransportError(
-                        f"expected welcome or reject, got "
+                        f"expected welcome, redirect, or reject, got "
                         f"{type(greeting).__name__}"
                     )
                 token = greeting.resume_token or token
@@ -367,10 +387,14 @@ async def _run_client(
                 elif greeting.resumed:
                     state.resumes += 1
                     attempts = 0
-                done = await _session_loop(
+                outcome = await _session_loop(
                     config, reader, writer, state, latency_s, jitter_rng,
                     leave_after, injector,
                 )
+                if isinstance(outcome, Redirect):
+                    follow = outcome
+                else:
+                    done = outcome
         except (TransportError, ConnectionError, OSError):
             if not (config.reconnect.enabled and state is not None and token):
                 raise
@@ -383,13 +407,29 @@ async def _run_client(
         if rejected is not None:
             return rejected
         if done:
-            return _final_report(name, state)
+            return _final_report(name, state, redirects)
+        if follow is not None:
+            # Redirects are cluster plumbing, not failures: follow
+            # immediately (no backoff, no attempt charged) whatever
+            # the reconnect policy says, bounded by MAX_REDIRECTS.
+            redirects += 1
+            if redirects > MAX_REDIRECTS:
+                if state is None:
+                    raise TransportError(
+                        f"{name}: redirected {redirects} times without "
+                        "ever being admitted"
+                    )
+                state.end_reason = "redirect_loop"
+                return _final_report(name, state, redirects)
+            host, port = follow.host, follow.port
+            continue
         # Connection lost mid-session: heal or give up.
+        host, port = config.host, config.port
         if not (config.reconnect.enabled and token):
-            return _final_report(name, state)
+            return _final_report(name, state, redirects)
         attempts += 1
         if attempts > config.reconnect.max_attempts:
-            return _final_report(name, state)
+            return _final_report(name, state, redirects)
 
 
 async def _session_loop(
@@ -401,19 +441,24 @@ async def _session_loop(
     jitter_rng: np.random.Generator,
     leave_after_slots: int,
     injector: FaultInjector,
-) -> bool:
+) -> Union[bool, Redirect]:
     """One connection's slot loop: plans in, reports out.
 
     Returns True when the run is over (END or voluntary leave), False
-    when the connection should be treated as lost.  Scripted
-    client-side faults act here: ``crash_client`` aborts without a
-    report, ``corrupt_report`` mangles the report's body bytes (the
-    server quarantines it), ``delay_report`` holds the report back.
+    when the connection should be treated as lost, or the
+    :class:`Redirect` frame when the server moved this session to
+    another shard mid-run (the caller reconnects there with its resume
+    token).  Scripted client-side faults act here: ``crash_client``
+    aborts without a report, ``corrupt_report`` mangles the report's
+    body bytes (the server quarantines it), ``delay_report`` holds the
+    report back.
     """
     while True:
         message = await read_message(reader)
         if message is None:
             return False
+        if isinstance(message, Redirect):
+            return message
         if isinstance(message, EndOfRun):
             state.end_reason = message.reason
             state.server_summary = dict(message.summary)

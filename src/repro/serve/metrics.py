@@ -217,6 +217,14 @@ class ServingMetrics:
             "repro_serve_corrupt_frames_total",
             "Undecodable frames quarantined without dropping the session",
         )
+        self._migrations_out = self.registry.counter(
+            "repro_serve_migrations_out_total",
+            "Sessions handed off to another shard",
+        )
+        self._migrations_in = self.registry.counter(
+            "repro_serve_migrations_in_total",
+            "Sessions adopted from another shard",
+        )
         self.telemetry = Telemetry()
         self.telemetry.attach_registry(self.registry)
 
@@ -274,6 +282,21 @@ class ServingMetrics:
 
     def record_corrupt_frame(self) -> None:
         self._corrupt_frames.inc()
+
+    def record_migration_out(self) -> None:
+        """A seat left for another shard — not a leave, not a failure.
+
+        The active-session gauge drops (the seat is free here) but the
+        leave counter is untouched: migrations are the coordinator's
+        doing, and run-level accounting must not read them as churn.
+        """
+        self._migrations_out.inc()
+        self._active_sessions.dec()
+
+    def record_migration_in(self) -> None:
+        """A seat adopted from another shard (counts as occupancy)."""
+        self._migrations_in.inc()
+        self._active_sessions.inc()
 
     # ------------------------------------------------------------------
     # Reads (all backed by the registry instruments)
@@ -343,6 +366,14 @@ class ServingMetrics:
     def corrupt_frames(self) -> int:
         return self._corrupt_frames.count
 
+    @property
+    def migrations_out(self) -> int:
+        return self._migrations_out.count
+
+    @property
+    def migrations_in(self) -> int:
+        return self._migrations_in.count
+
     # ------------------------------------------------------------------
     # Derived figures
     # ------------------------------------------------------------------
@@ -392,6 +423,8 @@ class ServingMetrics:
             "session_resumes": self.session_resumes,
             "resume_failures": self.resume_failures,
             "corrupt_frames": self.corrupt_frames,
+            "migrations_out": self.migrations_out,
+            "migrations_in": self.migrations_in,
             "per_user_mean_viewed_quality": {
                 str(user): quality
                 for user, quality in self.per_user_quality().items()

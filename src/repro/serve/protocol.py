@@ -94,6 +94,8 @@ class Welcome:
     lockstep: bool
     resume_token: str = ""
     resumed: bool = False
+    #: Index of the shard that owns this session (-1: unsharded server).
+    shard: int = -1
 
     KIND = "welcome"
 
@@ -116,6 +118,7 @@ class Welcome:
             "lockstep": self.lockstep,
             "resume_token": self.resume_token,
             "resumed": self.resumed,
+            "shard": self.shard,
         }
 
 
@@ -135,6 +138,34 @@ class Reject:
             "code": self.code,
             "reason": self.reason,
             "capacity": self.capacity,
+        }
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """Server -> client: connect to another endpoint instead.
+
+    Sent by a shard coordinator in place of a :class:`Welcome` (the
+    router assigned the client to a shard) or mid-session when a
+    seat is migrated to another shard.  The client should reconnect
+    to ``host:port`` — presenting its resume token when it holds one
+    — and expect the regular admission/resume handshake there.
+    """
+
+    host: str
+    port: int
+    shard: int
+    reason: str
+
+    KIND = "redirect"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.KIND,
+            "host": self.host,
+            "port": self.port,
+            "shard": self.shard,
+            "reason": self.reason,
         }
 
 
@@ -248,7 +279,15 @@ class Bye:
 
 
 ServeMessage = Union[
-    JoinRequest, Welcome, Reject, Ready, TilePlan, SlotReport, EndOfRun, Bye
+    JoinRequest,
+    Welcome,
+    Reject,
+    Redirect,
+    Ready,
+    TilePlan,
+    SlotReport,
+    EndOfRun,
+    Bye,
 ]
 
 
@@ -279,6 +318,13 @@ def _get_bool_default(
     value = payload.get(key, default)
     if not isinstance(value, bool):
         raise FrameCorruptError(f"field {key!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _get_int_default(payload: Mapping[str, Any], key: str, default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FrameCorruptError(f"field {key!r} must be an integer, got {value!r}")
     return value
 
 
@@ -380,12 +426,20 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
             lockstep=_get_bool(payload, "lockstep"),
             resume_token=_get_str_default(payload, "resume_token", ""),
             resumed=_get_bool_default(payload, "resumed", False),
+            shard=_get_int_default(payload, "shard", -1),
         )
     if kind == Reject.KIND:
         return Reject(
             code=_get_str(payload, "code"),
             reason=_get_str(payload, "reason"),
             capacity=_get_int(payload, "capacity"),
+        )
+    if kind == Redirect.KIND:
+        return Redirect(
+            host=_get_str(payload, "host"),
+            port=_get_int(payload, "port"),
+            shard=_get_int(payload, "shard"),
+            reason=_get_str(payload, "reason"),
         )
     if kind == Ready.KIND:
         return Ready(pose=_get_pose(payload, "pose"))

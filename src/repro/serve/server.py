@@ -25,7 +25,11 @@ from repro.obs.config import Obs
 from repro.obs.flight import TRIGGER_ADMISSION_REJECT
 from repro.obs.http import ObsHttpServer
 from repro.prediction.pose import Pose
-from repro.serve.admission import REJECT_RESUME, AdmissionPolicy
+from repro.serve.admission import (
+    REJECT_DRAINING,
+    REJECT_RESUME,
+    AdmissionPolicy,
+)
 from repro.serve.config import PROTOCOL_VERSION, ServeConfig, resume_enabled
 from repro.serve.metrics import ServingMetrics
 from repro.serve.protocol import (
@@ -188,7 +192,9 @@ class VrServeServer:
         """Serve one full run and shut down cleanly."""
         await self.start()
         try:
-            await self._wait_for_clients()
+            await self.wait_for_ready(
+                self.config.expect_clients, self.config.start_timeout_s
+            )
             await self.slot_loop.run()
         finally:
             await self._shutdown()
@@ -198,23 +204,62 @@ class VrServeServer:
             metrics=self.metrics,
         )
 
-    async def _wait_for_clients(self) -> None:
-        """Block until ``expect_clients`` sessions are ready."""
+    async def run_admitted(self) -> ServeResult:
+        """Serve a run whose readiness someone else already gated.
+
+        A shard coordinator (:mod:`repro.shard`) admits clients across
+        several servers and releases them all at once; each shard then
+        runs its slot loop directly without waiting for its own
+        ``expect_clients`` quorum.
+        """
+        await self.start()
+        try:
+            await self.slot_loop.run()
+        finally:
+            await self._shutdown()
+        return ServeResult(
+            port=self._bound_port,
+            slots=self.slot_loop.slots_run,
+            metrics=self.metrics,
+        )
+
+    async def wait_for_ready(self, count: int, timeout_s: float) -> None:
+        """Block until ``count`` sessions are ready (joined + posed)."""
         loop = asyncio.get_running_loop()
-        deadline_s = loop.time() + self.config.start_timeout_s
-        while self.registry.ready_count() < self.config.expect_clients:
+        deadline_s = loop.time() + timeout_s
+        while self.registry.ready_count() < count:
             remaining_s = deadline_s - loop.time()
             if remaining_s <= 0:
                 raise TransportError(
-                    f"timed out waiting for {self.config.expect_clients} "
-                    f"clients ({self.registry.ready_count()} ready after "
-                    f"{self.config.start_timeout_s:.1f}s)"
+                    f"timed out waiting for {count} clients "
+                    f"({self.registry.ready_count()} ready after "
+                    f"{timeout_s:.1f}s)"
                 )
             self._ready_event.clear()
             try:
                 await asyncio.wait_for(self._ready_event.wait(), remaining_s)
             except asyncio.TimeoutError:
                 continue
+
+    async def aclose(self) -> None:
+        """Tear down a server that never ran (or already finished).
+
+        The shard supervisor keeps spare servers bound and listening;
+        one that is replaced without serving a run still has to close
+        its listener, observability endpoint, and accepted connections.
+        """
+        if self._http is not None:
+            await self._http.stop()
+        await self.obs.aclose()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if self._conn_tasks:
+            for task in self._conn_tasks:
+                task.cancel()
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
 
     async def _shutdown(self) -> None:
         """Send end-of-run frames, close every socket, reap all tasks."""
@@ -223,6 +268,8 @@ class VrServeServer:
         await self.obs.aclose()
         self.admission.start_draining()
         for session, frame in self.slot_loop.end_frames("complete"):
+            if session.writer is None:
+                continue
             try:
                 await send_message(session.writer, frame)
             except (ConnectionError, OSError):
@@ -388,12 +435,28 @@ class VrServeServer:
             lockstep=self.config.lockstep,
             resume_token=session.token,
             resumed=resumed,
+            shard=self.config.shard_index,
         )
 
     async def _resume(
         self, message: JoinRequest, writer: asyncio.StreamWriter
     ) -> Optional[Session]:
         """Re-attach a reconnecting client to its detached seat."""
+        if self.admission.draining:
+            # End-of-run frames are already on the wire (or gone): a
+            # resume granted now would hang waiting for a plan that
+            # will never come.  Refuse it the way a fresh join is
+            # refused, so the client ends cleanly instead of idling.
+            self.metrics.record_reject(REJECT_DRAINING)
+            await send_message(
+                writer,
+                Reject(
+                    code=REJECT_DRAINING,
+                    reason="server is draining; nothing left to resume",
+                    capacity=self.config.max_users,
+                ),
+            )
+            return None
         session = self.registry.resume(message.token, writer)
         if session is None:
             self.metrics.record_reject(REJECT_RESUME)

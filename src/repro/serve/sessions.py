@@ -30,7 +30,10 @@ class Session:
 
     seat: int
     client: str
-    writer: asyncio.StreamWriter
+    #: ``None`` while the seat is parked awaiting a resume (a migrated
+    #: session is installed on its target shard before the client has
+    #: reconnected there, so it briefly has no transport at all).
+    writer: Optional[asyncio.StreamWriter]
     guideline_mbps: float
     ready: bool = False
     alive: bool = True
@@ -83,6 +86,8 @@ class Session:
 
     def write_buffer_bytes(self) -> int:
         """Bytes queued on this session's socket (backpressure signal)."""
+        if self.writer is None:
+            return 0
         transport = self.writer.transport
         if transport is None or transport.is_closing():
             return 0
@@ -134,7 +139,7 @@ class SessionRegistry:
     def admit(
         self,
         client: str,
-        writer: asyncio.StreamWriter,
+        writer: Optional[asyncio.StreamWriter],
         guideline_mbps: float,
         joined_slot: int,
     ) -> Session:
@@ -153,6 +158,29 @@ class SessionRegistry:
         )
         self._sessions[seat] = session
         self.total_joins += 1
+        return session
+
+    def install_detached(
+        self,
+        client: str,
+        guideline_mbps: float,
+        joined_slot: int,
+        token: str,
+        slot: int,
+    ) -> Session:
+        """Admit a migrated-in session in parked state (no transport).
+
+        The seat is immediately ``detached`` — it joins the resume
+        barrier like any parked seat — and carries the token the
+        client will present when it reconnects to this shard.  Not
+        counted as a detach: ``total_detaches`` tracks transport
+        failures, and this seat never had a transport here.
+        """
+        session = self.admit(client, None, guideline_mbps, joined_slot)
+        session.token = token
+        session.ready = True
+        session.detached = True
+        session.detached_slot = slot
         return session
 
     def release(self, seat: int, timed_out: bool = False) -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -197,6 +197,14 @@ class SlotLoop:
         self._finished = False
         #: In-flight delayed writes from injected ``stall_write`` faults.
         self._stall_tasks: Set["asyncio.Task[None]"] = set()
+        #: Coordinator hook (:mod:`repro.shard`): invoked once per slot
+        #: at the only deterministic migration point — right after the
+        #: previous slot's reports are folded and before the upcoming
+        #: slot is planned, so a migrated seat's state is complete and
+        #: no plan is in flight for it.  The hook runs synchronously
+        #: (ordered handoffs); returning ``False`` aborts the loop
+        #: before planning (a killed shard).  ``None``: inert.
+        self.slot_hook: Optional[Callable[[int], bool]] = None
 
     def request_stop(self) -> None:
         """Ask the loop to finish after the current slot."""
@@ -394,6 +402,10 @@ class SlotLoop:
         dropped = 0
         for session, frame in frames:
             slot = frame.slot
+            if session.writer is None:
+                # Parked seat with no transport (mid-migration); the
+                # encode stage should have filtered it already.
+                continue
             if self.injector.enabled:
                 truncate = self.injector.take(
                     slot, session.seat, FAULT_TRUNCATE_FRAME
@@ -436,20 +448,25 @@ class SlotLoop:
         for the grace window.  Closing the transport flushes the
         partial frame first.
         """
-        try:
-            session.writer.write(truncate_frame_bytes(encode_message(frame)))
-        except (ConnectionError, OSError):
-            pass
+        writer = session.writer
+        if writer is not None:
+            try:
+                writer.write(truncate_frame_bytes(encode_message(frame)))
+            except (ConnectionError, OSError):
+                pass
         session.planned_slots += 1
         self.registry.detach(session.seat, slot)
         self.metrics.record_disconnect()
-        session.writer.close()
+        if writer is not None:
+            writer.close()
 
     def _schedule_stalled_write(
         self, session: Session, frame: TilePlan, duration_s: float
     ) -> None:
         """Queue a frame after a scripted delay (a choked downlink)."""
         writer = session.writer
+        if writer is None:
+            return
 
         async def _delayed() -> None:
             await asyncio.sleep(duration_s)
@@ -495,6 +512,12 @@ class SlotLoop:
             self.metrics.record_stage("predict", stage_end_s - stage_s)
             if builder is not None:
                 builder.stage("predict", stage_s, stage_end_s)
+
+            if self.slot_hook is not None and not self.slot_hook(slot):
+                # The coordinator pulled this shard out of service
+                # (shard_kill): everything folded, nothing planned —
+                # migrated seats leave with a complete ledger.
+                break
 
             stage_s = stage_end_s
             caps = self._degradation_caps(slot)
@@ -599,7 +622,8 @@ class SlotLoop:
                 continue
             self.registry.detach(event.seat, slot)
             self.metrics.record_disconnect()
-            session.writer.close()
+            if session.writer is not None:
+                session.writer.close()
         for event in self.injector.take_kind(slot, FAULT_STALL_READ):
             session = self.registry.get(event.seat)
             if session is None or not session.alive or session.detached:

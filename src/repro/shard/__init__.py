@@ -1,0 +1,61 @@
+"""repro.shard — multi-shard serving with live session migration.
+
+One :class:`~repro.serve.server.VrServeServer` answers "does the
+planner hold up behind real sockets"; this package answers "does it
+scale past one slot loop".  A :class:`~repro.shard.coordinator.
+ShardCoordinator` fronts ``num_shards`` independent slot-loop shards:
+it owns the cluster's listening endpoint, routes clients by a seeded
+stable hash with an override table
+(:class:`~repro.shard.router.SessionRouter`), rebalances on join, and
+migrates live sessions between shards without losing QoE state — the
+seat is captured into a versioned handoff blob
+(:mod:`~repro.shard.handoff`), installed parked on the target, and
+claimed by the client through the ordinary resume path.  Migrations
+run at each shard's deterministic slot-hook point, so a scripted
+``shard_kill`` yields the same timeline — and zero lost reports —
+every run.  :class:`~repro.shard.supervisor.ShardSupervisor` adds
+restart-with-backoff on top, and :func:`~repro.shard.bench.
+bench_scale` measures users sustained within the slot deadline as the
+shard count grows.
+"""
+
+from repro.shard.bench import (
+    BENCH_SCALE_FILE,
+    bench_scale,
+    run_cluster_and_fleet,
+)
+from repro.shard.config import ShardClusterConfig
+from repro.shard.coordinator import (
+    REDIRECT_ASSIGNED,
+    REDIRECT_REBALANCE,
+    REDIRECT_SHARD_KILL,
+    ClusterResult,
+    ShardCoordinator,
+)
+from repro.shard.handoff import (
+    HANDOFF_SCHEMA_KIND,
+    HANDOFF_SCHEMA_VERSION,
+    capture_seat,
+    install_seat,
+)
+from repro.shard.router import SessionRouter
+from repro.shard.supervisor import RestartPolicy, ShardSupervisor
+
+__all__ = [
+    "BENCH_SCALE_FILE",
+    "ClusterResult",
+    "HANDOFF_SCHEMA_KIND",
+    "HANDOFF_SCHEMA_VERSION",
+    "REDIRECT_ASSIGNED",
+    "REDIRECT_REBALANCE",
+    "REDIRECT_SHARD_KILL",
+    "RestartPolicy",
+    "SessionRouter",
+    "ShardClusterConfig",
+    "ShardCoordinator",
+    "ShardSupervisor",
+    "bench_scale",
+    "capture_seat",
+    "install_seat",
+    "run_cluster_and_fleet",
+]

@@ -1,0 +1,126 @@
+"""Configuration of a multi-shard serving cluster.
+
+A :class:`ShardClusterConfig` turns one per-shard
+:class:`~repro.serve.config.ServeConfig` template into ``num_shards``
+slot-loop shards behind a coordinator.  Shard ``i`` runs the template
+with ``shard_index = i`` and experiment seed ``base_seed + i`` — shard
+0 keeps the base seed untouched, which is what makes a one-shard
+cluster's slot loop bit-identical to a plain single-server run (the
+inertness contract the shard tests pin down).
+
+The cluster-level fault schedule carries only the shard kinds
+(``shard_kill`` / ``migration_stall``); seat-level kinds belong on the
+per-shard serve configs and are rejected here so a script aimed at the
+wrong layer fails loudly instead of silently doing nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import SHARD_KINDS, FaultSchedule
+from repro.serve.config import ServeConfig, resume_enabled
+
+
+@dataclass(frozen=True)
+class ShardClusterConfig:
+    """One coordinator plus ``num_shards`` slot-loop shards.
+
+    Parameters
+    ----------
+    base:
+        The per-shard serve template.  Its ``host``/``port`` name the
+        *coordinator's* listening endpoint; every shard binds an
+        ephemeral port on the same host.  Its ``experiment.num_users``
+        is the per-shard seat capacity.
+    num_shards:
+        Shards in the cluster.  ``1`` is a valid (inert) cluster.
+    expect_clients:
+        Cluster-wide readiness quorum: the coordinator releases every
+        shard's slot loop only once this many sessions are ready
+        across the whole cluster.  (The per-shard ``expect_clients``
+        is not used — readiness is a cluster property here.)
+    faults:
+        Optional shard-level fault schedule.  Only the shard kinds
+        are allowed, and their ``seat`` field (the shard index) must
+        name a shard of this cluster.  Scheduling a ``shard_kill``
+        requires session resume to be enabled on ``base`` — migration
+        parks seats on the target shard until their clients reconnect,
+        which is the resume path.
+    """
+
+    base: ServeConfig
+    num_shards: int = 1
+    expect_clients: int = 1
+    faults: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        capacity = self.num_shards * self.base.max_users
+        if not 1 <= self.expect_clients <= capacity:
+            raise ConfigurationError(
+                f"expect_clients must be in [1, {capacity}], "
+                f"got {self.expect_clients}"
+            )
+        if self.faults is not None:
+            for event in self.faults.events:
+                if event.kind not in SHARD_KINDS:
+                    raise ConfigurationError(
+                        f"cluster fault schedules hold shard kinds only "
+                        f"({SHARD_KINDS}); move {event.kind!r} events onto "
+                        "the per-shard serve config"
+                    )
+                if event.seat >= self.num_shards:
+                    raise ConfigurationError(
+                        f"fault event targets shard {event.seat} but the "
+                        f"cluster has {self.num_shards} shard(s)"
+                    )
+            if self.faults.events and not resume_enabled(self.base):
+                raise ConfigurationError(
+                    "shard-level faults migrate live sessions, which needs "
+                    "session resume enabled on the base config "
+                    "(resume_grace_s in lockstep, resume_grace_slots paced)"
+                )
+
+    @property
+    def seats_per_shard(self) -> int:
+        """Admission capacity of each shard."""
+        return self.base.max_users
+
+    @property
+    def total_seats(self) -> int:
+        """Admission capacity of the whole cluster."""
+        return self.num_shards * self.base.max_users
+
+    def shard_config(self, index: int) -> ServeConfig:
+        """The serve config shard ``index`` runs.
+
+        Seed ``base_seed + index`` keeps the shards' emulated data
+        planes (guideline draws, fading, RTP loss) independent while
+        leaving shard 0 — hence a one-shard cluster — on the exact
+        base stream.  The shard binds an ephemeral port; the base
+        ``port`` belongs to the coordinator.  A seat-level fault
+        schedule on the template stays with shard 0 only: its (slot,
+        seat) coordinates address the base seat numbering, which only
+        shard 0 preserves.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index must be in [0, {self.num_shards}), got {index}"
+            )
+        experiment = replace(
+            self.base.experiment, seed=self.base.experiment.seed + index
+        )
+        return replace(
+            self.base,
+            experiment=experiment,
+            port=0,
+            expect_clients=1,
+            shard_index=index,
+            faults=self.base.faults if index == 0 else None,
+        )

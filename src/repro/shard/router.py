@@ -1,0 +1,98 @@
+"""Deterministic client-to-shard routing with a migration override table.
+
+Every client has a *home shard* — a stable seeded hash of its name —
+so the same cluster seed always routes the same fleet the same way,
+which is what lets the chaos tests assert one migration timeline per
+seed.  On top of the hash sits an override table: a migrated session
+is pinned to its new shard, and join-time rebalancing pins a client
+whose home shard is full to the least-loaded shard with a free seat
+(lowest index on ties, keeping the choice deterministic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class SessionRouter:
+    """Maps client names to shard indices.
+
+    ``route`` is the only stateful entry point: it may pin an
+    override when it rebalances.  Everything else is a pure read, so
+    the coordinator can ask "where does this client live" without
+    perturbing the table.
+    """
+
+    def __init__(self, seed: int, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.seed = seed
+        self.num_shards = num_shards
+        self._overrides: Dict[str, int] = {}
+
+    def home_shard(self, client: str) -> int:
+        """The stable hash assignment (ignores overrides)."""
+        material = f"{self.seed}:{client}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_shards
+
+    def assignment(self, client: str) -> int:
+        """Where this client currently belongs (override, else home)."""
+        return self._overrides.get(client, self.home_shard(client))
+
+    def override(self, client: str) -> Optional[int]:
+        """The pinned shard, or None when the client is on its hash."""
+        return self._overrides.get(client)
+
+    def pin(self, client: str, shard: int) -> None:
+        """Pin a client to a shard (a migration landed it there)."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        if shard == self.home_shard(client):
+            # Back on the hash: the table stays minimal, so a fleet
+            # that migrates home leaves no routing residue.
+            self._overrides.pop(client, None)
+        else:
+            self._overrides[client] = shard
+
+    def route(self, client: str, free_seats: Sequence[int]) -> int:
+        """Pick the shard a joining client should be redirected to.
+
+        ``free_seats[i]`` is shard ``i``'s free capacity; a negative
+        value marks a dead shard.  The current assignment wins when it
+        is alive with a free seat; otherwise the client is rebalanced
+        to the shard with the most free seats (lowest index on ties)
+        and pinned there.  With every live shard full, the
+        lowest-index live shard is chosen so its admission policy can
+        issue the capacity reject, exactly as a standalone server
+        would; a cluster with no live shard at all raises.
+        """
+        if len(free_seats) != self.num_shards:
+            raise ConfigurationError(
+                f"expected {self.num_shards} shard loads, "
+                f"got {len(free_seats)}"
+            )
+        shard = self.assignment(client)
+        if free_seats[shard] > 0:
+            return shard
+        best = -1
+        best_free = 0
+        for index, free in enumerate(free_seats):
+            if free > best_free:
+                best, best_free = index, free
+        if best >= 0:
+            self.pin(client, best)
+            return best
+        if free_seats[shard] == 0:
+            return shard
+        for index, free in enumerate(free_seats):
+            if free == 0:
+                return index
+        raise ConfigurationError("no live shard to route to")

@@ -1,0 +1,136 @@
+"""Shard supervision: restart dead shards with capped backoff.
+
+The coordinator by itself runs a fixed fleet: a killed shard migrates
+its sessions away and stays dead.  The :class:`ShardSupervisor` adds
+the operational loop on top — it watches the shard tasks, and when
+one exits while the rest of the cluster is still serving, it respawns
+that shard index after an exponentially backed-off delay (capped, and
+bounded by ``max_restarts``).  A respawned shard starts as a
+*standby*: listener bound and routable, slot loop held until a first
+client is ready, and torn down cleanly (:meth:`~repro.serve.server.
+VrServeServer.aclose`) if nobody arrives before the cluster ends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, TransportError
+from repro.serve.server import ServeResult, VrServeServer
+from repro.shard.coordinator import ClusterResult, ShardCoordinator
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff schedule for shard restarts."""
+
+    max_restarts: int = 1
+    base_s: float = 0.05
+    multiplier: float = 2.0
+    max_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.base_s <= 0:
+            raise ConfigurationError(f"base_s must be > 0, got {self.base_s}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_s < self.base_s:
+            raise ConfigurationError(
+                f"max_s must be >= base_s, got {self.max_s} < {self.base_s}"
+            )
+
+    def backoff_s(self, restart: int) -> float:
+        """Delay before restart ``restart`` (1-based), capped."""
+        if restart < 1:
+            raise ConfigurationError(f"restart must be >= 1, got {restart}")
+        return min(self.base_s * self.multiplier ** (restart - 1), self.max_s)
+
+
+class ShardSupervisor:
+    """Runs a coordinator's cluster with restart-on-death."""
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        policy: Optional[RestartPolicy] = None,
+    ) -> None:
+        self.coordinator = coordinator
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.restarts = 0
+
+    async def run(self) -> ClusterResult:
+        """Serve one cluster run, respawning killed shards."""
+        coordinator = self.coordinator
+        await coordinator.start()
+        released = False
+        restarted: List[ServeResult] = []
+        try:
+            await coordinator.wait_cluster_ready()
+            for index in range(coordinator.cluster.num_shards):
+                coordinator.install_hook(index)
+            released = True
+            primaries: Dict["asyncio.Task[ServeResult]", int] = {
+                asyncio.ensure_future(server.run_admitted()): index
+                for index, server in enumerate(coordinator.servers)
+            }
+            results: Dict[int, ServeResult] = {}
+            standbys: List["asyncio.Task[Optional[ServeResult]]"] = []
+            pending = set(primaries)
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    index = primaries[task]
+                    results[index] = task.result()
+                    if (
+                        index in coordinator.alive_shards()
+                        or not pending
+                        or self.restarts >= self.policy.max_restarts
+                    ):
+                        continue
+                    self.restarts += 1
+                    await asyncio.sleep(self.policy.backoff_s(self.restarts))
+                    server = coordinator.respawn(index)
+                    standbys.append(
+                        asyncio.ensure_future(self._run_standby(server))
+                    )
+            for standby in standbys:
+                standby.cancel()
+            outcomes = await asyncio.gather(*standbys, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, ServeResult):
+                    restarted.append(outcome)
+        finally:
+            await coordinator.aclose()
+            if not released:
+                for server in coordinator.servers:
+                    await server.aclose()
+        return ClusterResult(
+            port=coordinator.port,
+            shards=tuple(results[i] for i in sorted(results)),
+            restarted=tuple(restarted),
+        )
+
+    async def _run_standby(self, server: VrServeServer) -> Optional[ServeResult]:
+        """Bind a respawned shard and serve it once a client shows up.
+
+        Cancelled (cluster over) or timed-out standbys close their
+        listener and return nothing — a restart that nobody joined is
+        not a run.
+        """
+        await server.start()
+        try:
+            await server.wait_for_ready(1, server.config.start_timeout_s)
+        except (TransportError, asyncio.CancelledError):
+            await server.aclose()
+            return None
+        return await server.run_admitted()

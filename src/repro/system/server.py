@@ -11,7 +11,7 @@ delay), and transmits only the tiles the user does not already hold
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.content.database import ServerTileCache, TileDatabase
 from repro.content.gop import GopModel
@@ -27,6 +27,15 @@ from repro.prediction.pose import Pose
 from repro.units import SLOT_DURATION_S
 
 _EPS = 1e-9
+
+
+def _seat_int(state: Mapping[str, object], key: str) -> int:
+    value = state.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"seat state {key!r} must be an int, got {value!r}"
+        )
+    return value
 
 
 @dataclass
@@ -225,6 +234,89 @@ class EdgeServer:
             self.database, radius_cells=self._cache_radius_cells
         )
         self.scheduler.reset_user(user)
+
+    # ------------------------------------------------------------------
+    # Seat snapshot / restore (session migration)
+    # ------------------------------------------------------------------
+    def export_seat(self, user: int) -> Dict[str, object]:
+        """One seat's cross-slot state as a JSON-friendly dict.
+
+        Everything a migrating session must carry to a new shard so
+        planning continues exactly where it left off: the motion
+        predictor's pose window, the delay model's sample window, the
+        EMA capacity estimate, the dedup ledger, the tile-cache centre
+        and hit counters, and the scheduler's running statistics.
+        The shard-global slot/epoch counters are deliberately *not*
+        included — they belong to the target shard's own timeline.
+        """
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        cache = self._tile_caches[user]
+        return {
+            "pose_window": [
+                list(v) for v in self._predictors[user].export_state()
+            ],
+            "delay_samples": [
+                list(s) for s in self._delay_predictors[user].export_state()
+            ],
+            "cap_estimate_mbps": float(self._cap_estimates[user]),
+            "delivered_ids": sorted(self._delivered[user]),
+            "cache_center_cell": cache.center_cell,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "scheduler": self.scheduler.export_user(user),
+        }
+
+    def import_seat(self, user: int, state: Mapping[str, object]) -> None:
+        """Reinstate a seat from :meth:`export_seat` output.
+
+        The seat is reset first, so a failed validation cannot leave
+        it half-restored with another session's leftovers.
+        """
+        if not 0 <= user < self.num_users:
+            raise ConfigurationError(
+                f"user index must be in [0, {self.num_users}), got {user}"
+            )
+        pose_window = state.get("pose_window")
+        delay_samples = state.get("delay_samples")
+        delivered_ids = state.get("delivered_ids")
+        sched_state = state.get("scheduler")
+        if not isinstance(pose_window, (list, tuple)):
+            raise ConfigurationError("seat state 'pose_window' must be a list")
+        if not isinstance(delay_samples, (list, tuple)):
+            raise ConfigurationError("seat state 'delay_samples' must be a list")
+        if not isinstance(delivered_ids, (list, tuple)):
+            raise ConfigurationError("seat state 'delivered_ids' must be a list")
+        if not isinstance(sched_state, Mapping):
+            raise ConfigurationError("seat state 'scheduler' must be an object")
+        cap = state.get("cap_estimate_mbps")
+        if isinstance(cap, bool) or not isinstance(cap, (int, float)):
+            raise ConfigurationError(
+                f"seat state 'cap_estimate_mbps' must be a number, got {cap!r}"
+            )
+        center = _seat_int(state, "cache_center_cell")
+        hits = _seat_int(state, "cache_hits")
+        misses = _seat_int(state, "cache_misses")
+
+        self.reset_user(user)
+        self._predictors[user].restore_state(
+            [[float(x) for x in vector] for vector in pose_window]
+        )
+        self._delay_predictors[user].restore_state(
+            [(float(s[0]), float(s[1])) for s in delay_samples]
+        )
+        self._cap_estimates[user] = float(cap)
+        self._delivered[user] = {int(i) for i in delivered_ids}
+        if center >= 0:
+            # move_to re-derives the resident window from the centre;
+            # the hit counters are restored separately because move_to
+            # deliberately counts nothing.
+            self._tile_caches[user].move_to(center)
+        self._tile_caches[user].hits = hits
+        self._tile_caches[user].misses = misses
+        self.scheduler.import_user(user, sched_state)
 
     # ------------------------------------------------------------------
     # Planning

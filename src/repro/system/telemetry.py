@@ -131,6 +131,25 @@ class Telemetry:
     def for_user(self, user: int) -> List[SlotUserRecord]:
         return [r for r in self._records if r.user == user]
 
+    def extract_user(self, user: int) -> List[SlotUserRecord]:
+        """Remove and return one user's records (slot order preserved).
+
+        Session migration moves a seat's telemetry to another shard's
+        collector; the records leave this store so the run-level merge
+        does not double-count them.  The mirrored
+        ``repro_telemetry_records_total`` counter is monotonic and is
+        deliberately *not* decremented — it counts collections, not
+        residency.
+        """
+        extracted = [r for r in self._records if r.user == user]
+        self._records = [r for r in self._records if r.user != user]
+        return extracted
+
+    def ingest(self, records: Sequence[SlotUserRecord]) -> None:
+        """Append records handed over from another collector."""
+        for record in records:
+            self.add(record)
+
     def for_slot(self, slot: int) -> List[SlotUserRecord]:
         return [r for r in self._records if r.slot == slot]
 

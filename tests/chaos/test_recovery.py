@@ -13,7 +13,7 @@ from dataclasses import replace
 import pytest
 
 from repro.faults import FAULT_DISCONNECT, FaultEvent, FaultSchedule
-from repro.serve.admission import REJECT_RESUME
+from repro.serve.admission import REJECT_DRAINING, REJECT_RESUME
 from repro.serve.config import PROTOCOL_VERSION, serve_setup1
 from repro.serve.loadgen import (
     LoadGenConfig,
@@ -174,3 +174,130 @@ class TestResumeRejection:
         assert not resume_enabled(config)
         with pytest.raises(Exception):
             replace(config, resume_grace_s=-1.0)
+
+
+class TestResumeTokenEdgeCases:
+    """The three races the issue calls out: token reuse, grace expiry,
+    and resume against a draining server."""
+
+    def test_token_single_use_while_attached(self):
+        # A token re-attaches a *detached* seat exactly once; while
+        # the session is attached the same token matches nothing, so
+        # a replayed (or stolen) token cannot hijack a live seat.
+        import io
+
+        from repro.serve.sessions import SessionRegistry
+
+        registry = SessionRegistry(capacity=2)
+        session = registry.admit(
+            "mover", None, guideline_mbps=10.0, joined_slot=0
+        )
+        session.token = "tok-" + "a" * 12
+        registry.detach(session.seat, slot=3)
+
+        writer_b = io.BytesIO()  # stand-in transport identity
+        resumed = registry.resume(session.token, writer_b)
+        assert resumed is session
+        assert not session.detached
+        assert session.resumes == 1
+
+        # Second presentation of the same token: no detached seat
+        # matches, the resume is refused, and the live binding is
+        # untouched.
+        assert registry.resume(session.token, io.BytesIO()) is None
+        assert session.writer is writer_b
+        assert session.resumes == 1
+        assert registry.total_resumes == 1
+
+    def test_resume_after_grace_expiry_is_rejected(self):
+        # The client's reconnect loses the race against the grace
+        # window: the seat is released at expiry, and the late resume
+        # gets a resume reject instead of a seat.  Paced mode keeps
+        # the server alive long enough for the late attempt to land
+        # (a lockstep run would finish before the backoff elapses).
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=8, seat=1, kind=FAULT_DISCONNECT),
+        ))
+        serve_config = replace(
+            serve_setup1(
+                max_users=2, duration_slots=81, seed=0, expect_clients=2,
+                slot_s=0.05,
+            ),
+            faults=schedule,
+            resume_grace_slots=4,
+        )
+        # Grace expires ~0.2s after the slot-8 disconnect; the first
+        # reconnect attempt lands around 1s, deep into the remaining
+        # ~3.6s of the run.
+        fleet_config = LoadGenConfig(
+            num_clients=2, seed=0, faults=schedule,
+            reconnect=ReconnectPolicy(
+                max_attempts=1, base_s=1.0, max_s=1.0, jitter_s=0.0,
+            ),
+        )
+        result, fleet = asyncio.run(
+            run_serve_and_fleet(serve_config, fleet_config)
+        )
+        metrics = result.metrics
+        assert metrics.disconnects == 1
+        assert metrics.resume_failures == 1
+        assert metrics.session_resumes == 0
+        assert metrics.rejects.get(REJECT_RESUME, 0) >= 1
+        by_seat = {c.seat: c for c in fleet.clients}
+        assert by_seat[1].resumes == 0
+        assert by_seat[1].end_reason == "resume_failed"
+        assert by_seat[0].end_reason == "complete"
+
+    def test_resume_against_draining_server_is_rejected(self):
+        # A seat parks, the server starts draining, then the client's
+        # resume arrives: it must be refused with the draining code —
+        # granting it would park the client waiting for plans that
+        # will never be sent.
+        async def scenario():
+            serve_config = replace(
+                serve_setup1(
+                    max_users=2, duration_slots=11, seed=0,
+                    expect_clients=1, lockstep=True,
+                ),
+                resume_grace_s=5.0,
+            )
+            server = VrServeServer(serve_config)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await send_message(
+                    writer,
+                    JoinRequest(client="drained", version=PROTOCOL_VERSION),
+                )
+                welcome = await read_message(reader)
+                # Abrupt close parks the seat (resume is enabled).
+                writer.transport.abort()
+                for _ in range(100):
+                    if server.registry.detached_sessions():
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.registry.detached_sessions()
+
+                server.admission.start_draining()
+                reader2, writer2 = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await send_message(
+                    writer2,
+                    JoinRequest(
+                        client="drained", version=PROTOCOL_VERSION,
+                        token=welcome.resume_token,
+                    ),
+                )
+                answer = await read_message(reader2)
+                writer2.close()
+                await writer2.wait_closed()
+                return answer
+            finally:
+                await server.aclose()
+
+        answer = asyncio.run(scenario())
+        assert isinstance(answer, Reject)
+        assert answer.code == REJECT_DRAINING

@@ -19,9 +19,12 @@ from repro.faults import (
     FAULT_CRASH_CLIENT,
     FAULT_DISCONNECT,
     FAULT_KINDS,
+    FAULT_MIGRATION_STALL,
+    FAULT_SHARD_KILL,
     FAULT_STALL_READ,
     FAULT_TRUNCATE_FRAME,
     SERVER_KINDS,
+    SHARD_KINDS,
     TIMED_KINDS,
     FaultEvent,
     FaultSchedule,
@@ -130,6 +133,7 @@ class TestRandomSchedules:
         kwargs = dict(
             seed=42, num_slots=200, num_seats=8,
             rates={kind: 0.01 for kind in FAULT_KINDS}, duration_s=0.05,
+            num_shards=2,
         )
         assert FaultSchedule.random(**kwargs) == FaultSchedule.random(**kwargs)
 
@@ -154,6 +158,96 @@ class TestRandomSchedules:
         )
         assert schedule
         assert set(schedule.counts_by_kind()) == {FAULT_CRASH_CLIENT}
+
+
+class TestSchemaVersioning:
+    def test_seat_only_schedule_stays_version_one(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+        ))
+        body = schedule.to_dict()
+        # Byte-stability for pre-shard scripts: no shard kinds, no
+        # version bump, nothing for old readers to choke on.
+        assert body["version"] == 1
+        assert FaultSchedule.from_dict(body) == schedule
+
+    def test_shard_schedule_bumps_to_version_two(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=5, seat=1, kind=FAULT_SHARD_KILL),
+            FaultEvent(
+                slot=7, seat=0, kind=FAULT_MIGRATION_STALL, duration_s=0.02,
+            ),
+        ))
+        body = schedule.to_dict()
+        assert body["version"] == 2
+        assert FaultSchedule.from_dict(body) == schedule
+
+    def test_mixed_schedule_round_trips_through_json(self, tmp_path):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=5, seat=1, kind=FAULT_SHARD_KILL),
+        ))
+        path = schedule.save(tmp_path / "mixed.json")
+        assert FaultSchedule.load(path) == schedule
+        assert json.loads(path.read_text())["version"] == 2
+
+    def test_shard_kind_under_version_one_rejected(self):
+        body = {
+            "kind": FaultSchedule().to_dict()["kind"],
+            "version": 1,
+            "events": [{"slot": 5, "seat": 1, "kind": FAULT_SHARD_KILL}],
+        }
+        with pytest.raises(ConfigurationError, match="schema version 2"):
+            FaultSchedule.from_dict(body)
+
+    def test_shard_events_accessor(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=5, seat=1, kind=FAULT_SHARD_KILL),
+        ))
+        shard_only = schedule.shard_events
+        assert len(shard_only) == 1
+        assert [e.kind for e in shard_only.events] == [FAULT_SHARD_KILL]
+        assert schedule.restricted_to(SHARD_KINDS) == shard_only
+
+    def test_migration_stall_is_timed(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(slot=0, seat=0, kind=FAULT_MIGRATION_STALL)
+
+
+class TestRandomShardSchedules:
+    def test_shard_rates_need_num_shards(self):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            FaultSchedule.random(
+                seed=0, num_slots=50, num_seats=4,
+                rates={FAULT_SHARD_KILL: 0.1},
+            )
+
+    def test_seat_draws_unchanged_by_shard_rates(self):
+        # Adding shard kinds to the rate table must not perturb the
+        # seat-level draw sequence: old seeds keep their schedules.
+        seat_rates = {FAULT_DISCONNECT: 0.05, FAULT_STALL_READ: 0.02}
+        before = FaultSchedule.random(
+            seed=11, num_slots=120, num_seats=6, rates=seat_rates,
+            duration_s=0.05,
+        )
+        combined = FaultSchedule.random(
+            seed=11, num_slots=120, num_seats=6,
+            rates={**seat_rates, FAULT_SHARD_KILL: 0.02},
+            duration_s=0.05, num_shards=3,
+        )
+        seat_only = combined.restricted_to(SERVER_KINDS + CLIENT_KINDS)
+        assert seat_only.events == before.events
+
+    def test_shard_events_target_shards(self):
+        schedule = FaultSchedule.random(
+            seed=5, num_slots=300, num_seats=8,
+            rates={FAULT_SHARD_KILL: 0.05, FAULT_MIGRATION_STALL: 0.05},
+            duration_s=0.05, num_shards=2,
+        )
+        assert schedule
+        assert all(e.kind in SHARD_KINDS for e in schedule.events)
+        assert all(e.seat < 2 for e in schedule.events)
 
 
 def _parse(argv):
@@ -220,3 +314,41 @@ class TestCli:
             stdout=io.StringIO(), stderr=err,
         )
         assert code == EXIT_USAGE
+
+    def test_generate_shard_kinds_with_shards_flag(self, tmp_path):
+        script = tmp_path / "shard-chaos.json"
+        code = run_faults_command(
+            _parse(["generate", "--out", str(script), "--slots", "200",
+                    "--seats", "4", "--rate", "0.05",
+                    "--kinds", ",".join(SHARD_KINDS), "--shards", "2"]),
+            stdout=io.StringIO(), stderr=io.StringIO(),
+        )
+        assert code == EXIT_OK
+        schedule = FaultSchedule.load(script)
+        assert schedule
+        assert all(e.kind in SHARD_KINDS for e in schedule.events)
+        assert json.loads(script.read_text())["version"] == 2
+
+    def test_generate_shard_kinds_without_shards_flag_fails(self, tmp_path):
+        err = io.StringIO()
+        code = run_faults_command(
+            _parse(["generate", "--out", str(tmp_path / "x.json"),
+                    "--kinds", FAULT_SHARD_KILL]),
+            stdout=io.StringIO(), stderr=err,
+        )
+        assert code == EXIT_USAGE
+
+    def test_show_labels_shard_events(self, tmp_path):
+        script = tmp_path / "mixed.json"
+        FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+            FaultEvent(slot=5, seat=1, kind=FAULT_SHARD_KILL),
+        )).save(script)
+        shown = io.StringIO()
+        code = run_faults_command(
+            _parse(["show", str(script)]), stdout=shown, stderr=io.StringIO()
+        )
+        assert code == EXIT_OK
+        body = shown.getvalue()
+        assert "shard" in body
+        assert "shard_kill" in body

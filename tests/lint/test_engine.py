@@ -77,3 +77,12 @@ class TestRepoIsClean:
         assert report.files_scanned >= 6
         assert [f.location() for f in report.findings] == []
         assert report.suppressed == 0
+
+    def test_shard_package_needs_no_suppressions(self):
+        # The shard subsystem joined the zero-suppression set at
+        # birth: coordinator, router, handoff codec, supervisor, and
+        # bench all satisfy every rule with no inline disables.
+        report = run_lint([REPO_ROOT / "src" / "repro" / "shard"])
+        assert report.files_scanned >= 7
+        assert [f.location() for f in report.findings] == []
+        assert report.suppressed == 0

@@ -1,0 +1,117 @@
+"""ShardClusterConfig validation and the per-shard config derivation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_DISCONNECT,
+    FAULT_MIGRATION_STALL,
+    FAULT_SHARD_KILL,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.serve.config import serve_setup1
+from repro.shard.config import ShardClusterConfig
+
+
+def base_config(**kwargs):
+    defaults = dict(max_users=2, duration_slots=11, seed=3, lockstep=True)
+    defaults.update(kwargs)
+    return serve_setup1(**defaults)
+
+
+def resumable_base():
+    return replace(base_config(), resume_grace_s=5.0)
+
+
+class TestValidation:
+    def test_defaults_are_a_one_shard_cluster(self):
+        cluster = ShardClusterConfig(base=base_config())
+        assert cluster.num_shards == 1
+        assert cluster.seats_per_shard == 2
+        assert cluster.total_seats == 2
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardClusterConfig(base=base_config(), num_shards=0)
+
+    def test_rejects_fleet_beyond_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ShardClusterConfig(
+                base=base_config(), num_shards=2, expect_clients=5
+            )
+
+    def test_rejects_seat_level_kind_in_cluster_schedule(self):
+        faults = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+        ))
+        with pytest.raises(ConfigurationError, match="shard kinds only"):
+            ShardClusterConfig(
+                base=resumable_base(), num_shards=2, faults=faults
+            )
+
+    def test_rejects_fault_on_missing_shard(self):
+        faults = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=2, kind=FAULT_SHARD_KILL),
+        ))
+        with pytest.raises(ConfigurationError, match="shard 2"):
+            ShardClusterConfig(
+                base=resumable_base(), num_shards=2, faults=faults
+            )
+
+    def test_shard_faults_require_resume(self):
+        faults = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_SHARD_KILL),
+        ))
+        with pytest.raises(ConfigurationError, match="resume"):
+            ShardClusterConfig(
+                base=base_config(), num_shards=2, faults=faults
+            )
+
+    def test_accepts_shard_schedule_with_resume(self):
+        faults = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=1, kind=FAULT_SHARD_KILL),
+            FaultEvent(
+                slot=2, seat=0, kind=FAULT_MIGRATION_STALL, duration_s=0.05
+            ),
+        ))
+        cluster = ShardClusterConfig(
+            base=resumable_base(), num_shards=2, faults=faults
+        )
+        assert cluster.faults is faults
+
+
+class TestShardConfig:
+    def test_shard_zero_keeps_base_seed(self):
+        cluster = ShardClusterConfig(base=base_config(seed=3), num_shards=3)
+        assert cluster.shard_config(0).experiment.seed == 3
+        assert cluster.shard_config(1).experiment.seed == 4
+        assert cluster.shard_config(2).experiment.seed == 5
+
+    def test_shards_bind_ephemeral_ports(self):
+        cluster = ShardClusterConfig(base=base_config(), num_shards=2)
+        assert cluster.shard_config(0).port == 0
+        assert cluster.shard_config(1).port == 0
+
+    def test_shard_index_is_stamped(self):
+        cluster = ShardClusterConfig(base=base_config(), num_shards=2)
+        assert cluster.shard_config(0).shard_index == 0
+        assert cluster.shard_config(1).shard_index == 1
+
+    def test_seat_faults_stay_on_shard_zero(self):
+        seat_faults = FaultSchedule(events=(
+            FaultEvent(slot=1, seat=0, kind=FAULT_DISCONNECT),
+        ))
+        base = replace(resumable_base(), faults=seat_faults)
+        cluster = ShardClusterConfig(base=base, num_shards=2)
+        assert cluster.shard_config(0).faults is seat_faults
+        assert cluster.shard_config(1).faults is None
+
+    def test_out_of_range_index_rejected(self):
+        cluster = ShardClusterConfig(base=base_config(), num_shards=2)
+        with pytest.raises(ConfigurationError):
+            cluster.shard_config(2)
+        with pytest.raises(ConfigurationError):
+            cluster.shard_config(-1)

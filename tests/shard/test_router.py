@@ -1,0 +1,121 @@
+"""Routing determinism and the override table.
+
+The router is the cluster's only piece of placement policy, so these
+tests pin its contract exactly: seeded hashes are stable, overrides
+are minimal (pinning a client back to its hash leaves no residue),
+and rebalancing is deterministic — most free seats, lowest index on
+ties.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.router import SessionRouter
+
+
+class TestHomeShard:
+    def test_same_seed_same_homes(self):
+        a = SessionRouter(seed=7, num_shards=4)
+        b = SessionRouter(seed=7, num_shards=4)
+        clients = [f"client-{i}" for i in range(32)]
+        assert [a.home_shard(c) for c in clients] == [
+            b.home_shard(c) for c in clients
+        ]
+
+    def test_different_seed_moves_some_clients(self):
+        a = SessionRouter(seed=0, num_shards=4)
+        b = SessionRouter(seed=1, num_shards=4)
+        clients = [f"client-{i}" for i in range(64)]
+        assert [a.home_shard(c) for c in clients] != [
+            b.home_shard(c) for c in clients
+        ]
+
+    def test_homes_cover_every_shard(self):
+        router = SessionRouter(seed=0, num_shards=3)
+        homes = {router.home_shard(f"client-{i}") for i in range(64)}
+        assert homes == {0, 1, 2}
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = SessionRouter(seed=0, num_shards=1)
+        assert all(
+            router.home_shard(f"client-{i}") == 0 for i in range(16)
+        )
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            SessionRouter(seed=0, num_shards=0)
+
+
+class TestOverrides:
+    def test_pin_then_assignment(self):
+        router = SessionRouter(seed=0, num_shards=3)
+        home = router.home_shard("c")
+        target = (home + 1) % 3
+        router.pin("c", target)
+        assert router.override("c") == target
+        assert router.assignment("c") == target
+
+    def test_pin_home_clears_override(self):
+        router = SessionRouter(seed=0, num_shards=3)
+        home = router.home_shard("c")
+        router.pin("c", (home + 1) % 3)
+        router.pin("c", home)
+        assert router.override("c") is None
+        assert router.assignment("c") == home
+
+    def test_pin_out_of_range_rejected(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            router.pin("c", 2)
+        with pytest.raises(ConfigurationError):
+            router.pin("c", -1)
+
+
+class TestRoute:
+    def test_assignment_wins_with_free_seat(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        home = router.home_shard("c")
+        free = [1, 1]
+        assert router.route("c", free) == home
+        assert router.override("c") is None
+
+    def test_full_home_rebalances_to_most_free(self):
+        router = SessionRouter(seed=0, num_shards=3)
+        home = router.home_shard("c")
+        free = [1, 1, 1]
+        free[home] = 0
+        most_free = (home + 1) % 3
+        free[most_free] = 3
+        assert router.route("c", free) == most_free
+        # The rebalance is sticky: the client is pinned there.
+        assert router.override("c") == most_free
+
+    def test_tie_breaks_to_lowest_index(self):
+        router = SessionRouter(seed=0, num_shards=3)
+        home = router.home_shard("c")
+        free = [1, 1, 1]
+        free[home] = 0
+        lowest = min(i for i in range(3) if free[i] > 0)
+        assert router.route("c", free) == lowest
+
+    def test_all_live_full_returns_assignment_for_reject(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        home = router.home_shard("c")
+        assert router.route("c", [0, 0]) == home
+
+    def test_dead_assignment_falls_to_live_full_shard(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        home = router.home_shard("c")
+        free = [-1, -1]
+        free[1 - home] = 0
+        assert router.route("c", free) == 1 - home
+
+    def test_no_live_shard_raises(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            router.route("c", [-1, -1])
+
+    def test_wrong_load_vector_length_rejected(self):
+        router = SessionRouter(seed=0, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            router.route("c", [1])
