@@ -210,6 +210,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     out = Path(args.out)
     written = []
+    runs: Dict[str, Dict] = {}
 
     def _dash(value: object) -> object:
         return "-" if value is None else value
@@ -241,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(allocator_run, out / BENCH_ALLOCATOR_FILE)
         written.append(out / BENCH_ALLOCATOR_FILE)
+        runs["allocator"] = allocator_run
 
     if "simulator" in kinds:
         print(
@@ -272,6 +274,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"\nserial fallback: {simulator_run['parallel_reason']}")
         persist_run(simulator_run, out / BENCH_SIMULATOR_FILE)
         written.append(out / BENCH_SIMULATOR_FILE)
+        runs["simulator"] = simulator_run
 
     if "kernel" in kinds:
         print(
@@ -304,6 +307,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(kernel_run, out / BENCH_KERNEL_FILE)
         written.append(out / BENCH_KERNEL_FILE)
+        runs["kernel"] = kernel_run
 
     if "serve" in kinds:
         from repro.serve import BENCH_SERVE_FILE, bench_serve
@@ -343,6 +347,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(serve_run, out / BENCH_SERVE_FILE)
         written.append(out / BENCH_SERVE_FILE)
+        runs["serve"] = serve_run
 
     if "obs" in kinds:
         from repro.obs.bench import BENCH_OBS_FILE, bench_obs
@@ -377,6 +382,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(obs_run, out / BENCH_OBS_FILE)
         written.append(out / BENCH_OBS_FILE)
+        runs["obs"] = obs_run
 
     if "scale" in kinds:
         from repro.shard import BENCH_SCALE_FILE, bench_scale
@@ -421,9 +427,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         persist_run(scale_run, out / BENCH_SCALE_FILE)
         written.append(out / BENCH_SCALE_FILE)
+        runs["scale"] = scale_run
 
     if written:
         print("\nwrote " + ", ".join(str(p) for p in written))
+
+    if args.check:
+        import json as _json
+
+        from repro.perf.regression import check_bench, format_report
+
+        baseline_dir = (
+            Path(args.baseline_dir) if args.baseline_dir is not None else out
+        )
+        report = check_bench(runs, baseline_dir)
+        print("\n" + "\n".join(format_report(report)))
+        if args.check_report is not None:
+            report_path = Path(args.check_report)
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(
+                _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {report_path}")
+        if not report.passed:
+            return 1
     return 0
 
 
@@ -660,6 +688,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard slots for the scale bench")
     bench.add_argument("--quick", action="store_true",
                        help="smoke-test scale for CI")
+    bench.add_argument("--check", action="store_true",
+                       help="diff the fresh run against committed baselines; "
+                            "exit 1 on a regression")
+    bench.add_argument("--baseline-dir", default=None,
+                       help="directory holding the baseline BENCH_*.json "
+                            "files (default: --out)")
+    bench.add_argument("--check-report", default=None,
+                       help="write the machine-readable check report "
+                            "(JSON) to this path")
 
     serve = sub.add_parser(
         "serve", help="live edge server over TCP (setup-1 emulated network)"

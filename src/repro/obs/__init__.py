@@ -19,6 +19,18 @@ The layer has four public pieces, all zero-dependency:
 scrapes what they produce.
 """
 
+from repro.obs.buildinfo import (
+    BUILD_INFO_METRIC,
+    config_fingerprint,
+    register_build_info,
+)
+from repro.obs.cluster import (
+    COORDINATOR_SHARD,
+    MERGE_CONFLICTS_METRIC,
+    SHARD_LABEL,
+    merge_conflicts,
+    merge_registries,
+)
 from repro.obs.config import DEFAULT_SAMPLE_EVERY, Obs, ObsConfig
 from repro.obs.flight import (
     AnyFlightRecorder,
@@ -27,6 +39,10 @@ from repro.obs.flight import (
     NullFlightRecorder,
     TRIGGER_ADMISSION_REJECT,
     TRIGGER_DEADLINE_MISS,
+    TRIGGER_MIGRATION_STALL,
+    TRIGGER_SHARD_KILL,
+    TRIGGER_SHARD_RESPAWN,
+    TRIGGER_SLO_BREACH,
     TRIGGER_WRITE_DROP,
     TRIGGERS,
 )
@@ -40,12 +56,37 @@ from repro.obs.registry import (
     MetricFamily,
     MetricsRegistry,
 )
+from repro.obs.slo import (
+    SLO_BREACHES_METRIC,
+    SLO_BURN_METRIC,
+    SLO_KINDS,
+    SloConfig,
+    SloEngine,
+    SloObjective,
+    SloSample,
+    SloStatus,
+    default_slo_config,
+    evaluate_sample,
+    load_slo_config,
+    sample_registry,
+    sample_snapshot,
+)
 from repro.obs.spans import (
     SPAN_SCHEMA_VERSION,
     SPAN_STREAM_KIND,
     Span,
     read_span_stream,
+    read_span_stream_tolerant,
     write_span_stream,
+)
+from repro.obs.stitch import (
+    MIGRATION_SPAN_NAME,
+    MigrationEvent,
+    SessionTimeline,
+    ShardSegment,
+    UserSlotSample,
+    format_timeline,
+    stitch_spans,
 )
 from repro.obs.tracer import (
     AnyTracer,
@@ -58,7 +99,9 @@ from repro.obs.tracer import (
 __all__ = [
     "AnyFlightRecorder",
     "AnyTracer",
+    "BUILD_INFO_METRIC",
     "BucketHistogram",
+    "COORDINATOR_SHARD",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_SAMPLE_EVERY",
@@ -66,25 +109,56 @@ __all__ = [
     "FlightDump",
     "FlightRecorder",
     "Gauge",
+    "MERGE_CONFLICTS_METRIC",
+    "MIGRATION_SPAN_NAME",
     "MetricFamily",
     "MetricsRegistry",
+    "MigrationEvent",
     "NullFlightRecorder",
     "NullTracer",
     "Obs",
     "ObsConfig",
     "ObsHttpServer",
     "PROMETHEUS_CONTENT_TYPE",
+    "SHARD_LABEL",
+    "SLO_BREACHES_METRIC",
+    "SLO_BURN_METRIC",
+    "SLO_KINDS",
     "SPAN_SCHEMA_VERSION",
     "SPAN_STREAM_KIND",
+    "SessionTimeline",
+    "ShardSegment",
+    "SloConfig",
+    "SloEngine",
+    "SloObjective",
+    "SloSample",
+    "SloStatus",
     "SlotSpanBuilder",
     "Span",
     "TRIGGER_ADMISSION_REJECT",
     "TRIGGER_DEADLINE_MISS",
+    "TRIGGER_MIGRATION_STALL",
+    "TRIGGER_SHARD_KILL",
+    "TRIGGER_SHARD_RESPAWN",
+    "TRIGGER_SLO_BREACH",
     "TRIGGER_WRITE_DROP",
     "TRIGGERS",
     "Tracer",
+    "UserSlotSample",
+    "config_fingerprint",
+    "default_slo_config",
+    "evaluate_sample",
+    "format_timeline",
+    "load_slo_config",
+    "merge_conflicts",
+    "merge_registries",
     "read_span_stream",
+    "read_span_stream_tolerant",
+    "register_build_info",
+    "sample_registry",
+    "sample_snapshot",
     "stage_latency_table",
+    "stitch_spans",
     "validate_exposition",
     "write_span_stream",
 ]

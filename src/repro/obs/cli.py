@@ -3,12 +3,19 @@
 * ``repro obs tail FILE``       — the last N slot spans, one line each;
 * ``repro obs summarize FILE``  — per-stage latency stats + misses;
 * ``repro obs diff A B``        — stage-latency deltas between traces;
+* ``repro obs stitch FILES...`` — join per-shard + coordinator streams
+  into per-session cross-shard timelines;
+* ``repro obs slo TARGET``      — evaluate an SLO config against a
+  ``/snapshot`` document (file or URL), nonzero on breach;
 * ``repro obs scrape URL``      — fetch and validate a ``/metrics``
   page (``--json`` for ``/healthz`` / ``/snapshot``), the CI gate.
 
 Exit codes mirror the lint contract: ``0`` success, ``1`` the target
 was reachable but invalid (malformed exposition / malformed trace
-content), ``2`` usage error (missing file, unreachable endpoint).
+content / a breaching SLO), ``2`` usage error (missing file,
+unreachable endpoint), ``3`` the trace stream ended mid-line (a
+truncated final record — typically a killed writer) and the readable
+prefix was processed.
 """
 
 from __future__ import annotations
@@ -23,12 +30,22 @@ from typing import Dict, List, Optional, TextIO, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.promtext import validate_exposition
-from repro.obs.spans import Span, read_span_stream
+from repro.obs.slo import (
+    default_slo_config,
+    evaluate_sample,
+    load_slo_config,
+    sample_snapshot,
+)
+from repro.obs.spans import Span, read_span_stream_tolerant
+from repro.obs.stitch import format_timeline, stitch_spans
 from repro.obs.tracer import stage_latency_table
 
 EXIT_OK = 0
 EXIT_INVALID = 1
 EXIT_USAGE = 2
+#: The stream's final record was cut mid-line (killed writer); the
+#: readable prefix was still processed.
+EXIT_TRUNCATED = 3
 
 
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -52,6 +69,33 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
     diff.add_argument("before", help="baseline span JSONL file")
     diff.add_argument("after", help="candidate span JSONL file")
+
+    stitch = sub.add_parser(
+        "stitch",
+        help="join per-shard and coordinator streams into session timelines",
+    )
+    stitch.add_argument(
+        "traces", nargs="+",
+        help="span JSONL files (shard streams + the coordinator stream)",
+    )
+    stitch.add_argument("--json", action="store_true",
+                        help="emit the timelines as JSON")
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLOs against a /snapshot document"
+    )
+    slo.add_argument(
+        "target",
+        help="snapshot JSON file, or the URL of a /snapshot endpoint",
+    )
+    slo.add_argument("--config", default=None,
+                     help="SLO config JSON (default: the built-in set)")
+    slo.add_argument("--seats", type=int, default=1,
+                     help="seats per shard, for user-slot objectives")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the evaluation as JSON")
+    slo.add_argument("--timeout", type=float, default=10.0,
+                     help="request timeout in seconds (default: 10)")
 
     scrape = sub.add_parser(
         "scrape", help="fetch an observability endpoint and validate it"
@@ -80,6 +124,10 @@ def run_obs_command(
         return _cmd_summarize(args, out, err)
     if command == "diff":
         return _cmd_diff(args, out, err)
+    if command == "stitch":
+        return _cmd_stitch(args, out, err)
+    if command == "slo":
+        return _cmd_slo(args, out, err)
     return _cmd_scrape(args, out, err)
 
 
@@ -91,16 +139,25 @@ def run_obs_command(
 def _load_trace(path_text: str, err: TextIO) -> Optional[Tuple[List[Span], int]]:
     """Read a span stream; None (after printing) on usage errors.
 
-    Returns ``(spans, exit_code_if_invalid)`` — malformed content is
-    reported by raising inside; the caller maps it to EXIT_INVALID.
+    Returns ``(spans, skipped)``.  A truncated *final* line — the
+    signature of a writer killed mid-record — is skipped with a
+    warning (``skipped`` counts it) so a post-mortem can still read
+    the prefix; malformed content anywhere else raises, and the
+    caller maps it to EXIT_INVALID.
     """
     path = Path(path_text)
     if not path.is_file():
         print(f"repro obs: error: no such trace file: {path}", file=err)
         return None
     with open(path, "r", encoding="utf-8") as handle:
-        _, spans = read_span_stream(handle)
-    return spans, EXIT_INVALID
+        _, spans, skipped = read_span_stream_tolerant(handle)
+    if skipped:
+        print(
+            f"repro obs: warning: {path}: skipped {skipped} truncated "
+            "final line (writer likely killed mid-record)",
+            file=err,
+        )
+    return spans, skipped
 
 
 def _span_line(span: Span) -> str:
@@ -128,13 +185,13 @@ def _cmd_tail(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
         loaded = _load_trace(args.trace, err)
         if loaded is None:
             return EXIT_USAGE
-        spans, _ = loaded
+        spans, skipped = loaded
     except ObservabilityError as exc:
         print(f"repro obs: invalid trace: {exc}", file=err)
         return EXIT_INVALID
     for span in spans[-args.lines:]:
         print(_span_line(span), file=out)
-    return EXIT_OK
+    return EXIT_TRUNCATED if skipped else EXIT_OK
 
 
 def _quantile(samples: List[float], q: float) -> float:
@@ -171,14 +228,14 @@ def _cmd_summarize(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
         loaded = _load_trace(args.trace, err)
         if loaded is None:
             return EXIT_USAGE
-        spans, _ = loaded
+        spans, skipped = loaded
     except ObservabilityError as exc:
         print(f"repro obs: invalid trace: {exc}", file=err)
         return EXIT_INVALID
     summary = _summarize_spans(spans)
     if args.json:
         print(json.dumps(summary, sort_keys=True), file=out)
-        return EXIT_OK
+        return EXIT_TRUNCATED if skipped else EXIT_OK
     print(
         f"{summary['spans']} slot span(s), "
         f"{summary['deadline_misses']} deadline miss(es)\n",
@@ -195,17 +252,19 @@ def _cmd_summarize(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
             f"{row['p99_ms']:>9.3f}  {row['max_ms']:>9.3f}",
             file=out,
         )
-    return EXIT_OK
+    return EXIT_TRUNCATED if skipped else EXIT_OK
 
 
 def _cmd_diff(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
     sides: List[Dict[str, object]] = []
+    truncated = 0
     for path_text in (args.before, args.after):
         try:
             loaded = _load_trace(path_text, err)
             if loaded is None:
                 return EXIT_USAGE
-            spans, _ = loaded
+            spans, skipped = loaded
+            truncated += skipped
         except ObservabilityError as exc:
             print(f"repro obs: invalid trace {path_text}: {exc}", file=err)
             return EXIT_INVALID
@@ -237,6 +296,136 @@ def _cmd_diff(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
             f"{delta:>+7.1f}%  {b['p99_ms']:>11.3f}  {a['p99_ms']:>11.3f}",
             file=out,
         )
+    return EXIT_TRUNCATED if truncated else EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard stitching
+# ---------------------------------------------------------------------------
+
+
+def _cmd_stitch(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    streams: List[List[Span]] = []
+    truncated = 0
+    for path_text in args.traces:
+        try:
+            loaded = _load_trace(path_text, err)
+            if loaded is None:
+                return EXIT_USAGE
+            spans, skipped = loaded
+            truncated += skipped
+        except ObservabilityError as exc:
+            print(f"repro obs: invalid trace {path_text}: {exc}", file=err)
+            return EXIT_INVALID
+        streams.append(spans)
+    timelines = stitch_spans(streams)
+    if args.json:
+        print(
+            json.dumps(
+                {"sessions": [t.to_dict() for t in timelines]},
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        return EXIT_TRUNCATED if truncated else EXIT_OK
+    if not timelines:
+        print("no attributed sessions found", file=out)
+        return EXIT_TRUNCATED if truncated else EXIT_OK
+    for timeline in timelines:
+        for line in format_timeline(timeline):
+            print(line, file=out)
+    migrated = sum(1 for t in timelines if t.migrations)
+    print(
+        f"\n{len(timelines)} session(s), {migrated} migrated",
+        file=out,
+    )
+    return EXIT_TRUNCATED if truncated else EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# SLO evaluation
+# ---------------------------------------------------------------------------
+
+
+def _cmd_slo(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    if args.seats < 1:
+        print("repro obs: error: --seats must be >= 1", file=err)
+        return EXIT_USAGE
+    try:
+        config = (
+            load_slo_config(Path(args.config))
+            if args.config is not None
+            else default_slo_config()
+        )
+    except ObservabilityError as exc:
+        print(f"repro obs: error: {exc}", file=err)
+        return EXIT_USAGE
+
+    if args.target.startswith(("http://", "https://")):
+        try:
+            with urllib.request.urlopen(
+                args.target, timeout=args.timeout
+            ) as response:
+                body = response.read().decode("utf-8", errors="replace")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(
+                f"repro obs: error: cannot scrape {args.target}: {exc}",
+                file=err,
+            )
+            return EXIT_USAGE
+    else:
+        path = Path(args.target)
+        if not path.is_file():
+            print(
+                f"repro obs: error: no such snapshot file: {path}", file=err
+            )
+            return EXIT_USAGE
+        body = path.read_text(encoding="utf-8")
+
+    try:
+        snapshot = json.loads(body)
+    except json.JSONDecodeError as exc:
+        print(f"repro obs: invalid snapshot JSON: {exc}", file=err)
+        return EXIT_INVALID
+    if not isinstance(snapshot, dict):
+        print("repro obs: invalid snapshot: not a JSON object", file=err)
+        return EXIT_INVALID
+    try:
+        sample = sample_snapshot(snapshot)
+    except ObservabilityError as exc:
+        print(f"repro obs: invalid snapshot: {exc}", file=err)
+        return EXIT_INVALID
+
+    statuses = evaluate_sample(config, sample, seats=args.seats)
+    breaching = [status.name for status in statuses if status.breached]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "objectives": [status.to_dict() for status in statuses],
+                    "breaching": breaching,
+                },
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        return EXIT_INVALID if breaching else EXIT_OK
+    print(
+        f"{'objective':>20}  {'kind':>20}  {'target':>7}  "
+        f"{'error':>8}  {'burn':>7}  state",
+        file=out,
+    )
+    for status in statuses:
+        state = "BREACH" if status.breached else "ok"
+        print(
+            f"{status.name:>20}  {status.kind:>20}  {status.target:>7.3f}  "
+            f"{status.error_ratio:>8.4f}  {status.burn:>6.2f}x  {state}",
+            file=out,
+        )
+    if breaching:
+        print(f"\nbreaching: {', '.join(breaching)}", file=out)
+        return EXIT_INVALID
+    print("\nall objectives within budget", file=out)
     return EXIT_OK
 
 

@@ -1,0 +1,106 @@
+"""Federated metrics: merge per-shard registries into one exposition.
+
+A sharded cluster runs one :class:`~repro.obs.registry.MetricsRegistry`
+per shard process plus a small coordinator-local registry.  The
+cluster ``/metrics`` endpoint must present all of them as a single
+valid Prometheus page: one ``# TYPE`` line per family, every series
+distinguishable by a ``shard`` label, and histogram buckets that stay
+cumulative per series even when two shards configured different
+bucket vectors for the same family name.
+
+:func:`merge_registries` builds that page the cheap way — a fresh
+merge registry whose families *adopt* the live child instruments by
+reference (no copying, no double counting; the scrape happens on the
+same event-loop thread that updates the instruments).  Merging is
+conflict-safe: a family whose kind or label names disagree across
+shards, or a label set that collides after shard-labelling, is skipped
+and counted in ``repro_cluster_merge_conflicts_total`` instead of
+failing the scrape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+#: Label added to every merged series, valued with the source shard.
+SHARD_LABEL = "shard"
+
+#: Counter family recording families/series dropped during a merge.
+MERGE_CONFLICTS_METRIC = "repro_cluster_merge_conflicts_total"
+
+#: Shard-label value used for the coordinator's own registry.
+COORDINATOR_SHARD = "coordinator"
+
+
+def _register_like(
+    merged: MetricsRegistry, family: MetricFamily, label_names: Sequence[str]
+) -> MetricFamily:
+    """Register ``family``'s shape (shard-labelled) on the merge registry."""
+    if family.kind == "counter":
+        return merged.counter_family(family.name, family.help, label_names)
+    if family.kind == "gauge":
+        return merged.gauge_family(family.name, family.help, label_names)
+    return merged.histogram_family(
+        family.name,
+        family.help,
+        label_names,
+        buckets_s=family.buckets_s or DEFAULT_LATENCY_BUCKETS_S,
+    )
+
+
+def merge_registries(
+    sources: Sequence[Tuple[str, MetricsRegistry]]
+) -> MetricsRegistry:
+    """One registry view over ``(shard_label, registry)`` sources.
+
+    Families gain a trailing ``shard`` label (unless the source family
+    already carries one — shard-aware families are merged as-is).
+    Child instruments are adopted by reference, so the merged registry
+    is a *view*: render it promptly, do not cache it across slots.
+    """
+    merged = MetricsRegistry()
+    conflicts = merged.counter_family(
+        MERGE_CONFLICTS_METRIC,
+        "Metric families or series skipped during cluster merge.",
+        ("metric",),
+    )
+    for shard_label, registry in sources:
+        for family in registry.families():
+            already_sharded = SHARD_LABEL in family.label_names
+            label_names = (
+                family.label_names
+                if already_sharded
+                else family.label_names + (SHARD_LABEL,)
+            )
+            try:
+                target = _register_like(merged, family, label_names)
+            except ObservabilityError:
+                # Same name, different kind or label names on another
+                # shard: keep the first registration, count the rest.
+                conflicts.counter_child(metric=family.name).inc()
+                continue
+            for values, child in family.children():
+                key = values if already_sharded else values + (shard_label,)
+                if not target.adopt(key, child):
+                    conflicts.counter_child(metric=family.name).inc()
+    return merged
+
+
+def merge_conflicts(merged: MetricsRegistry) -> List[Tuple[str, int]]:
+    """``(metric, dropped_count)`` pairs recorded by the last merge."""
+    out: List[Tuple[str, int]] = []
+    for family in merged.families():
+        if family.name != MERGE_CONFLICTS_METRIC:
+            continue
+        for values, child in family.children():
+            if isinstance(child, Counter):
+                out.append((values[0], child.count))
+    return out

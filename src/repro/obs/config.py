@@ -18,6 +18,7 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.obs.flight import AnyFlightRecorder, FlightRecorder, NullFlightRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloConfig
 from repro.obs.tracer import AnyTracer, NullTracer, Tracer
 
 #: Default trace sampling: one slot span written out of every N built.
@@ -51,6 +52,10 @@ class ObsConfig:
         Endpoint for ``/metrics``, ``/healthz`` and ``/snapshot``;
         ``http_port=None`` disables the listener, ``0`` binds an
         ephemeral port.
+    slo:
+        Declarative SLO set evaluated as windowed burn rates by the
+        slot loop (``None`` = no SLO engine).  Evaluation only reads
+        counters — an enabled engine stays bit-inert.
     """
 
     enabled: bool = True
@@ -61,6 +66,7 @@ class ObsConfig:
     flight_max_dumps: int = 8
     http_host: str = "127.0.0.1"
     http_port: Optional[int] = None
+    slo: Optional[SloConfig] = None
 
     def __post_init__(self) -> None:
         if self.sample_every < 1:

@@ -38,9 +38,18 @@ TRIGGER_ADMISSION_REJECT = "admission_reject"
 TRIGGER_WRITE_DROP = "write_drop"
 TRIGGER_SESSION_RESUME_FAILED = "session_resume_failed"
 
+#: Cluster-level triggers the shard coordinator/supervisor fire.
+TRIGGER_SHARD_KILL = "shard_kill"
+TRIGGER_MIGRATION_STALL = "migration_stall"
+TRIGGER_SHARD_RESPAWN = "shard_respawn"
+
+#: Fired by the SLO engine when an objective's burn rate breaches.
+TRIGGER_SLO_BREACH = "slo_breach"
+
 TRIGGERS = (
     TRIGGER_DEADLINE_MISS, TRIGGER_ADMISSION_REJECT, TRIGGER_WRITE_DROP,
-    TRIGGER_SESSION_RESUME_FAILED,
+    TRIGGER_SESSION_RESUME_FAILED, TRIGGER_SHARD_KILL,
+    TRIGGER_MIGRATION_STALL, TRIGGER_SHARD_RESPAWN, TRIGGER_SLO_BREACH,
 )
 
 

@@ -29,10 +29,17 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _MAX_REQUEST_BYTES = 8192
 
 HealthFn = Callable[[], Dict[str, object]]
+RegistryFn = Callable[[], MetricsRegistry]
 
 
 class ObsHttpServer:
-    """Serves ``/metrics``, ``/healthz``, ``/snapshot`` for one registry."""
+    """Serves ``/metrics``, ``/healthz``, ``/snapshot`` for one registry.
+
+    ``registry_fn`` (optional) supplies the registry rendered per
+    request — the cluster endpoint uses it to rebuild the federated
+    merge on every scrape while the request counter stays on the
+    stable ``registry`` passed at construction.
+    """
 
     def __init__(
         self,
@@ -40,9 +47,11 @@ class ObsHttpServer:
         health_fn: Optional[HealthFn] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        registry_fn: Optional[RegistryFn] = None,
     ) -> None:
         self.registry = registry
         self.health_fn = health_fn
+        self.registry_fn = registry_fn
         self.host = host
         self.configured_port = port
         self._listener: Optional[asyncio.AbstractServer] = None
@@ -127,7 +136,7 @@ class ObsHttpServer:
             return (
                 200,
                 PROMETHEUS_CONTENT_TYPE,
-                self.registry.render_prometheus().encode("utf-8"),
+                self._scrape_registry().render_prometheus().encode("utf-8"),
             )
         if route == "/healthz":
             payload: Dict[str, object] = {"status": "ok"}
@@ -142,9 +151,14 @@ class ObsHttpServer:
             return (
                 200,
                 "application/json; charset=utf-8",
-                (self.registry.render_json() + "\n").encode("utf-8"),
+                (self._scrape_registry().render_json() + "\n").encode("utf-8"),
             )
         return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    def _scrape_registry(self) -> MetricsRegistry:
+        if self.registry_fn is not None:
+            return self.registry_fn()
+        return self.registry
 
 
 _STATUS_TEXT = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}

@@ -304,6 +304,29 @@ class MetricFamily:
             )
         return child
 
+    def adopt(self, values: LabelValues, instrument: Instrument) -> bool:
+        """Insert an existing child under ``values`` (federated merges).
+
+        Returns False (and leaves the family untouched) when the label
+        set is already taken or the instrument kind does not match the
+        family, so callers can count collisions instead of crashing a
+        scrape.
+        """
+        if len(values) != len(self.label_names):
+            return False
+        expected = {
+            "counter": Counter,
+            "gauge": Gauge,
+            "histogram": BucketHistogram,
+        }[self.kind]
+        if not isinstance(instrument, expected):
+            return False
+        key = tuple(str(value) for value in values)
+        if key in self._children:
+            return False
+        self._children[key] = instrument
+        return True
+
     def children(self) -> List[Tuple[LabelValues, Instrument]]:
         return sorted(self._children.items())
 

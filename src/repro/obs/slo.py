@@ -1,0 +1,439 @@
+"""Declarative SLOs evaluated as windowed burn rates over the registry.
+
+The paper's QoE promises become three service-level objectives:
+
+* ``deadline_hit_rate`` — the fraction of slots whose pipeline beat
+  the 16.7 ms deadline (Section III ties QoE to this directly);
+* ``quality_floor`` — constraint (7): the fraction of user-slots *not*
+  forced to the degraded minimum level;
+* ``migration_downtime`` — the fraction of user-slots *not* spent
+  detached awaiting resume or migration.
+
+Each objective has a target good-fraction; its *error budget* is
+``1 - target``.  The engine keeps a sliding window of cumulative
+counter samples (indexed by slot number — no clocks, so evaluation is
+deterministic and RL007-clean) and reports the *burn rate*: the error
+fraction inside the window divided by the budget.  Burn 1.0 means the
+window exactly spends its budget; above ``burn_threshold`` the
+objective is breaching and the flight recorder captures the ring.
+
+Everything here only *reads* counters and writes its own gauges —
+planning never sees it, so an enabled SLO engine stays bit-inert.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Mapping, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import Counter, MetricsRegistry
+
+#: Objective kinds the engine knows how to measure.
+SLO_KINDS = ("deadline_hit_rate", "quality_floor", "migration_downtime")
+
+#: Gauge family: current burn rate per objective.
+SLO_BURN_METRIC = "repro_slo_burn_rate"
+
+#: Counter family: breach transitions per objective (edge-triggered).
+SLO_BREACHES_METRIC = "repro_slo_breaches_total"
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: a target good-fraction over a sliding window."""
+
+    name: str
+    kind: str
+    target: float
+    window_slots: int = 120
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ObservabilityError(
+                f"unknown SLO kind {self.kind!r}; expected one of {SLO_KINDS}"
+            )
+        if not 0.0 <= self.target < 1.0:
+            raise ObservabilityError(
+                f"SLO target must be in [0, 1), got {self.target}"
+            )
+        if self.window_slots < 1:
+            raise ObservabilityError(
+                f"SLO window must be >= 1 slot, got {self.window_slots}"
+            )
+        if self.burn_threshold <= 0:
+            raise ObservabilityError(
+                f"SLO burn threshold must be > 0, got {self.burn_threshold}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed bad fraction."""
+        return 1.0 - self.target
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "window_slots": self.window_slots,
+            "burn_threshold": self.burn_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """The declarative SLO set (JSON schema: ``{"objectives": [...]}``)."""
+
+    objectives: Tuple[SloObjective, ...]
+
+    def __post_init__(self) -> None:
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ObservabilityError(f"duplicate SLO names in {names}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objectives": [obj.to_dict() for obj in self.objectives]
+        }
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "SloConfig":
+        if not isinstance(raw, dict):
+            raise ObservabilityError("SLO config must be a JSON object")
+        objectives_raw = raw.get("objectives")
+        if not isinstance(objectives_raw, list) or not objectives_raw:
+            raise ObservabilityError(
+                "SLO config needs a non-empty 'objectives' list"
+            )
+        objectives: List[SloObjective] = []
+        for entry in objectives_raw:
+            if not isinstance(entry, dict):
+                raise ObservabilityError("each SLO objective must be an object")
+            try:
+                objectives.append(
+                    SloObjective(
+                        name=str(entry["name"]),
+                        kind=str(entry["kind"]),
+                        target=float(entry["target"]),
+                        window_slots=int(entry.get("window_slots", 120)),
+                        burn_threshold=float(entry.get("burn_threshold", 1.0)),
+                    )
+                )
+            except KeyError as exc:
+                raise ObservabilityError(
+                    f"SLO objective missing field {exc}"
+                ) from exc
+        return cls(objectives=tuple(objectives))
+
+
+def default_slo_config() -> SloConfig:
+    """The paper-derived default: deadline, quality floor, downtime."""
+    return SloConfig(
+        objectives=(
+            SloObjective("slot_deadline", "deadline_hit_rate", target=0.99),
+            SloObjective("quality_floor", "quality_floor", target=0.95),
+            SloObjective(
+                "migration_downtime", "migration_downtime", target=0.98
+            ),
+        )
+    )
+
+
+def load_slo_config(path: Path) -> SloConfig:
+    """Parse an SLO config JSON file."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot read SLO config {path}: {exc}") from exc
+    return SloConfig.from_dict(raw)
+
+
+# ----------------------------------------------------------------------
+# Counter sampling
+# ----------------------------------------------------------------------
+#: Counter families the engine samples, in sample-tuple order.
+_SAMPLE_METRICS = (
+    "repro_serve_slots_total",
+    "repro_serve_deadline_hits_total",
+    "repro_serve_degraded_user_slots_total",
+    "repro_serve_detached_user_slots_total",
+)
+
+
+@dataclass(frozen=True)
+class SloSample:
+    """Cumulative counter values at one evaluation point."""
+
+    slots: float = 0.0
+    deadline_hits: float = 0.0
+    degraded_user_slots: float = 0.0
+    detached_user_slots: float = 0.0
+
+
+def sample_registry(registry: MetricsRegistry) -> SloSample:
+    """Read the SLO input counters (missing families read as 0).
+
+    Shard-labelled children (a federated merge) are summed, so the
+    same sampler serves both a single shard and the cluster view.
+    """
+    totals = {name: 0.0 for name in _SAMPLE_METRICS}
+    for family in registry.families():
+        if family.name not in totals:
+            continue
+        for _values, child in family.children():
+            if isinstance(child, Counter):
+                totals[family.name] += child.value
+    return SloSample(
+        slots=totals[_SAMPLE_METRICS[0]],
+        deadline_hits=totals[_SAMPLE_METRICS[1]],
+        degraded_user_slots=totals[_SAMPLE_METRICS[2]],
+        detached_user_slots=totals[_SAMPLE_METRICS[3]],
+    )
+
+
+def sample_snapshot(snapshot: Mapping[str, object]) -> SloSample:
+    """:func:`sample_registry` over a ``/snapshot`` JSON document."""
+    totals = {name: 0.0 for name in _SAMPLE_METRICS}
+    families = snapshot.get("families")
+    if not isinstance(families, list):
+        raise ObservabilityError("snapshot has no 'families' list")
+    for family in families:
+        if not isinstance(family, dict):
+            continue
+        name = family.get("name")
+        if name not in totals:
+            continue
+        metrics = family.get("metrics", [])
+        if not isinstance(metrics, list):
+            continue
+        for metric in metrics:
+            if isinstance(metric, dict) and isinstance(
+                metric.get("value"), (int, float)
+            ):
+                totals[str(name)] += float(metric["value"])
+    return SloSample(
+        slots=totals[_SAMPLE_METRICS[0]],
+        deadline_hits=totals[_SAMPLE_METRICS[1]],
+        degraded_user_slots=totals[_SAMPLE_METRICS[2]],
+        detached_user_slots=totals[_SAMPLE_METRICS[3]],
+    )
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SloStatus:
+    """One objective's state after an evaluation."""
+
+    name: str
+    kind: str
+    target: float
+    window_slots: int
+    burn_threshold: float
+    error_ratio: float
+    burn: float
+    breached: bool
+    newly_breached: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "window_slots": self.window_slots,
+            "burn_threshold": self.burn_threshold,
+            "error_ratio": self.error_ratio,
+            "burn": self.burn,
+            "breached": self.breached,
+        }
+
+
+def _error_fraction(
+    objective: SloObjective, delta: SloSample, seats: int
+) -> float:
+    """Bad fraction of the window for one objective (0 when no data)."""
+    if objective.kind == "deadline_hit_rate":
+        total = delta.slots
+        bad = delta.slots - delta.deadline_hits
+    elif objective.kind == "quality_floor":
+        total = delta.slots * max(seats, 1)
+        bad = delta.degraded_user_slots
+    else:  # migration_downtime
+        total = delta.slots * max(seats, 1)
+        bad = delta.detached_user_slots
+    if total <= 0:
+        return 0.0
+    return min(max(bad / total, 0.0), 1.0)
+
+
+def _status(
+    objective: SloObjective,
+    delta: SloSample,
+    seats: int,
+    previously_breached: bool,
+) -> SloStatus:
+    error_ratio = _error_fraction(objective, delta, seats)
+    burn = error_ratio / objective.budget if objective.budget > 0 else 0.0
+    breached = burn > objective.burn_threshold
+    return SloStatus(
+        name=objective.name,
+        kind=objective.kind,
+        target=objective.target,
+        window_slots=objective.window_slots,
+        burn_threshold=objective.burn_threshold,
+        error_ratio=error_ratio,
+        burn=burn,
+        breached=breached,
+        newly_breached=breached and not previously_breached,
+    )
+
+
+def evaluate_sample(
+    config: SloConfig, sample: SloSample, seats: int = 1
+) -> List[SloStatus]:
+    """One-shot evaluation of cumulative counters (whole-run window).
+
+    Used by ``repro obs slo`` against a saved or scraped snapshot,
+    where no sliding window exists — the run *is* the window.
+    """
+    return [
+        _status(objective, sample, seats, previously_breached=False)
+        for objective in config.objectives
+    ]
+
+
+class SloEngine:
+    """Sliding-window burn-rate evaluator bound to one registry.
+
+    ``evaluate(slot)`` is called once per executed slot by the slot
+    loop; it samples the registry, updates the per-objective burn
+    gauges, counts breach *transitions*, and returns the statuses so
+    the caller can fire the flight recorder on ``newly_breached``.
+    """
+
+    def __init__(
+        self,
+        config: SloConfig,
+        registry: MetricsRegistry,
+        seats: int = 1,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.seats = max(int(seats), 1)
+        self._burn = registry.gauge_family(
+            SLO_BURN_METRIC,
+            "Current error-budget burn rate per SLO objective",
+            ("objective",),
+        )
+        self._breaches = registry.counter_family(
+            SLO_BREACHES_METRIC,
+            "Burn-rate breach transitions per SLO objective",
+            ("objective",),
+        )
+        self._max_window = max(
+            objective.window_slots for objective in config.objectives
+        )
+        self._history: Deque[Tuple[int, SloSample]] = deque()
+        self._breached: Dict[str, bool] = {
+            objective.name: False for objective in config.objectives
+        }
+        for objective in config.objectives:
+            self._burn.gauge_child(objective=objective.name).set(0.0)
+
+    def _window_base(self, slot: int, window_slots: int) -> SloSample:
+        """Newest sample at or before the window's left edge.
+
+        No such sample (the run is younger than the window) means the
+        window reaches back to slot 0: the base is all-zeros.
+        """
+        base = SloSample()
+        for sample_slot, sample in self._history:
+            if sample_slot <= slot - window_slots:
+                base = sample
+            else:
+                break
+        return base
+
+    @staticmethod
+    def _delta(current: SloSample, base: SloSample) -> SloSample:
+        return SloSample(
+            slots=current.slots - base.slots,
+            deadline_hits=current.deadline_hits - base.deadline_hits,
+            degraded_user_slots=(
+                current.degraded_user_slots - base.degraded_user_slots
+            ),
+            detached_user_slots=(
+                current.detached_user_slots - base.detached_user_slots
+            ),
+        )
+
+    def evaluate(self, slot: int) -> List[SloStatus]:
+        """Evaluate every objective at (0-based) executed-slot count."""
+        current = sample_registry(self.registry)
+        statuses: List[SloStatus] = []
+        for objective in self.config.objectives:
+            base = self._window_base(slot, objective.window_slots)
+            status = _status(
+                objective,
+                self._delta(current, base),
+                self.seats,
+                self._breached[objective.name],
+            )
+            self._breached[objective.name] = status.breached
+            self._burn.gauge_child(objective=objective.name).set(status.burn)
+            if status.newly_breached:
+                self._breaches.counter_child(objective=objective.name).inc()
+            statuses.append(status)
+        self._history.append((slot, current))
+        while (
+            len(self._history) > 1
+            and self._history[1][0] <= slot - self._max_window
+        ):
+            self._history.popleft()
+        return statuses
+
+    def status(self) -> Dict[str, object]:
+        """Point-in-time rollup for ``/healthz``."""
+        current = sample_registry(self.registry)
+        last_slot = self._history[-1][0] if self._history else 0
+        statuses = [
+            _status(
+                objective,
+                self._delta(
+                    current,
+                    self._window_base(last_slot, objective.window_slots),
+                ),
+                self.seats,
+                self._breached[objective.name],
+            )
+            for objective in self.config.objectives
+        ]
+        return {
+            "objectives": [status.to_dict() for status in statuses],
+            "breaching": [
+                status.name for status in statuses if status.breached
+            ],
+        }
+
+
+__all__ = [
+    "SLO_KINDS",
+    "SLO_BURN_METRIC",
+    "SLO_BREACHES_METRIC",
+    "SloObjective",
+    "SloConfig",
+    "SloSample",
+    "SloStatus",
+    "SloEngine",
+    "default_slo_config",
+    "load_slo_config",
+    "evaluate_sample",
+    "sample_registry",
+    "sample_snapshot",
+]

@@ -143,6 +143,48 @@ def read_span_stream(handle: IO[str]) -> Tuple[Dict[str, object], List[Span]]:
     return header, spans
 
 
+def read_span_stream_tolerant(
+    handle: IO[str],
+) -> Tuple[Dict[str, object], List[Span], int]:
+    """:func:`read_span_stream`, forgiving a truncated *final* line.
+
+    A crash-time flight dump (or a tracer killed mid-write) leaves at
+    most one partial line, and it is always the last one.  This reader
+    skips that line and reports it in the third return value so the
+    CLI can warn and exit with a distinct code; corruption anywhere
+    *before* the final line still raises — that is damage, not
+    truncation.
+    """
+    header_line = handle.readline()
+    if not header_line.strip():
+        raise ObservabilityError("span stream is empty (no header line)")
+    header = _parse_line(header_line, 1)
+    kind = header.get("kind")
+    if not isinstance(kind, str) or not kind.startswith("repro.obs."):
+        raise ObservabilityError(f"not a span stream (kind={kind!r})")
+    version = header.get("schema_version")
+    if version != SPAN_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"unsupported span schema_version {version!r} "
+            f"(expected {SPAN_SCHEMA_VERSION})"
+        )
+    numbered = [
+        (number, line)
+        for number, line in enumerate(handle, start=2)
+        if line.strip()
+    ]
+    spans: List[Span] = []
+    skipped = 0
+    for index, (number, line) in enumerate(numbered):
+        try:
+            spans.append(Span.from_dict(_parse_line(line, number)))
+        except ObservabilityError:
+            if index != len(numbered) - 1:
+                raise
+            skipped = 1
+    return header, spans, skipped
+
+
 def _parse_line(line: str, number: int) -> Dict[str, object]:
     try:
         raw = json.loads(line)

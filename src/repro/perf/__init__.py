@@ -17,16 +17,38 @@ from repro.perf.bench import (
     bench_simulator,
     persist_run,
 )
+from repro.perf.regression import (
+    BENCH_FILES,
+    CHECK_MODES,
+    CHECK_RULES,
+    CheckReport,
+    CheckResult,
+    CheckRule,
+    check_bench,
+    check_run,
+    format_report,
+    latest_run,
+)
 from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
 
 __all__ = [
     "BENCH_ALLOCATOR_FILE",
+    "BENCH_FILES",
     "BENCH_KERNEL_FILE",
     "BENCH_SERVE_FILE",
     "BENCH_SIMULATOR_FILE",
+    "CHECK_MODES",
+    "CHECK_RULES",
+    "CheckReport",
+    "CheckResult",
+    "CheckRule",
     "bench_allocator",
     "bench_kernel",
     "bench_serve",
     "bench_simulator",
+    "check_bench",
+    "check_run",
+    "format_report",
+    "latest_run",
     "persist_run",
 ]

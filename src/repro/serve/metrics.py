@@ -217,6 +217,10 @@ class ServingMetrics:
             "repro_serve_corrupt_frames_total",
             "Undecodable frames quarantined without dropping the session",
         )
+        self._detached_user_slots = self.registry.counter(
+            "repro_serve_detached_user_slots_total",
+            "User-slots spent detached (awaiting resume or migration)",
+        )
         self._migrations_out = self.registry.counter(
             "repro_serve_migrations_out_total",
             "Sessions handed off to another shard",
@@ -282,6 +286,11 @@ class ServingMetrics:
 
     def record_corrupt_frame(self) -> None:
         self._corrupt_frames.inc()
+
+    def record_detached_user_slots(self, count: int) -> None:
+        """Count seats that spent this slot detached (downtime budget)."""
+        if count > 0:
+            self._detached_user_slots.inc(count)
 
     def record_migration_out(self) -> None:
         """A seat left for another shard — not a leave, not a failure.
@@ -365,6 +374,10 @@ class ServingMetrics:
     @property
     def corrupt_frames(self) -> int:
         return self._corrupt_frames.count
+
+    @property
+    def detached_user_slots(self) -> int:
+        return self._detached_user_slots.count
 
     @property
     def migrations_out(self) -> int:

@@ -21,9 +21,11 @@ from repro.content.gop import GopModel
 from repro.core.allocation import DensityValueGreedyAllocator, QualityAllocator
 from repro.errors import FrameCorruptError, TransportError
 from repro.faults.injection import FaultInjector
+from repro.obs.buildinfo import config_fingerprint, register_build_info
 from repro.obs.config import Obs
 from repro.obs.flight import TRIGGER_ADMISSION_REJECT
 from repro.obs.http import ObsHttpServer
+from repro.obs.slo import SloEngine
 from repro.prediction.pose import Pose
 from repro.serve.admission import (
     REJECT_DRAINING,
@@ -129,9 +131,19 @@ class VrServeServer:
             registry=self.obs.registry,
             exact_latency=config.exact_stage_latency,
         )
+        register_build_info(
+            self.obs.registry,
+            shard=config.shard_index,
+            config_hash=config_fingerprint(config),
+        )
+        self.slo: Optional[SloEngine] = None
+        if config.obs.slo is not None:
+            self.slo = SloEngine(
+                config.obs.slo, self.obs.registry, seats=config.max_users
+            )
         self.slot_loop = SlotLoop(
             config, self.edge, self.registry, self.metrics, self.data_plane,
-            obs=self.obs, injector=self.injector,
+            obs=self.obs, injector=self.injector, slo=self.slo,
         )
         self.edge.scheduler.attach_registry(self.obs.registry)
         self._listener: Optional[asyncio.AbstractServer] = None
@@ -142,7 +154,7 @@ class VrServeServer:
         if config.obs.http_port is not None:
             self._http = ObsHttpServer(
                 self.obs.registry,
-                health_fn=self._health,
+                health_fn=self.health,
                 host=config.obs.http_host,
                 port=config.obs.http_port,
             )
@@ -164,15 +176,18 @@ class VrServeServer:
             raise TransportError("observability endpoint is not configured")
         return self._http.port
 
-    def _health(self) -> Dict[str, object]:
+    def health(self) -> Dict[str, object]:
         """Liveness payload for the ``/healthz`` endpoint."""
-        return {
+        payload: Dict[str, object] = {
             "slots_run": self.slot_loop.slots_run,
             "num_tx_slots": self.config.num_tx_slots,
             "sessions": self.registry.occupancy(),
             "ready": self.registry.ready_count(),
             "deadline_hit_rate": self.metrics.deadline_hit_rate,
         }
+        if self.slo is not None:
+            payload["slo"] = self.slo.status()
+        return payload
 
     async def start(self) -> None:
         """Bind the listener (without running the slot loop yet)."""
@@ -400,6 +415,7 @@ class VrServeServer:
         )
         session.guideline_mbps = self.data_plane.guidelines_mbps[session.seat]
         session.token = self._make_token(session.seat)
+        session.trace_id = self._make_trace_id(session.seat)
         self.metrics.record_join()
         await send_message(writer, self._welcome(session, resumed=False))
         return session
@@ -415,6 +431,21 @@ class VrServeServer:
             f"{self.config.experiment.seed}:{seat}:{self.registry.total_joins}"
         )
         return hashlib.sha256(material.encode("ascii")).hexdigest()[:32]
+
+    def _make_trace_id(self, seat: int) -> str:
+        """A deterministic per-session trace identity.
+
+        Same derivation discipline as :meth:`_make_token` but with a
+        distinct salt: the ID is minted once at first admission and
+        then *carried* (through resumes and the migration handoff
+        blob), never re-minted, so every shard stamps the same ID on
+        the session's spans.
+        """
+        material = (
+            f"trace:{self.config.experiment.seed}:{seat}:"
+            f"{self.registry.total_joins}"
+        )
+        return hashlib.sha256(material.encode("ascii")).hexdigest()[:16]
 
     def _welcome(self, session: Session, resumed: bool) -> Welcome:
         cfg = self.config.experiment

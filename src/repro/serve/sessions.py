@@ -48,6 +48,10 @@ class Session:
     #: Resume support: the token a reconnecting client must present,
     #: and whether the seat is currently waiting for that client.
     token: str = ""
+    #: Stable trace identity minted at first admission; survives
+    #: resumes and cross-shard migrations so per-shard span streams
+    #: can be stitched into one per-session timeline.
+    trace_id: str = ""
     detached: bool = False
     detached_slot: int = NEVER_REPORTED
     resumes: int = 0
@@ -167,6 +171,7 @@ class SessionRegistry:
         joined_slot: int,
         token: str,
         slot: int,
+        trace_id: str = "",
     ) -> Session:
         """Admit a migrated-in session in parked state (no transport).
 
@@ -178,6 +183,7 @@ class SessionRegistry:
         """
         session = self.admit(client, None, guideline_mbps, joined_slot)
         session.token = token
+        session.trace_id = trace_id
         session.ready = True
         session.detached = True
         session.detached_slot = slot

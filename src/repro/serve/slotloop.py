@@ -35,8 +35,10 @@ from repro.obs.config import Obs
 from repro.obs.flight import (
     TRIGGER_DEADLINE_MISS,
     TRIGGER_SESSION_RESUME_FAILED,
+    TRIGGER_SLO_BREACH,
     TRIGGER_WRITE_DROP,
 )
+from repro.obs.slo import SloEngine
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServingMetrics
 from repro.serve.protocol import (
@@ -179,6 +181,7 @@ class SlotLoop:
         data_plane: DataPlane,
         obs: Optional[Obs] = None,
         injector: Optional[FaultInjector] = None,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         self.config = config
         self.server = server
@@ -187,6 +190,9 @@ class SlotLoop:
         self.data_plane = data_plane
         self.obs = obs if obs is not None else Obs.disabled(metrics.registry)
         self.injector = injector if injector is not None else FaultInjector()
+        #: Optional burn-rate evaluator; reads counters only, so an
+        #: attached engine never perturbs planning.
+        self.slo = slo
         self.slots_run = 0
         self._stop = asyncio.Event()
         #: (slot, plan, achieved) awaiting the next fold.
@@ -505,6 +511,8 @@ class SlotLoop:
                 if self.obs.active
                 else None
             )
+            if builder is not None and self.config.shard_index >= 0:
+                builder.span.attrs["shard"] = self.config.shard_index
 
             stage_s = started_s
             self._fold_pending()
@@ -532,10 +540,15 @@ class SlotLoop:
                 for seat in range(self.config.max_users):
                     user_plan = plan.users[seat]
                     if user_plan.level > 0:
+                        session = self.registry.get(seat)
+                        trace_id = (
+                            session.trace_id if session is not None else ""
+                        )
                         builder.user(
                             seat,
                             level=user_plan.level,
                             demand_mbps=user_plan.demand_mbps,
+                            trace=trace_id,
                         )
 
             stage_s = stage_end_s
@@ -557,6 +570,9 @@ class SlotLoop:
 
             elapsed_s = stage_end_s - started_s
             self.metrics.record_slot(elapsed_s)
+            self.metrics.record_detached_user_slots(
+                len(self.registry.detached_sessions())
+            )
             if builder is not None:
                 span = builder.finish(
                     stage_end_s, deadline_hit=elapsed_s < self.config.slot_s
@@ -576,6 +592,17 @@ class SlotLoop:
                                "write watermark",
                         slot=slot,
                     )
+            if self.slo is not None:
+                for status in self.slo.evaluate(slot):
+                    if status.newly_breached:
+                        self.obs.flight.trigger(
+                            TRIGGER_SLO_BREACH,
+                            detail=(
+                                f"{status.name}: burn {status.burn:.2f}x "
+                                f"over a {status.window_slots}-slot window"
+                            ),
+                            slot=slot,
+                        )
             self._pending = (slot, plan, achieved)
 
             # Drain deferred trace/dump writes off the measured stage

@@ -24,7 +24,7 @@ from repro.shard.bench import (
     bench_scale,
     run_cluster_and_fleet,
 )
-from repro.shard.config import ShardClusterConfig
+from repro.shard.config import ShardClusterConfig, derive_trace_path
 from repro.shard.coordinator import (
     REDIRECT_ASSIGNED,
     REDIRECT_REBALANCE,
@@ -35,6 +35,7 @@ from repro.shard.coordinator import (
 from repro.shard.handoff import (
     HANDOFF_SCHEMA_KIND,
     HANDOFF_SCHEMA_VERSION,
+    HANDOFF_SUPPORTED_VERSIONS,
     capture_seat,
     install_seat,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "ClusterResult",
     "HANDOFF_SCHEMA_KIND",
     "HANDOFF_SCHEMA_VERSION",
+    "HANDOFF_SUPPORTED_VERSIONS",
     "REDIRECT_ASSIGNED",
     "REDIRECT_REBALANCE",
     "REDIRECT_SHARD_KILL",
@@ -56,6 +58,7 @@ __all__ = [
     "ShardSupervisor",
     "bench_scale",
     "capture_seat",
+    "derive_trace_path",
     "install_seat",
     "run_cluster_and_fleet",
 ]

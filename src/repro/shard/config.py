@@ -17,11 +17,24 @@ wrong layer fails loudly instead of silently doing nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.faults.schedule import SHARD_KINDS, FaultSchedule
 from repro.serve.config import ServeConfig, resume_enabled
+
+
+def derive_trace_path(trace_path: str, tag: str) -> str:
+    """A sibling trace file tagged for one cluster member.
+
+    ``traces/run.jsonl`` + ``shard0`` → ``traces/run.shard0.jsonl``.
+    Every shard (and the coordinator) must write its *own* stream: a
+    shared path would interleave headers and spans from N processes
+    into one unreadable file.
+    """
+    path = Path(trace_path)
+    return str(path.with_name(f"{path.stem}.{tag}{path.suffix}"))
 
 
 @dataclass(frozen=True)
@@ -49,12 +62,19 @@ class ShardClusterConfig:
         requires session resume to be enabled on ``base`` — migration
         parks seats on the target shard until their clients reconnect,
         which is the resume path.
+    metrics_host / metrics_port:
+        Cluster-level observability endpoint (federated ``/metrics``,
+        rolled-up ``/healthz``, merged ``/snapshot``) served by the
+        coordinator.  ``metrics_port=None`` disables it, ``0`` binds
+        an ephemeral port.
     """
 
     base: ServeConfig
     num_shards: int = 1
     expect_clients: int = 1
     faults: Optional[FaultSchedule] = None
+    metrics_host: str = "127.0.0.1"
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -116,9 +136,27 @@ class ShardClusterConfig:
         experiment = replace(
             self.base.experiment, seed=self.base.experiment.seed + index
         )
+        obs = self.base.obs
+        if obs.trace_path is not None or obs.flight_dir is not None:
+            # Each shard writes its own trace stream and flight dumps;
+            # a shared path would interleave N processes into one file.
+            obs = replace(
+                obs,
+                trace_path=(
+                    derive_trace_path(obs.trace_path, f"shard{index}")
+                    if obs.trace_path is not None
+                    else None
+                ),
+                flight_dir=(
+                    str(Path(obs.flight_dir) / f"shard{index}")
+                    if obs.flight_dir is not None
+                    else None
+                ),
+            )
         return replace(
             self.base,
             experiment=experiment,
+            obs=obs,
             port=0,
             expect_clients=1,
             shard_index=index,

@@ -35,10 +35,21 @@ from repro.faults.schedule import (
     FAULT_SHARD_KILL,
     FaultEvent,
 )
+from repro.obs.buildinfo import config_fingerprint, register_build_info
+from repro.obs.cluster import COORDINATOR_SHARD, merge_registries
+from repro.obs.flight import (
+    TRIGGER_MIGRATION_STALL,
+    TRIGGER_SHARD_KILL,
+    TRIGGER_SHARD_RESPAWN,
+)
+from repro.obs.http import ObsHttpServer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span
+from repro.obs.tracer import Tracer
 from repro.serve.protocol import JoinRequest, Redirect, read_message, write_message
 from repro.serve.server import ServeResult, VrServeServer
 from repro.serve.sessions import Session
-from repro.shard.config import ShardClusterConfig
+from repro.shard.config import ShardClusterConfig, derive_trace_path
 from repro.shard.handoff import capture_seat, install_seat
 from repro.shard.router import SessionRouter
 
@@ -141,6 +152,41 @@ class ShardCoordinator:
         self._bound_port = 0
         self._front_tasks: Set["asyncio.Task[None]"] = set()
         self._redirect_tasks: Set["asyncio.Task[None]"] = set()
+        #: Cluster-level observability: a coordinator-local registry
+        #: (request counter, build info, migration accounting) merged
+        #: with every shard's registry per scrape.
+        self.obs_registry = MetricsRegistry()
+        register_build_info(
+            self.obs_registry,
+            shard=-1,
+            config_hash=config_fingerprint(cluster),
+        )
+        self._migrations_recorded = self.obs_registry.counter_family(
+            "repro_cluster_migrations_total",
+            "Sessions moved between shards, by redirect reason",
+            ("reason",),
+        )
+        #: Supervisor restart state surfaced by the cluster /healthz.
+        self.supervisor_restarts = 0
+        self.respawned_shards: List[int] = []
+        self._migration_seq = 0
+        self._trace: Optional[Tracer] = None
+        base_obs = cluster.base.obs
+        if base_obs.enabled and base_obs.trace_path is not None:
+            self._trace = Tracer(
+                path=derive_trace_path(base_obs.trace_path, "coordinator"),
+                sample_every=1,
+                registry=self.obs_registry,
+            )
+        self._http: Optional[ObsHttpServer] = None
+        if cluster.metrics_port is not None:
+            self._http = ObsHttpServer(
+                self.obs_registry,
+                health_fn=self.health,
+                host=cluster.metrics_host,
+                port=cluster.metrics_port,
+                registry_fn=self.merged_registry,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -152,9 +198,51 @@ class ShardCoordinator:
             raise TransportError("coordinator is not listening yet")
         return self._bound_port
 
+    @property
+    def metrics_port(self) -> int:
+        """The cluster observability endpoint's bound port (if enabled)."""
+        if self._http is None:
+            raise TransportError("cluster observability endpoint not configured")
+        return self._http.port
+
     def alive_shards(self) -> List[int]:
         """Indices of shards currently in service."""
         return [i for i, alive in enumerate(self._alive) if alive]
+
+    def merged_registry(self) -> MetricsRegistry:
+        """The federated cluster view, rebuilt per scrape.
+
+        The coordinator's own registry merges in under the shard label
+        ``coordinator``; each shard merges under its index.
+        """
+        sources = [(COORDINATOR_SHARD, self.obs_registry)] + [
+            (str(index), server.obs.registry)
+            for index, server in enumerate(self.servers)
+        ]
+        return merge_registries(sources)
+
+    def health(self) -> Dict[str, object]:
+        """Cluster liveness rollup for the federated ``/healthz``.
+
+        Per-shard health (including each shard's SLO status when an
+        engine is attached) plus coordinator-level state: which shards
+        are in service and what the supervisor has restarted.
+        """
+        shards: List[Dict[str, object]] = []
+        for index, server in enumerate(self.servers):
+            entry: Dict[str, object] = {
+                "shard": index,
+                "alive": self._alive[index],
+            }
+            entry.update(server.health())
+            shards.append(entry)
+        return {
+            "num_shards": self.cluster.num_shards,
+            "alive_shards": len(self.alive_shards()),
+            "supervisor_restarts": self.supervisor_restarts,
+            "respawned_shards": list(self.respawned_shards),
+            "shards": shards,
+        }
 
     async def start(self) -> None:
         """Bind every shard's listener and the front door."""
@@ -170,6 +258,8 @@ class ShardCoordinator:
                 self._bound_port = int(
                     self._listener.sockets[0].getsockname()[1]
                 )
+        if self._http is not None:
+            await self._http.start()
 
     async def wait_cluster_ready(self) -> None:
         """Block until ``expect_clients`` sessions are ready cluster-wide."""
@@ -225,6 +315,11 @@ class ShardCoordinator:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
                 tasks.clear()
+        if self._http is not None:
+            await self._http.stop()
+        if self._trace is not None:
+            await self._trace.aflush()
+            await asyncio.to_thread(self._trace.close)
 
     # ------------------------------------------------------------------
     # Front door
@@ -371,6 +466,42 @@ class ShardCoordinator:
 
         return hook
 
+    def _emit_migration_span(
+        self,
+        session: Session,
+        source: int,
+        target: int,
+        slot: int,
+        reason: str,
+    ) -> None:
+        """Record one handoff in the coordinator's trace stream.
+
+        The span carries the session's stable trace identity, so the
+        stitcher can bridge the source shard's timeline to the
+        target's.  ``start_s`` is the *source* shard's slot number —
+        handoffs are instantaneous at the migration point, hence zero
+        duration.
+        """
+        self._migrations_recorded.counter_child(reason=reason).inc()
+        if self._trace is None:
+            return
+        span = Span(
+            name="migration",
+            start_s=float(slot),
+            duration_s=0.0,
+            attrs={
+                "trace": session.trace_id,
+                "client": session.client,
+                "source_shard": source,
+                "target_shard": target,
+                "slot": slot,
+                "reason": reason,
+                "seq": self._migration_seq,
+            },
+        )
+        self._migration_seq += 1
+        self._trace.emit(span)
+
     def _pick_target(self, source: int) -> int:
         """Least-loaded live shard with a free seat (lowest index ties);
         -1 when the rest of the cluster is full or gone."""
@@ -397,6 +528,7 @@ class ShardCoordinator:
         """
         self._alive[index] = False
         server = self.servers[index]
+        moved = 0
         for session in server.registry.active():
             target = self._pick_target(index)
             if target < 0:
@@ -407,7 +539,16 @@ class ShardCoordinator:
             self._send_redirect(
                 index, session, target, slot, REDIRECT_SHARD_KILL
             )
+            self._emit_migration_span(
+                session, index, target, slot, REDIRECT_SHARD_KILL
+            )
             server.metrics.record_migration_out()
+            moved += 1
+        server.obs.flight.trigger(
+            TRIGGER_SHARD_KILL,
+            detail=f"shard {index} evacuated {moved} session(s)",
+            slot=slot,
+        )
 
     def _migrate_one(
         self, index: int, slot: int, client: str, target: int
@@ -436,6 +577,9 @@ class ShardCoordinator:
         install_seat(self.servers[target], blob)
         self.router.pin(client, target)
         self._send_redirect(index, session, target, slot, REDIRECT_REBALANCE)
+        self._emit_migration_span(
+            session, index, target, slot, REDIRECT_REBALANCE
+        )
         seat = session.seat
         server.registry.release(seat)
         server.edge.reset_user(seat)
@@ -473,6 +617,15 @@ class ShardCoordinator:
             reason=reason,
         )
         stall_s = self._take_stall(source, slot)
+        if stall_s > 0:
+            self.servers[source].obs.flight.trigger(
+                TRIGGER_MIGRATION_STALL,
+                detail=(
+                    f"redirect of {session.client} to shard {target} "
+                    f"stalled {stall_s:.3f}s"
+                ),
+                slot=slot,
+            )
         if stall_s <= 0:
             try:
                 write_message(writer, frame)
@@ -523,4 +676,11 @@ class ShardCoordinator:
         self._alive[index] = True
         self._kill_slot.pop(index, None)
         server.slot_loop.slot_hook = self._make_hook(index)
+        self.supervisor_restarts += 1
+        self.respawned_shards.append(index)
+        server.obs.flight.trigger(
+            TRIGGER_SHARD_RESPAWN,
+            detail=f"shard {index} replaced after restart "
+            f"#{self.supervisor_restarts}",
+        )
         return server

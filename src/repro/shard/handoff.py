@@ -27,7 +27,13 @@ from repro.system.telemetry import SlotUserRecord
 
 #: Schema tag of the handoff blob.
 HANDOFF_SCHEMA_KIND = "repro.shard.handoff"
-HANDOFF_SCHEMA_VERSION = 1
+#: Version written by this build.  v2 added ``trace_id`` (the stable
+#: per-session trace identity stitched across shards).
+HANDOFF_SCHEMA_VERSION = 2
+
+#: Versions this build can install.  v1 blobs (no ``trace_id``) are
+#: accepted with an empty trace identity.
+HANDOFF_SUPPORTED_VERSIONS = (1, 2)
 
 #: Session wire counters carried across a migration, in blob order.
 COUNTER_FIELDS = (
@@ -83,6 +89,7 @@ def capture_seat(
         "version": HANDOFF_SCHEMA_VERSION,
         "client": session.client,
         "token": session.token,
+        "trace_id": session.trace_id,
         "guideline_mbps": session.guideline_mbps,
         "source_shard": source_shard,
         "source_seat": seat,
@@ -115,13 +122,15 @@ def install_seat(server: VrServeServer, blob: Mapping[str, Any]) -> Session:
             f"not a handoff blob: kind={blob.get('kind')!r} "
             f"(expected {HANDOFF_SCHEMA_KIND!r})"
         )
-    if blob.get("version") != HANDOFF_SCHEMA_VERSION:
+    version = blob.get("version")
+    if version not in HANDOFF_SUPPORTED_VERSIONS:
         raise ConfigurationError(
-            f"unsupported handoff version {blob.get('version')!r} "
-            f"(this build speaks {HANDOFF_SCHEMA_VERSION})"
+            f"unsupported handoff version {version!r} "
+            f"(this build speaks {HANDOFF_SUPPORTED_VERSIONS})"
         )
     client = _blob_str(blob, "client")
     token = _blob_str(blob, "token")
+    trace_id = _blob_str(blob, "trace_id") if "trace_id" in blob else ""
     if not token:
         raise ConfigurationError(
             "handoff blob carries an empty resume token; the client "
@@ -148,6 +157,7 @@ def install_seat(server: VrServeServer, blob: Mapping[str, Any]) -> Session:
         joined_slot=slot,
         token=token,
         slot=slot,
+        trace_id=trace_id,
     )
     try:
         server.edge.import_seat(session.seat, seat_state)

@@ -1,0 +1,176 @@
+"""Federated registry merging: the cluster-level ``/metrics`` view.
+
+Satellite coverage for :func:`repro.obs.cluster.merge_registries`:
+every merged exposition must pass
+:func:`repro.obs.promtext.validate_exposition` — duplicate families
+across shards, label collisions with a pre-existing ``shard`` label,
+and per-shard histograms with *different* bucket bounds included.
+"""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.buildinfo import (
+    BUILD_INFO_METRIC,
+    config_fingerprint,
+    register_build_info,
+)
+from repro.obs.cluster import (
+    COORDINATOR_SHARD,
+    MERGE_CONFLICTS_METRIC,
+    SHARD_LABEL,
+    merge_conflicts,
+    merge_registries,
+)
+from repro.obs.promtext import validate_exposition
+from repro.obs.registry import MetricsRegistry
+
+
+def _shard_registry(slots: float, hits: float) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_serve_slots_total", "Slots executed").inc(slots)
+    registry.counter("repro_serve_deadline_hits_total", "Hits").inc(hits)
+    registry.gauge("repro_serve_sessions", "Live sessions").set(2.0)
+    return registry
+
+
+class TestMergeRegistries:
+    def test_duplicate_families_fan_out_by_shard(self):
+        merged = merge_registries(
+            [("0", _shard_registry(10, 9)), ("1", _shard_registry(20, 20))]
+        )
+        text = merged.render_prometheus()
+        summary = validate_exposition(text)
+        assert 'repro_serve_slots_total{shard="0"} 10' in text
+        assert 'repro_serve_slots_total{shard="1"} 20' in text
+        # One TYPE line per family even though two shards carry it.
+        assert text.count("# TYPE repro_serve_slots_total") == 1
+        assert summary.samples > 0
+
+    def test_merge_is_read_only_adoption(self):
+        shard = _shard_registry(5, 5)
+        merged = merge_registries([("0", shard)])
+        # The merged child *is* the shard's instrument: a later inc on
+        # the shard shows up in a fresh render of the merged view.
+        shard.counter("repro_serve_slots_total", "Slots executed").inc(3)
+        assert 'repro_serve_slots_total{shard="0"} 8' in (
+            merged.render_prometheus()
+        )
+
+    def test_existing_shard_label_is_not_doubled(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family(
+            "repro_cluster_migrations_total", "Moves", (SHARD_LABEL,)
+        )
+        family.counter_child(shard="3").inc(2)
+        merged = merge_registries([(COORDINATOR_SHARD, registry)])
+        text = merged.render_prometheus()
+        validate_exposition(text)
+        # The family already had a shard label: merged as-is, no
+        # second shard label appended.
+        assert 'repro_cluster_migrations_total{shard="3"} 2' in text
+
+    def test_kind_conflict_counts_not_raises(self):
+        a = MetricsRegistry()
+        a.counter("repro_widget_total", "As a counter").inc()
+        b = MetricsRegistry()
+        b.gauge("repro_widget_total", "As a gauge").set(1.0)
+        merged = merge_registries([("0", a), ("1", b)])
+        text = merged.render_prometheus()
+        validate_exposition(text)
+        conflicts = dict(merge_conflicts(merged))
+        assert conflicts.get("repro_widget_total", 0) >= 1
+        # The first shard's version survives.
+        assert 'repro_widget_total{shard="0"} 1' in text
+
+    def test_histograms_with_different_buckets_stay_valid(self):
+        a = MetricsRegistry()
+        a.histogram(
+            "repro_stage_seconds", "Stage latency", buckets_s=(0.001, 0.01)
+        ).observe(0.002)
+        b = MetricsRegistry()
+        b.histogram(
+            "repro_stage_seconds", "Stage latency", buckets_s=(0.005,)
+        ).observe(0.002)
+        merged = merge_registries([("0", a), ("1", b)])
+        text = merged.render_prometheus()
+        summary = validate_exposition(text)
+        # Each shard's series keeps its own bounds; both close at +Inf.
+        assert 'le="0.001",shard="0"' in text or 'shard="0",le="0.001"' in text
+        assert text.count('le="+Inf"') == 2
+        assert "repro_stage_seconds" in summary.families
+
+    def test_empty_sources_render_empty_but_valid(self):
+        merged = merge_registries([])
+        summary = validate_exposition(merged.render_prometheus())
+        # Only the conflicts family (no children) is registered.
+        assert summary.samples == 0
+
+    def test_conflict_counter_name_reserved(self):
+        registry = MetricsRegistry()
+        registry.counter(MERGE_CONFLICTS_METRIC, "Impostor").inc()
+        merged = merge_registries([("0", registry)])
+        text = merged.render_prometheus()
+        validate_exposition(text)
+        # The shard's impostor conflicts with the merger's own family
+        # (label mismatch) and is counted as a conflict itself.
+        assert dict(merge_conflicts(merged)).get(MERGE_CONFLICTS_METRIC, 0) >= 1
+
+
+class TestBuildInfo:
+    def test_registered_in_every_shard_and_merged(self):
+        shards = []
+        for index in range(2):
+            registry = MetricsRegistry()
+            register_build_info(registry, shard=index, config_hash="abc")
+            shards.append((str(index), registry))
+        merged = merge_registries(shards)
+        text = merged.render_prometheus()
+        validate_exposition(text)
+        assert text.count(BUILD_INFO_METRIC + "{") == 2
+        assert 'config_hash="abc"' in text
+
+    def test_gauge_is_constant_one_with_identity_labels(self):
+        registry = MetricsRegistry()
+        gauge = register_build_info(registry, shard=4, config_hash="ffff")
+        assert gauge.value == 1.0
+        text = registry.render_prometheus()
+        assert 'shard="4"' in text
+        assert "python=" in text
+        assert "version=" in text
+
+    def test_idempotent_re_registration(self):
+        registry = MetricsRegistry()
+        register_build_info(registry, shard=0, config_hash="x")
+        register_build_info(registry, shard=0, config_hash="x")
+        validate_exposition(registry.render_prometheus())
+
+    def test_config_fingerprint_stable_and_short(self):
+        a = config_fingerprint(("a", 1))
+        assert a == config_fingerprint(("a", 1))
+        assert a != config_fingerprint(("a", 2))
+        assert len(a) == 12
+
+
+class TestAdopt:
+    def test_rejects_mismatched_instrument_kind(self):
+        a = MetricsRegistry()
+        counter = a.counter("repro_x_total", "X")
+        b = MetricsRegistry()
+        family = b.gauge_family("repro_y", "Y", ("shard",))
+        assert family.adopt(("0",), counter) is False
+
+    def test_rejects_label_arity_mismatch(self):
+        a = MetricsRegistry()
+        counter = a.counter("repro_x_total", "X")
+        b = MetricsRegistry()
+        family = b.counter_family("repro_x_total", "X", ("shard",))
+        assert family.adopt((), counter) is False
+
+    def test_rejects_taken_key(self):
+        a = MetricsRegistry()
+        counter = a.counter("repro_x_total", "X")
+        b = MetricsRegistry()
+        family = b.counter_family("repro_x_total", "X", ("shard",))
+        assert family.adopt(("0",), counter) is True
+        assert family.adopt(("0",), counter) is False

@@ -120,6 +120,26 @@ class TestLoopbackInertness:
         assert on.metrics.telemetry.records == off.metrics.telemetry.records
         assert on.metrics.deadline_hits == off.metrics.deadline_hits
 
+    def test_lockstep_run_identical_with_slo_engine_enabled(self, tmp_path):
+        from repro.obs.slo import SLO_BURN_METRIC, default_slo_config
+
+        off = self._run(ObsConfig(enabled=False))
+        on = self._run(
+            ObsConfig(
+                enabled=True,
+                trace_path=str(tmp_path / "trace.jsonl"),
+                sample_every=1,
+                slo=default_slo_config(),
+            )
+        )
+        # The burn-rate engine ran every slot...
+        assert SLO_BURN_METRIC in on.metrics.registry.render_prometheus()
+        # ...and changed nothing it observed.
+        assert on.slots == off.slots
+        assert on.metrics.per_user_quality() == off.metrics.per_user_quality()
+        assert on.metrics.telemetry.records == off.metrics.telemetry.records
+        assert on.metrics.deadline_hits == off.metrics.deadline_hits
+
 
 class TestOverheadBudget:
     def test_slot_pipeline_overhead_within_budget(self):

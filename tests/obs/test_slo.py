@@ -1,0 +1,203 @@
+"""The SLO engine: config schema, burn-rate math, window behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    SLO_BREACHES_METRIC,
+    SLO_BURN_METRIC,
+    SloConfig,
+    SloEngine,
+    SloObjective,
+    SloSample,
+    default_slo_config,
+    evaluate_sample,
+    load_slo_config,
+    sample_registry,
+    sample_snapshot,
+)
+
+
+def _counters(registry, slots=0, hits=0, degraded=0, detached=0):
+    registry.counter("repro_serve_slots_total", "s").inc(slots)
+    registry.counter("repro_serve_deadline_hits_total", "h").inc(hits)
+    registry.counter("repro_serve_degraded_user_slots_total", "d").inc(degraded)
+    registry.counter("repro_serve_detached_user_slots_total", "p").inc(detached)
+    return registry
+
+
+class TestConfigSchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SloObjective("x", "availability", target=0.9)
+
+    def test_target_range_enforced(self):
+        with pytest.raises(ObservabilityError):
+            SloObjective("x", "deadline_hit_rate", target=1.0)
+        with pytest.raises(ObservabilityError):
+            SloObjective("x", "deadline_hit_rate", target=-0.1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SloConfig(objectives=(
+                SloObjective("x", "deadline_hit_rate", target=0.9),
+                SloObjective("x", "quality_floor", target=0.9),
+            ))
+
+    def test_round_trips_through_json(self, tmp_path):
+        config = default_slo_config()
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(config.to_dict()))
+        assert load_slo_config(path) == config
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"objectives": []}')
+        with pytest.raises(ObservabilityError):
+            load_slo_config(path)
+
+    def test_budget_is_one_minus_target(self):
+        assert SloObjective(
+            "x", "deadline_hit_rate", target=0.99
+        ).budget == pytest.approx(0.01)
+
+
+class TestSampling:
+    def test_registry_sampler_sums_sharded_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family(
+            "repro_serve_slots_total", "s", ("shard",)
+        )
+        family.counter_child(shard="0").inc(10)
+        family.counter_child(shard="1").inc(15)
+        sample = sample_registry(registry)
+        assert sample.slots == 25.0
+
+    def test_missing_families_read_as_zero(self):
+        assert sample_registry(MetricsRegistry()) == SloSample()
+
+    def test_snapshot_sampler_matches_registry(self):
+        registry = _counters(
+            MetricsRegistry(), slots=40, hits=39, degraded=3, detached=1
+        )
+        from_registry = sample_registry(registry)
+        from_snapshot = sample_snapshot(registry.snapshot())
+        assert from_snapshot == from_registry
+
+    def test_snapshot_without_families_rejected(self):
+        with pytest.raises(ObservabilityError):
+            sample_snapshot({})
+
+
+class TestEvaluateSample:
+    def test_error_fractions_per_kind(self):
+        config = default_slo_config()
+        sample = SloSample(
+            slots=100, deadline_hits=98,
+            degraded_user_slots=8, detached_user_slots=4,
+        )
+        by_name = {
+            s.name: s for s in evaluate_sample(config, sample, seats=4)
+        }
+        assert by_name["slot_deadline"].error_ratio == pytest.approx(0.02)
+        assert by_name["quality_floor"].error_ratio == pytest.approx(
+            8 / 400
+        )
+        assert by_name["migration_downtime"].error_ratio == pytest.approx(
+            4 / 400
+        )
+        # deadline: 2% errors vs 1% budget -> burn 2x -> breach.
+        assert by_name["slot_deadline"].burn == pytest.approx(2.0)
+        assert by_name["slot_deadline"].breached
+        assert not by_name["quality_floor"].breached
+
+    def test_no_data_is_no_breach(self):
+        statuses = evaluate_sample(default_slo_config(), SloSample(), seats=2)
+        assert all(s.burn == 0.0 for s in statuses)
+        assert not any(s.breached for s in statuses)
+
+
+class TestEngine:
+    def _engine(self, registry, window=4, target=0.5):
+        config = SloConfig(objectives=(
+            SloObjective(
+                "deadline", "deadline_hit_rate",
+                target=target, window_slots=window,
+            ),
+        ))
+        return SloEngine(config, registry, seats=1)
+
+    def test_burn_gauge_and_breach_counter(self):
+        registry = MetricsRegistry()
+        slots = registry.counter("repro_serve_slots_total", "s")
+        hits = registry.counter("repro_serve_deadline_hits_total", "h")
+        engine = self._engine(registry, window=4, target=0.5)
+        # Miss every deadline: error 100% vs 50% budget -> burn 2x.
+        for slot in range(3):
+            slots.inc()
+            statuses = engine.evaluate(slot)
+        assert statuses[0].burn == pytest.approx(2.0)
+        assert statuses[0].breached
+        # Edge-triggered: one transition, one breach count.
+        text = registry.render_prometheus()
+        assert SLO_BURN_METRIC + '{objective="deadline"} 2' in text
+        assert SLO_BREACHES_METRIC + '{objective="deadline"} 1' in text
+
+    def test_window_forgets_old_errors(self):
+        registry = MetricsRegistry()
+        slots = registry.counter("repro_serve_slots_total", "s")
+        hits = registry.counter("repro_serve_deadline_hits_total", "h")
+        engine = self._engine(registry, window=4, target=0.5)
+        # Slots 0-2: all misses (breaching).
+        for slot in range(3):
+            slots.inc()
+            engine.evaluate(slot)
+        # Slots 3-12: all hits; the window slides past the bad start.
+        final = []
+        for slot in range(3, 13):
+            slots.inc()
+            hits.inc()
+            final = engine.evaluate(slot)
+        assert final[0].error_ratio == pytest.approx(0.0)
+        assert not final[0].breached
+
+    def test_recovery_rearms_breach_counter(self):
+        registry = MetricsRegistry()
+        slots = registry.counter("repro_serve_slots_total", "s")
+        hits = registry.counter("repro_serve_deadline_hits_total", "h")
+        engine = self._engine(registry, window=2, target=0.5)
+        newly = 0
+        for slot in range(12):
+            slots.inc()
+            # Alternate runs of misses and hits in blocks of 4.
+            if (slot // 4) % 2 == 1:
+                hits.inc()
+            newly += sum(
+                1 for s in engine.evaluate(slot) if s.newly_breached
+            )
+        # Breached in the first miss block, recovered, breached again.
+        assert newly == 2
+
+    def test_status_rollup_lists_breaching_names(self):
+        registry = MetricsRegistry()
+        slots = registry.counter("repro_serve_slots_total", "s")
+        engine = self._engine(registry, window=4, target=0.5)
+        slots.inc()
+        engine.evaluate(0)
+        status = engine.status()
+        assert status["breaching"] == ["deadline"]
+        objectives = status["objectives"]
+        assert objectives[0]["name"] == "deadline"
+        assert objectives[0]["breached"] is True
+
+    def test_history_stays_bounded(self):
+        registry = MetricsRegistry()
+        slots = registry.counter("repro_serve_slots_total", "s")
+        engine = self._engine(registry, window=8)
+        for slot in range(200):
+            slots.inc()
+            engine.evaluate(slot)
+        assert len(engine._history) <= 10

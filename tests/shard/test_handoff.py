@@ -16,6 +16,7 @@ from repro.shard.handoff import (
     COUNTER_FIELDS,
     HANDOFF_SCHEMA_KIND,
     HANDOFF_SCHEMA_VERSION,
+    HANDOFF_SUPPORTED_VERSIONS,
     capture_seat,
     install_seat,
 )
@@ -188,3 +189,32 @@ class TestRejection:
         with pytest.raises(ConfigurationError):
             install_seat(target, blob)
         assert target.metrics.migrations_in == 0
+
+
+class TestTraceIdentity:
+    def test_trace_identity_round_trips(self):
+        source = make_server()
+        target = make_server()
+        session = park_session(source)
+        session.trace_id = "aaaa1111bbbb2222"
+        blob = capture_seat(source, session, source_shard=0)
+        assert blob["version"] == HANDOFF_SCHEMA_VERSION
+        assert blob["trace_id"] == "aaaa1111bbbb2222"
+        # The identity is carried, never re-minted: the landed session
+        # keeps the trace minted at original admission.
+        landed = install_seat(target, blob)
+        assert landed.trace_id == "aaaa1111bbbb2222"
+
+    def test_v1_blob_without_trace_still_installs(self):
+        assert 1 in HANDOFF_SUPPORTED_VERSIONS
+        source = make_server()
+        target = make_server()
+        session = park_session(source)
+        session.trace_id = "aaaa1111bbbb2222"
+        blob = capture_seat(source, session, source_shard=0)
+        # A pre-v2 shard's blob: no trace field at all.
+        del blob["trace_id"]
+        blob["version"] = 1
+        landed = install_seat(target, blob)
+        assert landed.client == "mover"
+        assert landed.trace_id == ""
