@@ -314,9 +314,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         serve_users = [int(v) for v in args.serve_users.split(",")]
         serve_slots = args.serve_slots
+        mux_clients = args.mux_clients
+        mux_connections = args.mux_connections
         if args.quick:
             serve_users = [u for u in serve_users if u <= 2] or [2]
             serve_slots = min(serve_slots, 40)
+            mux_clients = min(mux_clients, 16)
+            mux_connections = min(mux_connections, 2)
         print(
             f"\nserving benchmark (fleets {serve_users}, {serve_slots} slots, "
             f"target hit rate {args.serve_target}):\n"
@@ -326,6 +330,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             slots=serve_slots,
             seed=args.seed,
             deadline_target=args.serve_target,
+            mux_clients=mux_clients,
+            mux_connections=mux_connections,
         )
         print(
             format_table(
@@ -345,6 +351,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"\nusers sustained at >={args.serve_target:.0%} hit rate: "
             f"{serve_run['users_sustained']}"
         )
+        protocol = serve_run["protocol"]
+        print(
+            f"\nwire codecs (micro-bench): v1 "
+            f"{protocol['frames_per_s_v1']:.0f} frames/s, v2 "
+            f"{protocol['frames_per_s_v2']:.0f} frames/s, speedup "
+            f"{protocol['codec_speedup']:.2f}x\n"
+        )
+        print(
+            format_table(
+                ["codec", "users", "hit rate", "p99 slot (ms)", "missed"],
+                [
+                    [
+                        int(r["codec"]),
+                        int(r["users"]),
+                        r["deadline_hit_rate"],
+                        r["p99_slot_ms"],
+                        int(r["missed_reports"]),
+                    ]
+                    for r in protocol["fleets"]
+                ],
+            )
+        )
+        if "mux" in protocol:
+            mux = protocol["mux"]
+            print(
+                f"\nmux: {int(mux['clients'])} virtual clients over "
+                f"{int(mux['connections'])} connections, hit rate "
+                f"{mux['deadline_hit_rate']:.4f}, p99 slot "
+                f"{mux['p99_slot_ms']:.2f} ms, missed "
+                f"{int(mux['missed_reports'])}"
+            )
         persist_run(serve_run, out / BENCH_SERVE_FILE)
         written.append(out / BENCH_SERVE_FILE)
         runs["serve"] = serve_run
@@ -492,7 +529,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.faults import FaultSchedule
     from repro.obs import ObsConfig
-    from repro.serve import VrServeServer, serve_setup1
+    from repro.serve import VrServeServer, install_uvloop, serve_setup1
     from repro.units import SLOT_DURATION_S
 
     slot_s = SLOT_DURATION_S if args.slot_ms is None else args.slot_ms / 1e3
@@ -525,7 +562,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             resume_grace_s=args.resume_grace,
             resume_grace_slots=args.resume_grace_slots,
             kernel=args.kernel,
+            codec_max=args.codec_max,
+            uvloop=args.uvloop,
         )
+        if config.uvloop:
+            installed = install_uvloop()
+            print(
+                "uvloop event loop installed"
+                if installed
+                else "uvloop not available; using the stock asyncio loop",
+                flush=True,
+            )
 
         async def _run() -> object:
             server = VrServeServer(config)
@@ -563,7 +610,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.errors import ReproError
     from repro.faults import FaultSchedule
-    from repro.serve import LoadGenConfig, ReconnectPolicy, run_fleet
+    from repro.serve import (
+        LoadGenConfig,
+        ReconnectPolicy,
+        run_fleet,
+        run_mux_fleet,
+    )
 
     try:
         faults = (
@@ -582,8 +634,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             churn_leave_after_slots=args.churn_leave,
             faults=faults,
             reconnect=ReconnectPolicy(max_attempts=args.reconnect_attempts),
+            codec=args.codec,
         )
-        fleet = asyncio.run(run_fleet(config))
+        if args.mux:
+            fleet = asyncio.run(
+                run_mux_fleet(config, connections=args.mux_connections)
+            )
+        else:
+            fleet = asyncio.run(run_fleet(config))
     except ReproError as exc:
         print(f"loadgen failed: {exc}", file=sys.stderr)
         return 1
@@ -680,6 +738,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--serve-slots", type=int, default=120)
     bench.add_argument("--serve-target", type=float, default=0.99,
                        help="deadline hit rate a fleet must sustain")
+    bench.add_argument("--mux-clients", type=int, default=128,
+                       help="virtual clients for the multiplexed serve row "
+                            "(0 = skip)")
+    bench.add_argument("--mux-connections", type=int, default=4,
+                       help="physical connections for the multiplexed row")
     bench.add_argument("--scale-shards", default="1,2",
                        help="comma-separated shard counts for the scale bench")
     bench.add_argument("--scale-users", type=int, default=2,
@@ -740,6 +803,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--kernel", action="store_true",
                        help="allocate with the vectorized array kernel "
                             "(bit-identical; faster at large seat counts)")
+    serve.add_argument("--codec-max", type=int, choices=(1, 2), default=2,
+                       help="newest wire codec to negotiate (1 pins every "
+                            "connection to JSON framing)")
+    serve.add_argument("--uvloop", action="store_true",
+                       help="install the uvloop event-loop policy if the "
+                            "package is available")
 
     loadgen = sub.add_parser(
         "loadgen", help="client fleet replaying motion traces at a server"
@@ -763,6 +832,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--reconnect-attempts", type=int, default=0,
                          help="reconnect budget per outage (0 = clients do "
                               "not heal)")
+    loadgen.add_argument("--codec", type=int, choices=(1, 2), default=2,
+                         help="newest wire codec to offer at join (1 forces "
+                              "JSON framing)")
+    loadgen.add_argument("--mux", action="store_true",
+                         help="multiplex all clients as virtual clients over "
+                              "--mux-connections binary-codec sockets")
+    loadgen.add_argument("--mux-connections", type=int, default=4,
+                         help="physical connections carrying the mux fleet")
 
     lint = sub.add_parser(
         "lint", help="domain-aware static analysis (rules RL001-RL007)"

@@ -28,6 +28,20 @@ _LENGTH_PREFIX = struct.Struct("!I")
 #: JSON structure (flips bits in printable range) deterministically.
 CORRUPT_XOR_MASK = 0x5A
 
+# Mirrors the binary wire header in ``repro.serve.protocol2`` (kept
+# local so the fault layer never imports the serve package it is
+# injected into).  First byte of every codec-2 frame is the magic;
+# a JSON frame starts with its length prefix's high byte, which the
+# 1 MiB frame cap keeps at zero — so the magic doubles as a codec
+# discriminator on raw frame bytes.
+_BINARY_MAGIC = 0xB2
+_BINARY_HEADER_SIZE = 8
+
+#: Bytes of ``0xFF`` stamped into a binary body: ten continuation
+#: bytes overflow the varint limit no matter where the first field
+#: read lands, so two extra cover a leading fixed-width byte or two.
+_BINARY_STAMP = 12
+
 
 class FaultInjector:
     """Hands out each scheduled fault exactly once.
@@ -98,19 +112,36 @@ class FaultInjector:
 
 
 def corrupt_frame_bytes(frame: bytes) -> bytes:
-    """Bit-flip one byte mid-body; the length prefix stays intact.
+    """Damage a frame's body; the header/length framing stays intact.
 
     The result is a frame the receiving codec *reads* completely
     (framing is preserved) but cannot decode — the case the server's
     corrupt-frame quarantine must absorb without killing the session.
+
+    JSON frames get one byte mid-body bit-flipped, which reliably
+    breaks JSON structure.  Binary (codec 2) frames carry no checksum,
+    so a single flipped bit can decode as a structurally valid —
+    merely wrong — value; those get an overlong-varint stamp at the
+    start of the body instead, which the decoder is contractually
+    required to quarantine wherever its first field read lands.
     """
     if len(frame) <= _LENGTH_PREFIX.size:
         raise ConfigurationError(
             f"cannot corrupt a {len(frame)}-byte frame (no body)"
         )
+    mangled = bytearray(frame)
+    if frame[0] == _BINARY_MAGIC:
+        body_len = len(frame) - _BINARY_HEADER_SIZE
+        if body_len <= 0:
+            raise ConfigurationError(
+                f"cannot corrupt a {len(frame)}-byte binary frame (no body)"
+            )
+        end = _BINARY_HEADER_SIZE + min(body_len, _BINARY_STAMP)
+        for position in range(_BINARY_HEADER_SIZE, end):
+            mangled[position] = 0xFF
+        return bytes(mangled)
     body_len = len(frame) - _LENGTH_PREFIX.size
     position = _LENGTH_PREFIX.size + body_len // 2
-    mangled = bytearray(frame)
     mangled[position] ^= CORRUPT_XOR_MASK
     return bytes(mangled)
 

@@ -24,6 +24,7 @@ from repro.serve.bench import BENCH_SERVE_FILE, bench_serve
 from repro.serve.config import (
     PROTOCOL_VERSION,
     ServeConfig,
+    install_uvloop,
     resume_enabled,
     serve_setup1,
 )
@@ -36,6 +37,15 @@ from repro.serve.loadgen import (
     run_serve_and_fleet,
 )
 from repro.serve.metrics import LatencyHistogram, ServingMetrics
+from repro.serve.mux import run_mux_fleet, run_serve_and_mux_fleet
+from repro.serve.protocol2 import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    BinaryChannelCodec,
+    WireFrame,
+    WireState,
+    negotiate_codec,
+)
 from repro.serve.server import ServeResult, VrServeServer
 from repro.serve.sessions import Session, SessionRegistry
 from repro.serve.slotloop import DataPlane, SlotLoop
@@ -44,6 +54,9 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
     "BENCH_SERVE_FILE",
+    "BinaryChannelCodec",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "ClientReport",
     "DataPlane",
     "FleetReport",
@@ -62,9 +75,15 @@ __all__ = [
     "SessionRegistry",
     "SlotLoop",
     "VrServeServer",
+    "WireFrame",
+    "WireState",
     "bench_serve",
+    "install_uvloop",
+    "negotiate_codec",
     "resume_enabled",
     "run_fleet",
+    "run_mux_fleet",
     "run_serve_and_fleet",
+    "run_serve_and_mux_fleet",
     "serve_setup1",
 ]

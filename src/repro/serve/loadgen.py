@@ -49,10 +49,17 @@ from repro.serve.protocol import (
     SlotReport,
     TilePlan,
     Welcome,
-    encode_message,
     pose_to_wire,
     read_message,
     send_message,
+)
+from repro.serve.protocol2 import (
+    CODEC_BINARY,
+    WireFrame,
+    WireState,
+    wire_encode,
+    wire_read,
+    wire_send,
 )
 from repro.serve.server import ServeResult, VrServeServer
 from repro.system.client import Client, DecoderPool
@@ -138,6 +145,11 @@ class LoadGenConfig:
     reports) from the same :class:`~repro.faults.schedule.FaultSchedule`
     the server consumes; ``reconnect`` governs how clients heal from
     lost connections.
+
+    ``codec`` is the newest wire-codec generation the fleet offers at
+    join time (2, the binary framing, by default — the fleet is the
+    binary codec's first production user; the server may still
+    downgrade the connection to JSON).  Set 1 to force the JSON wire.
     """
 
     host: str = "127.0.0.1"
@@ -153,8 +165,13 @@ class LoadGenConfig:
     client_prefix: str = "client"
     faults: Optional[FaultSchedule] = None
     reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
+    codec: int = CODEC_BINARY
 
     def __post_init__(self) -> None:
+        if self.codec not in (1, 2):
+            raise ConfigurationError(
+                f"codec must be 1 (JSON) or 2 (binary), got {self.codec}"
+            )
         if self.num_clients < 1:
             raise ConfigurationError(
                 f"num_clients must be >= 1, got {self.num_clients}"
@@ -347,8 +364,16 @@ async def _run_client(
         try:
             await send_message(
                 writer,
-                JoinRequest(client=name, version=PROTOCOL_VERSION, token=token),
+                JoinRequest(
+                    client=name,
+                    version=PROTOCOL_VERSION,
+                    token=token,
+                    codec=config.codec,
+                ),
             )
+            # The greeting always travels in the JSON handshake
+            # framing; the negotiated codec applies from the frame
+            # *after* the welcome.
             greeting = await read_message(reader)
             if isinstance(greeting, Redirect):
                 follow = greeting
@@ -378,18 +403,25 @@ async def _run_client(
                         f"{type(greeting).__name__}"
                     )
                 token = greeting.resume_token or token
+                wire = WireState()
+                if (
+                    greeting.codec >= CODEC_BINARY
+                    and config.codec >= CODEC_BINARY
+                ):
+                    wire.upgrade(CODEC_BINARY)
                 if state is None:
                     state = _ClientState(config, greeting)
-                    await send_message(
+                    await wire_send(
                         writer,
+                        wire,
                         Ready(pose=pose_to_wire(state.trace[0].as_vector())),
                     )
                 elif greeting.resumed:
                     state.resumes += 1
                     attempts = 0
                 outcome = await _session_loop(
-                    config, reader, writer, state, latency_s, jitter_rng,
-                    leave_after, injector,
+                    config, reader, writer, wire, state, latency_s,
+                    jitter_rng, leave_after, injector,
                 )
                 if isinstance(outcome, Redirect):
                     follow = outcome
@@ -436,6 +468,7 @@ async def _session_loop(
     config: LoadGenConfig,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    wire: WireState,
     state: _ClientState,
     latency_s: float,
     jitter_rng: np.random.Generator,
@@ -453,16 +486,24 @@ async def _session_loop(
     body bytes (the server quarantines it), ``delay_report`` holds the
     report back.
     """
+    pending: List[WireFrame] = []
     while True:
-        message = await read_message(reader)
+        if not pending:
+            units = await wire_read(reader, wire)
+            if units is None:
+                return False
+            pending.extend(units)
+        message = pending.pop(0).message
         if message is None:
-            return False
+            # A corrupt frame from the server: the slot is lost (the
+            # server will charge a missed report), the stream is not.
+            continue
         if isinstance(message, Redirect):
             return message
         if isinstance(message, EndOfRun):
             state.end_reason = message.reason
             state.server_summary = dict(message.summary)
-            await send_message(writer, Bye(reason="complete"))
+            await wire_send(writer, wire, Bye(reason="complete"))
             return True
         if not isinstance(message, TilePlan):
             raise TransportError(
@@ -488,13 +529,13 @@ async def _session_loop(
             message.slot, state.seat, FAULT_CORRUPT_REPORT
         )
         if corrupt is not None:
-            writer.write(corrupt_frame_bytes(encode_message(report)))
+            writer.write(corrupt_frame_bytes(wire_encode(wire, report)))
             await writer.drain()
         else:
-            await send_message(writer, report)
+            await wire_send(writer, wire, report)
         if leave_after_slots and message.slot + 1 >= leave_after_slots:
             state.end_reason = "churned"
-            await send_message(writer, Bye(reason="churn"))
+            await wire_send(writer, wire, Bye(reason="churn"))
             return True
 
 

@@ -57,11 +57,19 @@ class JoinRequest:
     A non-empty ``token`` turns the join into a *resume*: the client
     lost its connection and asks to re-attach to the seat that issued
     the token, provided the grace window has not expired.
+
+    ``codec`` is the newest wire-codec generation the client can
+    speak (1 = this JSON framing, 2 = the binary framing of
+    :mod:`repro.serve.protocol2`).  Clients that predate the field
+    simply omit it and default to 1, so they keep speaking JSON
+    end-to-end — codec negotiation is orthogonal to the protocol
+    ``version`` admission check.
     """
 
     client: str
     version: int
     token: str = ""
+    codec: int = 1
 
     KIND = "join"
 
@@ -71,6 +79,7 @@ class JoinRequest:
             "client": self.client,
             "version": self.version,
             "token": self.token,
+            "codec": self.codec,
         }
 
 
@@ -96,6 +105,11 @@ class Welcome:
     resumed: bool = False
     #: Index of the shard that owns this session (-1: unsharded server).
     shard: int = -1
+    #: Wire-codec generation selected for this connection (the
+    #: server's answer to ``JoinRequest.codec``).  Both sides switch
+    #: framing only *after* this welcome, which itself always travels
+    #: in the codec the join arrived under.
+    codec: int = 1
 
     KIND = "welcome"
 
@@ -119,6 +133,7 @@ class Welcome:
             "resume_token": self.resume_token,
             "resumed": self.resumed,
             "shard": self.shard,
+            "codec": self.codec,
         }
 
 
@@ -407,6 +422,7 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
             client=_get_str(payload, "client"),
             version=_get_int(payload, "version"),
             token=_get_str_default(payload, "token", ""),
+            codec=_get_int_default(payload, "codec", 1),
         )
     if kind == Welcome.KIND:
         return Welcome(
@@ -427,6 +443,7 @@ def parse_message(payload: Mapping[str, Any]) -> ServeMessage:
             resume_token=_get_str_default(payload, "resume_token", ""),
             resumed=_get_bool_default(payload, "resumed", False),
             shard=_get_int_default(payload, "shard", -1),
+            codec=_get_int_default(payload, "codec", 1),
         )
     if kind == Reject.KIND:
         return Reject(
@@ -497,10 +514,23 @@ def encode_message(message: ServeMessage) -> bytes:
     return _LENGTH_PREFIX.pack(len(body)) + body
 
 
+def _reject_constant(token: str) -> float:
+    # The encoder refuses NaN/Infinity (allow_nan=False); without
+    # this hook the *decoder* would accept them, so a hand-crafted
+    # frame could smuggle in non-finite floats the codec can never
+    # produce — and that the binary codec symmetrically rejects.
+    # Raised from inside ``json.loads``, so it propagates out of
+    # ``decode_payload`` directly rather than via the malformed-frame
+    # wrapper below.
+    raise FrameCorruptError(f"non-finite JSON constant {token!r}")
+
+
 def decode_payload(body: bytes) -> ServeMessage:
     """Decode one frame body (without the length prefix)."""
     try:
-        payload = json.loads(body.decode("utf-8"))
+        payload = json.loads(
+            body.decode("utf-8"), parse_constant=_reject_constant
+        )
     except (ValueError, UnicodeDecodeError) as exc:
         raise FrameCorruptError(f"malformed frame: {exc}") from exc
     if not isinstance(payload, dict):

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Set
 
 from repro.content.gop import GopModel
 from repro.core.allocation import DensityValueGreedyAllocator, QualityAllocator
-from repro.errors import FrameCorruptError, TransportError
+from repro.errors import TransportError
 from repro.faults.injection import FaultInjector
 from repro.obs.buildinfo import config_fingerprint, register_build_info
 from repro.obs.config import Obs
@@ -39,11 +39,16 @@ from repro.serve.protocol import (
     JoinRequest,
     Ready,
     Reject,
-    ServeMessage,
     SlotReport,
     Welcome,
-    read_message,
-    send_message,
+)
+from repro.serve.protocol2 import (
+    CODEC_JSON,
+    WireFrame,
+    WireState,
+    negotiate_codec,
+    wire_read,
+    wire_send,
 )
 from repro.serve.sessions import Session, SessionRegistry
 from repro.serve.slotloop import DataPlane, SlotLoop
@@ -286,8 +291,11 @@ class VrServeServer:
             if session.writer is None:
                 continue
             try:
-                await send_message(session.writer, frame)
-            except (ConnectionError, OSError):
+                await wire_send(
+                    session.writer, session.wire, frame,
+                    channel=session.channel,
+                )
+            except (TransportError, ConnectionError, OSError):
                 session.alive = False
         if self._listener is not None:
             self._listener.close()
@@ -318,20 +326,34 @@ class VrServeServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        session: Optional[Session] = None
+        """Serve one physical connection, which may carry many sessions.
+
+        The first frame is always a JSON join (the negotiation
+        carrier); once a binary codec is negotiated, further joins
+        may arrive *on the same connection* as channel-tagged binary
+        JOIN frames — that is the multiplexed load-generator path.
+        Sessions that leave with a BYE are torn down immediately;
+        whatever remains when the connection dies is handled by the
+        disconnect/resume logic, exactly as for a dedicated socket.
+        """
+        wire = WireState()
+        sessions: Dict[int, Session] = {}
         timed_out = False
-        said_bye = False
         try:
-            session = await self._admit(reader, writer)
+            session = await self._admit_first(reader, writer, wire)
             if session is None:
                 return
-            said_bye = await self._session_frames(reader, session)
+            sessions[session.seat] = session
+            await self._connection_frames(reader, writer, wire, sessions)
         except asyncio.TimeoutError:
             timed_out = True
         except (TransportError, ConnectionError, OSError):
             pass
         finally:
-            self._tear_down(session, writer, said_bye, timed_out)
+            for session in list(sessions.values()):
+                self._tear_down(
+                    session, writer, said_bye=False, timed_out=timed_out
+                )
             writer.close()
             try:
                 await writer.wait_closed()
@@ -375,19 +397,50 @@ class VrServeServer:
         self.edge.reset_user(session.seat)
         self._ready_event.set()
 
-    async def _admit(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    async def _admit_first(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire: WireState,
     ) -> Optional[Session]:
-        """Run the join handshake; returns None when rejected."""
-        message = await asyncio.wait_for(
-            read_message(reader), self.config.join_timeout_s
+        """Read the connection's opening JSON join and admit it."""
+        units = await asyncio.wait_for(
+            wire_read(reader, wire), self.config.join_timeout_s
         )
-        if not isinstance(message, JoinRequest):
-            raise TransportError(
-                f"expected a join frame first, got {type(message).__name__}"
+        if units is None:
+            raise TransportError("connection closed before a join frame")
+        first = units[0]
+        if not isinstance(first.message, JoinRequest):
+            got = (
+                "corrupt frame"
+                if first.message is None
+                else type(first.message).__name__
             )
+            raise TransportError(f"expected a join frame first, got {got}")
+        return await self._admit(first.message, writer, wire, first.channel)
+
+    async def _admit(
+        self,
+        message: JoinRequest,
+        writer: asyncio.StreamWriter,
+        wire: WireState,
+        channel: int,
+    ) -> Optional[Session]:
+        """Run the join handshake; returns None when rejected.
+
+        The reply travels under the connection's *current* codec (the
+        JSON handshake framing for the first join, binary for joins
+        multiplexed onto an upgraded connection) tagged with the
+        client-chosen ``channel``; the negotiated codec takes effect
+        only after the welcome is on the wire.
+        """
         if message.token:
-            return await self._resume(message, writer)
+            return await self._resume(message, writer, wire, channel)
+        codec = (
+            negotiate_codec(message.codec, self.config.codec_max)
+            if wire.codec == CODEC_JSON
+            else wire.codec
+        )
         decision = self.admission.decide(
             message.version, self.registry.occupancy()
         )
@@ -398,13 +451,15 @@ class VrServeServer:
                 detail=f"{decision.code}: {decision.reason}",
                 slot=self.slot_loop.slots_run,
             )
-            await send_message(
+            await wire_send(
                 writer,
+                wire,
                 Reject(
                     code=decision.code,
                     reason=decision.reason,
                     capacity=self.config.max_users,
                 ),
+                channel=channel,
             )
             return None
         session = self.registry.admit(
@@ -416,8 +471,20 @@ class VrServeServer:
         session.guideline_mbps = self.data_plane.guidelines_mbps[session.seat]
         session.token = self._make_token(session.seat)
         session.trace_id = self._make_trace_id(session.seat)
+        session.wire = wire
+        if channel >= 0:
+            # A channel-tagged join is the multiplexed path: from the
+            # welcome on, this session's frames are tagged by seat.
+            session.channel = session.seat
         self.metrics.record_join()
-        await send_message(writer, self._welcome(session, resumed=False))
+        self.metrics.record_protocol_session(codec)
+        await wire_send(
+            writer,
+            wire,
+            self._welcome(session, resumed=False, codec=codec),
+            channel=channel,
+        )
+        wire.upgrade(codec)
         return session
 
     def _make_token(self, seat: int) -> str:
@@ -447,7 +514,7 @@ class VrServeServer:
         )
         return hashlib.sha256(material.encode("ascii")).hexdigest()[:16]
 
-    def _welcome(self, session: Session, resumed: bool) -> Welcome:
+    def _welcome(self, session: Session, resumed: bool, codec: int) -> Welcome:
         cfg = self.config.experiment
         return Welcome(
             seat=session.seat,
@@ -467,10 +534,15 @@ class VrServeServer:
             resume_token=session.token,
             resumed=resumed,
             shard=self.config.shard_index,
+            codec=codec,
         )
 
     async def _resume(
-        self, message: JoinRequest, writer: asyncio.StreamWriter
+        self,
+        message: JoinRequest,
+        writer: asyncio.StreamWriter,
+        wire: WireState,
+        channel: int,
     ) -> Optional[Session]:
         """Re-attach a reconnecting client to its detached seat."""
         if self.admission.draining:
@@ -479,71 +551,131 @@ class VrServeServer:
             # will never come.  Refuse it the way a fresh join is
             # refused, so the client ends cleanly instead of idling.
             self.metrics.record_reject(REJECT_DRAINING)
-            await send_message(
+            await wire_send(
                 writer,
+                wire,
                 Reject(
                     code=REJECT_DRAINING,
                     reason="server is draining; nothing left to resume",
                     capacity=self.config.max_users,
                 ),
+                channel=channel,
             )
             return None
-        session = self.registry.resume(message.token, writer)
+        codec = (
+            negotiate_codec(message.codec, self.config.codec_max)
+            if wire.codec == CODEC_JSON
+            else wire.codec
+        )
+        # Binding the *new* connection's wire resets the binary
+        # codec's delta/ack maps: the first report after any resume is
+        # absolute, never a delta against a dead connection's pose.
+        session = self.registry.resume(message.token, writer, wire=wire)
         if session is None:
             self.metrics.record_reject(REJECT_RESUME)
-            await send_message(
+            await wire_send(
                 writer,
+                wire,
                 Reject(
                     code=REJECT_RESUME,
                     reason="resume token matches no detached seat",
                     capacity=self.config.max_users,
                 ),
+                channel=channel,
             )
             return None
+        if channel >= 0:
+            session.channel = session.seat
         self.metrics.record_session_resume()
-        await send_message(writer, self._welcome(session, resumed=True))
+        self.metrics.record_protocol_session(codec)
+        await wire_send(
+            writer,
+            wire,
+            self._welcome(session, resumed=True, codec=codec),
+            channel=channel,
+        )
+        wire.upgrade(codec)
         return session
 
-    async def _session_frames(
-        self, reader: asyncio.StreamReader, session: Session
-    ) -> bool:
-        """Consume a session's frames until bye, EOF, or timeout.
+    async def _connection_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire: WireState,
+        sessions: Dict[int, Session],
+    ) -> None:
+        """Consume a connection's frames until every session is gone.
 
-        Returns True for a voluntary leave (BYE), False for a bare
-        EOF — the caller treats the latter as a disconnect.
+        Returns normally when the peer closed cleanly (EOF) or the
+        last session left with a BYE; sessions still in ``sessions``
+        at EOF are handled as disconnects by the caller.
         """
-        while True:
-            if session.stall_read_s > 0:
+        while sessions:
+            stall_s = max(s.stall_read_s for s in sessions.values())
+            if stall_s > 0:
                 # Injected uplink stall: the handler freezes before
                 # its next read, exactly as a radio dropout would.
-                stall_s, session.stall_read_s = session.stall_read_s, 0.0
+                for session in sessions.values():
+                    session.stall_read_s = 0.0
                 await asyncio.sleep(stall_s)
-            try:
-                message: Optional[ServeMessage] = await asyncio.wait_for(
-                    read_message(reader), self.config.idle_timeout_s
-                )
-            except FrameCorruptError:
-                # Quarantine: the framing survived, so the stream is
-                # still synchronized — drop the frame, count it, and
-                # keep the session alive.
+            units = await asyncio.wait_for(
+                wire_read(reader, wire), self.config.idle_timeout_s
+            )
+            if units is None:
+                return
+            for unit in units:
+                await self._dispatch_unit(unit, writer, wire, sessions)
+
+    async def _dispatch_unit(
+        self,
+        unit: WireFrame,
+        writer: asyncio.StreamWriter,
+        wire: WireState,
+        sessions: Dict[int, Session],
+    ) -> None:
+        """Route one decoded wire unit to its session."""
+        message = unit.message
+        session: Optional[Session] = None
+        if unit.channel >= 0:
+            session = sessions.get(unit.channel)
+        elif len(sessions) == 1:
+            session = next(iter(sessions.values()))
+        if message is None:
+            # Quarantine: the framing survived, so the stream is
+            # still synchronized — drop the frame, count it, and
+            # keep the session (and the whole connection) alive.
+            if session is not None:
                 session.corrupt_frames += 1
-                self.metrics.record_corrupt_frame()
-                continue
-            if message is None:
-                return False
-            if isinstance(message, Bye):
-                return True
-            if isinstance(message, Ready):
-                if not session.ready:
-                    self.edge.observe_pose(
-                        session.seat, Pose.from_vector(message.pose)
-                    )
-                    session.ready = True
-                    self._ready_event.set()
-            elif isinstance(message, SlotReport):
-                session.store_report(message, self.slot_loop.slots_run)
-                self.registry.notify_report()
-            else:
-                raise TransportError(
-                    f"unexpected {type(message).__name__} frame mid-session"
+            self.metrics.record_corrupt_frame()
+            return
+        if isinstance(message, JoinRequest):
+            joined = await self._admit(message, writer, wire, unit.channel)
+            if joined is not None:
+                sessions[joined.seat] = joined
+            return
+        if session is None:
+            # A data frame for a seat this connection does not carry
+            # (e.g. a straggler report after a BYE): droppable, but
+            # never fatal to the other multiplexed sessions.
+            self.metrics.record_corrupt_frame()
+            return
+        if unit.channel >= 0:
+            session.channel = unit.channel
+        if isinstance(message, Bye):
+            self._tear_down(session, writer, said_bye=True, timed_out=False)
+            del sessions[session.seat]
+            return
+        if isinstance(message, Ready):
+            if not session.ready:
+                self.edge.observe_pose(
+                    session.seat, Pose.from_vector(message.pose)
                 )
+                session.ready = True
+                self._ready_event.set()
+        elif isinstance(message, SlotReport):
+            session.store_report(message, self.slot_loop.slots_run)
+            self.registry.notify_report()
+        else:
+            raise TransportError(
+                f"unexpected {type(message).__name__} frame mid-session"
+            )

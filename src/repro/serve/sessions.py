@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.serve.protocol import SlotReport
+from repro.serve.protocol2 import WireState
 
 #: ``last_report_slot`` value before any report has been received.
 NEVER_REPORTED = -1
@@ -63,6 +64,16 @@ class Session:
     #: Set by the fault injector: the handler sleeps this long before
     #: its next read (a stalled uplink), then clears it.
     stall_read_s: float = 0.0
+    #: The wire codec of the *connection* this session currently rides
+    #: (multiplexed sessions share one instance).  Defaults to a JSON
+    #: wire so every pre-codec-negotiation code path behaves exactly
+    #: as before; rebound on every resume because delta/ack state is
+    #: per-connection and must start fresh on a new transport.
+    wire: WireState = field(default_factory=WireState)
+    #: Channel id plan frames for this session are tagged with on a
+    #: binary wire: the seat on multiplexed connections, -1 (untagged)
+    #: on a dedicated connection.
+    channel: int = -1
 
     def store_report(self, report: SlotReport, folded_slots: int) -> bool:
         """File a report; returns False when it is too old to matter.
@@ -224,15 +235,28 @@ class SessionRegistry:
         return session
 
     def resume(
-        self, token: str, writer: asyncio.StreamWriter
+        self,
+        token: str,
+        writer: asyncio.StreamWriter,
+        wire: Optional[WireState] = None,
+        channel: int = -1,
     ) -> Optional[Session]:
-        """Re-attach a detached seat by token; None when no seat matches."""
+        """Re-attach a detached seat by token; None when no seat matches.
+
+        ``wire`` is the *new* connection's wire state; binding it here
+        (rather than keeping the old one) is what resets the binary
+        codec's delta/ack maps, so the first report after any resume
+        is absolute — a delta against a pose from the dead connection
+        can never decode.
+        """
         if not token:
             return None
         for seat in sorted(self._sessions):
             session = self._sessions[seat]
             if session.detached and session.token == token:
                 session.writer = writer
+                session.wire = wire if wire is not None else WireState()
+                session.channel = channel
                 session.detached = False
                 session.detached_slot = NEVER_REPORTED
                 session.stall_read_s = 0.0

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.content.tiles import VideoId
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransportError
 from repro.faults.injection import FaultInjector, truncate_frame_bytes
 from repro.faults.schedule import (
     FAULT_DISCONNECT,
@@ -41,12 +41,13 @@ from repro.obs.flight import (
 from repro.obs.slo import SloEngine
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServingMetrics
-from repro.serve.protocol import (
-    EndOfRun,
-    TilePlan,
-    encode_message,
-    pose_to_wire,
-    write_message,
+from repro.serve.protocol import EndOfRun, TilePlan, pose_to_wire
+from repro.serve.protocol2 import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    WireState,
+    wire_encode,
+    wire_write,
 )
 from repro.serve.sessions import Session, SessionRegistry
 from repro.simulation.metrics import summarize_ledger
@@ -203,6 +204,9 @@ class SlotLoop:
         self._finished = False
         #: In-flight delayed writes from injected ``stall_write`` faults.
         self._stall_tasks: Set["asyncio.Task[None]"] = set()
+        #: (json, binary) plan frames queued by the last send stage,
+        #: for the codec attributes on the send span.
+        self._sent_frames: Tuple[int, int] = (0, 0)
         #: Coordinator hook (:mod:`repro.shard`): invoked once per slot
         #: at the only deterministic migration point — right after the
         #: previous slot's reports are folded and before the upcoming
@@ -401,11 +405,26 @@ class SlotLoop:
         deadline is never spent on a dead socket.  Returns the number
         of frames dropped this slot.
 
+        Frames for sessions multiplexed on a shared binary connection
+        (``session.channel >= 0``) are grouped and sent as one
+        ``PLAN_BATCH`` frame per connection, after every per-session
+        fault/backpressure decision has been taken individually.
+
         Two scripted faults act here: ``truncate_frame`` writes half a
         frame and kills the connection (the seat detaches for resume),
         ``stall_write`` delays the frame by the scripted duration.
         """
         dropped = 0
+        sent_json = 0
+        sent_binary = 0
+        batches: Dict[
+            int,
+            Tuple[
+                "asyncio.StreamWriter",
+                WireState,
+                List[Tuple[Session, TilePlan]],
+            ],
+        ] = {}
         for session, frame in frames:
             slot = frame.slot
             if session.writer is None:
@@ -434,13 +453,48 @@ class SlotLoop:
                 self.metrics.record_dropped_frame()
                 dropped += 1
                 continue
+            if (
+                session.wire.codec == CODEC_BINARY
+                and session.channel >= 0
+            ):
+                batch = batches.setdefault(
+                    id(session.wire),
+                    (session.writer, session.wire, []),
+                )
+                batch[2].append((session, frame))
+                continue
             try:
-                write_message(session.writer, frame)
+                wire_write(
+                    session.writer, session.wire, frame,
+                    channel=session.channel,
+                )
             except (ConnectionError, OSError):
                 session.alive = False
                 continue
+            if session.wire.codec == CODEC_BINARY:
+                sent_binary += 1
+            else:
+                sent_json += 1
             session.planned_slots += 1
             session.needs_plan = False
+        for writer, wire, entries in batches.values():
+            batch_frames = wire.require_binary().encode_plan_batch(
+                [(session.channel, frame) for session, frame in entries]
+            )
+            try:
+                for frame_bytes in batch_frames:
+                    writer.write(frame_bytes)
+            except (ConnectionError, OSError):
+                for session, _ in entries:
+                    session.alive = False
+                continue
+            sent_binary += len(batch_frames)
+            for session, _ in entries:
+                session.planned_slots += 1
+                session.needs_plan = False
+        self._sent_frames = (sent_json, sent_binary)
+        self.metrics.record_protocol_frames(CODEC_JSON, "sent", sent_json)
+        self.metrics.record_protocol_frames(CODEC_BINARY, "sent", sent_binary)
         return dropped
 
     def _truncate_and_detach(
@@ -457,7 +511,13 @@ class SlotLoop:
         writer = session.writer
         if writer is not None:
             try:
-                writer.write(truncate_frame_bytes(encode_message(frame)))
+                writer.write(
+                    truncate_frame_bytes(
+                        wire_encode(
+                            session.wire, frame, channel=session.channel
+                        )
+                    )
+                )
             except (ConnectionError, OSError):
                 pass
         session.planned_slots += 1
@@ -473,12 +533,14 @@ class SlotLoop:
         writer = session.writer
         if writer is None:
             return
+        wire = session.wire
+        channel = session.channel
 
         async def _delayed() -> None:
             await asyncio.sleep(duration_s)
             try:
-                write_message(writer, frame)
-            except (ConnectionError, OSError):
+                wire_write(writer, wire, frame, channel=channel)
+            except (TransportError, ConnectionError, OSError):
                 pass
 
         task = asyncio.ensure_future(_delayed())
@@ -566,7 +628,11 @@ class SlotLoop:
             stage_end_s = loop.time()
             self.metrics.record_stage("send", stage_end_s - stage_s)
             if builder is not None:
-                builder.stage("send", stage_s, stage_end_s, dropped=dropped)
+                sent_json, sent_binary = self._sent_frames
+                builder.stage(
+                    "send", stage_s, stage_end_s, dropped=dropped,
+                    frames_v1=sent_json, frames_v2=sent_binary,
+                )
 
             elapsed_s = stage_end_s - started_s
             self.metrics.record_slot(elapsed_s)

@@ -47,6 +47,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span
 from repro.obs.tracer import Tracer
 from repro.serve.protocol import JoinRequest, Redirect, read_message, write_message
+from repro.serve.protocol2 import wire_write
 from repro.serve.server import ServeResult, VrServeServer
 from repro.serve.sessions import Session
 from repro.shard.config import ShardClusterConfig, derive_trace_path
@@ -616,6 +617,26 @@ class ShardCoordinator:
             shard=target,
             reason=reason,
         )
+        # The redirect travels on the session's negotiated wire (a
+        # binary session gets a channel-tagged binary frame).  A
+        # multiplexed connection is shared: closing it would sever
+        # every other virtual client on the link, so only a writer
+        # this session has to itself is closed here.
+        wire = session.wire
+        channel = session.channel
+        shared = any(
+            other is not session and other.writer is writer
+            for other in self.servers[source].registry.active()
+        )
+
+        def _emit() -> None:
+            try:
+                wire_write(writer, wire, frame, channel=channel)
+            except (TransportError, ConnectionError, OSError):
+                pass
+            if not shared:
+                writer.close()
+
         stall_s = self._take_stall(source, slot)
         if stall_s > 0:
             self.servers[source].obs.flight.trigger(
@@ -627,20 +648,12 @@ class ShardCoordinator:
                 slot=slot,
             )
         if stall_s <= 0:
-            try:
-                write_message(writer, frame)
-            except (ConnectionError, OSError):
-                pass
-            writer.close()
+            _emit()
             return
 
         async def _delayed() -> None:
             await asyncio.sleep(stall_s)
-            try:
-                write_message(writer, frame)
-            except (ConnectionError, OSError):
-                pass
-            writer.close()
+            _emit()
 
         task = asyncio.ensure_future(_delayed())
         self._redirect_tasks.add(task)

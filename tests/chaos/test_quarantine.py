@@ -23,7 +23,14 @@ from repro.faults import (
 )
 from repro.serve.config import serve_setup1
 from repro.serve.loadgen import LoadGenConfig, run_serve_and_fleet
-from repro.serve.protocol import Bye, decode_payload, encode_message, read_message
+from repro.serve.protocol import (
+    Bye,
+    SlotReport,
+    decode_payload,
+    encode_message,
+    read_message,
+)
+from repro.serve.protocol2 import BinaryChannelCodec
 
 
 class TestFrameHelpers:
@@ -53,6 +60,28 @@ class TestFrameHelpers:
             return await read_message(reader)
 
         assert asyncio.run(scenario()) == Bye(reason="b")
+
+    def test_binary_corruption_is_quarantined_not_misread(self):
+        """Codec-2 frames carry no checksum, so the injector must
+        produce damage the decoder detects by construction — a single
+        flipped bit could decode as a valid, merely wrong, value."""
+        sender = BinaryChannelCodec()
+        receiver = BinaryChannelCodec()
+        report = SlotReport(
+            slot=3,
+            delivered_ids=(101, 102),
+            released_ids=(90,),
+            indicator=1,
+            delay_slots=0.5,
+            viewed_quality=4.0,
+            pose=(1.0, 2.0, 3.0, 0.1, 0.2, 0.3),
+        )
+        frame = sender.encode(report)
+        bad = corrupt_frame_bytes(frame)
+        assert len(bad) == len(frame)
+        assert bad[:8] == frame[:8]
+        units = receiver.decode(bad[2], bad[3], bad[8:])
+        assert [unit.message for unit in units] == [None]
 
     def test_truncation_breaks_framing(self):
         frame = encode_message(Bye(reason="fine"))

@@ -1,0 +1,163 @@
+"""Differential equivalence: the binary codec vs the JSON codec.
+
+The wire format is an implementation detail of the serving loop — the
+planner, data plane, QoE ledgers, and telemetry must not be able to
+tell which codec carried the frames.  These tests run the same seeded
+lockstep fleet once per codec generation and require the results to
+be **bit-identical** everywhere except wall-clock stage latencies:
+
+* per-client ledgers (frames, displayed, quality, delay, fps);
+* the server's per-seat QoE summaries sent in the end-of-run frame;
+* the full per-(slot, user) telemetry stream;
+* the metrics summary minus its ``stage_latency_ms`` section.
+
+A second group pins the negotiation matrix: every (server ceiling,
+client offer) pair lands on the newest mutually spoken generation,
+and a future-generation offer downgrades instead of failing.
+"""
+
+import asyncio
+from dataclasses import replace
+
+from repro.serve.config import PROTOCOL_VERSION, serve_setup1
+from repro.serve.loadgen import LoadGenConfig, run_serve_and_fleet
+from repro.serve.protocol import JoinRequest, Welcome, read_message, send_message
+from repro.serve.protocol2 import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SUPPORTED_CODEC,
+    negotiate_codec,
+)
+from repro.serve.server import VrServeServer
+
+
+def _run(server_codec, client_codec, num=3, slots=31, seed=5):
+    serve_config = replace(
+        serve_setup1(
+            max_users=num, duration_slots=slots, seed=seed,
+            expect_clients=num, lockstep=True,
+        ),
+        codec_max=server_codec,
+    )
+    fleet_config = LoadGenConfig(
+        num_clients=num, seed=seed, codec=client_codec
+    )
+    return asyncio.run(run_serve_and_fleet(serve_config, fleet_config))
+
+
+def _ledger(fleet):
+    """Per-seat client ledger with every deterministic field."""
+    return {
+        client.seat: (
+            client.frames,
+            client.displayed,
+            client.mean_viewed_quality,
+            client.mean_delay_slots,
+            client.fps,
+            client.end_reason,
+            client.resumes,
+            client.server_summary,
+        )
+        for client in fleet.admitted
+    }
+
+
+def _scrubbed_summary(result):
+    """Metrics summary minus the wall-clock-dependent figures.
+
+    Stage latencies are measured in real time even under lockstep,
+    and the deadline-hit counters are derived from them; everything
+    else in the summary is required to match exactly.
+    """
+    summary = result.metrics.summary()
+    for clock_key in ("stage_latency_ms", "deadline_hits", "deadline_hit_rate"):
+        summary.pop(clock_key)
+    return summary
+
+
+class TestCodecEquivalence:
+    def test_lockstep_run_is_bit_identical_across_codecs(self):
+        result_v1, fleet_v1 = _run(CODEC_JSON, CODEC_JSON)
+        result_v2, fleet_v2 = _run(CODEC_BINARY, CODEC_BINARY)
+        assert _ledger(fleet_v1) == _ledger(fleet_v2)
+        assert _scrubbed_summary(result_v1) == _scrubbed_summary(result_v2)
+        assert (
+            result_v1.metrics.telemetry.records
+            == result_v2.metrics.telemetry.records
+        )
+        # The runs really did speak different generations.
+        assert result_v1.metrics.protocol_sessions == {"1": 3}
+        assert result_v2.metrics.protocol_sessions == {"2": 3}
+
+    def test_downgraded_run_matches_native_json_run(self):
+        """codec_max=1 server forces v2 clients onto the JSON wire —
+        and the downgraded run is indistinguishable from a native one."""
+        result_native, fleet_native = _run(CODEC_JSON, CODEC_JSON)
+        result_down, fleet_down = _run(CODEC_JSON, CODEC_BINARY)
+        assert result_down.metrics.protocol_sessions == {"1": 3}
+        assert _ledger(fleet_native) == _ledger(fleet_down)
+        assert _scrubbed_summary(result_native) == _scrubbed_summary(result_down)
+
+    def test_v1_client_on_v2_server_stays_json(self):
+        result, fleet = _run(CODEC_BINARY, CODEC_JSON)
+        assert result.metrics.protocol_sessions == {"1": 3}
+        assert {c.end_reason for c in fleet.admitted} == {"complete"}
+
+    def test_equivalence_holds_with_degradation_active(self):
+        """A tighter fleet where lag degradation fires: the codec must
+        not shift which seats degrade or when."""
+        result_v1, fleet_v1 = _run(CODEC_JSON, CODEC_JSON, num=6, slots=41)
+        result_v2, fleet_v2 = _run(CODEC_BINARY, CODEC_BINARY, num=6, slots=41)
+        assert _ledger(fleet_v1) == _ledger(fleet_v2)
+        assert _scrubbed_summary(result_v1) == _scrubbed_summary(result_v2)
+
+
+class TestNegotiationMatrix:
+    def test_negotiate_codec_truth_table(self):
+        assert negotiate_codec(1, 2) == CODEC_JSON
+        assert negotiate_codec(2, 2) == CODEC_BINARY
+        assert negotiate_codec(2, 1) == CODEC_JSON
+        assert negotiate_codec(1, 1) == CODEC_JSON
+        # Offers from the future downgrade to this build's best.
+        assert negotiate_codec(7, 2) == CODEC_BINARY
+        assert negotiate_codec(7, 1) == CODEC_JSON
+        # Nonsense offers can only fall back, never fail.
+        assert negotiate_codec(0, 2) == CODEC_JSON
+        assert negotiate_codec(-3, 2) == CODEC_JSON
+        # A ceiling from the future is clamped to what we can speak.
+        assert negotiate_codec(9, 9) == SUPPORTED_CODEC
+
+    def test_future_codec_offer_downgrades_on_the_wire(self):
+        """A client one generation ahead joins a live server and is
+        welcomed at this build's newest generation, not rejected."""
+
+        async def scenario():
+            config = serve_setup1(
+                max_users=1, duration_slots=6, seed=0, expect_clients=1,
+            )
+            server = VrServeServer(config)
+            await server.start()
+            server_task = asyncio.ensure_future(server.run())
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await send_message(
+                    writer,
+                    JoinRequest(
+                        client="futurist", version=PROTOCOL_VERSION,
+                        codec=SUPPORTED_CODEC + 1,
+                    ),
+                )
+                welcome = await asyncio.wait_for(read_message(reader), 5.0)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                if not server_task.done():
+                    server_task.cancel()
+                    await asyncio.gather(server_task, return_exceptions=True)
+            return welcome
+
+        welcome = asyncio.run(scenario())
+        assert isinstance(welcome, Welcome)
+        assert welcome.codec == SUPPORTED_CODEC
